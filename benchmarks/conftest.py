@@ -1,0 +1,41 @@
+"""Shared bench fixtures: run-once experiment results + report files.
+
+Every bench target regenerates one paper artefact (DESIGN.md §4): it
+runs the registered experiment, writes the rendered tables under
+``benchmarks/reports/<exp_id>.txt``, prints them (visible with ``-s`` or
+in failure output) and asserts the paper's *shape* claims.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.bench  # noqa: F401 - registers all experiments
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def report():
+    """Persist and print an ExperimentResult; returns it for chaining."""
+
+    def _report(result):
+        REPORT_DIR.mkdir(exist_ok=True)
+        (REPORT_DIR / f"{result.exp_id}.txt").write_text(result.render() + "\n")
+        print("\n" + result.render())
+        return result
+
+    return _report
+
+
+def run_once(benchmark, experiment):
+    """Benchmark an experiment exactly once (they are deterministic, and
+    some simulate whole semesters — timing loops add nothing)."""
+    return benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+
+def series(table, key_col, value_col):
+    """Extract {key: value} from a Table for shape assertions."""
+    return {row[key_col]: row[value_col] for row in table.to_dicts()}

@@ -1,0 +1,58 @@
+"""Bench: ablations — loop schedules, scheduler policy, Amdahl overlay."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_schedule_ablation(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("abl_sched")))
+    (table,) = result.tables
+    rows = {r["iteration cost profile"]: r for r in table.to_dicts()}
+
+    # uniform: static is at least as good as anything (no balancing needed)
+    uniform = rows["uniform"]
+    assert uniform["static"] <= min(uniform["dynamic"], uniform["guided"]) * 1.01
+    # skew: dynamic/guided beat plain static
+    tri = rows["triangular (cost ~ i)"]
+    assert tri["dynamic"] < tri["static"]
+    assert tri["guided"] < tri["static"]
+    # one giant iteration: everyone is bounded below by the giant itself;
+    # dynamic stays within dispatch-overhead noise of static
+    giant = rows["one giant iteration"]
+    assert giant["dynamic"] <= giant["static"] * 1.10
+
+
+def test_bench_policy_ablation(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("abl_policy")))
+    (table,) = result.tables
+    rows = {(r["workload"], r["cross-core penalty"]): r for r in table.to_dicts()}
+
+    # free communication: policies within noise of each other everywhere
+    for (workload, penalty), row in rows.items():
+        if penalty == 0.0:
+            a, b = row["earliest policy (s)"], row["affinity policy (s)"]
+            assert abs(a - b) <= 0.2 * max(a, b), workload
+
+    # priced communication: affinity wins the chain workload decisively
+    chains = rows[("16 dependent chains", 2e-3)]
+    assert chains["affinity policy (s)"] < chains["earliest policy (s)"] * 0.8
+    # and does no harm on independent tasks
+    soup = rows[("64 independent tasks", 2e-3)]
+    assert soup["affinity policy (s)"] <= soup["earliest policy (s)"] * 1.05
+
+
+def test_bench_amdahl_overlay(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("abl_amdahl")))
+    (table,) = result.tables
+    rows = {r["cores"]: r for r in table.to_dicts()}
+
+    for cores, row in rows.items():
+        if cores == 1:
+            continue
+        measured = row["measured speedup"]
+        amdahl_col = next(k for k in row if k.startswith("Amdahl"))
+        gustafson_col = next(k for k in row if k.startswith("Gustafson"))
+        # measured tracks Amdahl (within 40%) and stays below Gustafson
+        assert measured <= row[gustafson_col] * 1.05
+        assert abs(measured - row[amdahl_col]) <= 0.4 * row[amdahl_col]

@@ -1,0 +1,22 @@
+"""Bench: regenerate the §III-D doodle-poll allocation."""
+
+from conftest import run_once, series
+
+from repro.bench import get_experiment
+
+
+def test_bench_allocation(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("tab_alloc")))
+    per_topic, fairness = result.tables
+
+    # 10 topics x exactly 2 groups (the paper's setup)
+    assert len(per_topic) == 10
+    for row in per_topic.to_dicts():
+        assert len(row["groups assigned"].split(", ")) == 2
+
+    metrics = series(fairness, "metric", "value")
+    assert metrics["groups allocated"] == 20
+    assert metrics["groups unallocated"] == 0
+    # FIFS worked "extremely well": most groups near the top of their list
+    assert metrics["mean achieved preference rank (0 = first choice)"] < 2.0
+    assert metrics["fraction getting first choice"] > 0.4

@@ -1,0 +1,25 @@
+"""Bench: regenerate the §III-C assessment-scheme table."""
+
+from conftest import run_once, series
+
+from repro.bench import get_experiment
+
+
+def test_bench_assessment(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("tab_assess")))
+    weights_table, properties = result.tables
+    weights = series(weights_table, "component", "weight %")
+
+    # the paper's exact weights
+    assert weights["test1"] == 25.0
+    assert weights["seminar"] == 20.0
+    assert weights["test2"] == 10.0
+    assert weights["implementation"] == 25.0
+    assert weights["report"] == 20.0
+    assert weights["TOTAL"] == 100.0
+
+    props = series(properties, "property", "value %")
+    # "only 25% of the grade targeted individual understanding of the
+    # lecture-style material"
+    assert props["individual lecture-material weight"] == 25.0
+    assert props["group-work weight"] == 65.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 1 (research-teaching nexus coverage)."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_fig1(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("fig1")))
+    quadrants, activities = result.tables
+
+    rows = {r["quadrant"]: r["SoftEng751 activities"] for r in quadrants.to_dicts()}
+    # the course occupies exactly three quadrants; research-oriented empty by design
+    assert "(none" in rows["research-oriented"]
+    assert "lectures" in rows["research-led"]
+    assert "project" in rows["research-based"]
+    assert "seminar" in rows["research-tutored"] or "discussion" in rows["research-tutored"]
+
+    quads = {r["quadrant"] for r in activities.to_dicts()}
+    assert quads == {"research-led", "research-based", "research-tutored"}

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 2 (course structure)."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_fig2(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("fig2")))
+    (table,) = result.tables
+    rows = table.to_dicts()
+
+    assert len(rows) == 14  # 12 teaching weeks + 2-week study break
+    uses = [r["use"] for r in rows]
+    assert uses[:5] == ["IT"] * 5  # weeks 1-5 instructor-led
+    assert uses[5] == "A"  # week 6: test 1
+    assert uses[6] == uses[7] == "-"  # study break
+    assert uses[8:12] == ["ST+P"] * 4  # weeks 7-10: presentations + project
+    assert uses[12] == "A+P"  # week 11: test 2
+    assert uses[13] == "P"  # week 12: submission

@@ -1,0 +1,26 @@
+"""Bench: regenerate the §V-A Likert agreement figures (95/95/92)."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_likert(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("tab_likert")))
+    table, themes = result.tables
+    rows = table.to_dicts()
+
+    assert len(rows) == 3
+    for row in rows:
+        # the measured (regenerated-from-responses) percentage equals the
+        # figure the paper reports for that question
+        assert row["agree+strongly agree %"] == row["paper reports %"]
+        assert row["n"] == 60
+        assert row["mean score /5"] > 4.0
+    assert [r["paper reports %"] for r in rows] == [95, 95, 92]
+
+    theme_rows = {r["theme"]: r for r in themes.to_dicts()}
+    # every quoted theme appears and carries its verbatim quote
+    for theme in ("presentations", "discussions", "project", "more-research-time"):
+        assert theme in theme_rows
+        assert theme_rows[theme]["includes paper quote"] is True

@@ -1,0 +1,45 @@
+"""Bench: project 1 — thumbnail strategies, scaling and responsiveness."""
+
+from conftest import run_once, series
+
+from repro.bench import get_experiment
+
+
+def test_bench_proj01(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("proj1")))
+    perf, speedups, resp, sizes, devices = result.tables
+
+    times = {r["strategy"]: r for r in perf.to_dicts()}
+    # every parallel strategy beats sequential on 4+ cores
+    for strategy in ("ptask", "farm", "pyjama"):
+        assert times[strategy]["4 cores"] < times["sequential"]["4 cores"]
+        # and scales further with more cores
+        assert times[strategy]["16 cores"] <= times[strategy]["4 cores"]
+    # sequential does not scale
+    assert times["sequential"]["64 cores"] >= times["sequential"]["1 cores"] * 0.99
+
+    s = {r["strategy"]: r for r in speedups.to_dicts()}
+    assert s["ptask"]["S(8)"] > 3.0  # real speedup at 8 cores
+
+    latency = {r["design"]: r for r in resp.to_dicts()}
+    # the responsiveness claim: the pool design keeps the UI live
+    assert latency["pool"]["event latency mean (s)"] < latency["edt"]["event latency mean (s)"] / 10
+
+    size_rows = sizes.to_dicts()
+    # light dispatch: every size class parallelises well
+    for r in size_rows:
+        assert r["S(8), 1 us dispatch"] > 4.0, r["image size class"]
+    # heavy dispatch: small images lose most of their speedup, large
+    # images amortise it — the input-size finding of the project
+    heavy = {r["image size class"]: r["S(8), 500 us dispatch"] for r in size_rows}
+    assert heavy["small (16-32 px)"] < 2.0
+    assert heavy["large (128-256 px)"] > heavy["small (16-32 px)"] * 2
+
+    dev = {r["device"]: r for r in devices.to_dicts()}
+    # the Android option: parallelism still pays on every quad-core device,
+    # but the phones'/tablets' heavier task dispatch erodes the speedup
+    assert dev["lab-quad"]["speedup"] > 2.0
+    for name in ("android-tablet", "android-phone"):
+        assert 1.2 < dev[name]["speedup"] < dev["lab-quad"]["speedup"]
+    # a tablet is slower than the lab machine in absolute terms
+    assert dev["android-tablet"]["ptask (virtual s)"] > dev["lab-quad"]["ptask (virtual s)"]

@@ -1,0 +1,28 @@
+"""Bench: project 2 — quicksort three ways, core sweep + cutoff sweep."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_proj02(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("proj2")))
+    perf, cutoffs = result.tables
+
+    times = {r["variant"]: r for r in perf.to_dicts()}
+    # all three parallel variants beat sequential at 8 cores
+    for variant in ("ptask", "pyjama", "threads"):
+        assert times[variant]["8 cores"] < times["sequential"]["8 cores"]
+    # speedup grows with cores but is sublinear (Amdahl on the partition prefix)
+    ptask = times["ptask"]
+    assert ptask["4 cores"] < ptask["1 cores"]
+    assert ptask["16 cores"] < ptask["4 cores"]
+    s64 = ptask["1 cores"] / ptask["64 cores"]
+    assert 2.0 < s64 < 64.0
+
+    cut = {r["cutoff"]: r for r in cutoffs.to_dicts()}
+    # granularity: smaller cutoff spawns more tasks...
+    assert cut[8]["tasks spawned"] > cut[2048]["tasks spawned"]
+    # ...and a mid cutoff beats the extremes on time
+    best = min(r["time on 8 cores (virtual s)"] for r in cutoffs.to_dicts())
+    assert cut[128]["time on 8 cores (virtual s)"] <= best * 1.5

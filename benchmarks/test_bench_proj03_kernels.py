@@ -1,0 +1,20 @@
+"""Bench: project 3 — the Pyjama kernels (FFT, matmul, MD, BFS, Jacobi)."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_proj03(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("proj3")))
+    (table,) = result.tables
+    rows = {r["kernel"]: r for r in table.to_dicts()}
+
+    assert set(rows) == {"fft-512", "matmul-96", "md-128", "bfs-600", "jacobi-192"}
+    for name, row in rows.items():
+        # every kernel speeds up monotonically-ish and genuinely by 16 cores
+        assert row["16 cores"] < row["1 cores"], name
+        assert row["S(16)"] > 2.0, name
+    # the wide independent loops scale best
+    assert rows["matmul-96"]["S(16)"] > rows["bfs-600"]["S(16)"]
+    assert rows["md-128"]["S(16)"] > rows["bfs-600"]["S(16)"]

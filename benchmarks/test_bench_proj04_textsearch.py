@@ -1,0 +1,25 @@
+"""Bench: project 4 — parallel folder search with streaming results."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_proj04(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("proj4")))
+    perf, resp = result.tables
+    rows = {r["cores"]: r for r in perf.to_dicts()}
+
+    # same matches at every core count, all streamed as interim results
+    match_counts = {r["matches found"] for r in rows.values()}
+    assert len(match_counts) == 1
+    n_matches = match_counts.pop()
+    assert n_matches > 0
+    assert all(r["streamed interim results"] == n_matches for r in rows.values())
+
+    # near-linear early speedup, flattening at high core counts
+    assert rows[8]["speedup"] > 4.0
+    assert rows[64]["speedup"] >= rows[8]["speedup"] * 0.9
+
+    latency = {r["design"]: r for r in resp.to_dicts()}
+    assert latency["pool"]["event latency mean (s)"] < latency["edt"]["event latency mean (s)"]

@@ -1,0 +1,23 @@
+"""Bench: project 5 — object reductions in Pyjama."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_proj05(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("proj5")))
+    matrix, contention = result.tables
+
+    rows = {r["reduction"]: r for r in matrix.to_dicts()}
+    expected_reductions = {"+", "*", "min", "max", "list", "set", "counter", "dict", "str", "merge_sorted"}
+    assert set(rows) == expected_reductions
+    # every reduction, scalar and object, matches its sequential fold
+    for name, row in rows.items():
+        assert row["parallel == sequential fold"] is True, name
+
+    c = {(r["approach"], r["cores"]): r["time (virtual s)"] for r in contention.to_dicts()}
+    # the efficiency claim: the reduction scales, the critical section does not
+    assert c[("reduction", 8)] < c[("reduction", 1)] / 4
+    assert c[("critical section", 8)] > c[("critical section", 1)] * 0.9
+    assert c[("reduction", 8)] < c[("critical section", 8)] / 4

@@ -1,0 +1,21 @@
+"""Bench: project 6 — task-safe classes vs thread-safe classes."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_proj06(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("proj6")))
+    (table,) = result.tables
+    rows = {r["scenario"]: r for r in table.to_dicts()}
+
+    lock_row = rows["nested task vs parent's lock"]
+    # the trap: an RLock silently admits the nested task
+    assert "ADMITTED" in lock_row["thread-keyed class"]
+    # the fix: the task-safe lock detects the certain deadlock and raises
+    assert "DETECTED" in lock_row["task-safe class"]
+
+    leak_row = rows["second task on the same worker sees"]
+    assert "dirty" in leak_row["thread-keyed class"]  # thread-local leaked
+    assert "fresh" in leak_row["task-safe class"]  # task-local isolated

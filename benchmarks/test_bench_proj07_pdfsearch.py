@@ -1,0 +1,25 @@
+"""Bench: project 7 — PDF search granularity sweep."""
+
+from conftest import run_once, series
+
+from repro.bench import get_experiment
+
+
+def test_bench_proj07(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("proj7")))
+    perf, agreement = result.tables
+    rows = {r["granularity"]: r for r in perf.to_dicts()}
+
+    # all granularities find the same hits
+    hits = series(agreement, "granularity", "page hits found")
+    assert len(set(hits.values())) == 1
+
+    # the skew finding: per_page keeps scaling where per_file caps out
+    assert rows["per_page"]["32 cores"] < rows["per_file"]["32 cores"]
+    assert rows["per_chunk"]["32 cores"] <= rows["per_file"]["32 cores"]
+    # per_file stops improving once cores exceed document count
+    per_file_16 = rows["per_file"]["16 cores"]
+    per_file_32 = rows["per_file"]["32 cores"]
+    assert per_file_32 >= per_file_16 * 0.95
+    # per_page speedup from 1 to 32 cores is substantial
+    assert rows["per_page"]["1 cores"] / rows["per_page"]["32 cores"] > 8.0

@@ -1,0 +1,40 @@
+"""Bench: project 8 — memory-model snippets across models + race detection."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_proj08(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("proj8")))
+    outcomes, races = result.tables
+    o = {r["snippet"]: r for r in outcomes.to_dicts()}
+    r = {row["snippet"]: row for row in races.to_dicts()}
+
+    # lost update: bad outcome even under SC; the lock removes it
+    assert o["lost_update"]["bad outcome under sc"] is True
+    assert o["lost_update_locked"]["bad outcome under sc"] is False
+
+    # store buffering: impossible under SC, appears under TSO; fence/volatile fix it
+    assert o["store_buffering"]["bad outcome under sc"] is False
+    assert o["store_buffering"]["under tso"] is True
+    assert o["store_buffering_fenced"]["under tso"] is False
+    assert o["store_buffering_volatile"]["under relaxed"] is False
+
+    # message passing: safe under TSO (FIFO buffers), breaks under relaxed
+    assert o["message_passing"]["under tso"] is False
+    assert o["message_passing"]["under relaxed"] is True
+    assert o["message_passing_volatile"]["under relaxed"] is False
+
+    # publication
+    assert o["dirty_publication"]["under relaxed"] is True
+    assert o["dirty_publication_volatile"]["under relaxed"] is False
+
+    # deadlocks
+    assert o["deadlock_abba"]["deadlock?"] is True
+    assert o["deadlock_ordered"]["deadlock?"] is False
+
+    # detector agrees with the racy column for every snippet
+    for name, row in o.items():
+        detected = r[name]["races detected (vector clocks)"] > 0
+        assert detected == row["racy?"], name

@@ -1,0 +1,26 @@
+"""Bench: project 9 — collections x synchronisation x read/write mix."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_proj09(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("proj9")))
+    (table,) = result.tables
+    rows = {r["collection/sync model"]: r for r in table.to_dicts()}
+
+    # write-heavy: striping beats the global lock; more stripes, more win
+    assert rows["striped-16"]["0% reads"] < rows["synchronized"]["0% reads"]
+    assert rows["striped-16"]["0% reads"] <= rows["striped-4"]["0% reads"] * 1.01
+    # read-mostly: lock-free-read designs beat the global lock
+    assert rows["cow"]["100% reads"] < rows["synchronized"]["100% reads"]
+    assert rows["rwlock"]["100% reads"] < rows["synchronized"]["100% reads"]
+    # the CoW trade-off: worst at write-heavy among the concurrent designs
+    assert rows["cow"]["0% reads"] > rows["striped-16"]["0% reads"]
+    # among the non-copying designs, the global lock is worst at every mix
+    # (CoW is legitimately even worse than it at write-heavy - the copies)
+    non_copy = ("striped-4", "striped-16", "rwlock", "atomic")
+    for mix in ("100% reads", "90% reads", "50% reads", "0% reads"):
+        for name in non_copy:
+            assert rows["synchronized"][mix] >= rows[name][mix] * 0.99, (mix, name)

@@ -1,0 +1,24 @@
+"""Bench: project 10 — concurrent connections sweep on two site profiles."""
+
+from conftest import run_once
+
+from repro.bench import get_experiment
+
+
+def test_bench_proj10(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("proj10")))
+    latency_table, bandwidth_table, optimum = result.tables
+
+    lat = {r["connections"]: r["makespan (s)"] for r in latency_table.to_dicts()}
+    bw = {r["connections"]: r["makespan (s)"] for r in bandwidth_table.to_dicts()}
+
+    # latency-bound: concurrency keeps paying
+    assert lat[8] < lat[1] / 4
+    assert lat[32] <= lat[8]
+    # bandwidth-bound: a plateau almost immediately
+    assert bw[32] > bw[1] * 0.8
+
+    opt = {r["site profile"]: r for r in optimum.to_dicts()}
+    assert opt["latency-bound"]["optimal connections"] >= 16
+    assert opt["latency-bound"]["speedup vs 1 connection"] > 5.0
+    assert opt["bandwidth-bound"]["speedup vs 1 connection"] < 2.0

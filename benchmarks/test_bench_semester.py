@@ -1,0 +1,23 @@
+"""Bench: regenerate the §V-B semester outcomes end-to-end."""
+
+from conftest import run_once, series
+
+from repro.bench import get_experiment
+
+
+def test_bench_semester(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("sem")))
+    outcomes, contribution = result.tables
+    o = series(outcomes, "outcome", "value")
+
+    assert o["students"] == 60
+    assert o["groups"] == 20
+    assert o["groups allocated"] == 20
+    assert o["repositories passing PARC hygiene"] == 20
+    assert o["total commits across groups"] > 100
+    assert o["masters students continuing with PARC"] > 0
+    assert o["survey agreement %"] == "95/95/92"
+
+    for row in contribution.to_dicts():
+        assert row["commits"] >= 1
+        assert 0.0 <= row["smallest member share"] <= row["largest member share"] <= 1.0

@@ -1,0 +1,22 @@
+"""Bench: regenerate the §III-B parallel-systems table."""
+
+from conftest import run_once, series
+
+from repro.bench import get_experiment
+
+
+def test_bench_systems(benchmark, report):
+    result = report(run_once(benchmark, get_experiment("tab_systems")))
+    (table,) = result.tables
+    cores = series(table, "machine", "cores")
+
+    # the paper's systems, verbatim core counts
+    assert cores["parc64"] == 64
+    assert cores["parc16"] == 16
+    assert cores["parc8"] == 8
+    assert cores["lab-quad"] == 4
+    assert cores["android-tablet"] == 4
+    descriptions = series(table, "machine", "description")
+    assert "Opteron 6272" in descriptions["parc64"]
+    assert "E7340" in descriptions["parc16"]
+    assert "E5320" in descriptions["parc8"]

@@ -1,0 +1,30 @@
+"""Generate the interactive race-condition web pages (paper §V-B).
+
+One of the course's reported research outcomes was "pedagogical
+contributions in the form of interactive webpages that helped explain
+typical race conditions and other parallel programming pitfalls".  This
+script regenerates that artefact: a self-contained static site (no
+network, vanilla JS) where each pitfall snippet can be stepped through
+interleaving by interleaving under three memory models.
+
+Run:  python examples/race_condition_webpages.py
+Then open webdemo_site/index.html in any browser.
+"""
+
+from pathlib import Path
+
+from repro.memmodel import SNIPPETS, write_demo_site
+
+
+def main():
+    out_dir = Path(__file__).parent / "webdemo_site"
+    paths = write_demo_site(out_dir)
+    print(f"wrote {len(paths)} pages to {out_dir}/")
+    for name, snippet in SNIPPETS.items():
+        tag = "BUGGY" if snippet.buggy else "fixed"
+        print(f"  {name + '.html':38s} [{tag:5s}] {snippet.lesson}")
+    print(f"\nopen {out_dir / 'index.html'} in a browser to explore")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Project 10 demo: how many connections should be opened?
+
+Sweeps connection counts over two simulated sites — one dominated by
+round-trip latency, one by the shared downlink — and shows that the
+answer depends entirely on which resource binds.
+
+Run:  python examples/web_connections.py
+"""
+
+from repro.apps import make_website
+from repro.apps.webfetch import fetch_all, optimal_connections, sweep_connections
+from repro.util.tables import Table
+
+
+def sweep(site, label):
+    counts = [1, 2, 4, 8, 16, 32, 64, 128]
+    reports = sweep_connections(site, counts)
+    table = Table(
+        ["connections", "makespan (s)", "throughput (MB/s)"],
+        title=f"{label}: {len(site.pages)} pages, "
+        f"{site.total_bytes / 1e6:.1f} MB, downlink {site.bandwidth_bytes_per_s / 1e6:.1f} MB/s",
+        precision=2,
+    )
+    for r in reports:
+        table.add_row([r.connections, r.makespan, r.throughput_bytes_per_s / 1e6])
+    print(table.render())
+    best = optimal_connections(reports)
+    base = reports[0].makespan
+    best_time = min(r.makespan for r in reports)
+    print(f"-> optimum: {best} connections ({base / best_time:.1f}x faster than one)\n")
+
+
+if __name__ == "__main__":
+    sweep(
+        make_website(96, seed=1, latency_range=(0.3, 0.9), size_range=(2_000, 30_000)),
+        "latency-bound site (far-away server, small pages)",
+    )
+    sweep(
+        make_website(
+            96,
+            seed=2,
+            latency_range=(0.005, 0.02),
+            size_range=(300_000, 900_000),
+            bandwidth_bytes_per_s=2_500_000,
+        ),
+        "bandwidth-bound site (nearby server, big pages)",
+    )

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on toolchains without the
+`wheel` package (this container has no network to fetch it)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""Command-line front end: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list                     # every registered experiment
+    python -m repro run fig2                 # print one experiment's tables
+    python -m repro run all -o reports/      # run everything, save reports
+    python -m repro webdemo out_dir/         # generate the race-condition site
+    python -m repro topics                   # the ten project topics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    import repro.bench as bench
+
+    for exp in bench.all_experiments():
+        print(f"{exp.exp_id:12s} {exp.paper_ref:38s} {exp.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import repro.bench as bench
+
+    if args.experiment == "all":
+        experiments = bench.all_experiments()
+    else:
+        try:
+            experiments = [bench.get_experiment(args.experiment)]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    for exp in experiments:
+        result = exp()
+        rendered = result.render()
+        print(rendered)
+        print()
+        if args.output:
+            out = Path(args.output)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{exp.exp_id}.txt").write_text(rendered + "\n")
+    if args.output:
+        print(f"reports written to {args.output}/", file=sys.stderr)
+    return 0
+
+
+def _cmd_webdemo(args: argparse.Namespace) -> int:
+    from repro.memmodel import write_demo_site
+
+    paths = write_demo_site(args.out_dir)
+    print(f"wrote {len(paths)} pages to {args.out_dir}/")
+    return 0
+
+
+def _cmd_topics(_args: argparse.Namespace) -> int:
+    from repro.course import TOPICS
+
+    for topic in TOPICS:
+        print(topic)
+        print(f"    implemented in {topic.module}; bench: {topic.bench}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="reproduction of the SoftEng 751 teaching stack (IPDPSW 2014)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments").set_defaults(fn=_cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment (or 'all') and print its tables")
+    run.add_argument("experiment")
+    run.add_argument("-o", "--output", help="directory to also write reports into")
+    run.set_defaults(fn=_cmd_run)
+
+    web = sub.add_parser("webdemo", help="generate the interactive race-condition pages")
+    web.add_argument("out_dir")
+    web.set_defaults(fn=_cmd_webdemo)
+
+    sub.add_parser("topics", help="print the ten project topics").set_defaults(fn=_cmd_topics)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

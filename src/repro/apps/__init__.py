@@ -1,0 +1,46 @@
+"""Application workloads: the ten SoftEng 751 projects (paper §IV-C).
+
+Each module implements one project's computation on top of the Parallel
+Task / Pyjama layers, with explicit cost models so the same code runs on
+real threads and in virtual time:
+
+===============  =====================================================
+module            project
+===============  =====================================================
+``images``        1 — thumbnails of images in a folder (GUI-responsive)
+``sorting``       2 — parallel quicksort, three ways
+``kernels``       3 — computational kernels in Pyjama
+``textsearch``    4 — search for a string in a folder's text files
+(``pyjama``)      5 — reductions (lives in :mod:`repro.pyjama.reduction`)
+(``ptask``)       6 — task-safe classes (lives in :mod:`repro.ptask.tasksafe`)
+``pdfsearch``     7 — PDF searching at different granularities
+(``memmodel``)    8 — memory model (lives in :mod:`repro.memmodel`)
+(``concurrentlib``) 9 — collections (lives in :mod:`repro.concurrentlib`)
+``webfetch``      10 — fast web access through concurrent connections
+===============  =====================================================
+
+``corpus`` provides the seeded synthetic data standing in for the
+paper's image folders, local PDFs and web pages (DESIGN.md §2).
+"""
+
+from repro.apps.corpus import (
+    SyntheticImage,
+    TextCorpus,
+    PdfCorpus,
+    WebSite,
+    make_image_folder,
+    make_pdf_corpus,
+    make_text_corpus,
+    make_website,
+)
+
+__all__ = [
+    "SyntheticImage",
+    "TextCorpus",
+    "PdfCorpus",
+    "WebSite",
+    "make_image_folder",
+    "make_text_corpus",
+    "make_pdf_corpus",
+    "make_website",
+]

@@ -1,0 +1,243 @@
+"""Seeded synthetic data: images, text folders, PDFs, web pages.
+
+The paper's workloads use real user data (a folder of photos, local
+PDFs, live web pages).  These generators produce structurally equivalent
+synthetic corpora — many independent items, skewed sizes, known planted
+matches — from a single seed, so every experiment is reproducible and
+self-contained (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import derive
+
+__all__ = [
+    "SyntheticImage",
+    "make_image_folder",
+    "TextFile",
+    "TextCorpus",
+    "make_text_corpus",
+    "PdfDocument",
+    "PdfCorpus",
+    "make_pdf_corpus",
+    "WebPage",
+    "WebSite",
+    "make_website",
+]
+
+_WORDS = (
+    "parallel task pyjama thread core barrier lock queue future schedule "
+    "student project research group auckland lecture seminar test report "
+    "memory cache speedup amdahl gustafson quicksort kernel graph matrix"
+).split()
+
+
+# -- images (project 1) --------------------------------------------------------------
+
+
+@dataclass
+class SyntheticImage:
+    """An image as a float array plus the metadata the workloads need."""
+
+    name: str
+    pixels: np.ndarray = field(repr=False)
+
+    @property
+    def width(self) -> int:
+        return self.pixels.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def n_pixels(self) -> int:
+        return self.width * self.height
+
+
+def make_image_folder(
+    n_images: int,
+    seed: int = 0,
+    min_side: int = 16,
+    max_side: int = 128,
+    skew: float = 1.5,
+) -> list[SyntheticImage]:
+    """A 'folder' of images with power-law-ish mixed sizes.
+
+    Mixed sizes matter: project 1's groups investigated "different image
+    input sizes" and scheduling — skew is what makes schedules differ.
+    """
+    if n_images < 0:
+        raise ValueError(f"n_images must be >= 0, got {n_images}")
+    if not 1 <= min_side <= max_side:
+        raise ValueError(f"need 1 <= min_side <= max_side, got {min_side}, {max_side}")
+    rng = derive(seed, "images")
+    images = []
+    for i in range(n_images):
+        # Pareto-ish size distribution clipped to the range.
+        u = rng.random()
+        side = int(min_side + (max_side - min_side) * (u**skew))
+        w = max(min_side, side)
+        h = max(min_side, int(side * rng.uniform(0.6, 1.4)))
+        pixels = rng.random((h, w)).astype(np.float64)
+        images.append(SyntheticImage(name=f"img_{i:04d}.png", pixels=pixels))
+    return images
+
+
+# -- text folder (project 4) --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TextFile:
+    path: str
+    lines: tuple[str, ...]
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.lines)
+
+
+@dataclass(frozen=True)
+class TextCorpus:
+    files: tuple[TextFile, ...]
+    needle: str
+    planted: int  # number of lines that contain the needle
+
+    @property
+    def total_lines(self) -> int:
+        return sum(f.n_lines for f in self.files)
+
+
+def make_text_corpus(
+    n_files: int,
+    seed: int = 0,
+    lines_per_file: tuple[int, int] = (20, 200),
+    words_per_line: tuple[int, int] = (4, 12),
+    needle: str = "needle",
+    hit_rate: float = 0.02,
+    subfolders: int = 3,
+) -> TextCorpus:
+    """A folder tree of text files with ``needle`` planted at a known rate."""
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError(f"hit_rate must be in [0,1], got {hit_rate}")
+    rng = derive(seed, "text-corpus")
+    files = []
+    planted = 0
+    for i in range(n_files):
+        sub = f"sub{int(rng.integers(0, max(1, subfolders)))}"
+        n_lines = int(rng.integers(lines_per_file[0], lines_per_file[1] + 1))
+        lines = []
+        for _ in range(n_lines):
+            n_words = int(rng.integers(words_per_line[0], words_per_line[1] + 1))
+            words = [_WORDS[int(rng.integers(0, len(_WORDS)))] for _ in range(n_words)]
+            if rng.random() < hit_rate:
+                words[int(rng.integers(0, len(words)))] = needle
+                planted += 1
+            lines.append(" ".join(words))
+        files.append(TextFile(path=f"{sub}/file_{i:04d}.txt", lines=tuple(lines)))
+    return TextCorpus(files=tuple(files), needle=needle, planted=planted)
+
+
+# -- PDFs (project 7) -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PdfDocument:
+    path: str
+    pages: tuple[tuple[str, ...], ...]  # page -> lines
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.pages)
+
+
+@dataclass(frozen=True)
+class PdfCorpus:
+    documents: tuple[PdfDocument, ...]
+    query: str
+    planted: int
+
+    @property
+    def total_pages(self) -> int:
+        return sum(d.n_pages for d in self.documents)
+
+
+def make_pdf_corpus(
+    n_documents: int,
+    seed: int = 0,
+    pages_per_doc: tuple[int, int] = (2, 80),
+    lines_per_page: int = 40,
+    query: str = "quokka",  # deliberately outside the corpus vocabulary
+    hit_rate: float = 0.01,
+) -> PdfCorpus:
+    """PDFs with *heavily skewed* page counts (a thesis next to a memo).
+
+    The skew is the point: per-file parallelism strands one task on the
+    600-page document while per-page parallelism balances — project 7's
+    granularity finding.
+    """
+    rng = derive(seed, "pdf-corpus")
+    docs = []
+    planted = 0
+    lo, hi = pages_per_doc
+    for i in range(n_documents):
+        u = rng.random()
+        n_pages = int(lo + (hi - lo) * (u**3))  # cubic skew: few huge docs
+        pages = []
+        for _p in range(n_pages):
+            lines = []
+            for _l in range(lines_per_page):
+                words = [_WORDS[int(rng.integers(0, len(_WORDS)))] for _ in range(8)]
+                if rng.random() < hit_rate:
+                    words[0] = query
+                    planted += 1
+                lines.append(" ".join(words))
+            pages.append(tuple(lines))
+        docs.append(PdfDocument(path=f"doc_{i:03d}.pdf", pages=tuple(pages)))
+    return PdfCorpus(documents=tuple(docs), query=query, planted=planted)
+
+
+# -- web pages (project 10) ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WebPage:
+    url: str
+    size_bytes: int
+    server_latency: float  # seconds before the first byte
+
+
+@dataclass(frozen=True)
+class WebSite:
+    pages: tuple[WebPage, ...]
+    bandwidth_bytes_per_s: float  # shared downlink
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.size_bytes for p in self.pages)
+
+
+def make_website(
+    n_pages: int,
+    seed: int = 0,
+    latency_range: tuple[float, float] = (0.05, 0.5),
+    size_range: tuple[int, int] = (5_000, 200_000),
+    bandwidth_bytes_per_s: float = 2_000_000.0,
+) -> WebSite:
+    """Pages with lognormal-ish latencies and sizes on a shared downlink.
+
+    Latency is per-connection dead time (hidden by concurrency);
+    bandwidth is shared (not hidden) — their ratio locates project 10's
+    optimal connection count.
+    """
+    rng = derive(seed, "website")
+    pages = []
+    for i in range(n_pages):
+        latency = float(rng.uniform(*latency_range))
+        size = int(rng.integers(size_range[0], size_range[1] + 1))
+        pages.append(WebPage(url=f"https://example.org/page/{i}", size_bytes=size, server_latency=latency))
+    return WebSite(pages=tuple(pages), bandwidth_bytes_per_s=bandwidth_bytes_per_s)

@@ -1,0 +1,30 @@
+"""Project 3: computational kernels parallelised with Pyjama.
+
+The brief: implement basic algorithms ("usually in the form of some
+nested loops") in parallel, comparing Pyjama against plain concurrency.
+The paper names FFT, molecular dynamics, graph processing and linear
+algebra — all four are here, each with a sequential reference, a
+Pyjama ``parallel_for`` version, and an explicit cost model.
+"""
+
+from repro.apps.kernels.fft import fft, fft_parallel
+from repro.apps.kernels.graphs import bfs_levels, bfs_levels_parallel, pagerank, pagerank_parallel
+from repro.apps.kernels.linalg import jacobi, jacobi_parallel
+from repro.apps.kernels.matmul import matmul_blocked, matmul_parallel
+from repro.apps.kernels.md import LJSystem, md_step, md_step_parallel
+
+__all__ = [
+    "fft",
+    "fft_parallel",
+    "matmul_blocked",
+    "matmul_parallel",
+    "LJSystem",
+    "md_step",
+    "md_step_parallel",
+    "bfs_levels",
+    "bfs_levels_parallel",
+    "pagerank",
+    "pagerank_parallel",
+    "jacobi",
+    "jacobi_parallel",
+]

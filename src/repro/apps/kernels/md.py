@@ -1,0 +1,115 @@
+"""Molecular dynamics kernel: Lennard-Jones N-body step.
+
+All-pairs force computation (O(n^2)) is the classic MD teaching kernel.
+The parallel version splits the particle loop with ``parallel_for`` and
+obtains the potential energy through a ``"+"`` reduction — exercising
+both worksharing and reductions, which is why the course liked it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.executor.base import Executor
+from repro.pyjama import Pyjama
+from repro.util.rng import derive
+
+__all__ = ["LJSystem", "md_step", "md_step_parallel", "md_cost"]
+
+#: reference-seconds per pair interaction
+COST_PER_PAIR = 5e-9
+
+
+@dataclass
+class LJSystem:
+    """Particle positions/velocities in a cubic periodic box."""
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    box: float
+    epsilon: float = 1.0
+    sigma: float = 1.0
+
+    @classmethod
+    def random(cls, n: int, box: float = 10.0, seed: int = 0) -> "LJSystem":
+        rng = derive(seed, "md-system")
+        return cls(
+            positions=rng.random((n, 3)) * box,
+            velocities=rng.normal(0.0, 0.1, size=(n, 3)),
+            box=box,
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.positions)
+
+
+def _forces_on(system: LJSystem, i: int) -> tuple[np.ndarray, float]:
+    """Force on particle ``i`` and its half-share of potential energy."""
+    pos = system.positions
+    delta = pos[i] - pos  # (n, 3)
+    delta -= system.box * np.round(delta / system.box)  # minimum image
+    r2 = np.einsum("ij,ij->i", delta, delta)
+    r2[i] = np.inf  # no self-interaction
+    inv_r2 = (system.sigma**2) / r2
+    inv_r6 = inv_r2**3
+    # F = 24 eps (2 r^-12 - r^-6) / r^2 * delta
+    coeff = 24.0 * system.epsilon * (2.0 * inv_r6**2 - inv_r6) / r2
+    force = (coeff[:, None] * delta).sum(axis=0)
+    energy = 2.0 * system.epsilon * (inv_r6**2 - inv_r6).sum()  # half of 4eps
+    return force, float(energy)
+
+
+def md_cost(n: int) -> float:
+    """Work of one step: n*(n-1) pair interactions' worth."""
+    return COST_PER_PAIR * n * n
+
+
+def md_step(system: LJSystem, dt: float = 1e-3, executor: Executor | None = None) -> float:
+    """One velocity-Verlet-ish step in place; returns potential energy."""
+    n = system.n
+    forces = np.zeros((n, 3))
+    energy = 0.0
+    for i in range(n):
+        f, e = _forces_on(system, i)
+        forces[i] = f
+        energy += e
+    if executor is not None:
+        executor.compute(md_cost(n))
+    system.velocities += dt * forces
+    system.positions += dt * system.velocities
+    system.positions %= system.box
+    return energy
+
+
+def md_step_parallel(
+    system: LJSystem,
+    omp: Pyjama,
+    dt: float = 1e-3,
+    schedule: str = "static",
+    num_threads: int | None = None,
+) -> float:
+    """Parallel step: particle loop workshared, energy via '+' reduction."""
+    n = system.n
+    forces = np.zeros((n, 3))
+
+    def particle(i: int) -> float:
+        f, e = _forces_on(system, i)
+        forces[i] = f
+        return e
+
+    energy = omp.parallel_for(
+        list(range(n)),
+        particle,
+        schedule=schedule,
+        num_threads=num_threads,
+        reduction="+",
+        cost_fn=lambda _i: COST_PER_PAIR * n,
+        name="md-forces",
+    )
+    system.velocities += dt * forces
+    system.positions += dt * system.velocities
+    system.positions %= system.box
+    return float(energy)

@@ -1,0 +1,122 @@
+"""Project 2: parallel quicksort, three ways.
+
+The brief: implement parallel quicksort "using object-oriented language
+support" in three versions — Parallel Task, Pyjama, and standard
+threads/concurrency classes.  All three live here, over the same
+partition step, plus the sequential baseline:
+
+* ``sequential`` — classic in-place-ish quicksort (reference);
+* ``ptask`` — divide-and-conquer on the Parallel Task runtime with a
+  spawn-depth cutoff (the idiomatic tasking version);
+* ``pyjama`` — OpenMP-style: recursion expressed with nested *sections*
+  (the way OpenMP programs parallelised quicksort before `task`);
+* ``threads`` — raw executor submits with explicit futures (the
+  "standard Java threads and concurrency classes" analogue).
+
+Cost model: partitioning n elements costs ``COST_PER_ELEMENT * n``,
+charged where the work happens, so virtual-time runs price the whole
+recursion tree correctly (including its sequential-partition prefix —
+why quicksort's speedup is sublinear, a lesson the bench shows).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.executor.base import Executor
+from repro.ptask import ParallelTaskRuntime
+from repro.pyjama import Pyjama
+
+__all__ = ["quicksort", "VARIANTS", "COST_PER_ELEMENT"]
+
+COST_PER_ELEMENT = 5e-8
+VARIANTS = ("sequential", "ptask", "pyjama", "threads")
+
+#: below this size, recursion stays sequential in the parallel variants
+DEFAULT_CUTOFF = 64
+
+
+def _partition(executor: Executor, values: list) -> tuple[list, list, list]:
+    """Three-way partition around the middle element; charges its cost."""
+    executor.compute(COST_PER_ELEMENT * len(values))
+    pivot = values[len(values) // 2]
+    less = [v for v in values if v < pivot]
+    equal = [v for v in values if v == pivot]
+    greater = [v for v in values if v > pivot]
+    return less, equal, greater
+
+
+def _sequential(executor: Executor, values: list) -> list:
+    if len(values) <= 1:
+        if values:
+            executor.compute(COST_PER_ELEMENT)
+        return list(values)
+    less, equal, greater = _partition(executor, values)
+    return _sequential(executor, less) + equal + _sequential(executor, greater)
+
+
+def _ptask(rt: ParallelTaskRuntime, values: list, cutoff: int) -> list:
+    if len(values) <= cutoff:
+        return _sequential(rt.executor, values)
+    less, equal, greater = _partition(rt.executor, values)
+    left = rt.spawn(_ptask, rt, less, cutoff, name="qsort-left")
+    right = _ptask(rt, greater, cutoff)  # current task takes one side itself
+    return left.result() + equal + right
+
+
+def _pyjama(omp: Pyjama, values: list, cutoff: int) -> list:
+    if len(values) <= cutoff:
+        return _sequential(omp.executor, values)
+    less, equal, greater = _partition(omp.executor, values)
+    parts = omp.sections(
+        [
+            lambda: _pyjama(omp, less, cutoff),
+            lambda: _pyjama(omp, greater, cutoff),
+        ],
+        num_threads=2,
+    )
+    return parts[0] + equal + parts[1]
+
+
+def _threads(executor: Executor, values: list, cutoff: int) -> list:
+    if len(values) <= cutoff:
+        return _sequential(executor, values)
+    less, equal, greater = _partition(executor, values)
+    left_future = executor.submit(_threads, executor, less, cutoff, name="qsort-thread")
+    right = _threads(executor, greater, cutoff)
+    return left_future.result() + equal + right
+
+
+def quicksort(
+    executor: Executor,
+    values: Sequence,
+    variant: str = "ptask",
+    cutoff: int = DEFAULT_CUTOFF,
+) -> list:
+    """Sort ``values`` ascending with the chosen variant.
+
+    All variants return identical results; they differ in how the
+    recursion is expressed and scheduled — which is the experiment.
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    if cutoff < 1:
+        raise ValueError(f"cutoff must be >= 1, got {cutoff}")
+    data = list(values)
+    if variant == "sequential":
+        return _sequential(executor, data)
+    if variant == "ptask":
+        return _ptask(ParallelTaskRuntime(executor), data, cutoff)
+    if variant == "pyjama":
+        return _pyjama(Pyjama(executor), data, cutoff)
+    return _threads(executor, data, cutoff)
+
+
+def random_array(n: int, seed: int = 0) -> list[int]:
+    """The workload generator: a large array of numbers to sort."""
+    from repro.util.rng import derive
+
+    rng = derive(seed, "quicksort-input")
+    return rng.integers(0, max(1, n * 10), size=n).tolist()

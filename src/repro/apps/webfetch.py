@@ -1,0 +1,104 @@
+"""Project 10: fast web access through concurrent connections.
+
+The brief: download a large number of web pages as quickly as possible;
+"the question arises how many connections should be opened at the same
+time".  The network is simulated on :mod:`repro.simkernel` (DESIGN.md
+§2): each fetch pays a per-connection *server latency* (dead time,
+hidden by concurrency) and then streams its bytes over a *shared
+downlink* (bandwidth, not hidden).  The optimum connection count is
+where accumulated latency-hiding meets bandwidth saturation — the
+crossover the bench sweeps.
+
+The model matches the asynchronous-communication claim in the brief:
+latency-bound workloads want many connections; bandwidth-bound ones
+plateau almost immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.apps.corpus import WebPage, WebSite
+from repro.simkernel import Resource, Simulator, Store
+
+__all__ = ["FetchReport", "fetch_all", "sweep_connections"]
+
+
+@dataclass(frozen=True)
+class FetchReport:
+    """Outcome of downloading a whole site with k connections."""
+
+    connections: int
+    n_pages: int
+    total_bytes: int
+    makespan: float
+    mean_page_time: float
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        if self.makespan == 0:
+            return 0.0
+        return self.total_bytes / self.makespan
+
+
+def fetch_all(site: WebSite, connections: int) -> FetchReport:
+    """Download every page using ``connections`` concurrent connections.
+
+    Bandwidth sharing is modelled in aggregate: a transfer's streaming
+    time is its size over an equal share of the downlink, where the
+    share is the number of connections concurrently *streaming* (dead
+    latency time does not consume bandwidth).
+    """
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    if not site.pages:
+        raise ValueError("site has no pages")
+
+    sim = Simulator()
+    slots = Resource(sim, capacity=connections, name="connections")
+    streaming = {"n": 0}
+    page_times: list[float] = []
+
+    def fetch(page: WebPage) -> Generator:
+        start = sim.now
+        yield slots.acquire()
+        # dead time: server latency (no bandwidth consumed)
+        yield page.server_latency
+        # streaming: pay for the bytes in bandwidth-share-sized slices
+        streaming["n"] += 1
+        remaining = float(page.size_bytes)
+        slice_bytes = 16_384.0
+        while remaining > 0:
+            share = site.bandwidth_bytes_per_s / max(1, streaming["n"])
+            chunk = min(slice_bytes, remaining)
+            yield chunk / share
+            remaining -= chunk
+        streaming["n"] -= 1
+        slots.release()
+        page_times.append(sim.now - start)
+
+    for page in site.pages:
+        sim.spawn(fetch(page), name=page.url)
+    sim.run(max_steps=5_000_000)
+
+    return FetchReport(
+        connections=connections,
+        n_pages=len(site.pages),
+        total_bytes=site.total_bytes,
+        makespan=sim.now,
+        mean_page_time=sum(page_times) / len(page_times),
+    )
+
+
+def sweep_connections(site: WebSite, counts: list[int]) -> list[FetchReport]:
+    """Fetch the same site at each connection count (the project's sweep)."""
+    return [fetch_all(site, k) for k in counts]
+
+
+def optimal_connections(reports: list[FetchReport]) -> int:
+    """The connection count with the smallest makespan (ties: fewest)."""
+    if not reports:
+        raise ValueError("no reports to compare")
+    best = min(reports, key=lambda r: (r.makespan, r.connections))
+    return best.connections

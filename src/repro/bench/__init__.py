@@ -1,0 +1,19 @@
+"""Benchmark harness: the per-experiment registry and report format.
+
+Every figure, table-like enumeration and reported statistic in the paper
+has an experiment here (see DESIGN.md §4).  Each experiment's ``run``
+produces :class:`repro.util.tables.Table` objects shaped like the
+paper's artefact; the ``benchmarks/`` pytest-benchmark targets call
+these and print the tables, so ``pytest benchmarks/ --benchmark-only``
+regenerates the whole evaluation.
+"""
+
+from repro.bench.harness import Experiment, ExperimentResult, all_experiments, get_experiment, register
+
+# Importing the experiment modules registers every experiment.
+from repro.bench import ablations as _ablations  # noqa: F401,E402
+from repro.bench import experiments_course as _course  # noqa: F401,E402
+from repro.bench import experiments_projects as _projects  # noqa: F401,E402
+from repro.bench import experiments_projects2 as _projects2  # noqa: F401,E402
+
+__all__ = ["Experiment", "ExperimentResult", "register", "get_experiment", "all_experiments"]

@@ -1,0 +1,163 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+Not artefacts of the paper itself, but the knobs the course teaches and
+this implementation exposes: loop-schedule choice under skew, the list
+scheduler's core-selection policy, and measured-vs-Amdahl overlays.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import bench_machine
+from repro.bench.harness import ExperimentResult, register
+from repro.executor import SimExecutor
+from repro.machine import PARC64
+from repro.pyjama import Pyjama
+from repro.util.stats import amdahl_speedup, gustafson_speedup, karp_flatt, speedup
+from repro.util.tables import Table
+
+__all__ = ["run_ablation_schedules", "run_ablation_policy", "run_ablation_amdahl"]
+
+
+def _machine(cores: int):
+    return bench_machine(cores)
+
+
+@register("abl_sched", "loop schedules under skew", "ablation (course weeks 1-5 material)")
+def run_ablation_schedules() -> ExperimentResult:
+    """static/dynamic/guided across skew levels — why schedules exist."""
+    n = 64
+    table = Table(
+        ["iteration cost profile", "static", "static,chunk=1", "dynamic", "guided", "best"],
+        title="schedule ablation: parallel_for makespan (virtual s), 8 threads/cores",
+        precision=4,
+    )
+    profiles = {
+        "uniform": [1e-3] * n,
+        "triangular (cost ~ i)": [1e-4 * (i + 1) for i in range(n)],
+        "one giant iteration": [1e-4] * (n - 1) + [3e-2],
+        "front-loaded": [3e-3] * (n // 4) + [2e-4] * (n - n // 4),
+    }
+    for label, costs in profiles.items():
+        times = {}
+        for sched, chunk in (
+            ("static", None),
+            ("static,chunk=1", 1),
+            ("dynamic", 1),
+            ("guided", None),
+        ):
+            base = sched.split(",")[0]
+            omp = Pyjama(SimExecutor(_machine(8)), num_threads=8)
+            omp.parallel_for(
+                list(range(n)),
+                lambda i: i,
+                schedule=base,
+                chunk_size=chunk,
+                cost_fn=lambda i: costs[i],
+            )
+            times[sched] = omp.executor.elapsed()
+        best = min(times, key=times.get)  # type: ignore[arg-type]
+        table.add_row([label, times["static"], times["static,chunk=1"], times["dynamic"], times["guided"], best])
+    return ExperimentResult(
+        exp_id="abl_sched",
+        tables=(table,),
+        notes="expected shape: static wins uniform loops (no scheduling cost to model); "
+        "dynamic/guided win skewed loops; nobody beats dynamic with unit chunks on the "
+        "one-giant-iteration profile",
+    )
+
+
+@register("abl_policy", "list-scheduler core-selection policy", "ablation (DESIGN.md)")
+def run_ablation_policy() -> ExperimentResult:
+    """earliest-free core vs dependency-affinity core selection.
+
+    Run twice: with communication priced at zero (policies tie — greedy
+    is robust) and with a cross-core transfer penalty (affinity keeps
+    chains on one core and wins).
+    """
+    from dataclasses import replace
+
+    table = Table(
+        ["workload", "cross-core penalty", "earliest policy (s)", "affinity policy (s)"],
+        title="virtual scheduler policy ablation on 8 cores",
+        precision=4,
+    )
+
+    def fork_join_chains(ex):
+        # 16 chains (2x the cores) of 6 dependent tasks with per-chain
+        # costs: oversubscription + asymmetry make earliest-free scatter
+        # chains across cores, while affinity keeps each chain put.
+        from repro.ptask import ParallelTaskRuntime
+
+        rt = ParallelTaskRuntime(ex)
+        tails = []
+        for c in range(16):
+            prev = None
+            cost = (1 + c % 3) * 1e-3
+            for _i in range(6):
+                prev = rt.spawn(lambda: None, cost=cost, depends_on=[prev] if prev else [])
+            tails.append(prev)
+        for t in tails:
+            t.result()
+
+    def independent_soup(ex):
+        for _ in range(64):
+            ex.submit(lambda: None, cost=1e-3)
+
+    for label, workload in (
+        ("16 dependent chains", fork_join_chains),
+        ("64 independent tasks", independent_soup),
+    ):
+        for penalty in (0.0, 2e-3):
+            row: list[object] = [label, penalty]
+            for policy in ("earliest", "affinity"):
+                machine = replace(_machine(8), cross_core_penalty=penalty)
+                ex = SimExecutor(machine, policy=policy)
+                workload(ex)
+                row.append(ex.schedule().makespan)
+            table.add_row(row)
+    return ExperimentResult(
+        exp_id="abl_policy",
+        tables=(table,),
+        notes="expected shape: with communication priced at zero the policies tie "
+        "(greedy is robust); with a cross-core transfer cost, affinity wins the "
+        "dependent-chain workload by keeping each chain's cache warm, and still "
+        "ties on independent tasks (no dependencies to exploit)",
+    )
+
+
+@register("abl_amdahl", "measured speedup vs analytic models", "ablation (course material)")
+def run_ablation_amdahl() -> ExperimentResult:
+    """Quicksort's measured curve against Amdahl/Gustafson overlays."""
+    from repro.apps.sorting import quicksort, random_array
+
+    data = random_array(8000, seed=42)
+    times = {}
+    for cores in (1, 2, 4, 8, 16, 32, 64):
+        ex = SimExecutor(_machine(cores))
+        quicksort(ex, data, variant="ptask", cutoff=128)
+        times[cores] = ex.elapsed()
+
+    f = karp_flatt(speedup(times[1], times[8]), 8)  # experimentally determined serial fraction
+    table = Table(
+        ["cores", "measured speedup", f"Amdahl (f={f:.3f})", f"Gustafson (f={f:.3f})", "Karp-Flatt f"],
+        title="quicksort speedup vs analytic models (virtual time)",
+        precision=3,
+    )
+    for cores, t in times.items():
+        s = speedup(times[1], t)
+        table.add_row(
+            [
+                cores,
+                s,
+                amdahl_speedup(f, cores),
+                gustafson_speedup(f, cores),
+                karp_flatt(s, cores) if cores > 1 else float("nan"),
+            ]
+        )
+    return ExperimentResult(
+        exp_id="abl_amdahl",
+        tables=(table,),
+        notes="expected shape: measured tracks Amdahl closely (fixed problem size) and "
+        "sits far below Gustafson; Karp-Flatt f stays roughly constant, confirming a "
+        "genuine serial fraction rather than overhead growth",
+    )

@@ -1,0 +1,23 @@
+"""Shared bench configuration.
+
+All project experiments schedule onto PARC64 scaled to the sweep's core
+count, with the dispatch overhead set to 1 µs — a lightweight tasking
+runtime (the Java tools batch dispatch; 100 µs would model a heavyweight
+pool and drown the smaller kernels in overhead, which is itself shown
+explicitly by the granularity sweeps that *vary* the overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.machine import MachineSpec, PARC64
+
+__all__ = ["bench_machine", "CORE_SWEEP"]
+
+CORE_SWEEP = (1, 2, 4, 8, 16, 32, 64)
+
+
+def bench_machine(cores: int, dispatch_overhead: float = 1e-6) -> MachineSpec:
+    """PARC64 scaled to ``cores``, with the bench-standard dispatch cost."""
+    return replace(PARC64.with_cores(cores), dispatch_overhead=dispatch_overhead)

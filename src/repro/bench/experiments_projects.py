@@ -1,0 +1,338 @@
+"""Experiments regenerating projects 1–5 (paper §IV-C).
+
+Speedups are virtual-time (DESIGN.md §2): a workload is recorded once on
+the simulated executor and scheduled onto PARC64 scaled to each core
+count, so the series are deterministic and the *shapes* — who wins, by
+what factor, where the knees are — are the reproduced result.
+"""
+
+from __future__ import annotations
+
+import operator
+
+from repro.apps import make_image_folder, make_text_corpus
+from repro.apps.images import STRATEGIES, ThumbnailRenderer, scaling_cost
+from repro.apps.sorting import VARIANTS, quicksort, random_array
+from repro.apps.kernels import (
+    LJSystem,
+    fft_parallel,
+    jacobi_parallel,
+    matmul_parallel,
+    md_step_parallel,
+)
+from repro.apps.kernels.graphs import bfs_levels_parallel, random_graph
+from repro.apps.kernels.linalg import diagonally_dominant_system
+from repro.apps.textsearch import FolderSearch
+from repro.bench.common import bench_machine
+from repro.bench.harness import ExperimentResult, register
+from repro.executor import SimExecutor
+from repro.gui import simulate_ui_scenario
+from repro.machine import PARC64
+from repro.pyjama import Pyjama, get_reduction
+from repro.util.rng import derive
+from repro.util.stats import speedup
+from repro.util.tables import Table
+
+__all__ = [
+    "run_proj1_thumbnails",
+    "run_proj2_quicksort",
+    "run_proj3_kernels",
+    "run_proj4_textsearch",
+    "run_proj5_reductions",
+]
+
+CORE_SWEEP = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _machine(cores: int):
+    return bench_machine(cores)
+
+
+@register("proj1", "thumbnails of images in a folder", "Section IV-C project 1")
+def run_proj1_thumbnails(seed: int = 2013) -> ExperimentResult:
+    images = make_image_folder(48, seed=seed, min_side=24, max_side=160)
+
+    perf = Table(
+        ["strategy"] + [f"{p} cores" for p in CORE_SWEEP],
+        title="project 1: thumbnail rendering time (virtual s) by strategy and cores",
+        precision=4,
+    )
+    t_serial: dict[int, float] = {}
+    for strategy in STRATEGIES:
+        row: list[object] = [strategy]
+        for cores in CORE_SWEEP:
+            ex = SimExecutor(_machine(cores))
+            ThumbnailRenderer(ex, target_side=24).render(images, strategy=strategy)
+            t = ex.elapsed()
+            if strategy == "sequential":
+                t_serial[cores] = t
+            row.append(t)
+        perf.add_row(row)
+
+    speedups = Table(
+        ["strategy"] + [f"S({p})" for p in CORE_SWEEP],
+        title="project 1: speedup vs sequential",
+        precision=2,
+    )
+    for row in perf.rows[1:]:  # parallel strategies
+        speedups.add_row(
+            [row[0]] + [speedup(t_serial[p], row[i + 1]) for i, p in enumerate(CORE_SWEEP)]
+        )
+
+    # The responsiveness half of the brief: "the GUI remains fully
+    # responsive ... the user could scroll while thumbnails were rendered".
+    jobs = [scaling_cost(img) * 2e4 for img in images]  # scaled into visible seconds
+    resp = Table(
+        ["design", "jobs makespan (s)", "event latency mean (s)", "p95 (s)", "max (s)"],
+        title="project 1: GUI responsiveness while rendering (4-core device)",
+        precision=4,
+    )
+    for strategy in ("edt", "pool"):
+        rep = simulate_ui_scenario(jobs, cores=4, strategy=strategy)
+        resp.add_row([strategy, rep.jobs_makespan, rep.mean_latency, rep.p95_latency, rep.max_latency])
+
+    # "using different image input sizes": granularity via image size.
+    # The per-task dispatch overhead decides whether small images are
+    # worth a task each — visible by sweeping size class x dispatch cost.
+    from repro.util.rng import stable_hash
+
+    sizes = Table(
+        ["image size class", "mean scale cost (s)", "S(8), 1 us dispatch", "S(8), 500 us dispatch"],
+        title="project 1: input-size sweep x dispatch overhead (task granularity)",
+        precision=4,
+    )
+    for label, (lo, hi, n) in (
+        ("small (16-32 px)", (16, 32, 64)),
+        ("medium (48-96 px)", (48, 96, 48)),
+        ("large (128-256 px)", (128, 256, 32)),
+    ):
+        folder = make_image_folder(n, seed=seed + stable_hash(label) % 97, min_side=lo, max_side=hi)
+        row: list[object] = [label, sum(scaling_cost(img) for img in folder) / n]
+        for overhead in (1e-6, 5e-4):
+            machine1 = bench_machine(1, dispatch_overhead=overhead)
+            machine8 = bench_machine(8, dispatch_overhead=overhead)
+            ex1 = SimExecutor(machine1)
+            ThumbnailRenderer(ex1, target_side=16).render(folder, strategy="sequential")
+            ex8 = SimExecutor(machine8)
+            ThumbnailRenderer(ex8, target_side=16).render(folder, strategy="ptask")
+            row.append(speedup(ex1.elapsed(), ex8.elapsed()))
+        sizes.add_row(row)
+
+    # The Android option: the same app on the paper's device catalogue.
+    from repro.machine import ANDROID_PHONE, ANDROID_TABLET, LAB_WORKSTATION
+
+    devices = Table(
+        ["device", "cores", "sequential (virtual s)", "ptask (virtual s)", "speedup"],
+        title="project 1 (Android option): same app across the device catalogue",
+        precision=4,
+    )
+    for device in (LAB_WORKSTATION, ANDROID_TABLET, ANDROID_PHONE):
+        ex_seq = SimExecutor(device)
+        ThumbnailRenderer(ex_seq, target_side=24).render(images, strategy="sequential")
+        t_seq = ex_seq.elapsed()
+        ex_par = SimExecutor(device)
+        ThumbnailRenderer(ex_par, target_side=24).render(images, strategy="ptask")
+        t_par = ex_par.elapsed()
+        devices.add_row([device.name, device.cores, t_seq, t_par, speedup(t_seq, t_par)])
+
+    return ExperimentResult(
+        exp_id="proj1",
+        tables=(perf, speedups, resp, sizes, devices),
+        notes="expected shape: all parallel strategies beat sequential and scale with "
+        "cores until image skew/lane caps bind; the pool design keeps event latency "
+        "orders of magnitude below the run-on-EDT design; on the quad-core Android "
+        "devices the same code still wins, but their heavier task dispatch erodes "
+        "the speedup - the granularity lesson resurfacing on mobile",
+    )
+
+
+@register("proj2", "parallel quicksort three ways", "Section IV-C project 2")
+def run_proj2_quicksort(seed: int = 2013, n: int = 12_000) -> ExperimentResult:
+    data = random_array(n, seed=seed)
+
+    perf = Table(
+        ["variant"] + [f"{p} cores" for p in CORE_SWEEP],
+        title=f"project 2: quicksort of {n} numbers, time (virtual s)",
+        precision=4,
+    )
+    t1_by_variant: dict[str, float] = {}
+    for variant in VARIANTS:
+        row: list[object] = [variant]
+        for cores in CORE_SWEEP:
+            ex = SimExecutor(_machine(cores))
+            out = quicksort(ex, data, variant=variant, cutoff=128)
+            assert out == sorted(data)
+            t = ex.elapsed()
+            if cores == 1:
+                t1_by_variant[variant] = t
+            row.append(t)
+        perf.add_row(row)
+
+    cutoffs = Table(
+        ["cutoff", "time on 8 cores (virtual s)", "tasks spawned"],
+        title="project 2: cutoff (granularity) sweep, ptask variant",
+        precision=4,
+    )
+    for cutoff in (8, 32, 128, 512, 2048):
+        ex = SimExecutor(_machine(8))
+        quicksort(ex, data, variant="ptask", cutoff=cutoff)
+        cutoffs.add_row([cutoff, ex.elapsed(), ex._task_counter])
+
+    return ExperimentResult(
+        exp_id="proj2",
+        tables=(perf, cutoffs),
+        notes="expected shape: every parallel variant beats sequential; speedup is "
+        "sublinear (the top-level partition is serial - Amdahl); too-small cutoffs "
+        "pay dispatch overhead, too-large ones starve the cores",
+    )
+
+
+@register("proj3", "computational kernels in Pyjama", "Section IV-C project 3")
+def run_proj3_kernels(seed: int = 2013) -> ExperimentResult:
+    rng = derive(seed, "bench-kernels")
+    cases = []
+
+    x = rng.random(512)
+    cases.append(("fft-512", lambda omp: fft_parallel(x, omp, schedule="static")))
+
+    a, b = rng.random((96, 96)), rng.random((96, 96))
+    cases.append(("matmul-96", lambda omp: matmul_parallel(a, b, omp, block=8)))
+
+    cases.append(
+        ("md-128", lambda omp: md_step_parallel(LJSystem.random(128, seed=seed), omp))
+    )
+
+    adj = random_graph(600, avg_degree=8, seed=seed)
+    cases.append(("bfs-600", lambda omp: bfs_levels_parallel(adj, 0, omp)))
+
+    ja, jb = diagonally_dominant_system(192, seed=seed)
+    cases.append(("jacobi-192", lambda omp: jacobi_parallel(ja, jb, omp, block=12)))
+
+    table = Table(
+        ["kernel"] + [f"{p} cores" for p in (1, 2, 4, 8, 16)] + ["S(16)"],
+        title="project 3: kernel time (virtual s) under Pyjama parallel_for",
+        precision=4,
+    )
+    for name, fn in cases:
+        times = []
+        for cores in (1, 2, 4, 8, 16):
+            omp = Pyjama(SimExecutor(_machine(cores)), num_threads=cores)
+            fn(omp)
+            times.append(omp.executor.elapsed())
+        table.add_row([name] + times + [speedup(times[0], times[-1])])
+
+    return ExperimentResult(
+        exp_id="proj3",
+        tables=(table,),
+        notes="expected shape: every kernel speeds up with cores; BFS scales worst "
+        "(frontier barriers each level), matmul/MD best (wide independent loops)",
+    )
+
+
+@register("proj4", "string search in a folder", "Section IV-C project 4")
+def run_proj4_textsearch(seed: int = 2013) -> ExperimentResult:
+    corpus = make_text_corpus(80, seed=seed, hit_rate=0.02)
+
+    perf = Table(
+        ["cores", "search time (virtual s)", "speedup", "matches found", "streamed interim results"],
+        title=f"project 4: parallel folder search over {len(corpus.files)} files "
+        f"({corpus.total_lines} lines)",
+        precision=4,
+    )
+    t1 = None
+    for cores in CORE_SWEEP:
+        streamed: list[object] = []
+        ex = SimExecutor(_machine(cores))
+        results = FolderSearch(ex, on_match=streamed.append).search(corpus)
+        t = ex.elapsed()
+        if t1 is None:
+            t1 = t
+        perf.add_row([cores, t, speedup(t1, t), len(results), len(streamed)])
+
+    resp = Table(
+        ["design", "event latency mean (s)", "p95 (s)"],
+        title="project 4: UI responsiveness during the search (4-core laptop)",
+        precision=4,
+    )
+    from repro.apps.textsearch import search_cost
+
+    jobs = [search_cost(f) * 2e4 for f in corpus.files]
+    for strategy in ("edt", "pool"):
+        rep = simulate_ui_scenario(jobs, cores=4, strategy=strategy)
+        resp.add_row([strategy, rep.mean_latency, rep.p95_latency])
+
+    return ExperimentResult(
+        exp_id="proj4",
+        tables=(perf, resp),
+        notes="expected shape: near-linear speedup (files are independent) flattening "
+        "at high core counts (per-file skew); every match also streamed while the "
+        "search ran; pool design keeps the UI responsive",
+    )
+
+
+@register("proj5", "reductions in Pyjama", "Section IV-C project 5")
+def run_proj5_reductions(seed: int = 2013) -> ExperimentResult:
+    rng = derive(seed, "bench-reductions")
+    n = 4000
+    numbers = rng.integers(0, 1000, size=n).tolist()
+    words = [f"w{int(v) % 97}" for v in numbers]
+
+    matrix = Table(
+        ["reduction", "input type", "parallel == sequential fold", "example result"],
+        title="project 5: the object-reduction matrix (correctness across schedules)",
+    )
+    cases = [
+        ("+", numbers, lambda x: x),
+        ("*", [1] * 50 + [2] * 10, lambda x: x),
+        ("min", numbers, lambda x: x),
+        ("max", numbers, lambda x: x),
+        ("list", numbers[:200], lambda x: [x]),
+        ("set", words, lambda x: x),
+        ("counter", words, lambda x: x),
+        ("dict", list(enumerate(words[:200])), lambda kv: {kv[0]: kv[1]}),
+        ("str", [w[0] for w in words[:100]], lambda x: x),
+        ("merge_sorted", sorted(numbers[:100]), lambda x: [x]),
+    ]
+    for name, items, body in cases:
+        red = get_reduction(name)
+        reference = red.fold([body(x) for x in items])
+        ok = True
+        for schedule in ("static", "dynamic", "guided"):
+            omp = Pyjama(SimExecutor(_machine(8)), num_threads=8)
+            out = omp.parallel_for(items, body, schedule=schedule, reduction=name, chunk_size=16)
+            ok = ok and (out == reference)
+        shown = repr(reference)
+        matrix.add_row([name, type(items[0]).__name__, ok, shown[:40] + ("..." if len(shown) > 40 else "")])
+
+    # why reductions exist: vs a critical-section accumulator
+    contention = Table(
+        ["approach", "cores", "time (virtual s)"],
+        title="project 5: '+' reduction vs critical-section accumulation (the efficiency claim)",
+        precision=4,
+    )
+    for cores in (1, 8):
+        omp = Pyjama(SimExecutor(_machine(cores)), num_threads=cores)
+        omp.parallel_for(
+            numbers, lambda x: x, reduction="+", schedule="static", cost_fn=lambda _x: 2e-5
+        )
+        contention.add_row(["reduction", cores, omp.executor.elapsed()])
+    for cores in (1, 8):
+        ex = SimExecutor(_machine(cores))
+        omp = Pyjama(ex, num_threads=cores)
+        box = {"total": 0}
+
+        def add_locked(x):
+            with ex.critical("acc"):
+                ex.compute(2e-5)
+                box["total"] += x
+
+        omp.parallel_for(numbers, add_locked, schedule="static")
+        contention.add_row(["critical section", cores, ex.elapsed()])
+
+    return ExperimentResult(
+        exp_id="proj5",
+        tables=(matrix, contention),
+        notes="expected shape: all reductions match their sequential folds under all "
+        "schedules; the reduction scales with cores while the critical-section "
+        "accumulator stays serial",
+    )

@@ -1,0 +1,81 @@
+"""Experiment registry and result rendering."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.tables import Table
+
+__all__ = ["Experiment", "ExperimentResult", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """What one experiment produced."""
+
+    exp_id: str
+    tables: tuple[Table, ...]
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [f"===== experiment {self.exp_id} ====="]
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artefact of the paper."""
+
+    exp_id: str
+    title: str
+    paper_ref: str  # e.g. "Figure 2", "Section V-A"
+    run: Callable[[], ExperimentResult] = field(compare=False)
+
+    def __call__(self) -> ExperimentResult:
+        result = self.run()
+        if result.exp_id != self.exp_id:
+            raise ValueError(
+                f"experiment {self.exp_id!r} returned result tagged {result.exp_id!r}"
+            )
+        return result
+
+
+_registry: dict[str, Experiment] = {}
+_lock = threading.Lock()
+
+
+def register(
+    exp_id: str, title: str, paper_ref: str
+) -> Callable[[Callable[[], ExperimentResult]], Experiment]:
+    """Decorator: register an experiment under ``exp_id``."""
+
+    def deco(fn: Callable[[], ExperimentResult]) -> Experiment:
+        exp = Experiment(exp_id=exp_id, title=title, paper_ref=paper_ref, run=fn)
+        with _lock:
+            if exp_id in _registry:
+                raise ValueError(f"experiment {exp_id!r} already registered")
+            _registry[exp_id] = exp
+        return exp
+
+    return deco
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up a registered experiment; KeyError lists the known ids."""
+    with _lock:
+        if exp_id not in _registry:
+            raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(_registry)}")
+        return _registry[exp_id]
+
+
+def all_experiments() -> list[Experiment]:
+    """Every registered experiment, sorted by id."""
+    with _lock:
+        return [_registry[k] for k in sorted(_registry)]

@@ -1,0 +1,45 @@
+"""Concurrent collections and synchronisation primitives.
+
+The Python analogue of ``java.util.concurrent``, built for project 9
+("Parallel use of collections"): the students compared thread-safe
+collections against standard collections guarded by locks, across
+synchronisation mechanisms (``synchronized``, atomic variables,
+fair/unfair locks) and collection kinds (lists, deques, sets, maps).
+
+Two layers:
+
+* the real classes (this package) — exercised under genuine preemption
+  by the thread-backend tests;
+* a contention *model* (:mod:`repro.concurrentlib.model`) that maps each
+  synchronisation flavour to critical-section structure on the simulated
+  executor, which is what the project-9 bench sweeps (see DESIGN.md §2
+  for why performance shapes come from virtual time).
+"""
+
+from repro.concurrentlib.atomics import AtomicBoolean, AtomicInteger, AtomicReference
+from repro.concurrentlib.locks import FairLock, ReadWriteLock, UnfairLock
+from repro.concurrentlib.maps import StripedHashMap, SynchronizedDict
+from repro.concurrentlib.queues import ArrayBlockingQueue, ConcurrentLinkedQueue
+from repro.concurrentlib.lists import CopyOnWriteArrayList, SynchronizedList
+from repro.concurrentlib.sets import ConcurrentHashSet, SynchronizedSet
+from repro.concurrentlib.model import MODELS, CollectionModel, run_collection_workload
+
+__all__ = [
+    "MODELS",
+    "CollectionModel",
+    "run_collection_workload",
+    "AtomicInteger",
+    "AtomicBoolean",
+    "AtomicReference",
+    "FairLock",
+    "UnfairLock",
+    "ReadWriteLock",
+    "ArrayBlockingQueue",
+    "ConcurrentLinkedQueue",
+    "StripedHashMap",
+    "SynchronizedDict",
+    "CopyOnWriteArrayList",
+    "SynchronizedList",
+    "ConcurrentHashSet",
+    "SynchronizedSet",
+]

@@ -1,0 +1,158 @@
+"""Atomic variables with CAS semantics.
+
+CPython has no user-level CAS, so these use a private lock per variable —
+the *semantics* (linearisable read-modify-write, failed-CAS retry loops)
+are what project 9's comparisons and the teaching snippets need, and the
+interface mirrors ``java.util.concurrent.atomic``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Generic, TypeVar
+
+__all__ = ["AtomicInteger", "AtomicBoolean", "AtomicReference"]
+
+T = TypeVar("T")
+
+
+class AtomicReference(Generic[T]):
+    """Linearisable reference cell with compare-and-set."""
+
+    def __init__(self, value: T | None = None) -> None:
+        self._lock = threading.Lock()
+        self._value = value
+        self._cas_failures = 0
+
+    def get(self) -> T | None:
+        with self._lock:
+            return self._value
+
+    def set(self, value: T) -> None:
+        with self._lock:
+            self._value = value
+
+    def get_and_set(self, value: T) -> T | None:
+        with self._lock:
+            old, self._value = self._value, value
+            return old
+
+    def compare_and_set(self, expected: T | None, new: T) -> bool:
+        """Atomically set to ``new`` iff current is ``expected`` (by ``is``
+        or ``==``, matching Java's reference equality loosely for Python)."""
+        with self._lock:
+            current = self._value
+            if current is expected or current == expected:
+                self._value = new
+                return True
+            self._cas_failures += 1
+            return False
+
+    def update_and_get(self, fn: Callable[[T | None], T]) -> T:
+        """Atomically apply ``fn`` to the current value (no retry needed —
+        we hold the cell lock, the Python stand-in for a CAS loop)."""
+        with self._lock:
+            self._value = fn(self._value)
+            return self._value
+
+    @property
+    def cas_failures(self) -> int:
+        """Failed CAS count — the contention signal project 9 plots."""
+        with self._lock:
+            return self._cas_failures
+
+    def __repr__(self) -> str:
+        return f"AtomicReference({self.get()!r})"
+
+
+class AtomicInteger:
+    """Linearisable integer with the classic arithmetic RMW operations."""
+
+    def __init__(self, value: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._value = int(value)
+        self._cas_failures = 0
+
+    def get(self) -> int:
+        with self._lock:
+            return self._value
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = int(value)
+
+    def get_and_increment(self) -> int:
+        return self.get_and_add(1)
+
+    def increment_and_get(self) -> int:
+        return self.add_and_get(1)
+
+    def get_and_add(self, delta: int) -> int:
+        with self._lock:
+            old = self._value
+            self._value += delta
+            return old
+
+    def add_and_get(self, delta: int) -> int:
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def compare_and_set(self, expected: int, new: int) -> bool:
+        with self._lock:
+            if self._value == expected:
+                self._value = new
+                return True
+            self._cas_failures += 1
+            return False
+
+    def update_and_get(self, fn: Callable[[int], int]) -> int:
+        with self._lock:
+            self._value = fn(self._value)
+            return self._value
+
+    @property
+    def cas_failures(self) -> int:
+        with self._lock:
+            return self._cas_failures
+
+    def __int__(self) -> int:
+        return self.get()
+
+    def __repr__(self) -> str:
+        return f"AtomicInteger({self.get()})"
+
+
+class AtomicBoolean:
+    """Linearisable boolean; ``compare_and_set(False, True)`` is the
+    classic one-shot latch used in the teaching snippets."""
+
+    def __init__(self, value: bool = False) -> None:
+        self._lock = threading.Lock()
+        self._value = bool(value)
+
+    def get(self) -> bool:
+        with self._lock:
+            return self._value
+
+    def set(self, value: bool) -> None:
+        with self._lock:
+            self._value = bool(value)
+
+    def compare_and_set(self, expected: bool, new: bool) -> bool:
+        with self._lock:
+            if self._value == expected:
+                self._value = bool(new)
+                return True
+            return False
+
+    def get_and_set(self, value: bool) -> bool:
+        with self._lock:
+            old, self._value = self._value, bool(value)
+            return old
+
+    def __bool__(self) -> bool:
+        return self.get()
+
+    def __repr__(self) -> str:
+        return f"AtomicBoolean({self.get()})"

@@ -1,0 +1,109 @@
+"""Lists: synchronized (locked) vs copy-on-write.
+
+``CopyOnWriteArrayList`` trades write cost (full copy per mutation) for
+lock-free, snapshot-consistent reads — the right half of project 9's
+read-mostly-vs-write-heavy comparison.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Generic, Iterable, Iterator, TypeVar
+
+__all__ = ["SynchronizedList", "CopyOnWriteArrayList"]
+
+T = TypeVar("T")
+
+
+class SynchronizedList(Generic[T]):
+    """A list guarded by one mutex; iteration copies under the lock."""
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._data = list(items)
+        self._lock = threading.Lock()
+
+    def append(self, item: T) -> None:
+        with self._lock:
+            self._data.append(item)
+
+    def remove(self, item: T) -> bool:
+        with self._lock:
+            try:
+                self._data.remove(item)
+                return True
+            except ValueError:
+                return False
+
+    def __getitem__(self, i: int) -> T:
+        with self._lock:
+            return self._data[i]
+
+    def __setitem__(self, i: int, value: T) -> None:
+        with self._lock:
+            self._data[i] = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, item: T) -> bool:
+        with self._lock:
+            return item in self._data
+
+    def __iter__(self) -> Iterator[T]:
+        with self._lock:
+            return iter(list(self._data))
+
+    def snapshot(self) -> list[T]:
+        with self._lock:
+            return list(self._data)
+
+
+class CopyOnWriteArrayList(Generic[T]):
+    """Immutable-snapshot list: mutations replace the whole backing array.
+
+    Reads (indexing, iteration, membership) touch a single immutable
+    tuple reference and take no lock at all; iteration is over the
+    snapshot current at iteration start, so concurrent mutation never
+    invalidates an iterator — the CoW guarantee the tests pin down.
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._array: tuple[T, ...] = tuple(items)
+        self._write_lock = threading.Lock()
+        self._copies = 0
+
+    def append(self, item: T) -> None:
+        with self._write_lock:
+            self._array = self._array + (item,)
+            self._copies += 1
+
+    def remove(self, item: T) -> bool:
+        with self._write_lock:
+            arr = self._array
+            for i, x in enumerate(arr):
+                if x == item:
+                    self._array = arr[:i] + arr[i + 1 :]
+                    self._copies += 1
+                    return True
+            return False
+
+    def __getitem__(self, i: int) -> T:
+        return self._array[i]  # lock-free
+
+    def __len__(self) -> int:
+        return len(self._array)  # lock-free
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._array  # lock-free
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._array)  # snapshot semantics
+
+    def snapshot(self) -> list[T]:
+        return list(self._array)
+
+    @property
+    def copies_made(self) -> int:
+        """Number of full-array copies so far — the CoW cost signal."""
+        return self._copies

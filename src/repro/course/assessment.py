@@ -1,0 +1,161 @@
+"""The assessment scheme (paper §III-C).
+
+Components and weights, exactly as run:
+
+=========================  ======  =========================================
+component                   weight  basis
+=========================  ======  =========================================
+test 1                       25%    individual; core concepts of weeks 1-5
+group seminar                20%    individual assessment within the group
+test 2                       10%    individual; content of all presentations
+project implementation      25%    group mark, moderated per member by
+                                    subversion contribution + peer evaluation
+project report               20%    group mark
+=========================  ======  =========================================
+
+"In most cases, students within a team were awarded equal marks" — the
+moderation only bites when a member's combined contribution signal falls
+well below an equal share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.course.groups import Group
+from repro.vcs.repo import Repository
+from repro.vcs.stats import contribution_shares
+
+__all__ = ["AssessmentScheme", "ASSESSMENT_SCHEME", "StudentMarks", "GradeBook"]
+
+
+@dataclass(frozen=True)
+class AssessmentScheme:
+    """Weights in percent; must total 100."""
+
+    test1: float = 25.0
+    seminar: float = 20.0
+    test2: float = 10.0
+    implementation: float = 25.0
+    report: float = 20.0
+
+    def __post_init__(self) -> None:
+        total = self.test1 + self.seminar + self.test2 + self.implementation + self.report
+        if abs(total - 100.0) > 1e-9:
+            raise ValueError(f"assessment weights must total 100, got {total}")
+
+    @property
+    def individual_lecture_weight(self) -> float:
+        """The paper's observation: 'only 25% of the grade targeted
+        individual understanding of the lecture-style material'."""
+        return self.test1
+
+    @property
+    def group_weight(self) -> float:
+        """Seminar + implementation + report: the group-work share."""
+        return self.seminar + self.implementation + self.report
+
+    def components(self) -> dict[str, float]:
+        return {
+            "test1": self.test1,
+            "seminar": self.seminar,
+            "test2": self.test2,
+            "implementation": self.implementation,
+            "report": self.report,
+        }
+
+
+ASSESSMENT_SCHEME = AssessmentScheme()
+
+
+@dataclass
+class StudentMarks:
+    """Raw component marks for one student, each in [0, 100]."""
+
+    test1: float
+    seminar: float
+    test2: float
+    implementation: float
+    report: float
+
+    def __post_init__(self) -> None:
+        for name, value in vars(self).items():
+            if not 0.0 <= value <= 100.0:
+                raise ValueError(f"{name} mark must be in [0, 100], got {value}")
+
+    def final(self, scheme: AssessmentScheme = ASSESSMENT_SCHEME) -> float:
+        w = scheme.components()
+        return (
+            self.test1 * w["test1"]
+            + self.seminar * w["seminar"]
+            + self.test2 * w["test2"]
+            + self.implementation * w["implementation"]
+            + self.report * w["report"]
+        ) / 100.0
+
+
+def moderation_factor(
+    svn_share: float,
+    peer_share: float,
+    group_size: int,
+    leniency: float = 0.6,
+) -> float:
+    """Per-member multiplier on the group implementation mark.
+
+    ``svn_share``/``peer_share`` are the member's observed shares of the
+    group's subversion churn and peer-evaluation credit; an equal share
+    is ``1/group_size``.  Members at or above ``leniency`` x equal-share
+    keep the full group mark (the paper: equal marks in most cases);
+    below that, the mark scales down proportionally.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    equal = 1.0 / group_size
+    combined = 0.5 * (svn_share + peer_share)
+    threshold = leniency * equal
+    if combined >= threshold:
+        return 1.0
+    return max(0.0, combined / threshold)
+
+
+class GradeBook:
+    """Assemble final grades for a group from marks + contribution data."""
+
+    def __init__(self, scheme: AssessmentScheme = ASSESSMENT_SCHEME) -> None:
+        self.scheme = scheme
+
+    def grade_group(
+        self,
+        group: Group,
+        *,
+        test1: dict[str, float],
+        seminar: dict[str, float],
+        test2: dict[str, float],
+        implementation_group_mark: float,
+        report_group_mark: float,
+        repo: Repository,
+        peer_shares: dict[str, float] | None = None,
+    ) -> dict[str, StudentMarks]:
+        """Final component marks per member id.
+
+        Implementation marks start from the group mark and are moderated
+        by subversion contribution (and peer evaluation when supplied);
+        the report mark is a group mark, per §III-C.
+        """
+        svn = contribution_shares(repo)
+        out: dict[str, StudentMarks] = {}
+        for member in group.members:
+            sid = member.student_id
+            svn_share = svn.get(sid, 0.0)
+            peer_share = (
+                peer_shares.get(sid, 1.0 / group.size) if peer_shares else 1.0 / group.size
+            )
+            factor = moderation_factor(svn_share, peer_share, group.size)
+            out[sid] = StudentMarks(
+                test1=test1[sid],
+                seminar=seminar[sid],
+                test2=test2[sid],
+                implementation=implementation_group_mark * factor,
+                report=report_group_mark,
+            )
+        return out

@@ -1,0 +1,135 @@
+"""Figure 1: the research-teaching nexus (Healey's model).
+
+Two axes classify a teaching activity:
+
+* **participation** — are students an *audience* or active *participants*?
+* **content emphasis** — is the emphasis on *research content* or on
+  research *processes and problems*?
+
+The four quadrants (Healey 2005, as reproduced in the paper's Figure 1):
+
+=====================  ==================  =========================
+quadrant                participation       emphasis
+=====================  ==================  =========================
+research-led            audience            research content
+research-oriented       audience            processes and problems
+research-tutored        participants        research content
+research-based          participants        processes and problems
+=====================  ==================  =========================
+
+``SOFTENG751_ACTIVITIES`` classifies the course's own components, which
+is what makes the course "research-infused": it occupies three of the
+four quadrants, deliberately omitting research-oriented teaching (§III-E
+lists the three reasons).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Participation",
+    "ContentEmphasis",
+    "TeachingActivity",
+    "classify",
+    "NEXUS_QUADRANTS",
+    "SOFTENG751_ACTIVITIES",
+    "quadrant_coverage",
+]
+
+
+class Participation(enum.Enum):
+    """Whether students receive the teaching or take part in it."""
+
+    AUDIENCE = "students as audience"
+    PARTICIPANTS = "students as participants"
+
+
+class ContentEmphasis(enum.Enum):
+    """Whether the emphasis is research content or research processes."""
+
+    RESEARCH_CONTENT = "emphasis on research content"
+    PROCESSES_PROBLEMS = "emphasis on research processes and problems"
+
+
+NEXUS_QUADRANTS: dict[tuple[Participation, ContentEmphasis], str] = {
+    (Participation.AUDIENCE, ContentEmphasis.RESEARCH_CONTENT): "research-led",
+    (Participation.AUDIENCE, ContentEmphasis.PROCESSES_PROBLEMS): "research-oriented",
+    (Participation.PARTICIPANTS, ContentEmphasis.RESEARCH_CONTENT): "research-tutored",
+    (Participation.PARTICIPANTS, ContentEmphasis.PROCESSES_PROBLEMS): "research-based",
+}
+
+
+@dataclass(frozen=True)
+class TeachingActivity:
+    """One course component placed on the nexus axes."""
+
+    name: str
+    participation: Participation
+    emphasis: ContentEmphasis
+    description: str = ""
+
+    @property
+    def quadrant(self) -> str:
+        return NEXUS_QUADRANTS[(self.participation, self.emphasis)]
+
+
+def classify(activity: TeachingActivity) -> str:
+    """Quadrant name of an activity (convenience wrapper)."""
+    return activity.quadrant
+
+
+#: SoftEng 751's own activities on the model (paper §III-E).
+SOFTENG751_ACTIVITIES: tuple[TeachingActivity, ...] = (
+    TeachingActivity(
+        name="core-concept lectures",
+        participation=Participation.AUDIENCE,
+        emphasis=ContentEmphasis.RESEARCH_CONTENT,
+        description="weeks 1-5: shared-memory parallel programming, incl. PARC research",
+    ),
+    TeachingActivity(
+        name="latest-research lectures",
+        participation=Participation.AUDIENCE,
+        emphasis=ContentEmphasis.RESEARCH_CONTENT,
+        description="Parallel Task and Pyjama presented by their authors",
+    ),
+    TeachingActivity(
+        name="group research project",
+        participation=Participation.PARTICIPANTS,
+        emphasis=ContentEmphasis.PROCESSES_PROBLEMS,
+        description="8-week nugget project inside the PARC lab",
+    ),
+    TeachingActivity(
+        name="group seminar presentations",
+        participation=Participation.PARTICIPANTS,
+        emphasis=ContentEmphasis.RESEARCH_CONTENT,
+        description="weeks 7-10: students lead discussion of their topic",
+    ),
+    TeachingActivity(
+        name="class discussions",
+        participation=Participation.PARTICIPANTS,
+        emphasis=ContentEmphasis.RESEARCH_CONTENT,
+        description="collaborative discussion following each seminar",
+    ),
+    TeachingActivity(
+        name="project report",
+        participation=Participation.PARTICIPANTS,
+        emphasis=ContentEmphasis.PROCESSES_PROBLEMS,
+        description="written account of approach, risks and results",
+    ),
+)
+
+
+def quadrant_coverage(
+    activities: tuple[TeachingActivity, ...] = SOFTENG751_ACTIVITIES,
+) -> dict[str, list[str]]:
+    """Quadrant -> activity names; the Figure 1 content for a course.
+
+    Every quadrant appears as a key (possibly empty) so the deliberately
+    uncovered quadrant — research-oriented for SoftEng 751 — is visible.
+    """
+    coverage: dict[str, list[str]] = {q: [] for q in NEXUS_QUADRANTS.values()}
+    for activity in activities:
+        coverage[activity.quadrant].append(activity.name)
+    return coverage

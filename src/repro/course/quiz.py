@@ -1,0 +1,205 @@
+"""Test 1, generated: core parallel-programming concepts (weeks 1-5).
+
+Section III-C's Test 1 "assess[es] students on their understanding of
+the core parallel programming concepts taught in weeks 1-5".  This
+module generates that instrument: parameterised questions whose model
+answers are **computed by the library** (Amdahl's law from
+:mod:`repro.util.stats`, work/span from a generated DAG, chunk sizes
+from :mod:`repro.pyjama.schedule`, litmus outcomes from
+:mod:`repro.memmodel`), so the quiz can never disagree with the material
+it examines.  A seeded student-answer model turns ability into marks,
+which is how the semester simulation produces its Test 1 column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.graph import SegmentGraph
+from repro.pyjama.schedule import make_chunks
+from repro.util.rng import derive
+from repro.util.stats import amdahl_speedup, efficiency, speedup
+
+__all__ = ["QuizQuestion", "Quiz", "generate_quiz", "simulate_student_answers", "grade"]
+
+
+@dataclass(frozen=True)
+class QuizQuestion:
+    """One numeric question with its computed model answer."""
+
+    topic: str
+    prompt: str
+    answer: float
+    tolerance: float = 1e-2  # relative
+
+    def is_correct(self, given: float) -> bool:
+        """Within relative tolerance (absolute near zero)."""
+        scale = max(1.0, abs(self.answer))
+        return abs(given - self.answer) <= self.tolerance * scale
+
+
+@dataclass(frozen=True)
+class Quiz:
+    """A generated Test 1 paper."""
+
+    seed: int
+    questions: tuple[QuizQuestion, ...]
+
+    def __len__(self) -> int:
+        return len(self.questions)
+
+    def topics(self) -> set[str]:
+        """The distinct syllabus topics this paper covers."""
+        return {q.topic for q in self.questions}
+
+
+def _q_amdahl(rng: np.random.Generator) -> QuizQuestion:
+    f = round(float(rng.uniform(0.02, 0.4)), 2)
+    p = int(rng.choice([2, 4, 8, 16, 64]))
+    return QuizQuestion(
+        topic="amdahl",
+        prompt=(
+            f"A program has serial fraction {f}. What speedup does Amdahl's "
+            f"law predict on {p} cores? (2 dp)"
+        ),
+        answer=amdahl_speedup(f, p),
+    )
+
+
+def _q_speedup_efficiency(rng: np.random.Generator) -> QuizQuestion:
+    t1 = round(float(rng.uniform(10, 100)), 1)
+    p = int(rng.choice([4, 8, 16]))
+    s = float(rng.uniform(1.5, p * 0.9))
+    tp = round(t1 / s, 2)
+    if rng.random() < 0.5:
+        return QuizQuestion(
+            topic="speedup",
+            prompt=f"T1 = {t1}s and T{p} = {tp}s. What is the speedup?",
+            answer=speedup(t1, tp),
+        )
+    return QuizQuestion(
+        topic="efficiency",
+        prompt=f"T1 = {t1}s and T{p} = {tp}s on {p} cores. What is the efficiency?",
+        answer=efficiency(t1, tp, p),
+    )
+
+
+def _q_work_span(rng: np.random.Generator) -> QuizQuestion:
+    """A small random series-parallel DAG; ask for work, span or bound."""
+    graph = SegmentGraph()
+    n_chains = int(rng.integers(2, 5))
+    for _ in range(n_chains):
+        prev = None
+        for _ in range(int(rng.integers(1, 4))):
+            cost = float(rng.integers(1, 9))
+            seg = graph.add(0, "s", cost, deps=[prev.sid] if prev else [])
+            prev = seg
+    work = graph.total_work()
+    span = graph.critical_path()
+    chains = f"{n_chains} parallel chains"
+    kind = rng.choice(["work", "span", "parallelism"])
+    if kind == "work":
+        return QuizQuestion(
+            topic="work-span",
+            prompt=f"A task DAG ({chains}) has these segment costs; total work T1 = ?",
+            answer=work,
+        )
+    if kind == "span":
+        return QuizQuestion(
+            topic="work-span",
+            prompt=f"Same DAG ({chains}): the span T-infinity = ?",
+            answer=span,
+        )
+    return QuizQuestion(
+        topic="work-span",
+        prompt=f"Same DAG ({chains}): the average parallelism T1/T-inf = ? (2 dp)",
+        answer=work / span,
+    )
+
+
+def _q_schedule_chunk(rng: np.random.Generator) -> QuizQuestion:
+    n = int(rng.integers(20, 200))
+    threads = int(rng.choice([2, 4, 8]))
+    schedule = str(rng.choice(["static", "guided"]))
+    chunks = make_chunks(n, schedule, None, threads)
+    k = int(rng.integers(0, min(3, len(chunks))))
+    return QuizQuestion(
+        topic="schedules",
+        prompt=(
+            f"A {schedule}-scheduled loop of {n} iterations on {threads} threads: "
+            f"how many iterations are in chunk {k}?"
+        ),
+        answer=float(len(chunks[k])),
+        tolerance=0.0,
+    )
+
+
+def _q_litmus(rng: np.random.Generator) -> QuizQuestion:
+    from repro.memmodel import SNIPPETS, explore
+
+    name, check = [
+        ("lost_update", lambda r: 1 in r.shared_values("x")),
+        ("store_buffering", lambda r: any(
+            not o.deadlocked and o.reg(0, "r0") == 0 and o.reg(1, "r1") == 0 for o in r.outcomes
+        )),
+        ("message_passing", lambda r: any(
+            not o.deadlocked and o.reg(1, "rf") == 1 and o.reg(1, "rd") == 0 for o in r.outcomes
+        )),
+    ][int(rng.integers(0, 3))]
+    model = str(rng.choice(["sc", "tso", "relaxed"]))
+    possible = check(explore(SNIPPETS[name].program, model))
+    return QuizQuestion(
+        topic="memory-model",
+        prompt=f"Under the {model} model, can {name.replace('_', ' ')}'s bad outcome occur? (1=yes, 0=no)",
+        answer=1.0 if possible else 0.0,
+        tolerance=0.0,
+    )
+
+
+_GENERATORS = (_q_amdahl, _q_speedup_efficiency, _q_work_span, _q_schedule_chunk, _q_litmus)
+
+
+def generate_quiz(seed: int = 0, n_questions: int = 10) -> Quiz:
+    """A deterministic Test 1 paper covering every syllabus topic."""
+    if n_questions < len(_GENERATORS):
+        raise ValueError(
+            f"need at least {len(_GENERATORS)} questions to cover every topic, got {n_questions}"
+        )
+    rng = derive(seed, "quiz")
+    questions: list[QuizQuestion] = []
+    for i in range(n_questions):
+        gen = _GENERATORS[i % len(_GENERATORS)]
+        questions.append(gen(rng))
+    return Quiz(seed=seed, questions=tuple(questions))
+
+
+def simulate_student_answers(quiz: Quiz, ability: float, seed: int = 0) -> list[float]:
+    """What a student of given ability writes down.
+
+    Per question: correct with probability rising in ability; otherwise a
+    plausibly-wrong value (sign slips, off-by-one chunk, the p-for-speedup
+    confusion are all just multiplicative/additive noise here).
+    """
+    if not 0.0 <= ability <= 1.0:
+        raise ValueError(f"ability must be in [0,1], got {ability}")
+    rng = derive(seed, "quiz-answers", quiz.seed)
+    answers = []
+    for q in quiz.questions:
+        p_correct = 0.25 + 0.7 * ability
+        if rng.random() < p_correct:
+            answers.append(q.answer)
+        elif q.tolerance == 0.0:  # discrete question: pick a wrong integer
+            answers.append(q.answer + float(rng.choice([-2, -1, 1, 2])))
+        else:
+            answers.append(q.answer * float(rng.uniform(0.3, 1.9)) + float(rng.normal(0, 0.5)))
+    return answers
+
+
+def grade(quiz: Quiz, answers: list[float]) -> float:
+    """Mark out of 100 (equal weight per question)."""
+    if len(answers) != len(quiz.questions):
+        raise ValueError(f"expected {len(quiz.questions)} answers, got {len(answers)}")
+    correct = sum(1 for q, a in zip(quiz.questions, answers) if q.is_correct(a))
+    return 100.0 * correct / len(quiz.questions)

@@ -1,0 +1,91 @@
+"""Instructor reports: the semester's paperwork, generated.
+
+The paper's instructors administered the course through the subversion
+histories and the assessment scheme; this module renders what they would
+actually file: a per-group report (contribution, hygiene, marks) and a
+whole-course summary.  Everything is plain text built from
+:class:`repro.util.tables.Table`, so reports diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+from repro.course.semester import SemesterResult
+from repro.course.topics import TOPICS
+from repro.util.stats import summarize
+from repro.util.tables import Table
+from repro.vcs.blame import blame_summary
+from repro.vcs.stats import contribution_shares
+
+__all__ = ["group_report", "course_report"]
+
+
+def group_report(result: SemesterResult, group_id: str) -> str:
+    """One group's end-of-semester record."""
+    group = next((g for g in result.groups if g.group_id == group_id), None)
+    if group is None:
+        raise KeyError(f"unknown group {group_id!r}")
+    topic_number = result.allocation.assignments.get(group_id)
+    topic = next((t for t in TOPICS if t.number == topic_number), None)
+    repo = result.repos.get(group_id)
+
+    lines = [f"== group {group_id} =="]
+    if topic is not None:
+        lines.append(f"topic: {topic.number}. {topic.title}")
+    lines.append("members: " + ", ".join(f"{m.name} ({m.student_id})" for m in group.members))
+
+    if repo is not None:
+        shares = contribution_shares(repo)
+        # surviving lines per member (svn blame over the final tree) — the
+        # stronger signal than churn: rewritten work doesn't survive
+        surviving: dict[str, int] = {}
+        for path in repo.checkout():
+            for author, count in blame_summary(repo, path).items():
+                surviving[author] = surviving.get(author, 0) + count
+        lines.append(f"repository: {repo.head} revisions; {result.hygiene[group_id]}")
+        contrib = Table(
+            ["member", "svn churn share", "surviving lines (blame)", "final grade"], precision=2
+        )
+        for member in group.members:
+            contrib.add_row(
+                [
+                    member.student_id,
+                    shares.get(member.student_id, 0.0),
+                    surviving.get(member.student_id, 0),
+                    result.final_grade(member.student_id),
+                ]
+            )
+        lines.append(contrib.render())
+    return "\n".join(lines)
+
+
+def course_report(result: SemesterResult) -> str:
+    """The whole offering on one page."""
+    lines = [f"== SoftEng 751 semester report (seed {result.config.seed}) =="]
+
+    overview = Table(["measure", "value"])
+    grades = result.grade_distribution()
+    stats = summarize(grades)
+    overview.add_row(["students enrolled", len(result.students)])
+    overview.add_row(["groups", len(result.groups)])
+    overview.add_row(["topics offered", len(TOPICS)])
+    overview.add_row(["groups allocated", len(result.allocation.assignments)])
+    overview.add_row(["repositories clean (PARC hygiene)", sum(1 for h in result.hygiene.values() if h.clean)])
+    overview.add_row(["grade mean", round(stats.mean, 1)])
+    overview.add_row(["grade median", round(stats.median, 1)])
+    overview.add_row(["grade p95", round(stats.p95, 1)])
+    overview.add_row(["masters continuing with PARC", len(result.masters_continuing())])
+    lines.append(overview.render())
+
+    topics = Table(["topic", "groups", "commits"], title="per-topic activity")
+    for topic in TOPICS:
+        gids = result.allocation.groups_on_topic(topic.number)
+        commits = sum(result.repos[g].head for g in gids if g in result.repos)
+        topics.add_row([f"{topic.number}. {topic.title[:40]}", ", ".join(gids), commits])
+    lines.append(topics.render())
+
+    survey = Table(["question", "agreement %"], title="student evaluation (Likert)")
+    for s in result.survey:
+        survey.add_row([s.question, s.agreement_percent])
+    lines.append(survey.render())
+
+    return "\n\n".join(lines)

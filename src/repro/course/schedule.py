@@ -1,0 +1,111 @@
+"""Figure 2: the SoftEng 751 course structure.
+
+The University of Auckland semester shape: 6 teaching weeks, a 2-week
+study break, then another 6 teaching weeks.  Each week is tagged with
+how it was used, in the figure's own legend:
+
+* ``IT`` — instructor-led teaching,
+* ``A``  — assessment,
+* ``ST`` — student-led teaching (group presentations),
+* ``P``  — "free time" for project work.
+
+``build_semester`` constructs the paper's exact structure; the builder
+is parameterised so an adopting instructor can reshape it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["WeekUse", "Week", "build_semester", "SOFTENG751_SCHEDULE", "schedule_rows"]
+
+
+class WeekUse(enum.Enum):
+    """How a semester week is used (the Figure 2 legend)."""
+
+    INSTRUCTOR_TEACHING = "IT"
+    ASSESSMENT = "A"
+    PROJECT = "P"
+    STUDENT_TEACHING = "ST"
+    BREAK = "-"
+
+
+@dataclass(frozen=True)
+class Week:
+    number: int  # teaching week number; 0 for break weeks
+    label: str
+    uses: tuple[WeekUse, ...]
+    notes: str = ""
+
+    @property
+    def codes(self) -> str:
+        return "+".join(u.value for u in self.uses)
+
+
+def build_semester(
+    teaching_weeks_before_break: int = 6,
+    break_weeks: int = 2,
+    teaching_weeks_after_break: int = 6,
+) -> list[Week]:
+    """The paper's semester (Figure 2) with the standard UoA shape.
+
+    Weeks 1-5: instructor-led teaching of the core concepts; week 6:
+    test 1 plus discussion of project topics; weeks 7-10: student
+    presentations alongside project time; week 11: test 2 plus project;
+    week 12: project, with implementation and report due.
+    """
+    if min(teaching_weeks_before_break, break_weeks, teaching_weeks_after_break) < 0:
+        raise ValueError("week counts must be >= 0")
+    total_teaching = teaching_weeks_before_break + teaching_weeks_after_break
+    weeks: list[Week] = []
+    n = 0
+    for _ in range(teaching_weeks_before_break):
+        n += 1
+        if n < teaching_weeks_before_break:
+            weeks.append(Week(n, f"week {n}", (WeekUse.INSTRUCTOR_TEACHING,), "core parallel programming concepts"))
+        else:
+            weeks.append(
+                Week(
+                    n,
+                    f"week {n}",
+                    (WeekUse.ASSESSMENT,),
+                    "test 1 on weeks 1-5; project topics discussed",
+                )
+            )
+    for b in range(break_weeks):
+        weeks.append(Week(0, f"study break {b + 1}", (WeekUse.BREAK,), "mid-semester break"))
+    for _ in range(teaching_weeks_after_break):
+        n += 1
+        if n <= total_teaching - 2:
+            weeks.append(
+                Week(
+                    n,
+                    f"week {n}",
+                    (WeekUse.STUDENT_TEACHING, WeekUse.PROJECT),
+                    "group seminars (2 x 20+5 min per slot); project work",
+                )
+            )
+        elif n == total_teaching - 1:
+            weeks.append(
+                Week(n, f"week {n}", (WeekUse.ASSESSMENT, WeekUse.PROJECT), "test 2 on the presentations")
+            )
+        else:
+            weeks.append(
+                Week(
+                    n,
+                    f"week {n}",
+                    (WeekUse.PROJECT,),
+                    "implementation and report due (submitted via subversion)",
+                )
+            )
+    return weeks
+
+
+#: the course structure as run (Figure 2)
+SOFTENG751_SCHEDULE: list[Week] = build_semester()
+
+
+def schedule_rows(weeks: list[Week] | None = None) -> list[tuple[str, str, str]]:
+    """(label, codes, notes) rows — the Figure 2 table body."""
+    return [(w.label, w.codes, w.notes) for w in (weeks if weeks is not None else SOFTENG751_SCHEDULE)]

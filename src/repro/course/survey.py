@@ -1,0 +1,256 @@
+"""The end-of-course Likert evaluation (paper §V-A).
+
+The instrument: statements rated on the five-point Likert scale, plus
+open comments.  The paper reports, for a cohort of ~60:
+
+* 95% agreed/strongly agreed "The objectives of the lectures were
+  clearly explained";
+* 95% agreed/strongly agreed "The lecturer stimulated my engagement in
+  the learning process";
+* 92% agreed/strongly agreed "The class discussions were effective in
+  helping me learn".
+
+:func:`run_survey` generates a response set whose *agreement percentage
+rounds to the paper's figure* for each question: target proportions are
+converted to integer counts by largest-remainder apportionment, then
+shuffled into individual responses by seed.  The summary statistics are
+recomputed from the individual responses — so the bench's numbers are
+measured, not copied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.rng import derive
+
+__all__ = [
+    "Likert",
+    "LikertQuestion",
+    "LikertSummary",
+    "PAPER_QUESTIONS",
+    "run_survey",
+    "OpenComment",
+    "PAPER_COMMENTS",
+    "sample_open_comments",
+    "theme_counts",
+]
+
+
+class Likert(enum.IntEnum):
+    """The five-point scale, strongly-disagree (1) to strongly-agree (5)."""
+
+    STRONGLY_DISAGREE = 1
+    DISAGREE = 2
+    NEUTRAL = 3
+    AGREE = 4
+    STRONGLY_AGREE = 5
+
+
+@dataclass(frozen=True)
+class LikertQuestion:
+    """A statement plus its target response distribution (proportions
+    over the five options, strongly-disagree first; sums to 1)."""
+
+    text: str
+    target_distribution: tuple[float, float, float, float, float]
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.target_distribution) - 1.0) > 1e-9:
+            raise ValueError("target distribution must sum to 1")
+        if any(p < 0 for p in self.target_distribution):
+            raise ValueError("proportions must be >= 0")
+
+    @property
+    def target_agreement(self) -> float:
+        return self.target_distribution[3] + self.target_distribution[4]
+
+
+#: §V-A's three reported questions, with distributions placing the
+#: agree+strongly-agree mass at the reported figure.
+PAPER_QUESTIONS: tuple[LikertQuestion, ...] = (
+    LikertQuestion(
+        "The objectives of the lectures were clearly explained",
+        (0.00, 0.02, 0.03, 0.40, 0.55),
+    ),
+    LikertQuestion(
+        "The lecturer stimulated my engagement in the learning process",
+        (0.00, 0.02, 0.03, 0.35, 0.60),
+    ),
+    LikertQuestion(
+        "The class discussions were effective in helping me learn",
+        (0.01, 0.02, 0.05, 0.42, 0.50),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class LikertSummary:
+    """Measured distribution of one question's responses."""
+
+    question: str
+    counts: tuple[int, int, int, int, int]
+
+    @property
+    def n(self) -> int:
+        return sum(self.counts)
+
+    def proportion(self, level: Likert) -> float:
+        if self.n == 0:
+            return 0.0
+        return self.counts[int(level) - 1] / self.n
+
+    @property
+    def agreement(self) -> float:
+        """Fraction answering agree or strongly agree."""
+        if self.n == 0:
+            return 0.0
+        return (self.counts[3] + self.counts[4]) / self.n
+
+    @property
+    def agreement_percent(self) -> int:
+        return round(self.agreement * 100)
+
+    @property
+    def mean_score(self) -> float:
+        if self.n == 0:
+            return 0.0
+        return sum((i + 1) * c for i, c in enumerate(self.counts)) / self.n
+
+    def __str__(self) -> str:
+        return f"{self.question!r}: {self.agreement_percent}% agreement (n={self.n})"
+
+
+@dataclass(frozen=True)
+class OpenComment:
+    """One free-text answer, tagged with its theme.
+
+    ``verbatim`` marks the comments quoted in the paper itself (§V-A);
+    the rest are theme-consistent synthetic filler so a full cohort's
+    comment sheet can be generated.
+    """
+
+    theme: str
+    text: str
+    verbatim: bool = False
+
+
+#: The paper's quoted student comments, theme-tagged (§V-A).
+PAPER_COMMENTS: tuple[OpenComment, ...] = (
+    OpenComment(
+        "presentations",
+        "The presentations were good practice and watching them was informative",
+        verbatim=True,
+    ),
+    OpenComment("discussions", "Keep up the interaction with all of the groups", verbatim=True),
+    OpenComment(
+        "project", "The project that was part of the course was very helpful", verbatim=True
+    ),
+    OpenComment(
+        "project",
+        "This course was full of project work. It helped me to learn and explore the "
+        "concepts in Java. It also helped me to develop my presentation skills.",
+        verbatim=True,
+    ),
+    OpenComment(
+        "more-research-time",
+        "Individual meeting time can be extended so that more research oriented "
+        "discussion can be done. I personally feel this course is very good to perform "
+        "research hence more time should be devoted by the lecturer during individual "
+        "meeting.",
+        verbatim=True,
+    ),
+)
+
+_SYNTHETIC_BY_THEME: dict[str, tuple[str, ...]] = {
+    "presentations": (
+        "Presenting our topic forced us to actually understand it",
+        "Seeing the other groups' approaches was the best part of the course",
+    ),
+    "discussions": (
+        "The class discussions after each seminar tied the topics together",
+        "Questions after the talks were where I learned the most",
+    ),
+    "project": (
+        "Working inside the research group made the project feel real",
+        "Using the lab's tools on a real problem beat any assignment",
+    ),
+    "more-research-time": (
+        "Would have liked more supervision hours for the research side",
+        "More time with the postgrad mentor would have helped us go further",
+    ),
+    "tools": (
+        "The research tools were occasionally rough, but reporting bugs felt useful",
+        "Subversion discipline was annoying at first and invaluable by week 10",
+    ),
+}
+
+
+def sample_open_comments(n: int, seed: int = 0) -> list[OpenComment]:
+    """``n`` open comments: every paper quote plus synthetic filler.
+
+    Raises ``ValueError`` if ``n`` is too small to carry all the
+    verbatim quotes (the cohort the paper reports clearly wrote them).
+    """
+    if n < len(PAPER_COMMENTS):
+        raise ValueError(f"need n >= {len(PAPER_COMMENTS)} to include the paper's quotes")
+    rng = derive(seed, "open-comments")
+    comments = list(PAPER_COMMENTS)
+    themes = sorted(_SYNTHETIC_BY_THEME)
+    while len(comments) < n:
+        theme = themes[int(rng.integers(0, len(themes)))]
+        options = _SYNTHETIC_BY_THEME[theme]
+        comments.append(OpenComment(theme, options[int(rng.integers(0, len(options)))]))
+    order = rng.permutation(len(comments))
+    return [comments[i] for i in order]
+
+
+def theme_counts(comments: list[OpenComment]) -> dict[str, int]:
+    """Comment counts per theme (the instructor's qualitative rollup)."""
+    out: dict[str, int] = {}
+    for c in comments:
+        out[c.theme] = out.get(c.theme, 0) + 1
+    return out
+
+
+def _apportion(distribution: tuple[float, ...], n: int) -> list[int]:
+    """Largest-remainder integer apportionment of ``n`` responses."""
+    quotas = [p * n for p in distribution]
+    counts = [int(q) for q in quotas]
+    shortfall = n - sum(counts)
+    remainders = sorted(
+        range(len(quotas)), key=lambda i: (quotas[i] - counts[i], i), reverse=True
+    )
+    for i in remainders[:shortfall]:
+        counts[i] += 1
+    return counts
+
+
+def run_survey(
+    questions: tuple[LikertQuestion, ...] = PAPER_QUESTIONS,
+    n_respondents: int = 60,
+    seed: int = 0,
+) -> list[LikertSummary]:
+    """Generate and summarise responses for each question.
+
+    Individual responses exist (shuffled per seed) so downstream code
+    can compute any statistic; the returned summaries recount them.
+    """
+    if n_respondents < 0:
+        raise ValueError(f"n_respondents must be >= 0, got {n_respondents}")
+    summaries = []
+    for q_index, question in enumerate(questions):
+        counts = _apportion(question.target_distribution, n_respondents)
+        responses: list[Likert] = []
+        for level_index, count in enumerate(counts):
+            responses.extend([Likert(level_index + 1)] * count)
+        rng = derive(seed, "survey", q_index)
+        rng.shuffle(responses)  # individual response order is realistic
+        measured = [0, 0, 0, 0, 0]
+        for r in responses:
+            measured[int(r) - 1] += 1
+        summaries.append(
+            LikertSummary(question=question.text, counts=tuple(measured))  # type: ignore[arg-type]
+        )
+    return summaries

@@ -1,0 +1,153 @@
+"""The ten project topics of the 2013 offering (paper §IV-C).
+
+Each topic records the research tool it builds on, whether an Android
+variant was offered, and — because this repository *implements* each
+topic — the :mod:`repro` module that realises it and the bench that
+regenerates its experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Topic", "TOPICS"]
+
+
+@dataclass(frozen=True)
+class Topic:
+    number: int
+    title: str
+    tool: str  # "parallel-task" | "pyjama" | "java-concurrency" | "jmm"
+    android_option: bool
+    description: str
+    module: str  # where this repo implements it
+    bench: str  # the bench target that regenerates its experiment
+
+    def __str__(self) -> str:
+        android = " (Android option)" if self.android_option else ""
+        return f"{self.number}. {self.title}{android} [{self.tool}]"
+
+
+TOPICS: tuple[Topic, ...] = (
+    Topic(
+        1,
+        "Thumbnails of images in a folder",
+        tool="parallel-task",
+        android_option=True,
+        description=(
+            "GUI app scaling a folder of images to thumbnails in parallel while the "
+            "GUI stays responsive; strategies compared (Parallel Task, threads, "
+            "SwingWorker/AsyncTask), schedules and input sizes investigated"
+        ),
+        module="repro.apps.images",
+        bench="benchmarks/test_bench_proj01_thumbnails.py",
+    ),
+    Topic(
+        2,
+        "Parallel quicksort",
+        tool="parallel-task",
+        android_option=False,
+        description=(
+            "three parallel implementations of quicksort over a large array: "
+            "Parallel Task, Pyjama, and standard threads/concurrency classes"
+        ),
+        module="repro.apps.sorting",
+        bench="benchmarks/test_bench_proj02_quicksort.py",
+    ),
+    Topic(
+        3,
+        "Parallelisation of simple computational kernels",
+        tool="pyjama",
+        android_option=False,
+        description=(
+            "FFT, molecular dynamics, graph processing and linear algebra kernels "
+            "in Pyjama, compared against plain concurrency"
+        ),
+        module="repro.apps.kernels",
+        bench="benchmarks/test_bench_proj03_kernels.py",
+    ),
+    Topic(
+        4,
+        "Search for a string in text files of a folder",
+        tool="parallel-task",
+        android_option=True,
+        description=(
+            "parallel folder search (substring or regex) with results displayed as "
+            "(file, line) pairs while the search is in progress; UI never blocks"
+        ),
+        module="repro.apps.textsearch",
+        bench="benchmarks/test_bench_proj04_textsearch.py",
+    ),
+    Topic(
+        5,
+        "Reductions in Pyjama",
+        tool="pyjama",
+        android_option=False,
+        description=(
+            "object reductions beyond OpenMP's scalar set: collection merges and "
+            "user-registered operators"
+        ),
+        module="repro.pyjama.reduction",
+        bench="benchmarks/test_bench_proj05_reductions.py",
+    ),
+    Topic(
+        6,
+        "Task-aware libraries for Parallel Task",
+        tool="parallel-task",
+        android_option=False,
+        description=(
+            "task-safe counterparts of the thread-safe classes: thread-safe does "
+            "not equal correct in a tasking model"
+        ),
+        module="repro.ptask.tasksafe",
+        bench="benchmarks/test_bench_proj06_tasksafe.py",
+    ),
+    Topic(
+        7,
+        "PDF searching",
+        tool="parallel-task",
+        android_option=True,
+        description=(
+            "search local PDFs for a query; granularity (per page, per file), "
+            "thread counts, interim updates, responsive GUI"
+        ),
+        module="repro.apps.pdfsearch",
+        bench="benchmarks/test_bench_proj07_pdfsearch.py",
+    ),
+    Topic(
+        8,
+        "Understanding and coping with the Java memory model",
+        tool="jmm",
+        android_option=False,
+        description=(
+            "snippets demonstrating races, visibility stalls and deadlocks, with "
+            "fixes and their pros/cons; educational artefact"
+        ),
+        module="repro.memmodel",
+        bench="benchmarks/test_bench_proj08_memmodel.py",
+    ),
+    Topic(
+        9,
+        "Parallel use of collections",
+        tool="java-concurrency",
+        android_option=False,
+        description=(
+            "thread-safe collections vs standard collections with locks, across "
+            "locking mechanisms and read/write mixes"
+        ),
+        module="repro.concurrentlib",
+        bench="benchmarks/test_bench_proj09_collections.py",
+    ),
+    Topic(
+        10,
+        "Fast web access through concurrent connections",
+        tool="parallel-task",
+        android_option=True,
+        description=(
+            "download many pages concurrently; how many connections should be "
+            "opened at the same time?"
+        ),
+        module="repro.apps.webfetch",
+        bench="benchmarks/test_bench_proj10_webaccess.py",
+    ),
+)

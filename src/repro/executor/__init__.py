@@ -1,0 +1,24 @@
+"""Execution backends shared by Parallel Task and Pyjama.
+
+Three interchangeable executors implement the same :class:`Executor`
+interface:
+
+* :class:`~repro.executor.inline.InlineExecutor` — sequential reference
+  semantics (tasks run at submit time on the caller);
+* :class:`~repro.executor.threads.WorkStealingPool` — real OS threads with
+  per-worker work-stealing deques and blocked-join *helping* (the
+  ForkJoinPool discipline), used for all concurrency-correctness tests and
+  responsiveness demos;
+* :class:`~repro.executor.simulated.SimExecutor` — eager value execution
+  plus virtual-time scheduling of the recorded task graph on a
+  :class:`~repro.machine.spec.MachineSpec`, used for every speedup
+  experiment (see DESIGN.md §2 for why).
+"""
+
+from repro.executor.base import Executor
+from repro.executor.future import Future
+from repro.executor.inline import InlineExecutor
+from repro.executor.simulated import SimExecutor
+from repro.executor.threads import WorkStealingPool
+
+__all__ = ["Executor", "Future", "InlineExecutor", "SimExecutor", "WorkStealingPool"]

@@ -1,0 +1,117 @@
+"""The :class:`Executor` interface all backends implement.
+
+The interface is deliberately richer than a plain thread pool: the task
+layers (Parallel Task, Pyjama) need *cost accounting* (``compute``),
+*named critical sections* (``critical``), *team barriers* (``barrier``)
+and *precedence constraints* (``submit(after=...)``) so that exactly the
+same program text can run on real threads and in virtual time.
+
+Cost model contract
+-------------------
+``cost`` values are reference-core seconds (see
+:mod:`repro.machine.spec`).  On the simulated backend they drive the
+virtual schedule; on real backends they may be ignored or realised as
+sleeps, depending on configuration.  Code that wants its work accounted
+calls ``executor.compute(cost)`` at the point the work happens.
+"""
+
+from __future__ import annotations
+
+import abc
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.executor.future import Future
+
+__all__ = ["Executor", "ExecutorShutdown"]
+
+
+class ExecutorShutdown(RuntimeError):
+    """Submit after shutdown."""
+
+
+class Executor(abc.ABC):
+    """Common interface of inline, threaded and simulated execution."""
+
+    #: number of processing units this executor models or uses
+    cores: int = 1
+
+    @abc.abstractmethod
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        cost: float | None = None,
+        name: str = "",
+        after: Sequence[Future] = (),
+        **kwargs: Any,
+    ) -> Future:
+        """Schedule ``fn(*args, **kwargs)`` as a task.
+
+        ``cost``: declared work in reference-seconds (for the simulated
+        backend); ``None`` means "unknown" — the task still runs, it just
+        contributes only whatever it reports via :meth:`compute`.
+
+        ``after``: futures that must complete before this task starts.
+        """
+
+    @abc.abstractmethod
+    def compute(self, cost: float) -> None:
+        """Charge ``cost`` reference-seconds of work to the current task."""
+
+    @abc.abstractmethod
+    def critical(self, name: str = "default") -> Any:
+        """Context manager serialising a named critical section."""
+
+    @abc.abstractmethod
+    def barrier(self, key: str, parties: int) -> None:
+        """Rendezvous of ``parties`` tasks on the named barrier.
+
+        Barriers are cyclic: the same key can be reused for successive
+        rendezvous of the same team.
+        """
+
+    @abc.abstractmethod
+    def task_id(self) -> int:
+        """Identity of the currently executing task (0 = the main program).
+
+        Task identity is what task-local storage and the task-safe
+        collections key on — distinct from thread identity, because one
+        thread executes many tasks and (with helping) nests them.
+        """
+
+    def shutdown(self) -> None:
+        """Release any resources; idempotent.  Default: nothing to do."""
+
+    # -- conveniences shared by all backends --------------------------------
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        cost_fn: Callable[[Any], float] | None = None,
+        name: str = "map",
+    ) -> list[Future]:
+        """Submit one task per item; returns futures in item order."""
+        futures = []
+        for i, item in enumerate(items):
+            cost = cost_fn(item) if cost_fn is not None else None
+            futures.append(self.submit(fn, item, cost=cost, name=f"{name}[{i}]"))
+        return futures
+
+    def wait_all(self, futures: Sequence[Future]) -> list[Any]:
+        """Block until all futures complete; return results in order.
+
+        Raises the first exception encountered (in future order).
+        """
+        return [f.result() for f in futures]
+
+    @contextmanager
+    def _null_context(self) -> Iterator[None]:
+        yield
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,107 @@
+"""A thread-safe future usable by every executor backend.
+
+Unlike :mod:`concurrent.futures`, completion callbacks here are the
+mechanism the Parallel Task dependence manager builds on, so their
+contract is strict: a callback added after completion runs immediately on
+the caller; callbacks added before completion run exactly once, on the
+completing thread, in registration order.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+__all__ = ["Future", "FutureError"]
+
+_PENDING = "pending"
+_DONE = "done"
+_FAILED = "failed"
+
+
+class FutureError(RuntimeError):
+    """Misuse of a future (double completion, reading a pending result)."""
+
+
+class Future:
+    """Write-once container for a task's eventual result."""
+
+    __slots__ = ("_cond", "_state", "_value", "_exception", "_callbacks", "name", "meta")
+
+    def __init__(self, name: str = "") -> None:
+        self._cond = threading.Condition()
+        self._state = _PENDING
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+        self.name = name
+        #: backend-private annotations (e.g. the sim executor stores the
+        #: task's final segment id here).
+        self.meta: dict[str, Any] = {}
+
+    # -- completion (producer side) ----------------------------------------
+
+    def set_result(self, value: Any) -> None:
+        self._complete(_DONE, value, None)
+
+    def set_exception(self, exception: BaseException) -> None:
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"expected an exception instance, got {exception!r}")
+        self._complete(_FAILED, None, exception)
+
+    def _complete(self, state: str, value: Any, exc: BaseException | None) -> None:
+        with self._cond:
+            if self._state != _PENDING:
+                raise FutureError(f"future {self.name!r} completed twice")
+            self._state = state
+            self._value = value
+            self._exception = exc
+            callbacks, self._callbacks = self._callbacks, []
+            self._cond.notify_all()
+        for cb in callbacks:
+            cb(self)
+
+    # -- consumption (consumer side) ----------------------------------------
+
+    def done(self) -> bool:
+        with self._cond:
+            return self._state != _PENDING
+
+    def cancelled(self) -> bool:
+        return False  # cancellation is not part of this model
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        self._wait(timeout)
+        return self._exception
+
+    def result(self, timeout: float | None = None) -> Any:
+        self._wait(timeout)
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def peek(self) -> Any:
+        """Result if done, else raise :class:`FutureError` (non-blocking)."""
+        with self._cond:
+            if self._state == _PENDING:
+                raise FutureError(f"future {self.name!r} is still pending")
+        return self.result(timeout=0)
+
+    def _wait(self, timeout: float | None) -> None:
+        with self._cond:
+            if self._state == _PENDING:
+                if not self._cond.wait_for(lambda: self._state != _PENDING, timeout=timeout):
+                    raise TimeoutError(f"future {self.name!r} not done after {timeout}s")
+
+    def add_done_callback(self, cb: Callable[["Future"], None]) -> None:
+        run_now = False
+        with self._cond:
+            if self._state == _PENDING:
+                self._callbacks.append(cb)
+            else:
+                run_now = True
+        if run_now:
+            cb(self)
+
+    def __repr__(self) -> str:
+        return f"Future({self.name!r}, {self._state})"

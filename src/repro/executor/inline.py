@@ -1,0 +1,93 @@
+"""Sequential reference executor: tasks run immediately on the caller.
+
+This backend defines the *value semantics* the other backends must agree
+with: any deterministic task program produces identical results inline,
+on the thread pool and under simulation.  The equivalence tests in
+``tests/executor/`` and the app test suites rely on this.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.executor.base import Executor
+from repro.executor.future import Future
+
+__all__ = ["InlineExecutor"]
+
+
+class InlineExecutor(Executor):
+    """Runs every task synchronously at submit time."""
+
+    cores = 1
+
+    def __init__(self) -> None:
+        self._task_counter = 0
+        self._current_task = 0
+        self._barrier_counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        cost: float | None = None,
+        name: str = "",
+        after: Sequence[Future] = (),
+        **kwargs: Any,
+    ) -> Future:
+        """Run ``fn`` right now on the caller; the future is already done."""
+        future = Future(name=name or getattr(fn, "__name__", "task"))
+        for dep in after:
+            if not dep.done():
+                # Inline execution runs everything to completion at submit
+                # time, so an unfinished dependency is a programming error
+                # (a cycle or a future from another executor).
+                raise RuntimeError(f"inline task {name!r} depends on unfinished future {dep.name!r}")
+            exc = dep.exception()
+            if exc is not None:
+                # A failed dependency fails the dependent task without
+                # running it — the same contract as the thread pool.
+                future.set_exception(exc)
+                return future
+        self._task_counter += 1
+        tid = self._task_counter
+        prev = self._current_task
+        self._current_task = tid
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except Exception as exc:
+            future.set_exception(exc)
+        finally:
+            self._current_task = prev
+        return future
+
+    def compute(self, cost: float) -> None:
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        # Inline execution does the real work already; nothing to account.
+
+    @contextmanager
+    def critical(self, name: str = "default") -> Iterator[None]:
+        yield  # single-threaded: critical sections are trivially exclusive
+
+    def barrier(self, key: str, parties: int) -> None:
+        """Sequential barrier: a no-op rendezvous, but arity-checked.
+
+        Inline execution runs team members one after another, so by the
+        time member *k* reaches the barrier, members 0..k-1 have already
+        passed it.  We still count arrivals so that mismatched ``parties``
+        across a team is caught rather than silently ignored.
+        """
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        n = self._barrier_counts.get(key, 0) + 1
+        self._barrier_counts[key] = n % parties
+
+    def task_id(self) -> int:
+        return self._current_task
+
+    def __repr__(self) -> str:
+        return f"InlineExecutor(tasks_run={self._task_counter})"

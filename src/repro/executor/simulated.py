@@ -1,0 +1,270 @@
+"""Virtual-time executor: eager values, simulated schedule.
+
+How it works
+------------
+Task *values* are computed eagerly: ``submit`` runs the function right
+away on the calling thread, so results, nesting and exceptions behave
+exactly like the inline executor.  Task *timing* is recorded instead of
+performed: every task becomes one or more cost-annotated segments in a
+:class:`~repro.machine.graph.SegmentGraph`, with edges for spawns, joins
+(``future.result()``), critical sections and barriers.  Calling
+:meth:`SimExecutor.schedule` list-schedules the recorded graph on a
+:class:`~repro.machine.spec.MachineSpec`, yielding the makespan the same
+program would have on that machine.
+
+Restrictions (documented, checked where cheap): programs must be
+*deterministic task-parallel* — results must not depend on cross-task
+timing, because eager evaluation fixes one particular order.  All the
+workloads in :mod:`repro.apps` satisfy this.
+
+The big win: a graph recorded **once** can be re-scheduled on every
+machine of a core sweep (1..64 cores) in milliseconds, which is what the
+project benchmarks do.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.executor.base import Executor
+from repro.executor.future import Future
+from repro.machine.graph import SegmentGraph
+from repro.machine.listsched import ScheduleResult, simulate_schedule
+from repro.machine.spec import MachineSpec
+
+__all__ = ["SimExecutor", "SimFuture"]
+
+
+class SimFuture(Future):
+    """Future that records a join edge when its result is consumed."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "SimExecutor", name: str = "") -> None:
+        super().__init__(name=name)
+        self._sim = sim
+
+    def result(self, timeout: float | None = None) -> Any:
+        self._sim._record_join(self)
+        return super().result(timeout=0)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        self._sim._record_join(self)
+        return super().exception(timeout=0)
+
+
+@dataclass
+class _TaskCtx:
+    task_id: int
+    current_sid: int
+
+
+class SimExecutor(Executor):
+    """Records a task program and schedules it in virtual time."""
+
+    def __init__(self, machine: MachineSpec, policy: str = "earliest") -> None:
+        self.machine = machine
+        self.cores = machine.cores
+        self.policy = policy
+        self.graph = SegmentGraph()
+        root = self.graph.add(task_id=0, name="main", cost=0.0)
+        self._stack: list[_TaskCtx] = [_TaskCtx(task_id=0, current_sid=root.sid)]
+        self._task_counter = 0
+        # Lock acquisitions are recorded, not chained eagerly: eager
+        # program order would chain ALL of task 0's sections before task
+        # 1's first, falsely serialising whole tasks even under striping.
+        # At schedule time each lock's chain is wired in DAG-depth order
+        # (fair interleaving across tasks); see :meth:`schedule`.
+        self._lock_acquisitions: dict[str, list[int]] = {}
+        # Barrier bookkeeping.  Eager evaluation runs one team member to
+        # completion before the next starts, so a member's k-th arrival at a
+        # cyclic barrier belongs to rendezvous *generation* k — arrivals must
+        # be grouped by generation, not just by key.
+        self._barrier_arrivals: dict[str, dict[int, list[tuple[int, int]]]] = {}
+        self._barrier_generation: dict[tuple[str, int], int] = {}
+        self._joined_sids: set[tuple[int, int]] = set()
+
+    # -- recording hooks -----------------------------------------------------
+
+    def _top(self) -> _TaskCtx:
+        return self._stack[-1]
+
+    def _split(self, ctx: _TaskCtx, name: str, extra_deps: Sequence[int] = ()) -> int:
+        """End the task's current segment, start a new one depending on it."""
+        seg = self.graph.add(
+            task_id=ctx.task_id, name=name, cost=0.0, deps=[ctx.current_sid, *extra_deps]
+        )
+        ctx.current_sid = seg.sid
+        return seg.sid
+
+    def _record_join(self, fut: SimFuture) -> None:
+        last_sid = fut.meta.get("last_sid")
+        if last_sid is None:
+            raise RuntimeError(f"future {fut.name!r} was not produced by this SimExecutor")
+        ctx = self._top()
+        key = (ctx.current_sid, last_sid)
+        if key in self._joined_sids:  # joining the same future twice is a no-op
+            return
+        self._split(ctx, f"join:{fut.name}", extra_deps=[last_sid])
+        self._joined_sids.add((ctx.current_sid, last_sid))
+
+    # -- Executor interface ----------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        cost: float | None = None,
+        name: str = "",
+        after: Sequence[Future] = (),
+        **kwargs: Any,
+    ) -> Future:
+        """Record the spawn, evaluate ``fn`` eagerly, return a done future."""
+        parent = self._top()
+        self._task_counter += 1
+        tid = self._task_counter
+        name = name or getattr(fn, "__name__", f"task{tid}")
+
+        dep_sids = [parent.current_sid]
+        failed_dep: BaseException | None = None
+        for dep in after:
+            last = dep.meta.get("last_sid")
+            if last is None:
+                raise RuntimeError(
+                    f"task {name!r}: 'after' future {dep.name!r} was not produced by this SimExecutor"
+                )
+            dep_sids.append(last)
+            if failed_dep is None:
+                exc = Future.exception(dep)  # plain read, no join recording
+                if exc is not None:
+                    failed_dep = exc
+        if failed_dep is not None:
+            # A failed dependency fails the dependent task without running
+            # it — same contract as the other backends.  Still record a
+            # zero-cost segment so the graph stays consistent.
+            seg = self.graph.add(task_id=tid, name=f"{name}(dep-failed)", cost=0.0, deps=dep_sids)
+            fut = SimFuture(self, name=name)
+            fut.meta["last_sid"] = seg.sid
+            fut.set_exception(failed_dep)
+            return fut
+
+        first = self.graph.add(task_id=tid, name=name, cost=float(cost or 0.0), deps=dep_sids)
+        ctx = _TaskCtx(task_id=tid, current_sid=first.sid)
+        fut = SimFuture(self, name=name)
+
+        self._stack.append(ctx)
+        try:
+            value = fn(*args, **kwargs)
+        except Exception as exc:
+            fut.meta["last_sid"] = ctx.current_sid
+            self._stack.pop()
+            fut.set_exception(exc)
+            return fut
+        fut.meta["last_sid"] = ctx.current_sid
+        self._stack.pop()
+        fut.set_result(value)
+        return fut
+
+    def compute(self, cost: float) -> None:
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        self.graph.add_cost(self._top().current_sid, cost)
+
+    @contextmanager
+    def critical(self, name: str = "default") -> Iterator[None]:
+        ctx = self._top()
+        crit_sid = self._split(ctx, f"crit:{name}")
+        self._lock_acquisitions.setdefault(name, []).append(crit_sid)
+        try:
+            yield
+        finally:
+            self._split(ctx, f"postcrit:{name}")
+
+    def barrier(self, key: str, parties: int) -> None:
+        """Record a rendezvous arrival; wires cross edges once all arrive."""
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        ctx = self._top()
+        pre_sid = ctx.current_sid
+        post_sid = self._split(ctx, f"bar:{key}")
+        gen_key = (key, ctx.task_id)
+        generation = self._barrier_generation.get(gen_key, 0)
+        self._barrier_generation[gen_key] = generation + 1
+        generations = self._barrier_arrivals.setdefault(key, {})
+        arrivals = generations.setdefault(generation, [])
+        arrivals.append((pre_sid, post_sid))
+        if len(arrivals) == parties:
+            for _, post in arrivals:
+                for pre, _ in arrivals:
+                    if pre != post and pre not in self.graph[post].deps:
+                        self.graph.add_dep(post, pre)
+            del generations[generation]
+        elif len(arrivals) > parties:
+            raise RuntimeError(
+                f"barrier {key!r} generation {generation}: more arrivals than parties={parties}"
+            )
+
+    def task_id(self) -> int:
+        return self._top().task_id
+
+    # -- evaluation -------------------------------------------------------------
+
+    def pending_barriers(self) -> list[str]:
+        """Barrier keys with an incomplete rendezvous (a bug in the program)."""
+        return [k for k, gens in self._barrier_arrivals.items() if any(gens.values())]
+
+    def schedule(
+        self, machine: MachineSpec | None = None, policy: str | None = None
+    ) -> ScheduleResult:
+        """Schedule the recorded graph; defaults to this executor's machine.
+
+        May be called repeatedly with different machines to sweep core
+        counts over a single recording.
+        """
+        incomplete = self.pending_barriers()
+        if incomplete:
+            raise RuntimeError(f"incomplete barrier rendezvous on keys {incomplete!r}")
+        graph = self.graph
+        if self._lock_acquisitions:
+            # Wire each lock's serialisation chain on a copy (the live
+            # graph may still grow, and the order can change as it does).
+            #
+            # Soundness: a section's DAG depth (longest edge-count path
+            # from the roots) strictly exceeds every ancestor's, so
+            # ordering by depth is a linear extension of the recorded
+            # precedence — no cycles.  Fairness: concurrent tasks' k-th
+            # sections share a depth band and therefore interleave,
+            # instead of one task's whole sequence chaining first.  Ties
+            # break by (task, sid), identically for every lock, so chains
+            # of different locks cannot disagree on equal-depth order.
+            graph = graph.copy()
+            depth = self._segment_depths(graph)
+            for acquisitions in self._lock_acquisitions.values():
+                chain = sorted(
+                    acquisitions, key=lambda sid: (depth[sid], graph[sid].task_id, sid)
+                )
+                for prev_sid, next_sid in zip(chain, chain[1:]):
+                    graph.add_dep(next_sid, prev_sid)
+        return simulate_schedule(graph, machine or self.machine, policy=policy or self.policy)
+
+    @staticmethod
+    def _segment_depths(graph: SegmentGraph) -> list[int]:
+        """Longest edge-count distance from the roots, per segment."""
+        depth = [0] * len(graph)
+        for sid in graph.topological_order():
+            seg = graph[sid]
+            if seg.deps:
+                depth[sid] = 1 + max(depth[d] for d in seg.deps)
+        return depth
+
+    def elapsed(self) -> float:
+        """Virtual makespan on this executor's machine."""
+        return self.schedule().makespan
+
+    def __repr__(self) -> str:
+        return (
+            f"SimExecutor({self.machine.name}, tasks={self._task_counter}, "
+            f"segments={len(self.graph)})"
+        )

@@ -1,0 +1,338 @@
+"""A work-stealing thread pool with blocked-join helping.
+
+This is the real-concurrency backend: N OS threads, each with its own
+double-ended work queue (LIFO for the owner, FIFO for thieves), a shared
+inbox for external submissions, and the ForkJoinPool *helping* discipline
+— a worker that blocks on ``future.result()`` executes other pending
+tasks instead of idling, which is what makes recursive fork-join programs
+(parallel quicksort, project 2) deadlock-free on a bounded pool.
+
+Under CPython's GIL this pool provides concurrency, not parallelism; it
+exists for correctness testing (the task and collection semantics are
+exercised under genuine preemption) and for the GUI responsiveness demos,
+where ``compute(cost)`` can be realised as a sleep so that background
+work occupies real time without needing real cores.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.executor.base import Executor, ExecutorShutdown
+from repro.executor.future import Future
+
+__all__ = ["WorkStealingPool", "PoolStats"]
+
+_local = threading.local()
+
+
+@dataclass
+class _Task:
+    fn: Callable[..., Any]
+    args: tuple
+    kwargs: dict
+    future: Future
+    tid: int
+    cost: float | None
+
+
+@dataclass
+class PoolStats:
+    """Observability counters; read after ``shutdown`` for stable values."""
+
+    tasks_executed: int = 0
+    steals: int = 0
+    helped_joins: int = 0
+    per_worker_executed: list[int] = field(default_factory=list)
+
+
+class _PoolFuture(Future):
+    """Future whose ``result`` lets a blocked worker help."""
+
+    __slots__ = ("_pool",)
+
+    def __init__(self, pool: "WorkStealingPool", name: str = "") -> None:
+        super().__init__(name=name)
+        self._pool = pool
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self.done() and getattr(_local, "worker", None) is not None:
+            self._pool._help_until(self, timeout)
+        return super().result(timeout)
+
+
+class WorkStealingPool(Executor):
+    """Bounded pool of worker threads with per-worker deques."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        compute_mode: str = "noop",
+        time_scale: float = 1.0,
+        steal_seed: int = 0,
+        name: str = "pool",
+        scheduling: str = "stealing",
+    ) -> None:
+        """
+        Parameters
+        ----------
+        workers:
+            Number of worker threads.
+        compute_mode:
+            How ``compute(cost)`` is realised: ``"noop"`` (account
+            nothing), ``"sleep"`` (sleep ``cost * time_scale`` — releases
+            the GIL, used by responsiveness demos) or ``"spin"`` (busy
+            loop — holds a core, used to create genuine CPU pressure).
+        time_scale:
+            Seconds of real time per reference-second of cost.
+        steal_seed:
+            Seed for each worker's victim-selection order.
+        scheduling:
+            ``"stealing"`` (per-worker deques, LIFO-own/FIFO-steal) or
+            ``"central"`` (one shared FIFO, no local queues) — the
+            structural ablation of the pool design.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if compute_mode not in ("noop", "sleep", "spin"):
+            raise ValueError(f"unknown compute_mode {compute_mode!r}")
+        if scheduling not in ("stealing", "central"):
+            raise ValueError(f"unknown scheduling {scheduling!r}")
+        self.cores = workers
+        self.name = name
+        self.compute_mode = compute_mode
+        self.time_scale = time_scale
+        self.scheduling = scheduling
+
+        self._mutex = threading.Lock()
+        self._work_available = threading.Condition(self._mutex)
+        self._deques: list[deque[_Task]] = [deque() for _ in range(workers)]
+        self._inbox: deque[_Task] = deque()
+        self._shutdown = False
+        self._task_counter = 0
+        self._stats = PoolStats(per_worker_executed=[0] * workers)
+        self._critical_locks: dict[str, threading.RLock] = {}
+        self._barriers: dict[str, threading.Barrier] = {}
+
+        rng = np.random.default_rng(steal_seed)
+        self._victim_orders = [
+            [v for v in rng.permutation(workers).tolist() if v != w] for w in range(workers)
+        ]
+        self._threads = [
+            threading.Thread(target=self._worker_loop, args=(w,), name=f"{name}-w{w}", daemon=True)
+            for w in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        cost: float | None = None,
+        name: str = "",
+        after: Sequence[Future] = (),
+        **kwargs: Any,
+    ) -> Future:
+        """Enqueue ``fn`` for a worker; ``after`` gates via done-callbacks."""
+        future = _PoolFuture(self, name=name or getattr(fn, "__name__", "task"))
+        with self._mutex:
+            if self._shutdown:
+                raise ExecutorShutdown(f"pool {self.name!r} is shut down")
+            self._task_counter += 1
+            tid = self._task_counter
+        task = _Task(fn=fn, args=args, kwargs=kwargs, future=future, tid=tid, cost=cost)
+
+        pending = [dep for dep in after if not dep.done()]
+        if not pending:
+            for dep in after:
+                exc = dep.exception()
+                if exc is not None:
+                    future.set_exception(exc)
+                    return future
+            self._enqueue(task)
+            return future
+
+        # Dependence manager: enqueue once the last outstanding dep lands.
+        state_lock = threading.Lock()
+        remaining = [len(pending)]
+
+        def on_dep_done(dep: Future) -> None:
+            exc = dep.exception()
+            with state_lock:
+                if remaining[0] <= 0:
+                    return  # already failed/released
+                if exc is not None:
+                    remaining[0] = 0
+                    failed = True
+                else:
+                    remaining[0] -= 1
+                    failed = False
+                    if remaining[0] > 0:
+                        return
+            if failed:
+                future.set_exception(exc)
+            else:
+                self._enqueue(task)
+
+        for dep in pending:
+            dep.add_done_callback(on_dep_done)
+        return future
+
+    def _enqueue(self, task: _Task) -> None:
+        worker = getattr(_local, "worker", None)
+        with self._work_available:
+            if self._shutdown:
+                task.future.set_exception(ExecutorShutdown(f"pool {self.name!r} is shut down"))
+                return
+            if self.scheduling == "stealing" and worker is not None and worker[0] is self:
+                self._deques[worker[1]].append(task)  # LIFO for the owner
+            else:
+                self._inbox.append(task)  # external submit, or central mode
+            self._work_available.notify()
+
+    # -- worker machinery ----------------------------------------------------------
+
+    def _take_work(self, wid: int) -> tuple[_Task | None, bool]:
+        """Pop a task (own LIFO, inbox FIFO, else steal). Caller holds mutex."""
+        own = self._deques[wid]
+        if own:
+            return own.pop(), False
+        if self._inbox:
+            return self._inbox.popleft(), False
+        for victim in self._victim_orders[wid]:
+            vq = self._deques[victim]
+            if vq:
+                return vq.popleft(), True  # FIFO steal from the cold end
+        return None, False
+
+    def _run_task(self, task: _Task, wid: int) -> None:
+        stack = getattr(_local, "tid_stack", None)
+        if stack is None:
+            stack = _local.tid_stack = []
+        stack.append(task.tid)
+        try:
+            value = task.fn(*task.args, **task.kwargs)
+        except Exception as exc:
+            task.future.set_exception(exc)
+        else:
+            task.future.set_result(value)
+        finally:
+            stack.pop()
+            with self._mutex:
+                self._stats.tasks_executed += 1
+                if 0 <= wid < len(self._stats.per_worker_executed):
+                    self._stats.per_worker_executed[wid] += 1
+
+    def _worker_loop(self, wid: int) -> None:
+        _local.worker = (self, wid)
+        try:
+            while True:
+                with self._work_available:
+                    task, stolen = self._take_work(wid)
+                    while task is None:
+                        if self._shutdown:
+                            return
+                        self._work_available.wait(timeout=0.05)
+                        task, stolen = self._take_work(wid)
+                    if stolen:
+                        self._stats.steals += 1
+                self._run_task(task, wid)
+        finally:
+            _local.worker = None
+
+    def _help_until(self, future: Future, timeout: float | None) -> None:
+        """Called by a worker blocked on ``future``: run other tasks."""
+        worker = _local.worker
+        wid = worker[1]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        future.add_done_callback(lambda _f: self._notify_all())
+        while not future.done():
+            with self._work_available:
+                task, stolen = self._take_work(wid)
+                if task is None:
+                    if future.done():
+                        return
+                    self._work_available.wait(timeout=0.01)
+                    continue
+                if stolen:
+                    self._stats.steals += 1
+                self._stats.helped_joins += 1
+            self._run_task(task, wid)
+            if deadline is not None and time.monotonic() > deadline:
+                return  # let Future.result raise TimeoutError uniformly
+
+    def _notify_all(self) -> None:
+        with self._work_available:
+            self._work_available.notify_all()
+
+    # -- Executor interface --------------------------------------------------------
+
+    def compute(self, cost: float) -> None:
+        """Realise ``cost`` per the pool's compute_mode (noop/sleep/spin)."""
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        if self.compute_mode == "noop" or cost == 0:
+            return
+        duration = cost * self.time_scale
+        if self.compute_mode == "sleep":
+            time.sleep(duration)
+        else:  # spin
+            end = time.monotonic() + duration
+            while time.monotonic() < end:
+                pass
+
+    @contextmanager
+    def critical(self, name: str = "default") -> Iterator[None]:
+        with self._mutex:
+            lock = self._critical_locks.setdefault(name, threading.RLock())
+        with lock:
+            yield
+
+    def barrier(self, key: str, parties: int) -> None:
+        """Block on a real threading.Barrier shared by the named team."""
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        if parties > self.cores:
+            raise RuntimeError(
+                f"barrier {key!r} needs {parties} parties but the pool has only "
+                f"{self.cores} workers; this would deadlock"
+            )
+        with self._mutex:
+            bar = self._barriers.get(key)
+            if bar is None:
+                bar = self._barriers[key] = threading.Barrier(parties)
+            elif bar.parties != parties:
+                raise RuntimeError(
+                    f"barrier {key!r} reused with parties={parties}, was {bar.parties}"
+                )
+        bar.wait()
+
+    def task_id(self) -> int:
+        stack = getattr(_local, "tid_stack", None)
+        return stack[-1] if stack else 0
+
+    def shutdown(self) -> None:
+        with self._work_available:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            self._work_available.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    @property
+    def stats(self) -> PoolStats:
+        return self._stats
+
+    def __repr__(self) -> str:
+        return f"WorkStealingPool({self.name!r}, workers={self.cores}, mode={self.compute_mode!r})"

@@ -1,0 +1,34 @@
+"""A minimal GUI substrate: event-dispatch thread, widgets, responsiveness.
+
+Projects 1, 4 and 7 are GUI applications whose whole point is that "the
+GUI remains fully responsive" while parallel work proceeds, with interim
+results appearing as they are found.  This package provides what those
+projects need from Swing/Android, in two forms:
+
+* a **real** :class:`~repro.gui.edt.EventDispatchThread` with
+  ``invoke_later`` / ``invoke_and_wait`` and EDT-confined widgets
+  (mutating a widget off the EDT raises — the classic toolkit rule made
+  loud), used by the examples and correctness tests;
+* a **virtual-time UI model** (:mod:`repro.gui.sim_ui`) that measures
+  event-service latency when background jobs run on the EDT versus on a
+  task pool — the deterministic version of the responsiveness demo, used
+  by the project benches.
+"""
+
+from repro.gui.binding import bind_progress, bind_status_label
+from repro.gui.edt import EventDispatchThread
+from repro.gui.sim_ui import ResponsivenessReport, simulate_ui_scenario
+from repro.gui.widgets import Label, ListView, ProgressBar, Widget, Window
+
+__all__ = [
+    "EventDispatchThread",
+    "Widget",
+    "Window",
+    "Label",
+    "ProgressBar",
+    "ListView",
+    "simulate_ui_scenario",
+    "ResponsivenessReport",
+    "bind_progress",
+    "bind_status_label",
+]

@@ -1,0 +1,62 @@
+"""Bindings from task progress to EDT-confined widgets.
+
+The glue every GUI project writes by hand: as sub-tasks of a multi-task
+complete, a progress bar advances — on the EDT, exactly once per task,
+no matter which worker finished it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.gui.edt import EventDispatchThread
+from repro.gui.widgets import Label, ProgressBar
+from repro.ptask.multitask import MultiTaskFuture
+
+__all__ = ["bind_progress", "bind_status_label"]
+
+
+def bind_progress(
+    multi: MultiTaskFuture,
+    bar: ProgressBar,
+    edt: EventDispatchThread,
+    on_complete: Callable[[], None] | None = None,
+) -> None:
+    """Advance ``bar`` on the EDT as each sub-task of ``multi`` finishes.
+
+    The bar's maximum must cover ``len(multi)``.  ``on_complete`` (if
+    given) runs on the EDT after the final increment.
+    """
+    if bar.maximum < len(multi):
+        raise ValueError(
+            f"progress bar maximum {bar.maximum} cannot hold {len(multi)} sub-tasks"
+        )
+    remaining = {"n": len(multi)}
+
+    def advance() -> None:
+        bar.increment()
+        remaining["n"] -= 1
+        if remaining["n"] == 0 and on_complete is not None:
+            on_complete()
+
+    if len(multi) == 0 and on_complete is not None:
+        edt.invoke_later(on_complete)
+        return
+    for future in multi:
+        future.add_done_callback(lambda _f: edt.invoke_later(advance))
+
+
+def bind_status_label(
+    multi: MultiTaskFuture, label: Label, edt: EventDispatchThread, template: str = "{done}/{total}"
+) -> None:
+    """Keep ``label`` showing ``done/total`` as sub-tasks complete."""
+    total = len(multi)
+    done = {"n": 0}
+
+    def update() -> None:
+        done["n"] += 1
+        label.set_text(template.format(done=done["n"], total=total))
+
+    edt.invoke_later(label.set_text, template.format(done=0, total=total))
+    for future in multi:
+        future.add_done_callback(lambda _f: edt.invoke_later(update))

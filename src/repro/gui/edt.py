@@ -1,0 +1,135 @@
+"""A real event-dispatch thread, Swing-style.
+
+One dedicated thread drains a FIFO of runnables.  ``invoke_later``
+enqueues and returns; ``invoke_and_wait`` blocks the caller until the
+runnable has executed (and re-raises its exception there).  Calling
+``invoke_and_wait`` *from* the EDT would self-deadlock, so it executes
+inline instead — matching the pragmatics of real toolkits.
+
+Instrumentation: per-event queue latency (enqueue → service start) is
+recorded, because responsiveness — the latency a user's click would
+see — is the measured quantity in the GUI projects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["EventDispatchThread", "EdtStats"]
+
+_STOP = object()
+
+
+@dataclass
+class EdtStats:
+    events_processed: int = 0
+    total_queue_latency: float = 0.0
+    max_queue_latency: float = 0.0
+
+    @property
+    def mean_queue_latency(self) -> float:
+        if self.events_processed == 0:
+            return 0.0
+        return self.total_queue_latency / self.events_processed
+
+
+class EventDispatchThread:
+    """The single UI thread; all widget mutation must happen here."""
+
+    def __init__(self, name: str = "edt") -> None:
+        self.name = name
+        self._queue: list[tuple[Any, ...]] = []
+        self._cond = threading.Condition()
+        self._stats = EdtStats()
+        self._stopped = False
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._thread.start()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def invoke_later(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Enqueue ``fn(*args)`` for the EDT; returns immediately."""
+        with self._cond:
+            if self._stopped:
+                raise RuntimeError(f"EDT {self.name!r} is stopped")
+            self._queue.append((fn, args, time.monotonic(), None))
+            self._cond.notify()
+
+    def invoke_and_wait(self, fn: Callable[..., Any], *args: Any, timeout: float | None = 10.0) -> Any:
+        """Run ``fn(*args)`` on the EDT and wait for its result."""
+        if self.is_edt():
+            return fn(*args)  # running it inline avoids self-deadlock
+        done = threading.Event()
+        box: dict[str, Any] = {}
+
+        def wrapper() -> None:
+            try:
+                box["value"] = fn(*args)
+            except BaseException as exc:  # noqa: BLE001 - transported to caller
+                box["error"] = exc
+            finally:
+                done.set()
+
+        self.invoke_later(wrapper)
+        if not done.wait(timeout=timeout):
+            raise TimeoutError(f"EDT did not run the task within {timeout}s")
+        if "error" in box:
+            raise box["error"]
+        return box.get("value")
+
+    def is_edt(self) -> bool:
+        return threading.current_thread() is self._thread
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def drain(self, timeout: float = 10.0) -> None:
+        """Block until everything currently queued has been processed."""
+        self.invoke_and_wait(lambda: None, timeout=timeout)
+
+    def stop(self) -> None:
+        with self._cond:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._queue.append((_STOP, (), time.monotonic(), None))
+            self._cond.notify()
+        self._thread.join(timeout=5.0)
+
+    @property
+    def stats(self) -> EdtStats:
+        return self._stats
+
+    # -- the loop --------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue:
+                    self._cond.wait(timeout=0.1)
+                fn, args, enqueued_at, _ = self._queue.pop(0)
+            if fn is _STOP:
+                return
+            latency = time.monotonic() - enqueued_at
+            self._stats.events_processed += 1
+            self._stats.total_queue_latency += latency
+            self._stats.max_queue_latency = max(self._stats.max_queue_latency, latency)
+            try:
+                fn(*args)
+            except Exception:  # noqa: BLE001
+                # A broken handler must not kill the UI thread; real
+                # toolkits log and continue, so do we.
+                import traceback
+
+                traceback.print_exc()
+
+    def __enter__(self) -> "EventDispatchThread":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return f"EventDispatchThread({self.name!r}, processed={self._stats.events_processed})"

@@ -1,0 +1,170 @@
+"""Virtual-time responsiveness model: EDT-blocking vs task-pool designs.
+
+The deterministic core of the GUI projects' headline claim.  A scenario
+has background *jobs* (image scalings, file searches...) and periodic
+*user events* (scrolls, clicks) needing quick service on the EDT.  Two
+application designs are modelled:
+
+* ``strategy="edt"`` — the naive sequential app: jobs run as EDT
+  runnables, so user events queue behind them and latency explodes;
+* ``strategy="pool"`` — the Parallel Task design: jobs run on a worker
+  pool (one core is left to the UI), each completion posts only a tiny
+  widget-update runnable to the EDT, so user events are served at once.
+
+Everything runs on :mod:`repro.simkernel`, so the latency distributions
+are exact and reproducible; the project benches sweep job sizes and core
+counts over this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Sequence
+
+from repro.simkernel import Resource, Simulator, Store
+
+__all__ = ["ResponsivenessReport", "simulate_ui_scenario"]
+
+_STRATEGIES = ("edt", "pool")
+
+
+@dataclass(frozen=True)
+class ResponsivenessReport:
+    """Latency and completion outcomes of one UI scenario."""
+
+    strategy: str
+    cores: int
+    n_jobs: int
+    jobs_makespan: float
+    event_latencies: tuple[float, ...] = field(repr=False)
+
+    @property
+    def events_served(self) -> int:
+        return len(self.event_latencies)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.event_latencies:
+            return 0.0
+        return sum(self.event_latencies) / len(self.event_latencies)
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.event_latencies, default=0.0)
+
+    @property
+    def p95_latency(self) -> float:
+        if not self.event_latencies:
+            return 0.0
+        ordered = sorted(self.event_latencies)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+    def __str__(self) -> str:
+        return (
+            f"ResponsivenessReport({self.strategy}@{self.cores}c: jobs done in "
+            f"{self.jobs_makespan:.3g}s, event latency mean={self.mean_latency:.4g}s "
+            f"p95={self.p95_latency:.4g}s over {self.events_served} events)"
+        )
+
+
+def simulate_ui_scenario(
+    job_costs: Sequence[float],
+    *,
+    cores: int = 4,
+    strategy: str = "pool",
+    event_interval: float = 0.05,
+    event_service_cost: float = 0.002,
+    update_cost: float = 0.001,
+) -> ResponsivenessReport:
+    """Run one scenario; see module docstring for the two strategies.
+
+    ``job_costs`` are seconds of work per background job.  User events
+    arrive every ``event_interval`` seconds until all jobs complete.
+    """
+    if strategy not in _STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}")
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    if not job_costs:
+        raise ValueError("scenario needs at least one job")
+    if any(c < 0 for c in job_costs):
+        raise ValueError("job costs must be >= 0")
+
+    sim = Simulator()
+    edt_queue = Store(sim, name="edt-queue")
+    latencies: list[float] = []
+    remaining = [len(job_costs)]
+    jobs_done = sim.event("jobs-done")
+    jobs_finished_at = [0.0]
+
+    def job_complete() -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            jobs_finished_at[0] = sim.now
+            jobs_done.fire()
+
+    def edt() -> Generator:
+        while True:
+            kind, enqueued_at = yield edt_queue.get()
+            if kind == "stop":
+                return
+            if kind == "user":
+                latencies.append(sim.now - enqueued_at)
+                yield event_service_cost
+            elif kind == "job":
+                yield 0.0  # cost folded into the payload below
+            elif kind == "update":
+                yield update_cost
+
+    # The EDT variant needs per-job costs on the EDT itself; model each
+    # job as its own runnable carrying its cost.
+    def edt_with_jobs(costs: dict[int, float]) -> Generator:
+        while True:
+            item = yield edt_queue.get()
+            kind, payload = item[0], item[1]
+            if kind == "stop":
+                return
+            if kind == "user":
+                latencies.append(sim.now - payload)
+                yield event_service_cost
+            elif kind == "job":
+                yield costs[payload]
+                job_complete()
+            elif kind == "update":
+                yield update_cost
+
+    if strategy == "edt":
+        costs = dict(enumerate(float(c) for c in job_costs))
+        sim.spawn(edt_with_jobs(costs), name="edt")
+        for i in range(len(job_costs)):
+            edt_queue.put(("job", i))
+    else:
+        sim.spawn(edt(), name="edt")
+        workers = Resource(sim, capacity=max(1, cores - 1), name="pool")
+
+        def job(cost: float) -> Generator:
+            yield workers.acquire()
+            yield cost
+            workers.release()
+            edt_queue.put(("update", sim.now))
+            job_complete()
+
+        for c in job_costs:
+            sim.spawn(job(float(c)), name="job")
+
+    def user_event_source() -> Generator:
+        while not jobs_done.fired:
+            edt_queue.put(("user", sim.now))
+            yield event_interval
+        edt_queue.put(("stop", sim.now))
+
+    sim.spawn(user_event_source(), name="user-events")
+    sim.run(max_steps=2_000_000)
+
+    return ResponsivenessReport(
+        strategy=strategy,
+        cores=cores,
+        n_jobs=len(job_costs),
+        jobs_makespan=jobs_finished_at[0],
+        event_latencies=tuple(latencies),
+    )

@@ -1,0 +1,169 @@
+"""EDT-confined widgets.
+
+The single-threaded rule of every real toolkit, made explicit and loud:
+mutating a widget from any thread other than its EDT raises
+``ThreadConfinementError``.  Several student projects' first bug is
+exactly this, so the substrate teaches it by failing fast rather than
+corrupting state quietly.
+
+Widgets record their update history, which is how the tests (and the
+bench harness) observe "interim results appeared while work ran".
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Generic, TypeVar
+
+from repro.gui.edt import EventDispatchThread
+
+__all__ = ["ThreadConfinementError", "Widget", "Window", "Label", "ProgressBar", "ListView"]
+
+T = TypeVar("T")
+
+
+class ThreadConfinementError(RuntimeError):
+    """A widget was mutated off its event-dispatch thread."""
+
+
+class Widget:
+    """Base widget: owns nothing but the confinement check and history."""
+
+    def __init__(self, edt: EventDispatchThread | None, name: str = "widget") -> None:
+        """``edt=None`` disables confinement (headless/unit-test mode)."""
+        self._edt = edt
+        self.name = name
+        self._history: list[Any] = []
+        self._history_lock = threading.Lock()
+
+    def _assert_edt(self) -> None:
+        if self._edt is not None and not self._edt.is_edt():
+            raise ThreadConfinementError(
+                f"widget {self.name!r} mutated off the EDT "
+                f"(use edt.invoke_later / runtime notify handlers)"
+            )
+
+    def _record(self, entry: Any) -> None:
+        with self._history_lock:
+            self._history.append(entry)
+
+    @property
+    def history(self) -> list[Any]:
+        with self._history_lock:
+            return list(self._history)
+
+    @property
+    def update_count(self) -> int:
+        with self._history_lock:
+            return len(self._history)
+
+
+class Label(Widget):
+    """A one-line text display."""
+
+    def __init__(self, edt: EventDispatchThread | None, text: str = "", name: str = "label") -> None:
+        super().__init__(edt, name)
+        self._text = text
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    def set_text(self, text: str) -> None:
+        self._assert_edt()
+        self._text = text
+        self._record(text)
+
+
+class ProgressBar(Widget):
+    """Bounded progress indicator."""
+
+    def __init__(self, edt: EventDispatchThread | None, maximum: int, name: str = "progress") -> None:
+        if maximum < 1:
+            raise ValueError(f"maximum must be >= 1, got {maximum}")
+        super().__init__(edt, name)
+        self.maximum = maximum
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def fraction(self) -> float:
+        return self._value / self.maximum
+
+    def set_value(self, value: int) -> None:
+        self._assert_edt()
+        if not 0 <= value <= self.maximum:
+            raise ValueError(f"value {value} outside [0, {self.maximum}]")
+        self._value = value
+        self._record(value)
+
+    def increment(self) -> None:
+        self.set_value(self._value + 1)
+
+    @property
+    def complete(self) -> bool:
+        return self._value >= self.maximum
+
+
+class ListView(Widget, Generic[T]):
+    """An appendable list of items (search results, thumbnails, ...)."""
+
+    def __init__(self, edt: EventDispatchThread | None, name: str = "list") -> None:
+        super().__init__(edt, name)
+        self._items: list[T] = []
+
+    def add_item(self, item: T) -> None:
+        self._assert_edt()
+        self._items.append(item)
+        self._record(item)
+
+    def clear(self) -> None:
+        self._assert_edt()
+        self._items.clear()
+        self._record("<clear>")
+
+    @property
+    def items(self) -> list[T]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Window(Widget):
+    """Container tying widgets to one EDT; closing records the event."""
+
+    def __init__(self, edt: EventDispatchThread | None, title: str = "window") -> None:
+        super().__init__(edt, title)
+        self.title = title
+        self._widgets: list[Widget] = []
+        self._closed = False
+
+    def add(self, widget: Widget) -> Widget:
+        self._widgets.append(widget)
+        return widget
+
+    def label(self, text: str = "", name: str = "label") -> Label:
+        return self.add(Label(self._edt, text, name))  # type: ignore[return-value]
+
+    def progress_bar(self, maximum: int, name: str = "progress") -> ProgressBar:
+        return self.add(ProgressBar(self._edt, maximum, name))  # type: ignore[return-value]
+
+    def list_view(self, name: str = "list") -> ListView:
+        return self.add(ListView(self._edt, name))  # type: ignore[return-value]
+
+    @property
+    def widgets(self) -> list[Widget]:
+        return list(self._widgets)
+
+    def close(self) -> None:
+        self._assert_edt()
+        self._closed = True
+        self._record("<close>")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,0 +1,36 @@
+"""Machine models of the PARC lab's parallel systems (paper §III-B).
+
+A :class:`MachineSpec` describes an N-core shared-memory machine; the
+:mod:`repro.machine.listsched` scheduler executes a cost-annotated task
+:class:`~repro.machine.graph.SegmentGraph` on such a machine in virtual
+time.  The catalogue in :data:`repro.machine.spec.PARC_MACHINES` mirrors
+the systems the paper made available to students.
+"""
+
+from repro.machine.graph import Segment, SegmentGraph
+from repro.machine.listsched import ScheduleResult, simulate_schedule
+from repro.machine.spec import (
+    ANDROID_PHONE,
+    ANDROID_TABLET,
+    LAB_WORKSTATION,
+    PARC8,
+    PARC16,
+    PARC64,
+    PARC_MACHINES,
+    MachineSpec,
+)
+
+__all__ = [
+    "MachineSpec",
+    "PARC64",
+    "PARC16",
+    "PARC8",
+    "LAB_WORKSTATION",
+    "ANDROID_TABLET",
+    "ANDROID_PHONE",
+    "PARC_MACHINES",
+    "Segment",
+    "SegmentGraph",
+    "ScheduleResult",
+    "simulate_schedule",
+]

@@ -1,0 +1,153 @@
+"""Cost-annotated task-segment graphs.
+
+The simulated executor records a program run as a DAG of *segments*: a
+task is one segment, or several if it blocks mid-way (waiting on a future
+or a barrier splits a task into before/after segments).  Edges are
+precedence constraints: spawn edges (a child cannot start before the point
+its parent spawned it), join edges (a continuation cannot start before the
+awaited task finished), serialisation edges (critical sections of the same
+lock are chained in acquisition order) and barrier edges.
+
+Because the recorder evaluates tasks eagerly, barrier edges can point from
+a later-created segment to an earlier-created one; :meth:`SegmentGraph.add_dep`
+therefore accepts forward edges, and acyclicity is checked globally by
+:meth:`SegmentGraph.validate` (Kahn) rather than by construction order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Segment", "SegmentGraph"]
+
+
+@dataclass
+class Segment:
+    """One contiguous run of work with no internal blocking."""
+
+    sid: int
+    task_id: int
+    name: str
+    cost: float
+    deps: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ValueError(f"segment cost must be >= 0, got {self.cost}")
+
+
+class SegmentGraph:
+    """A DAG of segments built incrementally in program order."""
+
+    def __init__(self) -> None:
+        self._segments: list[Segment] = []
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __getitem__(self, sid: int) -> Segment:
+        return self._segments[sid]
+
+    def add(self, task_id: int, name: str, cost: float, deps: Iterable[int] = ()) -> Segment:
+        sid = len(self._segments)
+        deps = sorted(set(deps))
+        for d in deps:
+            if not 0 <= d < sid:
+                raise ValueError(f"segment {sid} created with invalid dep {d}")
+        seg = Segment(sid=sid, task_id=task_id, name=name, cost=cost, deps=deps)
+        self._segments.append(seg)
+        return seg
+
+    def add_dep(self, sid: int, dep_sid: int) -> None:
+        """Add a precedence edge after the fact (may point forward).
+
+        Used for barrier rendezvous, where the post-barrier segments of
+        early-evaluated team members depend on pre-barrier segments of
+        members evaluated later.
+        """
+        n = len(self._segments)
+        if not (0 <= sid < n and 0 <= dep_sid < n):
+            raise ValueError(f"add_dep({sid}, {dep_sid}) out of range (n={n})")
+        if sid == dep_sid:
+            raise ValueError(f"segment {sid} cannot depend on itself")
+        seg = self._segments[sid]
+        if dep_sid not in seg.deps:
+            seg.deps.append(dep_sid)
+
+    def add_cost(self, sid: int, extra: float) -> None:
+        """Accumulate more work onto an existing segment."""
+        if extra < 0:
+            raise ValueError(f"extra cost must be >= 0, got {extra}")
+        self._segments[sid].cost += extra
+
+    def total_work(self) -> float:
+        """T1: sum of all segment costs (sequential execution time)."""
+        return sum(s.cost for s in self._segments)
+
+    def topological_order(self) -> list[int]:
+        """Kahn topological order; raises ``ValueError`` on a cycle.
+
+        Deterministic: among ready segments, lowest sid first.
+        """
+        n = len(self._segments)
+        indegree = [len(s.deps) for s in self._segments]
+        dependents: list[list[int]] = [[] for _ in range(n)]
+        for seg in self._segments:
+            for d in seg.deps:
+                dependents[d].append(seg.sid)
+        # A simple FIFO over sids is deterministic because sids only enter
+        # once; seeding in ascending sid order keeps ties by creation order.
+        ready = deque(sid for sid in range(n) if indegree[sid] == 0)
+        order: list[int] = []
+        while ready:
+            sid = ready.popleft()
+            order.append(sid)
+            for child in dependents[sid]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+        if len(order) != n:
+            raise ValueError(f"segment graph has a cycle ({n - len(order)} segments unreachable)")
+        return order
+
+    def critical_path(self) -> float:
+        """T-infinity: the longest cost-weighted path through the DAG.
+
+        The lower bound on makespan with unlimited cores, per the
+        work-span model taught in the course's first weeks.
+        """
+        finish: dict[int, float] = {}
+        for sid in self.topological_order():
+            seg = self._segments[sid]
+            start = max((finish[d] for d in seg.deps), default=0.0)
+            finish[sid] = start + seg.cost
+        return max(finish.values(), default=0.0)
+
+    def parallelism(self) -> float:
+        """Average parallelism T1 / T-infinity (inf if span is zero)."""
+        span = self.critical_path()
+        work = self.total_work()
+        if span == 0.0:
+            return float("inf") if work > 0 else 1.0
+        return work / span
+
+    def copy(self) -> "SegmentGraph":
+        """Independent copy (segments and dep lists are not shared)."""
+        out = SegmentGraph()
+        for seg in self._segments:
+            out._segments.append(
+                Segment(sid=seg.sid, task_id=seg.task_id, name=seg.name, cost=seg.cost, deps=list(seg.deps))
+            )
+        return out
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on breakage."""
+        self.topological_order()  # raises on cycles / bad edges
+
+    def __repr__(self) -> str:
+        return f"SegmentGraph(segments={len(self._segments)}, work={self.total_work():.4g})"

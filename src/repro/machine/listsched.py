@@ -1,0 +1,171 @@
+"""Greedy list scheduling of a segment graph onto a machine model.
+
+This is the virtual-time "execution" step: given the DAG a program run
+recorded and a :class:`~repro.machine.spec.MachineSpec`, produce the
+deterministic schedule a greedy runtime would achieve, and with it the
+makespan, utilisation and speedup numbers the benchmarks report.
+
+Two core-selection policies are provided for the ablation benches:
+
+* ``"earliest"`` — pick the core that frees up first (a central queue);
+* ``"affinity"`` — prefer the core that ran the segment's last dependency
+  (models work-stealing's locality preference: continuations tend to stay
+  on the same worker unless it is clearly behind).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.machine.graph import SegmentGraph
+from repro.machine.spec import MachineSpec
+
+__all__ = ["ScheduleResult", "simulate_schedule"]
+
+_POLICIES = ("earliest", "affinity")
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of simulating a segment graph on a machine."""
+
+    machine: MachineSpec
+    makespan: float
+    total_work: float
+    critical_path: float
+    n_segments: int
+    core_busy: tuple[float, ...]
+    starts: tuple[float, ...] = field(repr=False)
+    finishes: tuple[float, ...] = field(repr=False)
+    cores: tuple[int, ...] = field(repr=False)
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of core-time spent busy over the makespan."""
+        if self.makespan == 0.0:
+            return 0.0
+        return sum(self.core_busy) / (self.makespan * self.machine.cores)
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Speedup relative to running all work on one reference core."""
+        if self.makespan == 0.0:
+            return 1.0
+        return self.total_work / self.makespan
+
+    def __str__(self) -> str:
+        return (
+            f"ScheduleResult({self.machine.name}: makespan={self.makespan:.4g}s, "
+            f"T1={self.total_work:.4g}s, Tinf={self.critical_path:.4g}s, "
+            f"speedup={self.speedup_vs_serial:.2f}, util={self.utilization:.0%})"
+        )
+
+
+def simulate_schedule(
+    graph: SegmentGraph,
+    machine: MachineSpec,
+    policy: str = "earliest",
+) -> ScheduleResult:
+    """Greedy-schedule ``graph`` on ``machine``; deterministic.
+
+    Ready segments are processed in (ready-time, creation-order) order;
+    creation order is the program's spawn order, so the simulated runtime
+    dispatches tasks FIFO the way a central-queue thread pool would.
+    """
+    if policy not in _POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {_POLICIES}")
+    n = len(graph)
+    if n == 0:
+        return ScheduleResult(
+            machine=machine,
+            makespan=0.0,
+            total_work=0.0,
+            critical_path=0.0,
+            n_segments=0,
+            core_busy=tuple(0.0 for _ in range(machine.cores)),
+            starts=(),
+            finishes=(),
+            cores=(),
+        )
+
+    graph.validate()
+    ncores = machine.cores
+    core_free = [0.0] * ncores
+    starts = [0.0] * n
+    finishes = [0.0] * n
+    core_of = [-1] * n
+
+    remaining_deps = [len(seg.deps) for seg in graph]
+    dependents: list[list[int]] = [[] for _ in range(n)]
+    for seg in graph:
+        for d in seg.deps:
+            dependents[d].append(seg.sid)
+
+    ready: list[tuple[float, int]] = []
+    for seg in graph:
+        if remaining_deps[seg.sid] == 0:
+            heapq.heappush(ready, (0.0, seg.sid))
+
+    scheduled = 0
+    while ready:
+        ready_time, sid = heapq.heappop(ready)
+        seg = graph[sid]
+
+        # Core selection.
+        best_core = min(range(ncores), key=lambda c: (core_free[c], c))
+        if policy == "affinity" and seg.deps:
+            # Prefer the core that produced the heaviest dependency; wait
+            # for it if the wait costs no more than the transfer it saves.
+            costly_deps = [d for d in seg.deps if graph[d].cost > 0]
+            # No data-carrying dependency means no transfer to save:
+            # stay with the earliest-free core.
+            pref = core_of[costly_deps[-1]] if costly_deps else -1
+            if pref >= 0:
+                pref_start = max(core_free[pref], ready_time)
+                best_start = max(core_free[best_core], ready_time)
+                if pref_start <= best_start + machine.cross_core_penalty:
+                    best_core = pref
+
+        start_t = max(ready_time, core_free[best_core])
+        concurrency = 1 + sum(1 for c in range(ncores) if c != best_core and core_free[c] > start_t)
+        duration = machine.segment_duration(seg.cost, concurrency=concurrency)
+        if seg.cost > 0:
+            duration += machine.dispatch_overhead
+        if machine.cross_core_penalty > 0:
+            # a cold-cache transfer per dependency produced on another core
+            duration += machine.cross_core_penalty * sum(
+                1 for d in seg.deps if graph[d].cost > 0 and core_of[d] != best_core
+            )
+        finish_t = start_t + duration
+
+        starts[sid] = start_t
+        finishes[sid] = finish_t
+        core_of[sid] = best_core
+        core_free[best_core] = finish_t
+        scheduled += 1
+
+        for child in dependents[sid]:
+            remaining_deps[child] -= 1
+            if remaining_deps[child] == 0:
+                child_ready = max(finishes[d] for d in graph[child].deps)
+                heapq.heappush(ready, (child_ready, child))
+
+    if scheduled != n:
+        raise RuntimeError(f"schedule incomplete: {scheduled}/{n} segments (cycle in graph?)")
+
+    busy = [0.0] * ncores
+    for sid in range(n):
+        busy[core_of[sid]] += finishes[sid] - starts[sid]
+
+    return ScheduleResult(
+        machine=machine,
+        makespan=max(finishes),
+        total_work=graph.total_work(),
+        critical_path=graph.critical_path(),
+        n_segments=n,
+        core_busy=tuple(busy),
+        starts=tuple(starts),
+        finishes=tuple(finishes),
+        cores=tuple(core_of),
+    )

@@ -1,0 +1,137 @@
+"""Machine specifications, including the paper's §III-B catalogue.
+
+Costs in the library are expressed in seconds *on a 1.0-speed reference
+core*; a machine's ``speed`` scales them (2.4 GHz Xeon ≈ speed 1.14 vs the
+2.1 GHz Opteron baseline, etc.).  The absolute values only set the time
+unit — what the experiments compare is shape across core counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "MachineSpec",
+    "PARC64",
+    "PARC16",
+    "PARC8",
+    "LAB_WORKSTATION",
+    "ANDROID_TABLET",
+    "ANDROID_PHONE",
+    "PARC_MACHINES",
+]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """An N-core shared-memory machine.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    cores:
+        Number of hardware cores available to the runtime.
+    speed:
+        Per-core speed multiplier relative to the reference core.  A
+        segment of cost ``c`` takes ``c / speed`` virtual seconds.
+    dispatch_overhead:
+        Fixed virtual seconds charged when a task segment is started on a
+        core (models task-queue/dispatch cost; makes fine-grained tasks
+        genuinely more expensive, as the granularity experiments need).
+    memory_bandwidth_penalty:
+        Fractional slowdown applied per *additional* concurrently-running
+        segment beyond the first, capped at 2x total, modelling shared
+        memory-bus contention.  0 disables the effect.
+    cross_core_penalty:
+        Fixed virtual seconds added per dependency whose producer ran on
+        a *different* core (a cold-cache transfer).  0 (the default)
+        disables the effect; the policy ablation uses it to make
+        locality-aware core selection measurably matter.
+    """
+
+    name: str
+    cores: int
+    speed: float = 1.0
+    dispatch_overhead: float = 1e-4
+    memory_bandwidth_penalty: float = 0.0
+    cross_core_penalty: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"machine needs >= 1 core, got {self.cores}")
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+        if self.dispatch_overhead < 0:
+            raise ValueError("dispatch_overhead must be >= 0")
+        if self.memory_bandwidth_penalty < 0:
+            raise ValueError("memory_bandwidth_penalty must be >= 0")
+        if self.cross_core_penalty < 0:
+            raise ValueError("cross_core_penalty must be >= 0")
+
+    def with_cores(self, cores: int) -> "MachineSpec":
+        """The same machine scaled to a different core count."""
+        return replace(self, name=f"{self.name}@{cores}c", cores=cores)
+
+    def segment_duration(self, cost: float, concurrency: int = 1) -> float:
+        """Virtual seconds to run a segment of ``cost`` reference-seconds.
+
+        ``concurrency`` is how many segments run at the same time,
+        including this one (for the bandwidth-contention model).
+        """
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        slowdown = 1.0
+        if self.memory_bandwidth_penalty > 0 and concurrency > 1:
+            slowdown = min(2.0, 1.0 + self.memory_bandwidth_penalty * (concurrency - 1))
+        return cost * slowdown / self.speed
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.cores} cores, speed {self.speed:g})"
+
+
+# The paper, §III-B: systems made available to SoftEng 751 students.
+PARC64 = MachineSpec(
+    name="parc64",
+    cores=64,
+    speed=1.0,  # 2.1 GHz Opteron 6272 is the reference core
+    description="64-core server: 4x 16-core AMD Opteron 6272 @ 2.1 GHz",
+)
+PARC16 = MachineSpec(
+    name="parc16",
+    cores=16,
+    speed=2.4 / 2.1,
+    description="16-core workstation: 4x quad-core Intel Xeon E7340 @ 2.4 GHz",
+)
+PARC8 = MachineSpec(
+    name="parc8",
+    cores=8,
+    speed=1.86 / 2.1,
+    description="8-core workstation: 2x quad-core Intel Xeon E5320 @ 1.86 GHz",
+)
+LAB_WORKSTATION = MachineSpec(
+    name="lab-quad",
+    cores=4,
+    speed=1.3,
+    description="departmental lab workstation (quad-core)",
+)
+ANDROID_TABLET = MachineSpec(
+    name="android-tablet",
+    cores=4,
+    speed=0.55,
+    dispatch_overhead=5e-4,
+    description="quad-core Android tablet",
+)
+ANDROID_PHONE = MachineSpec(
+    name="android-phone",
+    cores=4,
+    speed=0.45,
+    dispatch_overhead=5e-4,
+    description="quad-core Android smartphone",
+)
+
+PARC_MACHINES: dict[str, MachineSpec] = {
+    m.name: m
+    for m in (PARC64, PARC16, PARC8, LAB_WORKSTATION, ANDROID_TABLET, ANDROID_PHONE)
+}

@@ -1,0 +1,59 @@
+"""Memory-model exploration: project 8 made executable.
+
+Project 8 ("Understanding and coping with the Java memory model") had
+students build code snippets that *demonstrate* typical parallelisation
+problems — races, lost updates, visibility stalls — and write up how to
+avoid them.  This package is that artefact as a library:
+
+* a tiny thread-program DSL (:mod:`repro.memmodel.program`);
+* an exhaustive interleaving explorer (:mod:`repro.memmodel.interpreter`)
+  under three memory models — ``sc`` (sequential consistency), ``tso``
+  (FIFO store buffers, x86-like) and ``relaxed`` (out-of-order flushes,
+  JMM-without-synchronisation-like) — so "can this outcome happen?"
+  gets a definitive answer;
+* a vector-clock happens-before race detector (:mod:`repro.memmodel.races`);
+* the classic snippets, buggy and fixed (:mod:`repro.memmodel.snippets`).
+"""
+
+from repro.memmodel.interpreter import ExplorationResult, Interpreter, explore, random_runs
+from repro.memmodel.program import (
+    Program,
+    add,
+    atomic_add,
+    exit_unless,
+    fence,
+    load,
+    lock,
+    store,
+    unlock,
+    volatile_load,
+    volatile_store,
+)
+from repro.memmodel.races import Race, RaceDetector, detect_races
+from repro.memmodel.snippets import SNIPPETS, Snippet
+from repro.memmodel.webdemo import render_snippet_page, write_demo_site
+
+__all__ = [
+    "Program",
+    "load",
+    "store",
+    "add",
+    "atomic_add",
+    "exit_unless",
+    "fence",
+    "lock",
+    "unlock",
+    "volatile_load",
+    "volatile_store",
+    "Interpreter",
+    "explore",
+    "random_runs",
+    "ExplorationResult",
+    "RaceDetector",
+    "detect_races",
+    "Race",
+    "SNIPPETS",
+    "Snippet",
+    "render_snippet_page",
+    "write_demo_site",
+]

@@ -1,0 +1,355 @@
+"""Exhaustive and randomised execution of thread programs.
+
+Three memory models, ordered by weakness:
+
+* ``sc`` — stores hit memory immediately (the intuition students start
+  with);
+* ``tso`` — each thread has a FIFO store buffer; loads snoop their own
+  buffer; buffered stores drain to memory at nondeterministic points
+  (x86-like; allows the store-buffering litmus outcome);
+* ``relaxed`` — the buffer drains *out of order* (per-variable
+  reordering, PSO/JMM-without-sync-like; additionally allows the
+  message-passing litmus outcome).
+
+Synchronisation (``lock``/``unlock``/``volatile_*``/``fence``) drains
+the executing thread's buffer, which is exactly why it fixes the bugs.
+
+:func:`explore` enumerates every reachable interleaving (DFS with state
+memoisation) and returns the set of terminal outcomes — the definitive
+"can x==0 happen?" answer.  :func:`random_runs` samples schedules for
+outcome *frequencies*, the demo students actually watch, and can record
+access traces for the race detector.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.memmodel.program import Instruction, Program
+from repro.util.rng import derive
+
+__all__ = ["Outcome", "ExplorationResult", "Interpreter", "explore", "random_runs", "TraceEvent"]
+
+_MODELS = ("sc", "tso", "relaxed")
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Terminal state of one complete execution."""
+
+    shared: tuple[tuple[str, int], ...]
+    registers: tuple[tuple[tuple[str, int], ...], ...]
+    deadlocked: bool = False
+
+    def get(self, var: str) -> int:
+        for k, v in self.shared:
+            if k == var:
+                return v
+        raise KeyError(var)
+
+    def reg(self, tid: int, name: str) -> int:
+        for k, v in self.registers[tid]:
+            if k == name:
+                return v
+        return 0
+
+    def __str__(self) -> str:
+        mem = ", ".join(f"{k}={v}" for k, v in self.shared)
+        regs = "; ".join(
+            f"t{t}:" + ",".join(f"{k}={v}" for k, v in r) for t, r in enumerate(self.registers) if r
+        )
+        tag = " DEADLOCK" if self.deadlocked else ""
+        return f"<{mem} | {regs}{tag}>"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One memory/sync event of an execution, for the race detector."""
+
+    tid: int
+    kind: str  # read | write | vread | vwrite | lock | unlock
+    target: str
+
+
+@dataclass
+class ExplorationResult:
+    model: str
+    outcomes: set[Outcome]
+    states_explored: int
+
+    def shared_values(self, var: str) -> set[int]:
+        return {o.get(var) for o in self.outcomes if not o.deadlocked}
+
+    def register_values(self, tid: int, reg: str) -> set[int]:
+        return {o.reg(tid, reg) for o in self.outcomes if not o.deadlocked}
+
+    @property
+    def has_deadlock(self) -> bool:
+        return any(o.deadlocked for o in self.outcomes)
+
+    def allows(self, **shared_values: int) -> bool:
+        """True if some non-deadlocked outcome has all the given values."""
+        return any(
+            not o.deadlocked and all(o.get(k) == v for k, v in shared_values.items())
+            for o in self.outcomes
+        )
+
+
+# -- machine state ----------------------------------------------------------------
+
+_State = tuple  # (pcs, regs, buffers, mem, locks)
+
+
+def _initial_state(program: Program) -> _State:
+    pcs = tuple(0 for _ in program.threads)
+    regs = tuple(() for _ in program.threads)
+    buffers = tuple(() for _ in program.threads)
+    mem = tuple(sorted(program.shared.items()))
+    locks: tuple = ()
+    return (pcs, regs, buffers, mem, locks)
+
+
+def _mem_get(mem: tuple, var: str) -> int:
+    for k, v in mem:
+        if k == var:
+            return v
+    raise KeyError(var)
+
+
+def _mem_set(mem: tuple, var: str, value: int) -> tuple:
+    return tuple((k, value if k == var else v) for k, v in mem)
+
+
+def _reg_get(regs: tuple, name: str) -> int:
+    for k, v in regs:
+        if k == name:
+            return v
+    return 0
+
+
+def _reg_set(regs: tuple, name: str, value: int) -> tuple:
+    out = [(k, v) for k, v in regs if k != name]
+    out.append((name, value))
+    return tuple(sorted(out))
+
+
+def _resolve(src: Any, regs: tuple) -> int:
+    if isinstance(src, str):
+        return _reg_get(regs, src)
+    return int(src)
+
+
+def _buffer_lookup(buffer: tuple, var: str) -> int | None:
+    """Latest buffered value for ``var`` (program order), else None."""
+    for k, v in reversed(buffer):
+        if k == var:
+            return v
+    return None
+
+
+def _flush_all(mem: tuple, buffer: tuple) -> tuple:
+    for var, value in buffer:
+        mem = _mem_set(mem, var, value)
+    return mem
+
+
+class Interpreter:
+    """Stepper over program states under one memory model."""
+
+    def __init__(self, program: Program, model: str = "sc") -> None:
+        if model not in _MODELS:
+            raise ValueError(f"unknown model {model!r}; expected one of {_MODELS}")
+        self.program = program
+        self.model = model
+
+    # -- transitions ---------------------------------------------------------------
+
+    def transitions(self, state: _State) -> Iterator[tuple[str, _State, TraceEvent | None]]:
+        """All enabled (label, next_state, trace_event) moves from ``state``."""
+        pcs, regs, buffers, mem, locks = state
+        held = dict(locks)
+        for t, instrs in enumerate(self.program.threads):
+            pc = pcs[t]
+            # instruction step
+            if pc < len(instrs):
+                ins = instrs[pc]
+                stepped = self._step_instruction(state, t, ins)
+                if stepped is not None:
+                    yield (f"t{t}:{ins}", stepped[0], stepped[1])
+            # flush steps (buffered models only)
+            if self.model != "sc" and buffers[t]:
+                if self.model == "tso":
+                    flush_indices = [0]  # FIFO: head only
+                else:  # relaxed: any buffered store may drain next
+                    flush_indices = list(range(len(buffers[t])))
+                for i in flush_indices:
+                    var, value = buffers[t][i]
+                    new_buf = buffers[t][:i] + buffers[t][i + 1 :]
+                    new_state = (
+                        pcs,
+                        regs,
+                        buffers[:t] + (new_buf,) + buffers[t + 1 :],
+                        _mem_set(mem, var, value),
+                        locks,
+                    )
+                    yield (f"t{t}:flush({var})", new_state, None)
+
+    def _step_instruction(
+        self, state: _State, t: int, ins: Instruction
+    ) -> tuple[_State, TraceEvent | None] | None:
+        pcs, regs, buffers, mem, locks = state
+        my_regs = regs[t]
+        my_buf = buffers[t]
+        new_mem = mem
+        new_locks = locks
+        event: TraceEvent | None = None
+
+        if ins.op == "load":
+            buffered = _buffer_lookup(my_buf, ins.var) if self.model != "sc" else None
+            value = buffered if buffered is not None else _mem_get(mem, ins.var)
+            my_regs = _reg_set(my_regs, ins.reg, value)
+            event = TraceEvent(t, "read", ins.var)
+        elif ins.op == "store":
+            value = _resolve(ins.src, my_regs)
+            if self.model == "sc":
+                new_mem = _mem_set(mem, ins.var, value)
+            else:
+                my_buf = my_buf + ((ins.var, value),)
+            event = TraceEvent(t, "write", ins.var)
+        elif ins.op == "volatile_load":
+            new_mem = _flush_all(mem, my_buf)
+            my_buf = ()
+            value = _mem_get(new_mem, ins.var)
+            my_regs = _reg_set(my_regs, ins.reg, value)
+            event = TraceEvent(t, "vread", ins.var)
+        elif ins.op == "volatile_store":
+            new_mem = _flush_all(mem, my_buf)
+            my_buf = ()
+            new_mem = _mem_set(new_mem, ins.var, _resolve(ins.src, my_regs))
+            event = TraceEvent(t, "vwrite", ins.var)
+        elif ins.op == "add":
+            value = _reg_get(my_regs, ins.reg) + _resolve(ins.src, my_regs)
+            my_regs = _reg_set(my_regs, ins.reg, value)
+        elif ins.op == "fence":
+            new_mem = _flush_all(mem, my_buf)
+            my_buf = ()
+        elif ins.op == "atomic_add":
+            new_mem = _flush_all(mem, my_buf)
+            my_buf = ()
+            value = _mem_get(new_mem, ins.var) + _resolve(ins.src, my_regs)
+            new_mem = _mem_set(new_mem, ins.var, value)
+            event = TraceEvent(t, "atomic", ins.var)
+        elif ins.op == "exit_unless":
+            if _reg_get(my_regs, ins.reg) != _resolve(ins.src, my_regs):
+                # guard failed: thread exits (pc jumps past the end)
+                exit_pc = len(self.program.threads[t])
+                new_state = (
+                    pcs[:t] + (exit_pc,) + pcs[t + 1 :],
+                    regs,
+                    buffers,
+                    mem,
+                    locks,
+                )
+                return new_state, None
+        elif ins.op == "lock":
+            held = dict(locks)
+            if held.get(ins.name) is not None:
+                return None  # blocked
+            held[ins.name] = t
+            new_locks = tuple(sorted(held.items()))
+            new_mem = _flush_all(mem, my_buf)
+            my_buf = ()
+            event = TraceEvent(t, "lock", ins.name)
+        elif ins.op == "unlock":
+            held = dict(locks)
+            if held.get(ins.name) != t:
+                return None  # not the holder: blocked forever (bug)
+            held[ins.name] = None
+            new_locks = tuple(sorted(held.items()))
+            new_mem = _flush_all(mem, my_buf)
+            my_buf = ()
+            event = TraceEvent(t, "unlock", ins.name)
+        else:  # pragma: no cover - validated at construction
+            raise ValueError(f"unknown op {ins.op!r}")
+
+        new_state = (
+            pcs[:t] + (pcs[t] + 1,) + pcs[t + 1 :],
+            regs[:t] + (my_regs,) + regs[t + 1 :],
+            buffers[:t] + (my_buf,) + buffers[t + 1 :],
+            new_mem,
+            new_locks,
+        )
+        return new_state, event
+
+    # -- terminal handling -----------------------------------------------------------
+
+    def is_terminal(self, state: _State) -> bool:
+        pcs, _regs, buffers, _mem, _locks = state
+        done = all(pc >= len(t) for pc, t in zip(pcs, self.program.threads))
+        return done and all(not b for b in buffers)
+
+    def outcome(self, state: _State, deadlocked: bool = False) -> Outcome:
+        _pcs, regs, _buffers, mem, _locks = state
+        return Outcome(shared=mem, registers=regs, deadlocked=deadlocked)
+
+
+def explore(program: Program, model: str = "sc", max_states: int = 200_000) -> ExplorationResult:
+    """Enumerate all reachable interleavings; return the outcome set."""
+    interp = Interpreter(program, model)
+    start = _initial_state(program)
+    seen: set[_State] = {start}
+    stack = [start]
+    outcomes: set[Outcome] = set()
+    while stack:
+        state = stack.pop()
+        moves = list(interp.transitions(state))
+        if not moves:
+            outcomes.add(interp.outcome(state, deadlocked=not interp.is_terminal(state)))
+            continue
+        for _label, nxt, _event in moves:
+            if nxt not in seen:
+                if len(seen) >= max_states:
+                    raise RuntimeError(
+                        f"state-space exceeds max_states={max_states} "
+                        f"(program too large for exhaustive exploration)"
+                    )
+                seen.add(nxt)
+                stack.append(nxt)
+    return ExplorationResult(model=model, outcomes=outcomes, states_explored=len(seen))
+
+
+def random_runs(
+    program: Program,
+    model: str = "sc",
+    runs: int = 200,
+    seed: int = 0,
+    collect_traces: bool = False,
+) -> tuple[Counter, list[list[TraceEvent]]]:
+    """Sample ``runs`` random schedules; outcome frequencies (+ traces).
+
+    This is the form of the demo students run: "how often do we *see*
+    the bad outcome?" — complementary to :func:`explore`'s "is it
+    possible at all?".
+    """
+    interp = Interpreter(program, model)
+    counts: Counter = Counter()
+    traces: list[list[TraceEvent]] = []
+    for run in range(runs):
+        rng = derive(seed, "memmodel", program.name, model, run)
+        state = _initial_state(program)
+        trace: list[TraceEvent] = []
+        while True:
+            moves = list(interp.transitions(state))
+            if not moves:
+                counts[interp.outcome(state, deadlocked=not interp.is_terminal(state))] += 1
+                break
+            _label, state, event = moves[int(rng.integers(0, len(moves)))]
+            if collect_traces and event is not None:
+                trace.append(event)
+        if collect_traces:
+            traces.append(trace)
+    return counts, traces

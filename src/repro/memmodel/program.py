@@ -1,0 +1,182 @@
+"""The thread-program DSL.
+
+A program is a set of threads, each a straight-line list of instructions
+over *shared variables* (by name) and *thread-private registers* (by
+name).  Straight-line is deliberate: the litmus tests that teach memory
+models (store buffering, message passing, lost update, double-checked
+publication) all fit, and exhaustive exploration stays tractable.
+
+>>> p = Program(
+...     shared={"x": 0, "y": 0},
+...     threads=[
+...         [store("x", 1), load("r0", "y")],
+...         [store("y", 1), load("r1", "x")],
+...     ],
+... )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+__all__ = [
+    "Instruction",
+    "Program",
+    "load",
+    "store",
+    "add",
+    "fence",
+    "lock",
+    "unlock",
+    "volatile_load",
+    "volatile_store",
+]
+
+Value = Union[int, str]  # int literal or register name
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One step of a thread.  ``op`` selects semantics (see interpreter)."""
+
+    op: str
+    var: str | None = None  # shared variable (load/store/volatile)
+    reg: str | None = None  # destination register (loads) / none
+    src: Value | None = None  # store source: int literal or register name
+    name: str | None = None  # lock name
+
+    def __str__(self) -> str:
+        if self.op in ("load", "volatile_load"):
+            v = "v" if self.op.startswith("volatile") else ""
+            return f"{self.reg} = {v}read({self.var})"
+        if self.op in ("store", "volatile_store"):
+            v = "v" if self.op.startswith("volatile") else ""
+            return f"{v}write({self.var}, {self.src})"
+        if self.op == "add":
+            return f"{self.reg} += {self.src}"
+        if self.op in ("lock", "unlock"):
+            return f"{self.op}({self.name})"
+        if self.op == "exit_unless":
+            return f"exit unless {self.reg} == {self.src}"
+        if self.op == "atomic_add":
+            return f"atomic {self.var} += {self.src}"
+        return self.op
+
+
+def load(reg: str, var: str) -> Instruction:
+    """``reg = var`` (ordinary read; may see stale values under relaxation)."""
+    return Instruction(op="load", var=var, reg=reg)
+
+
+def store(var: str, src: Value) -> Instruction:
+    """``var = src`` (ordinary write; may sit in a store buffer)."""
+    return Instruction(op="store", var=var, src=src)
+
+
+def volatile_load(reg: str, var: str) -> Instruction:
+    """Volatile read: drains the reader's store buffer first (acquire-ish)."""
+    return Instruction(op="volatile_load", var=var, reg=reg)
+
+
+def volatile_store(var: str, src: Value) -> Instruction:
+    """Volatile write: goes straight to memory and drains the buffer."""
+    return Instruction(op="volatile_store", var=var, src=src)
+
+
+def add(reg: str, amount: Value) -> Instruction:
+    """``reg += amount`` (register-only arithmetic)."""
+    return Instruction(op="add", reg=reg, src=amount)
+
+
+def fence() -> Instruction:
+    """Full fence: drains this thread's store buffer."""
+    return Instruction(op="fence")
+
+
+def atomic_add(var: str, delta: Value) -> Instruction:
+    """``var += delta`` as one indivisible step (AtomicInteger-style).
+
+    Like a volatile RMW in Java: it drains the store buffer, reads and
+    writes memory atomically, and synchronises-with other atomic
+    accesses of the same variable — the "atomic variables" fix option
+    from the project-8 write-up.
+    """
+    return Instruction(op="atomic_add", var=var, src=delta)
+
+
+def exit_unless(reg: str, value: Value) -> Instruction:
+    """Guard: if ``reg != value`` the thread stops here (skips the rest).
+
+    The DSL's one control-flow construct — enough to express the guarded
+    reads that make the "fixed" snippets genuinely race-free (reading
+    data only after observing the flag), without general loops that
+    would blow up exhaustive exploration.
+    """
+    return Instruction(op="exit_unless", reg=reg, src=value)
+
+
+def lock(name: str = "m") -> Instruction:
+    """Acquire monitor ``name`` (blocks; drains buffer, like Java entry)."""
+    return Instruction(op="lock", name=name)
+
+
+def unlock(name: str = "m") -> Instruction:
+    """Release monitor ``name`` (drains buffer, like Java exit)."""
+    return Instruction(op="unlock", name=name)
+
+
+@dataclass(frozen=True)
+class Program:
+    """Threads plus initial shared-variable values."""
+
+    shared: dict[str, int]
+    threads: tuple[tuple[Instruction, ...], ...]
+    name: str = "program"
+
+    def __init__(
+        self,
+        shared: dict[str, int],
+        threads: Sequence[Sequence[Instruction]],
+        name: str = "program",
+    ) -> None:
+        object.__setattr__(self, "shared", dict(shared))
+        object.__setattr__(self, "threads", tuple(tuple(t) for t in threads))
+        object.__setattr__(self, "name", name)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.threads:
+            raise ValueError("program needs at least one thread")
+        for t, instrs in enumerate(self.threads):
+            held: set[str] = set()
+            for ins in instrs:
+                if ins.op in ("load", "store", "volatile_load", "volatile_store"):
+                    if ins.var not in self.shared:
+                        raise ValueError(
+                            f"thread {t}: unknown shared variable {ins.var!r} "
+                            f"(declare it in shared=)"
+                        )
+                if ins.op == "lock":
+                    if ins.name in held:
+                        raise ValueError(f"thread {t}: relock of held {ins.name!r}")
+                    held.add(ins.name)  # type: ignore[arg-type]
+                if ins.op == "unlock":
+                    if ins.name not in held:
+                        raise ValueError(f"thread {t}: unlock of unheld {ins.name!r}")
+                    held.discard(ins.name)  # type: ignore[arg-type]
+            if held:
+                raise ValueError(f"thread {t}: locks never released: {sorted(held)}")
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    def total_instructions(self) -> int:
+        return sum(len(t) for t in self.threads)
+
+    def __str__(self) -> str:
+        lines = [f"program {self.name!r}: shared={self.shared}"]
+        for t, instrs in enumerate(self.threads):
+            lines.append(f"  thread {t}: " + "; ".join(str(i) for i in instrs))
+        return "\n".join(lines)

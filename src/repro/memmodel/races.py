@@ -1,0 +1,169 @@
+"""Vector-clock happens-before race detection.
+
+The detector consumes a :class:`~repro.memmodel.interpreter.TraceEvent`
+stream and reports every pair of conflicting accesses (two accesses to
+the same variable, at least one a write) unordered by happens-before.
+Happens-before here is program order + lock release→acquire +
+volatile write→read — the Java memory model's synchronises-with edges
+restricted to the DSL's primitives.
+
+This is the standard FastTrack-style scheme kept deliberately readable
+(full vector clocks, no epoch optimisation): it is a teaching artefact
+first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.memmodel.interpreter import TraceEvent
+
+__all__ = ["VectorClock", "Race", "RaceDetector", "detect_races"]
+
+
+class VectorClock:
+    """A mapping tid -> logical time, with join and happens-before."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: dict[int, int] | None = None) -> None:
+        self._clock: dict[int, int] = dict(clock or {})
+
+    def get(self, tid: int) -> int:
+        return self._clock.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        self._clock[tid] = self.get(tid) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        for tid, t in other._clock.items():
+            if t > self.get(tid):
+                self._clock[tid] = t
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clock)
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """self <= other componentwise (self 'is visible to' other)."""
+        return all(t <= other.get(tid) for tid, t in self._clock.items())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"t{t}:{v}" for t, v in sorted(self._clock.items()))
+        return f"VC({inner})"
+
+
+@dataclass(frozen=True)
+class Race:
+    """Two unordered conflicting accesses to one variable."""
+
+    var: str
+    first_tid: int
+    first_kind: str
+    second_tid: int
+    second_kind: str
+
+    def __str__(self) -> str:
+        return (
+            f"race on {self.var!r}: t{self.first_tid} {self.first_kind} vs "
+            f"t{self.second_tid} {self.second_kind}"
+        )
+
+
+class RaceDetector:
+    """Streaming happens-before detector over trace events."""
+
+    def __init__(self) -> None:
+        self._thread_vc: dict[int, VectorClock] = {}
+        self._lock_vc: dict[str, VectorClock] = {}
+        self._volatile_vc: dict[str, VectorClock] = {}
+        self._last_write: dict[str, tuple[int, VectorClock]] = {}
+        self._reads: dict[str, list[tuple[int, VectorClock]]] = {}
+        self.races: list[Race] = []
+
+    def _vc(self, tid: int) -> VectorClock:
+        vc = self._thread_vc.get(tid)
+        if vc is None:
+            vc = self._thread_vc[tid] = VectorClock({tid: 1})
+        return vc
+
+    def observe(self, event: TraceEvent) -> None:
+        """Advance the happens-before state by one event; record races."""
+        tid, kind, target = event.tid, event.kind, event.target
+        vc = self._vc(tid)
+
+        if kind == "lock":
+            held = self._lock_vc.get(target)
+            if held is not None:
+                vc.join(held)
+        elif kind == "unlock":
+            self._lock_vc[target] = vc.copy()
+            vc.tick(tid)
+        elif kind == "vwrite":
+            # release: publish my clock on the volatile variable
+            self._volatile_vc[target] = vc.copy()
+            vc.tick(tid)
+        elif kind == "vread":
+            # acquire: join the last volatile writer's clock
+            published = self._volatile_vc.get(target)
+            if published is not None:
+                vc.join(published)
+        elif kind == "atomic":
+            # atomic RMW: acquire (join) then release (publish) — and the
+            # access itself cannot race, by definition
+            published = self._volatile_vc.get(target)
+            if published is not None:
+                vc.join(published)
+            self._volatile_vc[target] = vc.copy()
+            vc.tick(tid)
+        elif kind == "read":
+            last_w = self._last_write.get(target)
+            if last_w is not None:
+                w_tid, w_vc = last_w
+                if w_tid != tid and not w_vc.happens_before(vc):
+                    self.races.append(Race(target, w_tid, "write", tid, "read"))
+            self._reads.setdefault(target, []).append((tid, vc.copy()))
+        elif kind == "write":
+            last_w = self._last_write.get(target)
+            if last_w is not None:
+                w_tid, w_vc = last_w
+                if w_tid != tid and not w_vc.happens_before(vc):
+                    self.races.append(Race(target, w_tid, "write", tid, "write"))
+            for r_tid, r_vc in self._reads.get(target, []):
+                if r_tid != tid and not r_vc.happens_before(vc):
+                    self.races.append(Race(target, r_tid, "read", tid, "write"))
+            self._last_write[target] = (tid, vc.copy())
+            self._reads[target] = []  # ordered reads are subsumed by this write
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")
+
+    def observe_all(self, events: Iterable[TraceEvent]) -> "RaceDetector":
+        for e in events:
+            self.observe(e)
+        return self
+
+    @property
+    def racy(self) -> bool:
+        return bool(self.races)
+
+    def racy_variables(self) -> set[str]:
+        return {r.var for r in self.races}
+
+
+def detect_races(traces: Sequence[Sequence[TraceEvent]]) -> list[Race]:
+    """Run the detector over several traces; union of distinct races.
+
+    Happens-before detection is per-trace (it only sees orderings that
+    occurred), so callers pass several sampled schedules — e.g. from
+    :func:`repro.memmodel.interpreter.random_runs` — to improve coverage.
+    """
+    seen: set[tuple] = set()
+    out: list[Race] = []
+    for trace in traces:
+        det = RaceDetector().observe_all(trace)
+        for race in det.races:
+            key = (race.var, frozenset([(race.first_tid, race.first_kind), (race.second_tid, race.second_kind)]))
+            if key not in seen:
+                seen.add(key)
+                out.append(race)
+    return out

@@ -1,0 +1,285 @@
+"""The classic teaching snippets, buggy and fixed.
+
+These are the "code snippets that demonstrate how typical parallelisation
+problems can occur" from project 8's brief, each paired with the
+documented fix and the claims the tests/benches verify:
+
+==========================  ===========================================
+snippet                      claim
+==========================  ===========================================
+lost_update                  x can end at 1 (even under SC)
+lost_update_locked           x always 2
+store_buffering              r0=r1=0 impossible under SC, possible TSO
+store_buffering_fenced       r0=r1=0 impossible again
+message_passing              stale read impossible SC/TSO, possible relaxed
+message_passing_volatile     stale read impossible everywhere
+dirty_publication            reader can see half-built object (relaxed)
+dirty_publication_volatile   reader sees all or nothing
+deadlock_abba                AB-BA lock order deadlocks
+deadlock_ordered             consistent order never deadlocks
+==========================  ===========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.memmodel.program import (
+    Program,
+    add,
+    atomic_add,
+    exit_unless,
+    fence,
+    load,
+    lock,
+    store,
+    unlock,
+    volatile_load,
+    volatile_store,
+)
+
+__all__ = ["Snippet", "SNIPPETS"]
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """A teaching program plus its pedagogical metadata.
+
+    ``buggy`` — wrong *outcomes* are possible (lost updates, stale reads,
+    deadlock).  ``racy`` — the program has a *data race* by
+    happens-before.  The two are distinct, and the distinction is itself
+    a lesson: ``store_buffering_fenced`` has correct outcomes (the fence
+    kills the reordering) yet remains formally racy — only the volatile
+    variant removes the race.
+    """
+
+    name: str
+    program: Program
+    buggy: bool
+    racy: bool
+    lesson: str
+    fix_of: str | None = None
+
+
+def _lost_update() -> Program:
+    """Two unsynchronised increments of a shared counter."""
+    inc = [load("r", "x"), add("r", 1), store("x", "r")]
+    return Program(shared={"x": 0}, threads=[inc, inc], name="lost_update")
+
+
+def _lost_update_locked() -> Program:
+    inc = [lock("m"), load("r", "x"), add("r", 1), store("x", "r"), unlock("m")]
+    return Program(shared={"x": 0}, threads=[inc, inc], name="lost_update_locked")
+
+
+def _lost_update_atomic() -> Program:
+    inc = [atomic_add("x", 1)]
+    return Program(shared={"x": 0}, threads=[inc, inc], name="lost_update_atomic")
+
+
+def _store_buffering() -> Program:
+    """Dekker's core: each thread stores its flag then reads the other's."""
+    return Program(
+        shared={"x": 0, "y": 0},
+        threads=[
+            [store("x", 1), load("r0", "y")],
+            [store("y", 1), load("r1", "x")],
+        ],
+        name="store_buffering",
+    )
+
+
+def _store_buffering_fenced() -> Program:
+    return Program(
+        shared={"x": 0, "y": 0},
+        threads=[
+            [store("x", 1), fence(), load("r0", "y")],
+            [store("y", 1), fence(), load("r1", "x")],
+        ],
+        name="store_buffering_fenced",
+    )
+
+
+def _store_buffering_volatile() -> Program:
+    return Program(
+        shared={"x": 0, "y": 0},
+        threads=[
+            [volatile_store("x", 1), volatile_load("r0", "y")],
+            [volatile_store("y", 1), volatile_load("r1", "x")],
+        ],
+        name="store_buffering_volatile",
+    )
+
+
+def _message_passing() -> Program:
+    """Producer writes data then flag; consumer reads flag then data."""
+    return Program(
+        shared={"data": 0, "flag": 0},
+        threads=[
+            [store("data", 42), store("flag", 1)],
+            [load("rf", "flag"), exit_unless("rf", 1), load("rd", "data")],
+        ],
+        name="message_passing",
+    )
+
+
+def _message_passing_volatile() -> Program:
+    return Program(
+        shared={"data": 0, "flag": 0},
+        threads=[
+            [store("data", 42), volatile_store("flag", 1)],
+            [volatile_load("rf", "flag"), exit_unless("rf", 1), load("rd", "data")],
+        ],
+        name="message_passing_volatile",
+    )
+
+
+def _dirty_publication() -> Program:
+    """Object publication: constructor writes two fields, then publishes
+    the reference; the reader may see the reference but stale fields."""
+    return Program(
+        shared={"f1": 0, "f2": 0, "ref": 0},
+        threads=[
+            [store("f1", 1), store("f2", 1), store("ref", 1)],
+            [load("rref", "ref"), exit_unless("rref", 1), load("ra", "f1"), load("rb", "f2")],
+        ],
+        name="dirty_publication",
+    )
+
+
+def _dirty_publication_volatile() -> Program:
+    return Program(
+        shared={"f1": 0, "f2": 0, "ref": 0},
+        threads=[
+            [store("f1", 1), store("f2", 1), volatile_store("ref", 1)],
+            [
+                volatile_load("rref", "ref"),
+                exit_unless("rref", 1),
+                load("ra", "f1"),
+                load("rb", "f2"),
+            ],
+        ],
+        name="dirty_publication_volatile",
+    )
+
+
+def _deadlock_abba() -> Program:
+    return Program(
+        shared={"x": 0},
+        threads=[
+            [lock("a"), lock("b"), store("x", 1), unlock("b"), unlock("a")],
+            [lock("b"), lock("a"), store("x", 2), unlock("a"), unlock("b")],
+        ],
+        name="deadlock_abba",
+    )
+
+
+def _deadlock_ordered() -> Program:
+    safe = [lock("a"), lock("b"), load("r", "x"), add("r", 1), store("x", "r"), unlock("b"), unlock("a")]
+    return Program(shared={"x": 0}, threads=[safe, safe], name="deadlock_ordered")
+
+
+SNIPPETS: dict[str, Snippet] = {
+    s.name: s
+    for s in [
+        Snippet(
+            "lost_update",
+            _lost_update(),
+            buggy=True,
+            racy=True,
+            lesson="read-modify-write without mutual exclusion loses updates",
+        ),
+        Snippet(
+            "lost_update_locked",
+            _lost_update_locked(),
+            buggy=False,
+            racy=False,
+            lesson="a lock around the whole RMW makes the counter exact",
+            fix_of="lost_update",
+        ),
+        Snippet(
+            "lost_update_atomic",
+            _lost_update_atomic(),
+            buggy=False,
+            racy=False,
+            lesson=(
+                "an atomic RMW (AtomicInteger-style) also fixes the counter - "
+                "cheaper than a lock, but only for single-variable updates"
+            ),
+            fix_of="lost_update",
+        ),
+        Snippet(
+            "store_buffering",
+            _store_buffering(),
+            buggy=True,
+            racy=True,
+            lesson="store buffers let both threads read 0 — impossible under SC",
+        ),
+        Snippet(
+            "store_buffering_fenced",
+            _store_buffering_fenced(),
+            buggy=False,
+            racy=True,
+            lesson=(
+                "a full fence restores the SC outcomes — but the program still "
+                "contains data races by happens-before; fences order, they do "
+                "not synchronise"
+            ),
+            fix_of="store_buffering",
+        ),
+        Snippet(
+            "store_buffering_volatile",
+            _store_buffering_volatile(),
+            buggy=False,
+            racy=False,
+            lesson="volatile x and y both restore SC outcomes and remove the race",
+            fix_of="store_buffering",
+        ),
+        Snippet(
+            "message_passing",
+            _message_passing(),
+            buggy=True,
+            racy=True,
+            lesson="without ordering, the consumer can see the flag but stale data",
+        ),
+        Snippet(
+            "message_passing_volatile",
+            _message_passing_volatile(),
+            buggy=False,
+            racy=False,
+            lesson="volatile flag gives release/acquire: flag seen implies data seen",
+            fix_of="message_passing",
+        ),
+        Snippet(
+            "dirty_publication",
+            _dirty_publication(),
+            buggy=True,
+            racy=True,
+            lesson="publishing a reference via a plain write can expose a half-built object",
+        ),
+        Snippet(
+            "dirty_publication_volatile",
+            _dirty_publication_volatile(),
+            buggy=False,
+            racy=False,
+            lesson="volatile publication makes construction visible-before-reference",
+            fix_of="dirty_publication",
+        ),
+        Snippet(
+            "deadlock_abba",
+            _deadlock_abba(),
+            buggy=True,
+            racy=False,
+            lesson="acquiring locks in opposite orders can deadlock",
+        ),
+        Snippet(
+            "deadlock_ordered",
+            _deadlock_ordered(),
+            buggy=False,
+            racy=False,
+            lesson="a global lock order removes the deadlock",
+            fix_of="deadlock_abba",
+        ),
+    ]
+}

@@ -1,0 +1,288 @@
+"""Interactive web pages explaining race conditions (paper §V-B).
+
+Among the course's research outcomes the paper lists "pedagogical
+contributions in the form of interactive webpages that helped explain
+typical race conditions and other parallel programming pitfalls".  This
+module regenerates that artefact: for any snippet it renders a single
+self-contained HTML file (inline CSS + vanilla JS, no network) where a
+student can step through interleavings instruction by instruction,
+watch registers/memory/store-buffers evolve, and compare the outcome
+set across memory models.
+
+The interleavings embedded in the page are produced by the same
+interpreter the tests use, so the web demo can never drift from the
+model's semantics.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+
+from repro.memmodel.interpreter import Interpreter, _initial_state, explore
+from repro.memmodel.program import Program
+from repro.memmodel.snippets import SNIPPETS, Snippet
+
+__all__ = ["render_snippet_page", "render_index", "write_demo_site"]
+
+_MODELS = ("sc", "tso", "relaxed")
+
+
+def _trace_schedule(program: Program, model: str, choose) -> list[dict]:
+    """Run one schedule, emitting a JSON-able step log for the widget."""
+    interp = Interpreter(program, model)
+    state = _initial_state(program)
+    steps: list[dict] = []
+    while True:
+        moves = list(interp.transitions(state))
+        if not moves:
+            break
+        label, state, _event = moves[choose(len(moves), steps)]
+        pcs, regs, buffers, mem, _locks = state
+        steps.append(
+            {
+                "label": label,
+                "pcs": list(pcs),
+                "regs": [dict(r) for r in regs],
+                "buffers": [[list(p) for p in b] for b in buffers],
+                "mem": dict(mem),
+            }
+        )
+        if len(steps) > 500:  # hard stop; snippets are tiny
+            break
+    return steps
+
+
+def _schedules_for(program: Program, model: str) -> dict[str, list[dict]]:
+    """A handful of named schedules: round-robin, each-thread-first."""
+    n = program.n_threads
+
+    def round_robin(k: int, steps: list[dict]) -> int:
+        return len(steps) % k if k else 0
+
+    out = {"round-robin": _trace_schedule(program, model, round_robin)}
+    for t in range(n):
+        out[f"thread-{t}-first"] = _trace_thread_first(program, model, t)
+    return out
+
+
+def _trace_thread_first(program: Program, model: str, prefer: int) -> list[dict]:
+    interp = Interpreter(program, model)
+    state = _initial_state(program)
+    steps: list[dict] = []
+    while True:
+        moves = list(interp.transitions(state))
+        if not moves:
+            break
+        preferred = [m for m in moves if m[0].startswith(f"t{prefer}:")]
+        label, state, _event = (preferred or moves)[0]
+        pcs, regs, buffers, mem, _locks = state
+        steps.append(
+            {
+                "label": label,
+                "pcs": list(pcs),
+                "regs": [dict(r) for r in regs],
+                "buffers": [[list(p) for p in b] for b in buffers],
+                "mem": dict(mem),
+            }
+        )
+        if len(steps) > 500:
+            break
+    return steps
+
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font-family: system-ui, sans-serif; margin: 2rem; max-width: 60rem; }}
+  h1 {{ font-size: 1.4rem; }}
+  .lesson {{ background: #fdf6e3; border-left: 4px solid #b58900; padding: .6rem 1rem; }}
+  .threads {{ display: flex; gap: 2rem; margin: 1rem 0; }}
+  .thread {{ border: 1px solid #ccc; border-radius: 6px; padding: .5rem 1rem; }}
+  .thread ol {{ margin: .3rem 0; padding-left: 1.4rem; }}
+  .thread li.done {{ color: #999; text-decoration: line-through; }}
+  .thread li.next {{ font-weight: bold; color: #268bd2; }}
+  table.state {{ border-collapse: collapse; margin: .6rem 0; }}
+  table.state td, table.state th {{ border: 1px solid #bbb; padding: .2rem .6rem; }}
+  .controls button {{ font-size: 1rem; margin-right: .5rem; }}
+  .outcomes {{ margin-top: 1.5rem; }}
+  .bad {{ color: #dc322f; font-weight: bold; }}
+  .ok {{ color: #859900; }}
+  .log {{ font-family: monospace; font-size: .85rem; background: #f4f4f4;
+         padding: .5rem; max-height: 10rem; overflow: auto; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<p class="lesson">{lesson}</p>
+<p><b>buggy:</b> {buggy} &nbsp; <b>racy (by happens-before):</b> {racy}</p>
+
+<h2>The program</h2>
+<div class="threads">{threads_html}</div>
+<p>initial shared memory: <code>{shared}</code></p>
+
+<h2>Step through an interleaving</h2>
+<p>
+  memory model:
+  <select id="model">{model_options}</select>
+  schedule:
+  <select id="schedule"></select>
+</p>
+<div class="controls">
+  <button id="step">step</button>
+  <button id="run">run to end</button>
+  <button id="reset">reset</button>
+</div>
+<table class="state">
+  <tr><th>virtual machine</th><th>value</th></tr>
+  <tr><td>shared memory</td><td id="mem"></td></tr>
+  <tr><td>registers</td><td id="regs"></td></tr>
+  <tr><td>store buffers</td><td id="bufs"></td></tr>
+</table>
+<div class="log" id="log"></div>
+
+<div class="outcomes">
+<h2>All possible outcomes (exhaustive)</h2>
+{outcomes_html}
+</div>
+
+<script>
+const SCHEDULES = {schedules_json};
+const PROGRAM_LENGTHS = {lengths_json};
+let cursor = 0;
+
+function currentTrace() {{
+  const model = document.getElementById('model').value;
+  const sched = document.getElementById('schedule').value;
+  return SCHEDULES[model][sched] || [];
+}}
+function refreshScheduleOptions() {{
+  const model = document.getElementById('model').value;
+  const sel = document.getElementById('schedule');
+  const keep = sel.value;
+  sel.innerHTML = '';
+  for (const name of Object.keys(SCHEDULES[model])) {{
+    const opt = document.createElement('option');
+    opt.value = name; opt.textContent = name;
+    sel.appendChild(opt);
+  }}
+  if (keep && SCHEDULES[model][keep]) sel.value = keep;
+  reset();
+}}
+function render() {{
+  const trace = currentTrace();
+  const state = cursor > 0 ? trace[cursor - 1] : null;
+  document.getElementById('mem').textContent =
+      state ? JSON.stringify(state.mem) : '(initial)';
+  document.getElementById('regs').textContent =
+      state ? JSON.stringify(state.regs) : '{{}}';
+  document.getElementById('bufs').textContent =
+      state ? JSON.stringify(state.buffers) : '[]';
+  const log = document.getElementById('log');
+  log.innerHTML = trace.slice(0, cursor).map(s => s.label).join('<br>');
+  log.scrollTop = log.scrollHeight;
+  const pcs = state ? state.pcs : PROGRAM_LENGTHS.map(() => 0);
+  document.querySelectorAll('.thread').forEach((div, t) => {{
+    div.querySelectorAll('li').forEach((li, i) => {{
+      li.className = i < pcs[t] ? 'done' : (i === pcs[t] ? 'next' : '');
+    }});
+  }});
+}}
+function step() {{
+  if (cursor < currentTrace().length) cursor++;
+  render();
+}}
+function reset() {{ cursor = 0; render(); }}
+document.getElementById('step').onclick = step;
+document.getElementById('run').onclick = () => {{ cursor = currentTrace().length; render(); }};
+document.getElementById('reset').onclick = reset;
+document.getElementById('model').onchange = refreshScheduleOptions;
+document.getElementById('schedule').onchange = reset;
+refreshScheduleOptions();
+</script>
+</body>
+</html>
+"""
+
+
+def render_snippet_page(snippet: Snippet) -> str:
+    """The full HTML for one snippet's interactive page."""
+    program = snippet.program
+
+    threads_html = "".join(
+        '<div class="thread"><b>thread {t}</b><ol>{items}</ol></div>'.format(
+            t=t,
+            items="".join(f"<li><code>{html.escape(str(ins))}</code></li>" for ins in instrs),
+        )
+        for t, instrs in enumerate(program.threads)
+    )
+
+    schedules = {model: _schedules_for(program, model) for model in _MODELS}
+    model_options = "".join(f'<option value="{m}">{m}</option>' for m in _MODELS)
+
+    outcome_blocks = []
+    for model in _MODELS:
+        result = explore(program, model)
+        items = "".join(
+            f'<li class="{"bad" if o.deadlocked else "ok"}">{html.escape(str(o))}</li>'
+            for o in sorted(result.outcomes, key=str)
+        )
+        outcome_blocks.append(
+            f"<h3>{model} ({len(result.outcomes)} outcomes)</h3><ul>{items}</ul>"
+        )
+
+    return _PAGE_TEMPLATE.format(
+        title=f"parallel pitfall: {html.escape(snippet.name)}",
+        lesson=html.escape(snippet.lesson),
+        buggy="yes" if snippet.buggy else "no",
+        racy="yes" if snippet.racy else "no",
+        threads_html=threads_html,
+        shared=html.escape(json.dumps(program.shared)),
+        model_options=model_options,
+        schedules_json=json.dumps(schedules),
+        lengths_json=json.dumps([len(t) for t in program.threads]),
+        outcomes_html="".join(outcome_blocks),
+    )
+
+
+def render_index(snippet_names: list[str]) -> str:
+    """An index page linking every generated snippet page."""
+    items = []
+    for name in snippet_names:
+        snippet = SNIPPETS[name]
+        fix = f" (fixes: {snippet.fix_of})" if snippet.fix_of else ""
+        items.append(
+            f'<li><a href="{name}.html">{html.escape(name)}</a> - '
+            f"{html.escape(snippet.lesson)}{fix}</li>"
+        )
+    body = "".join(items)
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>parallel programming pitfalls</title></head><body>"
+        "<h1>Parallel programming pitfalls, interactively</h1>"
+        "<p>Generated from the repro.memmodel snippets "
+        "(the SIV-C project 8 / SV-B pedagogical outcome).</p>"
+        f"<ul>{body}</ul></body></html>"
+    )
+
+
+def write_demo_site(out_dir: str | Path, names: list[str] | None = None) -> list[Path]:
+    """Write the pages (+ index.html) to ``out_dir``; returns paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    names = list(names if names is not None else SNIPPETS)
+    written: list[Path] = []
+    for name in names:
+        if name not in SNIPPETS:
+            raise KeyError(f"unknown snippet {name!r}; known: {sorted(SNIPPETS)}")
+        path = out / f"{name}.html"
+        path.write_text(render_snippet_page(SNIPPETS[name]), encoding="utf-8")
+        written.append(path)
+    index = out / "index.html"
+    index.write_text(render_index(names), encoding="utf-8")
+    written.append(index)
+    return written

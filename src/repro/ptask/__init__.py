@@ -1,0 +1,49 @@
+"""Parallel Task: task parallelism with dependences and GUI awareness.
+
+A Python reimplementation of the PARC lab's *Parallel Task* (Giacaman &
+Sinnen, IJPP 2013; paper §IV-B): object-oriented task parallelism in
+which methods become asynchronously executed *tasks* with
+
+* futures for results (``TaskFuture`` = :class:`repro.executor.Future`),
+* declarative **task dependences** (``depends_on=...``),
+* **multi-tasks** (one logical task expanded over a collection),
+* **interim result notification** routed to a GUI event-dispatch thread
+  (the concurrency-for-responsiveness half of the PARC distinction
+  between *concurrency* and *parallelism*),
+* asynchronous exception handlers,
+* task groups, parallel patterns, and the sequential/parallel
+  polymorphic-switch idiom reported as a student outcome (§V-B),
+* task-local storage and **task-safe collections** (project 6).
+
+Everything runs on any :class:`repro.executor.Executor`, so the same
+program text executes sequentially, on real threads, or in virtual time.
+"""
+
+from repro.ptask.groups import TaskGroup
+from repro.ptask.multitask import MultiTaskFuture
+from repro.ptask.patterns import divide_and_conquer, parallel_map, parallel_reduce, pipeline, task_farm
+from repro.ptask.runtime import ParallelTaskRuntime, TaskFunction
+from repro.ptask.seqpar import Parallelizable
+from repro.ptask.tasksafe import (
+    TaskLocal,
+    TaskSafeAccumulator,
+    TaskSafeCollector,
+    TaskSafeLock,
+)
+
+__all__ = [
+    "ParallelTaskRuntime",
+    "TaskFunction",
+    "TaskGroup",
+    "MultiTaskFuture",
+    "parallel_map",
+    "parallel_reduce",
+    "divide_and_conquer",
+    "pipeline",
+    "task_farm",
+    "Parallelizable",
+    "TaskLocal",
+    "TaskSafeLock",
+    "TaskSafeAccumulator",
+    "TaskSafeCollector",
+]

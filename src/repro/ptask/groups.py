@@ -1,0 +1,71 @@
+"""Task groups: collect related futures and wait on them as a unit."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.executor.future import Future
+
+__all__ = ["TaskGroup"]
+
+
+class TaskGroup:
+    """A mutable collection of futures treated as one unit of work.
+
+    Unlike :class:`~repro.ptask.multitask.MultiTaskFuture` (the fixed
+    result of one multi-task expansion), a group grows as a program
+    spawns related tasks — e.g. all search tasks of one query — and is
+    then joined or cancelled-by-ignoring as a unit.
+
+    >>> group = TaskGroup("query-7")
+    >>> group.add(rt.spawn(search, f))           # doctest: +SKIP
+    >>> results = group.join()                   # doctest: +SKIP
+    """
+
+    def __init__(self, name: str = "group") -> None:
+        self.name = name
+        self._futures: list[Future] = []
+
+    def add(self, future: Future) -> Future:
+        """Track ``future``; returns it for call-site chaining."""
+        self._futures.append(future)
+        return future
+
+    def extend(self, futures: Sequence[Future]) -> None:
+        self._futures.extend(futures)
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def __iter__(self) -> Iterator[Future]:
+        return iter(self._futures)
+
+    def done(self) -> bool:
+        return all(f.done() for f in self._futures)
+
+    def pending_count(self) -> int:
+        return sum(1 for f in self._futures if not f.done())
+
+    def join(self, timeout: float | None = None) -> list[Any]:
+        """Wait for every member; results in add order (first error raises)."""
+        return [f.result(timeout=timeout) for f in self._futures]
+
+    def join_settled(self) -> tuple[list[Any], list[BaseException]]:
+        """Wait for every member; split successes from failures."""
+        values: list[Any] = []
+        errors: list[BaseException] = []
+        for f in self._futures:
+            exc = f.exception()
+            if exc is None:
+                values.append(f.result())
+            else:
+                errors.append(exc)
+        return values, errors
+
+    def on_each_done(self, callback: Callable[[Future], None]) -> None:
+        """Invoke ``callback`` as each *current* member completes."""
+        for f in self._futures:
+            f.add_done_callback(callback)
+
+    def __repr__(self) -> str:
+        return f"TaskGroup({self.name!r}, {len(self)} tasks, {self.pending_count()} pending)"

@@ -1,0 +1,72 @@
+"""Multi-task futures: the aggregate handle of a ``TASK(*)`` expansion.
+
+In Parallel Task, invoking a multi-task over a collection returns a
+``TaskIDGroup`` that can be waited on as a unit.  This is the Python
+analogue: an ordered collection of sub-task futures with aggregate
+waiting, indexing and progress inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.executor.future import Future
+
+__all__ = ["MultiTaskFuture"]
+
+
+class MultiTaskFuture:
+    """Aggregate over the futures of one multi-task's sub-tasks."""
+
+    def __init__(self, futures: Sequence[Future], name: str = "multi") -> None:
+        self._futures = list(futures)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def __iter__(self) -> Iterator[Future]:
+        return iter(self._futures)
+
+    def __getitem__(self, i: int) -> Future:
+        return self._futures[i]
+
+    def done(self) -> bool:
+        return all(f.done() for f in self._futures)
+
+    def completed_count(self) -> int:
+        """How many sub-tasks have finished (progress-bar support)."""
+        return sum(1 for f in self._futures if f.done())
+
+    def results(self, timeout: float | None = None) -> list[Any]:
+        """All sub-results in item order; first failure raises."""
+        return [f.result(timeout=timeout) for f in self._futures]
+
+    def result(self, timeout: float | None = None) -> list[Any]:
+        """Alias for :meth:`results`, so a multi-task future can stand in
+        wherever a plain future is awaited."""
+        return self.results(timeout=timeout)
+
+    def exceptions(self) -> list[BaseException | None]:
+        """Per-sub-task exceptions (None where successful); blocks on all."""
+        return [f.exception() for f in self._futures]
+
+    def successful_results(self) -> list[Any]:
+        """Results of the sub-tasks that succeeded, in order; blocks on all."""
+        out = []
+        for f in self._futures:
+            if f.exception() is None:
+                out.append(f.result())
+        return out
+
+    def reduce(self, op: Any, initial: Any = None) -> Any:
+        """Fold results left-to-right with ``op`` (deterministic order)."""
+        results = self.results()
+        it = iter(results)
+        acc = initial if initial is not None else next(it)
+        for value in it:
+            acc = op(acc, value)
+        return acc
+
+    def __repr__(self) -> str:
+        return f"MultiTaskFuture({self.name!r}, {self.completed_count()}/{len(self)})"

@@ -1,0 +1,230 @@
+"""Parallel programming patterns built on Parallel Task.
+
+Section V-B of the paper reports, as a research outcome of the course,
+"the conception of parallel programming patterns using Parallel Task".
+This module is that library: the classic algorithmic skeletons expressed
+with spawn/futures/dependences, so applications state *what* is parallel
+and the pattern supplies *how*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.executor.future import Future
+from repro.ptask.runtime import ParallelTaskRuntime
+
+__all__ = ["parallel_map", "parallel_reduce", "divide_and_conquer", "pipeline", "task_farm"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    rt: ParallelTaskRuntime,
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    grain: int = 1,
+    cost_fn: Callable[[T], float] | None = None,
+    name: str = "pmap",
+) -> list[R]:
+    """Apply ``fn`` to every item in parallel; results in order.
+
+    ``grain`` items are batched per task — the granularity knob every
+    project in the course ends up sweeping.
+    """
+    if grain < 1:
+        raise ValueError(f"grain must be >= 1, got {grain}")
+    if not items:
+        return []
+
+    def run_chunk(chunk: Sequence[T]) -> list[R]:
+        return [fn(x) for x in chunk]
+
+    futures: list[Future] = []
+    for start in range(0, len(items), grain):
+        chunk = items[start : start + grain]
+        cost = sum(cost_fn(x) for x in chunk) if cost_fn else None
+        futures.append(rt.spawn(run_chunk, chunk, cost=cost, name=f"{name}[{start}]"))
+    out: list[R] = []
+    for f in futures:
+        out.extend(f.result())
+    return out
+
+
+def parallel_reduce(
+    rt: ParallelTaskRuntime,
+    op: Callable[[R, R], R],
+    items: Sequence[R],
+    *,
+    identity: R | None = None,
+    grain: int = 2,
+    cost_per_item: float | None = None,
+    name: str = "preduce",
+) -> R:
+    """Tree reduction: leaves fold ``grain`` items, internal nodes combine.
+
+    ``op`` must be associative for the result to equal the sequential
+    fold (the property tests check exactly this).
+    """
+    if grain < 1:
+        raise ValueError(f"grain must be >= 1, got {grain}")
+    if not items:
+        if identity is None:
+            raise ValueError("empty reduction needs an identity")
+        return identity
+
+    def fold_leaf(chunk: Sequence[R]) -> R:
+        it = iter(chunk)
+        acc = identity if identity is not None else next(it)
+        for x in it:
+            acc = op(acc, x)
+        return acc
+
+    level: list[Future] = []
+    for start in range(0, len(items), grain):
+        chunk = items[start : start + grain]
+        cost = cost_per_item * len(chunk) if cost_per_item is not None else None
+        level.append(rt.spawn(fold_leaf, chunk, cost=cost, name=f"{name}.leaf[{start}]"))
+
+    def combine(a: Future, b: Future) -> R:
+        return op(a.result(), b.result())
+
+    depth = 0
+    while len(level) > 1:
+        nxt: list[Future] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(
+                rt.spawn(
+                    combine,
+                    level[i],
+                    level[i + 1],
+                    cost=cost_per_item,
+                    name=f"{name}.node[{depth},{i}]",
+                    depends_on=[level[i], level[i + 1]],
+                )
+            )
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+        depth += 1
+    return level[0].result()
+
+
+def divide_and_conquer(
+    rt: ParallelTaskRuntime,
+    problem: T,
+    *,
+    is_base: Callable[[T], bool],
+    solve_base: Callable[[T], R],
+    divide: Callable[[T], Sequence[T]],
+    combine: Callable[[T, Sequence[R]], R],
+    spawn_depth: int = 6,
+    base_cost: Callable[[T], float] | None = None,
+    name: str = "dac",
+) -> R:
+    """Generic divide-and-conquer with depth-bounded task spawning.
+
+    Below ``spawn_depth`` the recursion continues sequentially inside the
+    current task — the standard cutoff technique that keeps task-creation
+    overhead from swamping fine-grained problems (quicksort's cutoff
+    sweep in the project 2 bench is this knob).
+    """
+
+    def solve(p: T, depth: int) -> R:
+        if is_base(p):
+            if base_cost is not None:
+                rt.executor.compute(base_cost(p))
+            return solve_base(p)
+        subproblems = divide(p)
+        if depth >= spawn_depth:
+            return combine(p, [solve(sp, depth + 1) for sp in subproblems])
+        futures = [
+            rt.spawn(solve, sp, depth + 1, name=f"{name}[d{depth}]") for sp in subproblems
+        ]
+        return combine(p, [f.result() for f in futures])
+
+    return solve(problem, 0)
+
+
+def pipeline(
+    rt: ParallelTaskRuntime,
+    stages: Sequence[Callable[[Any], Any]],
+    items: Sequence[Any],
+    *,
+    stage_costs: Sequence[float] | None = None,
+    name: str = "pipe",
+) -> list[Any]:
+    """Software pipeline: item *j* flows through stages 0..k in order.
+
+    Stage *i* of item *j* depends on stage *i-1* of item *j* (dataflow)
+    and stage *i* of item *j-1* (each stage is a serial station), which
+    is what makes throughput scale with the number of stages while
+    latency stays the sum of stage times.
+    """
+    if not stages:
+        raise ValueError("pipeline needs at least one stage")
+    if stage_costs is not None and len(stage_costs) != len(stages):
+        raise ValueError("stage_costs must match stages")
+    grid: list[list[Future]] = [[] for _ in range(len(stages))]
+    for j, item in enumerate(items):
+        carry: Any = item
+        for i, stage in enumerate(stages):
+            deps: list[Future] = []
+            if i > 0:
+                deps.append(grid[i - 1][j])
+            if j > 0:
+                deps.append(grid[i][j - 1])
+
+            def run(stage_fn: Callable[[Any], Any], upstream: Future | None, raw: Any) -> Any:
+                value = upstream.result() if upstream is not None else raw
+                return stage_fn(value)
+
+            upstream = grid[i - 1][j] if i > 0 else None
+            f = rt.spawn(
+                run,
+                stage,
+                upstream,
+                carry,
+                cost=stage_costs[i] if stage_costs else None,
+                name=f"{name}[s{i},i{j}]",
+                depends_on=deps,
+            )
+            grid[i].append(f)
+    return [f.result() for f in grid[-1]]
+
+
+def task_farm(
+    rt: ParallelTaskRuntime,
+    worker: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int,
+    cost_fn: Callable[[T], float] | None = None,
+    name: str = "farm",
+) -> list[R]:
+    """Fixed-size worker farm: items dealt round-robin to ``workers`` lanes.
+
+    Each lane processes its items serially (chained by dependences); the
+    lanes run in parallel.  This models a bounded worker pool inside an
+    unbounded task runtime and is the baseline the dynamic patterns are
+    compared against in the schedule-ablation bench.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    results: list[Future | None] = [None] * len(items)
+    lane_tail: list[Future | None] = [None] * workers
+    for j, item in enumerate(items):
+        lane = j % workers
+        deps = [lane_tail[lane]] if lane_tail[lane] is not None else []
+        f = rt.spawn(
+            worker,
+            item,
+            cost=cost_fn(item) if cost_fn else None,
+            name=f"{name}[w{lane},{j}]",
+            depends_on=deps,
+        )
+        lane_tail[lane] = f
+        results[j] = f
+    return [f.result() for f in results]  # type: ignore[union-attr]

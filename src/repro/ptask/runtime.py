@@ -1,0 +1,237 @@
+"""The Parallel Task runtime: spawn, dependences, notification, handlers.
+
+Mirrors the Java tool's surface in Python idiom:
+
+=============================  =========================================
+Parallel Task (Java)           this module
+=============================  =========================================
+``TASK`` method modifier       :meth:`ParallelTaskRuntime.task` decorator
+invoking a TASK method         :meth:`ParallelTaskRuntime.spawn`
+``dependsOn(...)``             ``spawn(..., depends_on=[...])``
+``TaskIDGroup`` / multi-task   :meth:`ParallelTaskRuntime.spawn_multi`
+``notify(...)`` interim slots  ``publish()`` + ``notify=`` handler
+``asyncCatch`` handlers        ``on_error=`` handler
+=============================  =========================================
+
+Notification handlers run on the GUI event-dispatch thread when the
+runtime is constructed with one (``edt=``), exactly like the Java tool's
+slot mechanism — this is what keeps GUIs responsive *and* safe, since all
+widget mutation happens on the EDT.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.executor.base import Executor
+from repro.executor.future import Future
+from repro.ptask.multitask import MultiTaskFuture
+
+__all__ = ["ParallelTaskRuntime", "TaskFunction"]
+
+
+class TaskFunction:
+    """A function wrapped by :meth:`ParallelTaskRuntime.task`.
+
+    Calling it runs synchronously (ordinary call); ``.spawn(...)`` runs
+    it as a task and returns a future — the Python analogue of invoking a
+    ``TASK`` method.
+    """
+
+    def __init__(
+        self,
+        runtime: "ParallelTaskRuntime",
+        fn: Callable[..., Any],
+        cost: float | Callable[..., float] | None = None,
+    ) -> None:
+        self._runtime = runtime
+        self._fn = fn
+        self._cost = cost
+        self.__name__ = getattr(fn, "__name__", "task")
+        self.__doc__ = fn.__doc__
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self._fn(*args, **kwargs)
+
+    def _resolve_cost(self, args: tuple, kwargs: dict) -> float | None:
+        if callable(self._cost):
+            return float(self._cost(*args, **kwargs))
+        return self._cost
+
+    def spawn(self, *args: Any, **kwargs: Any) -> Future:
+        return self._runtime.spawn(
+            self._fn, *args, cost=self._resolve_cost(args, kwargs), name=self.__name__, **kwargs
+        )
+
+    def spawn_multi(self, items: Sequence[Any], **kwargs: Any) -> MultiTaskFuture:
+        cost = self._cost if callable(self._cost) else (None if self._cost is None else lambda _i: self._cost)
+        return self._runtime.spawn_multi(self._fn, items, cost_fn=cost, name=self.__name__, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"TaskFunction({self.__name__!r})"
+
+
+class ParallelTaskRuntime:
+    """Front end over an :class:`~repro.executor.base.Executor`."""
+
+    def __init__(self, executor: Executor, edt: Any | None = None) -> None:
+        """
+        Parameters
+        ----------
+        executor:
+            Backend: inline, thread pool or simulated.
+        edt:
+            Optional event-dispatch thread (anything with
+            ``invoke_later(fn, *args)``, see :mod:`repro.gui.edt`).  When
+            set, ``notify`` and ``on_error`` handlers are dispatched to
+            it instead of running on the worker.
+        """
+        self.executor = executor
+        self.edt = edt
+        self._notify_handlers: dict[int, Callable[[Any], None]] = {}
+        self._handler_lock = threading.Lock()
+
+    # -- decorators ------------------------------------------------------------
+
+    def task(
+        self, fn: Callable[..., Any] | None = None, *, cost: float | Callable[..., float] | None = None
+    ) -> Any:
+        """Mark a function as a task: ``@rt.task`` or ``@rt.task(cost=...)``."""
+        if fn is not None:
+            return TaskFunction(self, fn)
+
+        def deco(f: Callable[..., Any]) -> TaskFunction:
+            return TaskFunction(self, f, cost=cost)
+
+        return deco
+
+    # -- spawning ---------------------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        cost: float | None = None,
+        name: str = "",
+        depends_on: Sequence[Future] = (),
+        notify: Callable[[Any], None] | None = None,
+        on_error: Callable[[BaseException], None] | None = None,
+        **kwargs: Any,
+    ) -> Future:
+        """Run ``fn`` as a task; returns its future immediately.
+
+        ``depends_on`` futures must complete (successfully) first.
+        ``notify`` receives values the task ``publish()``-es while running.
+        ``on_error`` receives the exception if the task fails — the
+        asynchronous-catch mechanism; without it, failures surface at
+        ``future.result()`` as usual.
+        """
+        if notify is None:
+            body = fn
+        else:
+            # Register the handler under the child's task id at the moment
+            # the child starts executing (we don't know the id earlier).
+            def body(*a: Any, **kw: Any) -> Any:
+                tid = self.executor.task_id()
+                with self._handler_lock:
+                    self._notify_handlers[tid] = notify
+                try:
+                    return fn(*a, **kw)
+                finally:
+                    with self._handler_lock:
+                        self._notify_handlers.pop(tid, None)
+
+        future = self.executor.submit(
+            body, *args, cost=cost, name=name or getattr(fn, "__name__", "task"), after=depends_on, **kwargs
+        )
+        if on_error is not None:
+            def route_error(f: Future) -> None:
+                exc = f.exception()
+                if exc is not None:
+                    self._dispatch(on_error, exc)
+
+            future.add_done_callback(route_error)
+        return future
+
+    def spawn_multi(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        *,
+        cost_fn: Callable[[Any], float] | None = None,
+        name: str = "",
+        depends_on: Sequence[Future] = (),
+        notify: Callable[[Any], None] | None = None,
+        on_error: Callable[[BaseException], None] | None = None,
+    ) -> MultiTaskFuture:
+        """Multi-task: ``fn(item, index)`` over each item, one sub-task each.
+
+        The Java tool's ``TASK(*)``: a single logical task expanded over a
+        collection, with one aggregate future (``TaskIDGroup``).
+        """
+        name = name or getattr(fn, "__name__", "multi")
+        arity = _accepts_index(fn)
+        futures = []
+        for i, item in enumerate(items):
+            args = (item, i) if arity else (item,)
+            futures.append(
+                self.spawn(
+                    fn,
+                    *args,
+                    cost=cost_fn(item) if cost_fn else None,
+                    name=f"{name}[{i}]",
+                    depends_on=depends_on,
+                    notify=notify,
+                    on_error=on_error,
+                )
+            )
+        return MultiTaskFuture(futures, name=name)
+
+    # -- interim results ------------------------------------------------------------
+
+    def publish(self, value: Any) -> None:
+        """Called *inside* a task: deliver an interim value to its handler.
+
+        No-op if the task was spawned without ``notify=`` (matching the
+        Java tool, where un-slotted notifications are dropped).
+        """
+        tid = self.executor.task_id()
+        with self._handler_lock:
+            handler = self._notify_handlers.get(tid)
+        if handler is not None:
+            self._dispatch(handler, value)
+
+    def _dispatch(self, handler: Callable[..., None], *args: Any) -> None:
+        if self.edt is not None:
+            self.edt.invoke_later(handler, *args)
+        else:
+            handler(*args)
+
+    # -- conveniences ---------------------------------------------------------------
+
+    def barrier_sync(self, futures: Iterable[Future]) -> list[Any]:
+        """Wait for all futures; results in order (first error raises)."""
+        return [f.result() for f in futures]
+
+    def __repr__(self) -> str:
+        return f"ParallelTaskRuntime({self.executor!r}, edt={self.edt!r})"
+
+
+def _accepts_index(fn: Callable[..., Any]) -> bool:
+    """Does ``fn`` take a second positional parameter (the item index)?"""
+    import inspect
+
+    try:
+        params = [
+            p
+            for p in inspect.signature(fn).parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+    except (TypeError, ValueError):  # builtins without signatures
+        return False
+    if any(
+        p.kind == p.VAR_POSITIONAL for p in inspect.signature(fn).parameters.values()
+    ):
+        return True
+    return len(params) >= 2

@@ -1,0 +1,82 @@
+"""The sequential/parallel polymorphic-switch idiom.
+
+Paper §V-B: "students took advantage of fundamental inheritance and
+encapsulation features of object-oriented languages, allowing the
+programmer to elegantly alternate between parallel and sequential
+functionality."  This module captures that contribution as a small
+template-method framework: an algorithm subclasses
+:class:`Parallelizable`, implements ``run_sequential`` and
+``run_parallel``, and callers pick the strategy per call site (or let a
+threshold decide).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generic, TypeVar
+
+from repro.ptask.runtime import ParallelTaskRuntime
+
+__all__ = ["Parallelizable"]
+
+In = TypeVar("In")
+Out = TypeVar("Out")
+
+
+class Parallelizable(abc.ABC, Generic[In, Out]):
+    """Template for algorithms with sequential and parallel variants.
+
+    Subclasses implement both variants; ``__call__`` dispatches:
+
+    * ``mode="sequential"`` / ``mode="parallel"`` — explicit choice;
+    * ``mode="auto"`` — parallel iff :meth:`problem_size` reaches
+      ``parallel_threshold`` (the encapsulated granularity decision).
+
+    >>> class Sum(Parallelizable[list, int]):
+    ...     def run_sequential(self, xs): return sum(xs)
+    ...     def run_parallel(self, xs):
+    ...         mid = len(xs) // 2
+    ...         left = self.runtime.spawn(sum, xs[:mid])
+    ...         return left.result() + sum(xs[mid:])
+    """
+
+    parallel_threshold: int = 1024
+
+    def __init__(self, runtime: ParallelTaskRuntime, parallel_threshold: int | None = None) -> None:
+        self.runtime = runtime
+        if parallel_threshold is not None:
+            if parallel_threshold < 0:
+                raise ValueError("parallel_threshold must be >= 0")
+            self.parallel_threshold = parallel_threshold
+
+    @abc.abstractmethod
+    def run_sequential(self, problem: In) -> Out:
+        """Solve the problem without spawning tasks."""
+
+    @abc.abstractmethod
+    def run_parallel(self, problem: In) -> Out:
+        """Solve the problem using the runtime's task parallelism."""
+
+    def problem_size(self, problem: In) -> int:
+        """Size measure for ``mode="auto"``; default is ``len``."""
+        try:
+            return len(problem)  # type: ignore[arg-type]
+        except TypeError:
+            return self.parallel_threshold  # unsized problems go parallel
+
+    def should_parallelize(self, problem: In) -> bool:
+        return self.problem_size(problem) >= self.parallel_threshold
+
+    def __call__(self, problem: In, mode: str = "auto") -> Out:
+        if mode == "sequential":
+            return self.run_sequential(problem)
+        if mode == "parallel":
+            return self.run_parallel(problem)
+        if mode == "auto":
+            if self.should_parallelize(problem):
+                return self.run_parallel(problem)
+            return self.run_sequential(problem)
+        raise ValueError(f"unknown mode {mode!r}; expected sequential/parallel/auto")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(threshold={self.parallel_threshold})"

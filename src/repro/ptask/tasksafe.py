@@ -1,0 +1,214 @@
+"""Task-safe classes: project 6 ("Task-aware libraries for Parallel Task").
+
+The project brief: in a tasking model, "using a 'thread-safe' class does
+not necessarily equate to a correct solution".  Two hazards make
+thread-keyed constructs wrong under a task runtime:
+
+1. **Sharing** — one worker thread executes many tasks over its lifetime,
+   so a *thread*-local leaks one task's state into the next task that
+   happens to land on the same worker.
+2. **Nesting** — with blocked-join helping (and with inline/simulated
+   execution), a task can run *nested inside* another task on the same
+   thread; a lock that is reentrant **by thread** then silently admits
+   the nested task into its parent's critical section.
+
+The classes here are the task-keyed counterparts: they consult
+``executor.task_id()`` instead of the OS thread identity.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Generic, Iterable, TypeVar
+
+from repro.executor.base import Executor
+
+__all__ = ["TaskLocal", "TaskSafeLock", "TaskSafeAccumulator", "TaskSafeCollector"]
+
+T = TypeVar("T")
+
+
+class TaskLocal(Generic[T]):
+    """Per-*task* storage (the task-safe counterpart of ``threading.local``).
+
+    Values are keyed by task id, so a worker thread moving on to another
+    task — or helping with a nested one — never observes a previous
+    task's value.
+    """
+
+    def __init__(self, executor: Executor, default_factory: Callable[[], T] | None = None) -> None:
+        self._executor = executor
+        self._default_factory = default_factory
+        self._values: dict[int, T] = {}
+        self._lock = threading.Lock()
+
+    def get(self) -> T:
+        tid = self._executor.task_id()
+        with self._lock:
+            if tid not in self._values:
+                if self._default_factory is None:
+                    raise LookupError(f"no task-local value set for task {tid}")
+                self._values[tid] = self._default_factory()
+            return self._values[tid]
+
+    def set(self, value: T) -> None:
+        with self._lock:
+            self._values[self._executor.task_id()] = value
+
+    def clear(self) -> None:
+        """Drop the current task's value (called at task exit if desired)."""
+        with self._lock:
+            self._values.pop(self._executor.task_id(), None)
+
+    def is_set(self) -> bool:
+        with self._lock:
+            return self._executor.task_id() in self._values
+
+    def live_tasks(self) -> int:
+        """How many distinct tasks currently hold a value (observability)."""
+        with self._lock:
+            return len(self._values)
+
+
+class TaskSafeLock:
+    """A lock reentrant by *task*, not by thread.
+
+    ``threading.RLock`` lets any code on the owning thread re-enter — so
+    a nested task (helping) walks straight into its parent's critical
+    section.  This lock records the owning *task*: the same task may
+    re-enter; a different task must wait, **even on the same thread**.
+
+    Because a nested task blocking on its parent's lock can never succeed
+    (the parent is suspended beneath it), that situation is detected and
+    raised as a deadlock error rather than hanging — which is precisely
+    the teaching point of project 6.
+    """
+
+    def __init__(self, executor: Executor, name: str = "tasklock") -> None:
+        self._executor = executor
+        self.name = name
+        self._cond = threading.Condition()
+        self._owner_task: int | None = None
+        self._owner_thread: int | None = None
+        self._depth = 0
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        """Acquire for the current task; detects same-thread nesting."""
+        tid = self._executor.task_id()
+        me = threading.get_ident()
+        with self._cond:
+            if self._owner_task == tid:
+                self._depth += 1
+                return True
+            if self._owner_task is not None and self._owner_thread == me:
+                # A *different* task on the owner's own thread: the owner is
+                # suspended beneath us and can never release. Fail fast.
+                raise RuntimeError(
+                    f"task-safe lock {self.name!r}: task {tid} is nested inside "
+                    f"owning task {self._owner_task} on the same thread - "
+                    "unavoidable deadlock (this is the thread-safe-vs-task-safe trap)"
+                )
+            if not self._cond.wait_for(lambda: self._owner_task is None, timeout=timeout):
+                return False
+            self._owner_task = tid
+            self._owner_thread = me
+            self._depth = 1
+            return True
+
+    def release(self) -> None:
+        """Release one level of the current task's hold."""
+        tid = self._executor.task_id()
+        with self._cond:
+            if self._owner_task != tid:
+                raise RuntimeError(
+                    f"task-safe lock {self.name!r}: release by task {tid}, owner is {self._owner_task}"
+                )
+            self._depth -= 1
+            if self._depth == 0:
+                self._owner_task = None
+                self._owner_thread = None
+                self._cond.notify_all()
+
+    def __enter__(self) -> "TaskSafeLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    @property
+    def owner(self) -> int | None:
+        with self._cond:
+            return self._owner_task
+
+
+class TaskSafeAccumulator:
+    """Contention-free numeric accumulation with per-task partials.
+
+    The task-safe analogue of ``LongAdder``: each task accumulates into
+    its own cell; ``value()`` folds the cells.  Correct under any
+    interleaving because no cell is ever shared between tasks, and cheap
+    because the hot path takes no contended lock.
+    """
+
+    def __init__(self, executor: Executor, initial: float = 0.0) -> None:
+        self._executor = executor
+        self._cells: dict[int, float] = {}
+        self._lock = threading.Lock()
+        self._base = initial
+
+    def add(self, delta: float) -> None:
+        tid = self._executor.task_id()
+        with self._lock:  # guards the dict shape; per-key writes are disjoint
+            self._cells[tid] = self._cells.get(tid, 0.0) + delta
+
+    def value(self) -> float:
+        with self._lock:
+            return self._base + sum(self._cells.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._cells.clear()
+            self._base = 0.0
+
+
+class TaskSafeCollector(Generic[T]):
+    """Order-deterministic parallel collection building.
+
+    Tasks append into private per-task buffers; :meth:`collect` merges
+    buffers **in task-id order**, so the result is independent of thread
+    timing — unlike appending to a shared locked list, whose order
+    changes run to run.  This is the pattern behind Pyjama's object
+    reductions and several project workloads.
+    """
+
+    def __init__(self, executor: Executor) -> None:
+        self._executor = executor
+        self._buffers: dict[int, list[T]] = {}
+        self._lock = threading.Lock()
+
+    def append(self, item: T) -> None:
+        tid = self._executor.task_id()
+        with self._lock:
+            self._buffers.setdefault(tid, []).append(item)
+
+    def extend(self, items: Iterable[T]) -> None:
+        tid = self._executor.task_id()
+        with self._lock:
+            self._buffers.setdefault(tid, []).extend(items)
+
+    def collect(self) -> list[T]:
+        """Merged contents, deterministic (task-id order, append order)."""
+        with self._lock:
+            out: list[T] = []
+            for tid in sorted(self._buffers):
+                out.extend(self._buffers[tid])
+            return out
+
+    def task_count(self) -> int:
+        with self._lock:
+            return len(self._buffers)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffers.clear()

@@ -1,0 +1,47 @@
+"""Pyjama: OpenMP-style directives for an object-oriented language.
+
+A Python reimplementation of the PARC lab's *Pyjama* (Vikas, Giacaman &
+Sinnen, Parallel Computing 2013; paper §IV-B), which brings "the OpenMP
+philosophy ... into an object-oriented paradigm to allow incremental
+parallelism on existing applications".  Where the Java tool uses
+``//#omp`` comment directives and a source-to-source compiler, this
+module exposes the same *execution model* as an explicit API:
+
+* parallel regions with teams (:meth:`Pyjama.parallel`),
+* worksharing loops with static / dynamic / guided schedules
+  (:meth:`Pyjama.parallel_for`), sections, single, master,
+* synchronisation: barrier, critical, atomic-style contributions,
+* data clauses (private / firstprivate / lastprivate helpers — and see
+  :mod:`repro.pyjama.data` for why plain ``private`` was found confusing,
+  a §V-B research outcome),
+* **reductions**, including the object reductions of project 5
+  (collection merges, user-registered operators),
+* GUI-aware directives (``gui`` / ``freeguithread``) for responsiveness.
+
+Like Parallel Task, Pyjama runs on any :class:`repro.executor.Executor`.
+"""
+
+from repro.pyjama.core import Pyjama, RegionResult, TeamContext
+from repro.pyjama.data import firstprivate, lastprivate, private
+from repro.pyjama.reduction import (
+    Reduction,
+    get_reduction,
+    list_reductions,
+    register_reduction,
+)
+from repro.pyjama.schedule import Chunk, make_chunks
+
+__all__ = [
+    "Pyjama",
+    "TeamContext",
+    "RegionResult",
+    "Reduction",
+    "register_reduction",
+    "get_reduction",
+    "list_reductions",
+    "Chunk",
+    "make_chunks",
+    "private",
+    "firstprivate",
+    "lastprivate",
+]

@@ -1,0 +1,322 @@
+"""Pyjama's execution model: teams, regions, worksharing, reductions.
+
+Scheduling model
+----------------
+Every worksharing construct first carves iterations into chunks
+(:mod:`repro.pyjama.schedule`) and then assigns chunks to ``num_threads``
+*lanes*; a lane's chunks are chained by dependences, so exactly
+``num_threads`` chunks can be in flight — the team size is honoured on
+every backend, including the virtual-time one.
+
+* ``static`` lanes come from the schedule itself (pre-partitioned);
+* ``dynamic``/``guided`` lanes are computed by the same greedy
+  rule a work queue implements — each chunk goes to the lane that frees
+  up first, in chunk order — using per-chunk cost estimates
+  (``cost_fn``, defaulting to 1 per iteration).  This makes the runs
+  deterministic while modelling exactly the load-balancing behaviour the
+  schedules are taught for.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.executor.base import Executor
+from repro.executor.future import Future
+from repro.pyjama.reduction import Reduction, get_reduction
+from repro.pyjama.schedule import Chunk, make_chunks
+
+__all__ = ["Pyjama", "TeamContext", "RegionResult"]
+
+_region_ids = itertools.count(1)
+
+
+@dataclass
+class RegionResult:
+    """Outcome of a parallel region."""
+
+    returns: list[Any]
+    reductions: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.reductions[key]
+
+
+class _RegionState:
+    """Shared state of one region's team (single claims, contributions)."""
+
+    def __init__(self, region_id: int, num_threads: int) -> None:
+        self.region_id = region_id
+        self.num_threads = num_threads
+        self.lock = threading.Lock()
+        self.single_claims: dict[str, int] = {}
+        self.contributions: dict[str, list[tuple[int, Any]]] = {}
+        self.reducers: dict[str, Reduction] = {}
+        self.counters: dict[str, int] = {}
+
+
+class TeamContext:
+    """Handed to each team member's body: its view of the region."""
+
+    def __init__(self, omp: "Pyjama", state: _RegionState, tid: int) -> None:
+        self._omp = omp
+        self._state = state
+        self.tid = tid
+        self.num_threads = state.num_threads
+
+    # -- synchronisation ---------------------------------------------------
+
+    def barrier(self, label: str = "") -> None:
+        """Team barrier; all members must call it the same number of times."""
+        self._omp.executor.barrier(
+            f"region{self._state.region_id}:{label}", parties=self.num_threads
+        )
+
+    def critical(self, name: str = "default"):
+        """Named critical section (region-scoped name)."""
+        return self._omp.executor.critical(f"region{self._state.region_id}:{name}")
+
+    def master(self) -> bool:
+        """OpenMP ``master``: true only on thread 0."""
+        return self.tid == 0
+
+    def single(self, key: str = "single") -> bool:
+        """OpenMP ``single``: true for exactly one member per key."""
+        with self._state.lock:
+            claimed = self._state.single_claims.setdefault(key, self.tid)
+        return claimed == self.tid
+
+    # -- worksharing inside a region -------------------------------------------
+
+    def for_range(self, n: int, schedule: str = "static", chunk_size: int | None = None) -> Iterator[int]:
+        """Iterations of a region-internal ``for`` assigned to this member.
+
+        ``static`` is pre-partitioned (deterministic).  ``dynamic`` pulls
+        chunks from a shared counter — genuinely dynamic on the thread
+        backend; on the sequential backends members claim chunks in
+        arrival order (values are identical either way; only who-ran-what
+        differs).
+        """
+        if schedule == "static":
+            for chunk in make_chunks(n, "static", chunk_size, self.num_threads):
+                if chunk.lane == self.tid:
+                    yield from chunk.iterations()
+            return
+        chunks = make_chunks(n, schedule, chunk_size, self.num_threads)
+        counter_key = f"for:{schedule}:{n}:{chunk_size}"
+        while True:
+            with self._state.lock:
+                i = self._state.counters.get(counter_key, 0)
+                if i >= len(chunks):
+                    return
+                self._state.counters[counter_key] = i + 1
+            yield from chunks[i].iterations()
+
+    # -- explicit tasks (OpenMP 3.0-style ``task`` directive) ---------------------------
+
+    def task(self, fn: Callable[..., Any], *args: Any, cost: float | None = None) -> Future:
+        """``#omp task``: spawn ``fn(*args)`` as a child task of this member.
+
+        Returns its future; ``taskwait`` is ``future.result()`` (or wait
+        on several).  This is the irregular-parallelism escape hatch the
+        worksharing constructs don't cover (linked lists, recursion).
+        """
+        return self._omp.executor.submit(
+            fn, *args, cost=cost, name=f"omp-task-r{self._state.region_id}-t{self.tid}"
+        )
+
+    def taskwait(self, futures: "Future | list[Future]") -> Any:
+        """``#omp taskwait``: block until the given task(s) finish."""
+        if isinstance(futures, Future):
+            return futures.result()
+        return [f.result() for f in futures]
+
+    # -- reductions -------------------------------------------------------------------
+
+    def contribute(self, key: str, value: Any, reduction: "str | Reduction" = "+") -> None:
+        """Add this member's contribution to a region-level reduction."""
+        red = get_reduction(reduction)
+        with self._state.lock:
+            existing = self._state.reducers.setdefault(key, red)
+            if existing.name != red.name:
+                raise ValueError(
+                    f"reduction key {key!r} used with {red.name!r} after {existing.name!r}"
+                )
+            self._state.contributions.setdefault(key, []).append((self.tid, value))
+
+    # -- work accounting ---------------------------------------------------------------
+
+    def compute(self, cost: float) -> None:
+        """Charge virtual work to this member (see executor cost model)."""
+        self._omp.executor.compute(cost)
+
+    def __repr__(self) -> str:
+        return f"TeamContext(tid={self.tid}/{self.num_threads})"
+
+
+class Pyjama:
+    """The directive front end; one instance per executor."""
+
+    def __init__(self, executor: Executor, num_threads: int | None = None, edt: Any | None = None) -> None:
+        self.executor = executor
+        self.default_num_threads = num_threads or executor.cores
+        self.edt = edt
+
+    def _resolve_threads(self, num_threads: int | None) -> int:
+        t = self.default_num_threads if num_threads is None else num_threads
+        if t < 1:
+            raise ValueError(f"num_threads must be >= 1, got {t}")
+        return t
+
+    # -- parallel region --------------------------------------------------------
+
+    def parallel(self, body: Callable[[TeamContext], Any], num_threads: int | None = None) -> RegionResult:
+        """``#omp parallel``: run ``body(ctx)`` on a team; join at the end.
+
+        Returns per-member return values (tid order) and any region
+        reductions contributed via :meth:`TeamContext.contribute`.
+        """
+        t = self._resolve_threads(num_threads)
+        state = _RegionState(next(_region_ids), t)
+
+        def member(tid: int) -> Any:
+            return body(TeamContext(self, state, tid))
+
+        futures = [
+            self.executor.submit(member, tid, name=f"omp-r{state.region_id}-t{tid}")
+            for tid in range(t)
+        ]
+        returns = [f.result() for f in futures]
+        reductions = {}
+        for key, pairs in state.contributions.items():
+            red = state.reducers[key]
+            ordered = [v for _tid, v in sorted(pairs, key=lambda p: p[0])]
+            reductions[key] = red.fold(ordered)
+        return RegionResult(returns=returns, reductions=reductions)
+
+    # -- combined parallel for ------------------------------------------------------
+
+    def parallel_for(
+        self,
+        items: Sequence[Any],
+        body: Callable[[Any], Any],
+        *,
+        schedule: str = "static",
+        chunk_size: int | None = None,
+        num_threads: int | None = None,
+        reduction: "str | Reduction | None" = None,
+        cost_fn: Callable[[Any], float] | None = None,
+        name: str = "omp-for",
+    ) -> Any:
+        """``#omp parallel for``: ``body(item)`` over ``items``.
+
+        With ``reduction``, per-chunk partials are combined in iteration
+        order (so non-commutative reductions like ``"list"`` preserve
+        loop order); without, the per-iteration results are returned as a
+        list in iteration order.
+        """
+        t = self._resolve_threads(num_threads)
+        n = len(items)
+        red = get_reduction(reduction)
+        chunks = make_chunks(n, schedule, chunk_size, t)
+        lanes = _assign_lanes(chunks, t, items, cost_fn)
+
+        def run_chunk(chunk: Chunk) -> Any:
+            if red is not None:
+                acc = red.identity()
+                for i in chunk.iterations():
+                    acc = red.combine(acc, body(items[i]))
+                return acc
+            return [body(items[i]) for i in chunk.iterations()]
+
+        lane_tail: list[Future | None] = [None] * t
+        futures: list[Future] = []
+        for chunk, lane in zip(chunks, lanes):
+            cost = None
+            if cost_fn is not None:
+                cost = float(sum(cost_fn(items[i]) for i in chunk.iterations()))
+            deps = [lane_tail[lane]] if lane_tail[lane] is not None else []
+            f = self.executor.submit(
+                run_chunk, chunk, cost=cost, name=f"{name}[{chunk.index}]", after=deps
+            )
+            lane_tail[lane] = f
+            futures.append(f)
+
+        if red is not None:
+            acc = red.identity()
+            for f in futures:  # chunk order == iteration order
+                acc = red.combine(acc, f.result())
+            return acc
+        out: list[Any] = []
+        for f in futures:
+            out.extend(f.result())
+        return out
+
+    # -- sections ----------------------------------------------------------------------
+
+    def sections(
+        self, section_fns: Sequence[Callable[[], Any]], num_threads: int | None = None
+    ) -> list[Any]:
+        """``#omp sections``: each function is one section; results in order."""
+        t = self._resolve_threads(num_threads)
+        lane_tail: list[Future | None] = [None] * t
+        futures = []
+        for i, fn in enumerate(section_fns):
+            lane = i % t
+            deps = [lane_tail[lane]] if lane_tail[lane] is not None else []
+            f = self.executor.submit(fn, name=f"omp-sec[{i}]", after=deps)
+            lane_tail[lane] = f
+            futures.append(f)
+        return [f.result() for f in futures]
+
+    # -- GUI-aware directives (the Pyjama speciality) -------------------------------------
+
+    def on_gui(self, fn: Callable[..., Any], *args: Any) -> None:
+        """``//#omp gui``: run ``fn`` on the EDT (asynchronously).
+
+        Pyjama's headline feature: safe widget updates from parallel code.
+        """
+        if self.edt is None:
+            raise RuntimeError("Pyjama was constructed without an EDT; pass edt=...")
+        self.edt.invoke_later(fn, *args)
+
+    def free_gui(self, fn: Callable[..., Any], *args: Any, cost: float | None = None) -> Future:
+        """``//#omp freeguithread``: push a long-running handler body off
+        the EDT onto the task pool, returning its future."""
+        return self.executor.submit(fn, *args, cost=cost, name="freeguithread")
+
+    def __repr__(self) -> str:
+        return f"Pyjama(threads={self.default_num_threads}, executor={self.executor!r})"
+
+
+def _assign_lanes(
+    chunks: Sequence[Chunk],
+    num_threads: int,
+    items: Sequence[Any],
+    cost_fn: Callable[[Any], float] | None,
+) -> list[int]:
+    """Lane (team-thread) for each chunk.
+
+    Static chunks carry their lane; dynamic/guided chunks go to the lane
+    that frees first (greedy, chunk order) — the deterministic offline
+    equivalent of a shared work queue.
+    """
+    lanes: list[int] = []
+    heap = [(0.0, lane) for lane in range(num_threads)]
+    heapq.heapify(heap)
+    for chunk in chunks:
+        if chunk.lane is not None:
+            lanes.append(chunk.lane)
+            continue
+        if cost_fn is not None:
+            cost = float(sum(cost_fn(items[i]) for i in chunk.iterations()))
+        else:
+            cost = float(len(chunk))
+        free_at, lane = heapq.heappop(heap)
+        lanes.append(lane)
+        heapq.heappush(heap, (free_at + cost, lane))
+    return lanes

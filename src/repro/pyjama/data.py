@@ -1,0 +1,100 @@
+"""Data-sharing clauses, and the lesson learned about ``private``.
+
+Paper §V-B reports a concrete research outcome from running Pyjama with
+students: "it was decided that the OpenMP ``private`` data clause was a
+source of confusion for Java developers, and it in fact diverged from
+good programming practices (e.g. not initialising variables at
+declaration and reducing variable scope)."
+
+This module therefore makes the good practice the easy path: every
+per-thread variable is *initialised at creation* —
+
+* :func:`private` takes a **factory** (each thread gets a fresh,
+  initialised value — never OpenMP's uninitialised private copy);
+* :func:`firstprivate` copies an initial value per thread;
+* :func:`lastprivate` is a cell written by iterations, whose final value
+  is the one from the logically last iteration, as in OpenMP.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from typing import Any, Callable, Generic, TypeVar
+
+__all__ = ["private", "firstprivate", "lastprivate", "PerThread", "LastPrivate"]
+
+T = TypeVar("T")
+
+
+class PerThread(Generic[T]):
+    """Per-team-thread values, created by a factory on first access."""
+
+    def __init__(self, factory: Callable[[], T]) -> None:
+        self._factory = factory
+        self._values: dict[int, T] = {}
+        self._lock = threading.Lock()
+
+    def get(self, tid: int) -> T:
+        with self._lock:
+            if tid not in self._values:
+                self._values[tid] = self._factory()
+            return self._values[tid]
+
+    def set(self, tid: int, value: T) -> None:
+        with self._lock:
+            self._values[tid] = value
+
+    def snapshot(self) -> dict[int, T]:
+        """Copy of all thread values (tid -> value), for post-region reads."""
+        with self._lock:
+            return dict(self._values)
+
+
+def private(factory: Callable[[], T]) -> PerThread[T]:
+    """A per-thread variable initialised by ``factory`` — ``private`` done
+    right: no uninitialised copies, scope explicit at the declaration."""
+    if not callable(factory):
+        raise TypeError("private() takes a factory callable, e.g. private(list)")
+    return PerThread(factory)
+
+
+def firstprivate(value: T) -> PerThread[T]:
+    """A per-thread variable starting as a (deep) copy of ``value``."""
+    return PerThread(lambda: copy.deepcopy(value))
+
+
+class LastPrivate(Generic[T]):
+    """A cell whose final value comes from the logically-last write.
+
+    Iterations call ``set(i, value)``; after the loop, :meth:`get`
+    returns the value written by the highest iteration index — matching
+    OpenMP ``lastprivate`` determinism regardless of execution order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._best_index: int | None = None
+        self._value: T | None = None
+
+    def set(self, iteration: int, value: T) -> None:
+        with self._lock:
+            if self._best_index is None or iteration >= self._best_index:
+                self._best_index = iteration
+                self._value = value
+
+    def get(self) -> T:
+        with self._lock:
+            if self._best_index is None:
+                raise LookupError("lastprivate never written")
+            return self._value  # type: ignore[return-value]
+
+    @property
+    def written(self) -> bool:
+        with self._lock:
+            return self._best_index is not None
+
+
+def lastprivate() -> LastPrivate[Any]:
+    """Create a :class:`LastPrivate` cell."""
+    return LastPrivate()

@@ -1,0 +1,170 @@
+"""The reduction registry: built-in operators and object reductions.
+
+Project 5 ("Reductions in Pyjama"): OpenMP specifies a handful of
+reductions over scalar types; an object-oriented language invites "a
+larger wealth of reductions ... on a larger amount of data types (for
+example merging collections)".  This registry holds both: the OpenMP
+scalar operators and the object reductions the students built, plus a
+registration hook for user-defined ones.
+
+Contract: ``combine`` must be associative (the property tests check
+parallel results against sequential folds); ``identity_factory`` must
+return a *fresh* identity each call, because object identities (empty
+list/set/dict) are mutable and per-chunk accumulators must not alias.
+``combine`` may mutate and return its first argument — every accumulator
+passed as ``a`` is private to the reduction machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = ["Reduction", "register_reduction", "get_reduction", "list_reductions"]
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """A named, associative combiner with an identity."""
+
+    name: str
+    combine: Callable[[Any, Any], Any]
+    identity_factory: Callable[[], Any]
+    commutative: bool = True
+    doc: str = ""
+
+    def identity(self) -> Any:
+        return self.identity_factory()
+
+    def fold(self, values: Sequence[Any]) -> Any:
+        """Sequential left fold from identity — the reference semantics."""
+        acc = self.identity()
+        for v in values:
+            acc = self.combine(acc, v)
+        return acc
+
+    def __repr__(self) -> str:
+        return f"Reduction({self.name!r})"
+
+
+_registry: dict[str, Reduction] = {}
+_registry_lock = threading.Lock()
+
+
+def register_reduction(
+    name: str,
+    combine: Callable[[Any, Any], Any],
+    identity_factory: Callable[[], Any],
+    commutative: bool = True,
+    doc: str = "",
+    overwrite: bool = False,
+) -> Reduction:
+    """Register a reduction under ``name``; returns the Reduction object."""
+    red = Reduction(
+        name=name,
+        combine=combine,
+        identity_factory=identity_factory,
+        commutative=commutative,
+        doc=doc,
+    )
+    with _registry_lock:
+        if name in _registry and not overwrite:
+            raise ValueError(f"reduction {name!r} already registered")
+        _registry[name] = red
+    return red
+
+
+def get_reduction(spec: "str | Reduction | None") -> Reduction | None:
+    """Resolve a reduction spec: a registered name, a Reduction, or None."""
+    if spec is None or isinstance(spec, Reduction):
+        return spec
+    with _registry_lock:
+        red = _registry.get(spec)
+    if red is None:
+        raise KeyError(f"unknown reduction {spec!r}; known: {sorted(_registry)}")
+    return red
+
+
+def list_reductions() -> list[str]:
+    """Names of every registered reduction, sorted."""
+    with _registry_lock:
+        return sorted(_registry)
+
+
+# -- OpenMP scalar operators ---------------------------------------------------------
+
+register_reduction("+", lambda a, b: a + b, lambda: 0, doc="sum")
+register_reduction("*", lambda a, b: a * b, lambda: 1, doc="product")
+register_reduction("min", min, lambda: float("inf"), doc="minimum")
+register_reduction("max", max, lambda: float("-inf"), doc="maximum")
+register_reduction("&", lambda a, b: a & b, lambda: ~0, doc="bitwise and")
+register_reduction("|", lambda a, b: a | b, lambda: 0, doc="bitwise or")
+register_reduction("^", lambda a, b: a ^ b, lambda: 0, doc="bitwise xor")
+register_reduction("&&", lambda a, b: bool(a) and bool(b), lambda: True, doc="logical and")
+register_reduction("||", lambda a, b: bool(a) or bool(b), lambda: False, doc="logical or")
+
+# -- object reductions (project 5) -----------------------------------------------------
+
+
+def _list_concat(a: list, b: Any) -> list:
+    if isinstance(b, list):
+        a.extend(b)
+    else:
+        a.append(b)
+    return a
+
+
+def _set_union(a: set, b: Any) -> set:
+    if isinstance(b, (set, frozenset)):
+        a |= b
+    else:
+        a.add(b)
+    return a
+
+
+def _dict_merge(a: dict, b: dict) -> dict:
+    a.update(b)
+    return a
+
+
+def _counter_merge(a: dict, b: Any) -> dict:
+    if isinstance(b, dict):
+        for k, v in b.items():
+            a[k] = a.get(k, 0) + v
+    else:
+        a[b] = a.get(b, 0) + 1
+    return a
+
+
+def _merge_sorted(a: list, b: Any) -> list:
+    import heapq
+
+    if not isinstance(b, list):
+        b = [b]
+    return list(heapq.merge(a, b))
+
+
+register_reduction(
+    "list",
+    _list_concat,
+    list,
+    commutative=False,
+    doc="list concatenation (elements or sub-lists); order = reduction order",
+)
+register_reduction("set", _set_union, set, doc="set union (elements or sub-sets)")
+register_reduction(
+    "dict",
+    _dict_merge,
+    dict,
+    commutative=False,
+    doc="dict merge; later contributions win on key conflict",
+)
+register_reduction("counter", _counter_merge, dict, doc="multiset counting / histogram merge")
+register_reduction(
+    "merge_sorted",
+    _merge_sorted,
+    list,
+    doc="sorted-list merge; input chunks must each be sorted",
+)
+register_reduction("str", lambda a, b: a + b, str, commutative=False, doc="string concatenation")

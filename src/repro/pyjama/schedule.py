@@ -1,0 +1,108 @@
+"""Loop schedules: how iterations are carved into chunks.
+
+OpenMP's three classic schedules, reproduced so the schedule-ablation
+bench can show their load-balance behaviour under skewed iteration
+costs:
+
+* ``static`` — iterations pre-partitioned into blocks dealt round-robin
+  to team threads; zero scheduling overhead, worst balance under skew;
+* ``dynamic`` — fixed-size chunks grabbed by whichever thread is free;
+* ``guided`` — exponentially shrinking chunks (large first, small last),
+  the classic overhead/balance compromise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Chunk", "make_chunks"]
+
+_SCHEDULES = ("static", "dynamic", "guided")
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous block of loop iterations.
+
+    ``lane`` is the team-thread a *static* schedule pins the chunk to;
+    dynamic/guided chunks have ``lane=None`` (any thread may take them).
+    """
+
+    index: int
+    start: int
+    stop: int
+    lane: int | None = None
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def iterations(self) -> range:
+        return range(self.start, self.stop)
+
+
+def make_chunks(
+    n: int,
+    schedule: str = "static",
+    chunk_size: int | None = None,
+    num_threads: int = 1,
+) -> list[Chunk]:
+    """Carve ``n`` iterations into chunks per the named schedule.
+
+    Mirrors OpenMP defaults: static with no chunk size gives one
+    near-equal block per thread; dynamic defaults to chunk size 1;
+    guided's chunk size is a floor on the shrinking chunks.
+    """
+    if schedule not in _SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r}; expected one of {_SCHEDULES}")
+    if n < 0:
+        raise ValueError(f"iteration count must be >= 0, got {n}")
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if n == 0:
+        return []
+
+    chunks: list[Chunk] = []
+    if schedule == "static":
+        if chunk_size is None:
+            # One block per thread, sizes differing by at most 1.
+            base, extra = divmod(n, num_threads)
+            start = 0
+            for t in range(num_threads):
+                size = base + (1 if t < extra else 0)
+                if size == 0:
+                    continue
+                chunks.append(Chunk(index=len(chunks), start=start, stop=start + size, lane=t))
+                start += size
+        else:
+            # Blocks of chunk_size dealt round-robin (static,chunk).
+            start = 0
+            i = 0
+            while start < n:
+                stop = min(start + chunk_size, n)
+                chunks.append(Chunk(index=i, start=start, stop=stop, lane=i % num_threads))
+                start = stop
+                i += 1
+    elif schedule == "dynamic":
+        size = chunk_size or 1
+        start = 0
+        i = 0
+        while start < n:
+            stop = min(start + size, n)
+            chunks.append(Chunk(index=i, start=start, stop=stop, lane=None))
+            start = stop
+            i += 1
+    else:  # guided
+        floor = chunk_size or 1
+        remaining = n
+        start = 0
+        i = 0
+        while remaining > 0:
+            size = max(floor, remaining // (2 * num_threads))
+            size = min(size, remaining)
+            chunks.append(Chunk(index=i, start=start, stop=start + size, lane=None))
+            start += size
+            remaining -= size
+            i += 1
+    return chunks

@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal, SimPy-style engine: processes are generators that yield
+*waitables* (delays, events, resource acquisitions); the simulator advances
+a virtual clock and resumes processes in a deterministic order (time, then
+FIFO sequence number).  Everything that needs virtual time in this library
+— the simulated machine executor, the GUI responsiveness probe, the fake
+network — runs on this kernel.
+
+Why a simulator at all: the paper's speedup demonstrations ran on real
+64/16/8-core PARC machines.  Under CPython's GIL (and a single-core
+container) real threads cannot reproduce those curves, so we execute the
+same task graphs in virtual time instead (see DESIGN.md §2).
+"""
+
+from repro.simkernel.core import Process, SimCancelled, SimEvent, Simulator
+from repro.simkernel.resources import Channel, Resource, SimLock, Store
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "SimEvent",
+    "SimCancelled",
+    "Resource",
+    "SimLock",
+    "Store",
+    "Channel",
+]

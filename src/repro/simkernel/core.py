@@ -1,0 +1,299 @@
+"""The simulator core: virtual clock, event heap, generator processes.
+
+Determinism contract: given the same spawn order and the same yields, a
+simulation produces the identical schedule every run.  Ties at equal
+virtual time are broken by a monotonically increasing sequence number
+(strict FIFO), never by object identity or hash order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.util.stopwatch import ManualClock
+
+__all__ = ["SimEvent", "Process", "Simulator", "SimCancelled"]
+
+
+class SimCancelled(Exception):
+    """Raised inside a process that has been cancelled."""
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    An event is *fired* at most once, with an optional value.  Firing with
+    an exception instance (``fail``) propagates that exception into every
+    waiter.  Waiting on an already-fired event resumes the waiter on the
+    next simulation step (never synchronously), which keeps resumption
+    order independent of fire/wait interleaving.
+    """
+
+    __slots__ = ("sim", "name", "_fired", "_value", "_exception", "_waiters")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._waiters: list[Process] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise RuntimeError(f"event {self.name!r} has not fired")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        self._resolve(value, None)
+
+    def fail(self, exception: BaseException) -> None:
+        self._resolve(None, exception)
+
+    def _resolve(self, value: Any, exception: BaseException | None) -> None:
+        if self._fired:
+            raise RuntimeError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        self._exception = exception
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule_resume(proc, self)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._fired:
+            self.sim._schedule_resume(proc, self)
+        else:
+            self._waiters.append(proc)
+
+    def _discard_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "fired" if self._fired else f"pending({len(self._waiters)} waiters)"
+        return f"SimEvent({self.name!r}, {state})"
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    The generator may yield:
+
+    * ``float``/``int`` — sleep that many virtual seconds;
+    * :class:`SimEvent` — wait until it fires (its value is sent back in);
+    * another :class:`Process` — wait for it to finish;
+    * ``None`` — yield the processor for one step (resume at same time).
+
+    ``return value`` from the generator becomes ``proc.result``.
+    """
+
+    __slots__ = ("sim", "name", "gen", "done", "_alive", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "proc")
+        self.gen = gen
+        self.done = SimEvent(sim, name=f"{self.name}.done")
+        self._alive = True
+        self._waiting_on: SimEvent | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        return self.done.value
+
+    def cancel(self) -> None:
+        """Cancel the process; it sees :class:`SimCancelled` at its yield."""
+        if not self._alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        self.sim._schedule_throw(self, SimCancelled())
+
+    def _step(self, send_value: Any, throw: BaseException | None) -> None:
+        if not self._alive:
+            return
+        self._waiting_on = None
+        try:
+            if throw is not None:
+                yielded = self.gen.throw(throw)
+            else:
+                yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except SimCancelled as exc:
+            self._finish(None, exc)
+            return
+        except Exception as exc:
+            self._finish(None, exc)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if yielded is None:
+            self.sim._schedule_resume(self, None)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._finish(None, ValueError(f"negative delay {yielded!r}"))
+                return
+            self.sim._at(self.sim.now + float(yielded), self, None)
+        elif isinstance(yielded, SimEvent):
+            self._waiting_on = yielded
+            yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            self._waiting_on = yielded.done
+            yielded.done._add_waiter(self)
+        else:
+            self._finish(None, TypeError(f"process {self.name!r} yielded unsupported {yielded!r}"))
+
+    def _finish(self, value: Any, exc: BaseException | None) -> None:
+        self._alive = False
+        if exc is None:
+            self.done.fire(value)
+        else:
+            self.done.fail(exc)
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r}, alive={self._alive})"
+
+
+class Simulator:
+    """Event loop owning the virtual clock.
+
+    >>> sim = Simulator()
+    >>> def hello():
+    ...     yield 2.5
+    ...     return "done"
+    >>> p = sim.spawn(hello())
+    >>> sim.run()
+    >>> sim.now, p.result
+    (2.5, 'done')
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = ManualClock(start)
+        self._heap: list[tuple[float, int, Process, Any, BaseException | None]] = []
+        self._seq = 0
+        self._step_count = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def steps(self) -> int:
+        """Number of process resumptions executed so far."""
+        return self._step_count
+
+    # -- scheduling primitives -------------------------------------------
+
+    def _at(self, t: float, proc: Process, send: Any, throw: BaseException | None = None) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, proc, send, throw))
+
+    def _schedule_resume(self, proc: Process, event: SimEvent | None) -> None:
+        send = None
+        throw: BaseException | None = None
+        if event is not None and event.fired:
+            try:
+                send = event.value
+            except BaseException as exc:  # the event failed
+                throw = exc
+        self._at(self.now, proc, send, throw)
+
+    def _schedule_throw(self, proc: Process, exc: BaseException) -> None:
+        self._at(self.now, proc, None, exc)
+
+    # -- public API -------------------------------------------------------
+
+    def spawn(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Start a generator as a process at the current time."""
+        proc = Process(self, gen, name=name)
+        self._at(self.now, proc, None)
+        return proc
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name=name)
+
+    def timeout(self, dt: float, value: Any = None, name: str = "timeout") -> SimEvent:
+        """An event that fires ``dt`` seconds from now."""
+        ev = self.event(name=name)
+
+        def fire_later() -> Generator[Any, Any, None]:
+            yield dt
+            ev.fire(value)
+
+        self.spawn(fire_later(), name=f"{name}.timer")
+        return ev
+
+    def call_at(self, t: float, fn: Callable[[], Any], name: str = "call_at") -> Process:
+        """Run a plain callable at absolute virtual time ``t``."""
+        if t < self.now:
+            raise ValueError(f"call_at in the past: now={self.now}, t={t}")
+
+        def runner() -> Generator[Any, Any, Any]:
+            yield t - self.now
+            return fn()
+
+        return self.spawn(runner(), name=name)
+
+    def all_of(self, events: Iterable[SimEvent], name: str = "all_of") -> SimEvent:
+        """An event that fires (with a list of values) once all inputs fire."""
+        events = list(events)
+        combined = self.event(name=name)
+
+        def waiter() -> Generator[Any, Any, None]:
+            values = []
+            try:
+                for ev in events:
+                    values.append((yield ev))
+            except Exception as exc:
+                combined.fail(exc)
+                return
+            combined.fire(values)
+
+        if events:
+            self.spawn(waiter(), name=f"{name}.waiter")
+        else:
+            combined.fire([])
+        return combined
+
+    def run(self, until: float | None = None, max_steps: int | None = None) -> None:
+        """Run until the heap is empty, ``until`` is reached, or step cap.
+
+        ``until`` leaves the clock exactly at ``until`` even if no event
+        lands there, so back-to-back ``run(until=...)`` calls compose.
+        """
+        while self._heap:
+            t, _seq, proc, send, throw = self._heap[0]
+            if until is not None and t > until:
+                break
+            heapq.heappop(self._heap)
+            if not proc._alive:
+                continue
+            self.clock.advance_to(t)
+            self._step_count += 1
+            if max_steps is not None and self._step_count > max_steps:
+                raise RuntimeError(f"simulation exceeded {max_steps} steps (livelock?)")
+            proc._step(send, throw)
+        if until is not None and self.now < until:
+            self.clock.advance_to(until)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self.now}, pending={len(self._heap)})"

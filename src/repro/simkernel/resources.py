@@ -1,0 +1,182 @@
+"""Resources, locks, stores and channels for simulation processes.
+
+These model contention in virtual time: a :class:`Resource` with capacity
+``c`` is the simulator-side analogue of ``c`` cores or ``c`` connection
+slots; a :class:`SimLock` is a capacity-1 resource used to model critical
+sections; :class:`Store`/:class:`Channel` model producer/consumer queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from repro.simkernel.core import SimEvent, Simulator
+
+__all__ = ["Resource", "SimLock", "Store", "Channel"]
+
+
+class Resource:
+    """Counting resource with FIFO grant order.
+
+    Usage from a process::
+
+        grant = yield res.acquire()
+        ...critical work...
+        res.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: Deque[SimEvent] = deque()
+        # observability
+        self.total_acquisitions = 0
+        self.total_wait_time = 0.0
+        self.peak_queue_len = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def acquire(self) -> SimEvent:
+        """Return an event that fires when a slot is granted."""
+        ev = self.sim.event(name=f"{self.name}.grant")
+        requested_at = self.sim.now
+
+        # Wrap firing so we can record wait time at grant.
+        def grant() -> None:
+            self.total_acquisitions += 1
+            self.total_wait_time += self.sim.now - requested_at
+            ev.fire(self)
+
+        if self._in_use < self.capacity and not self._queue:
+            self._in_use += 1
+            grant()
+        else:
+            granter = self.sim.event(name=f"{self.name}.queued")
+            self._queue.append(granter)
+            self.peak_queue_len = max(self.peak_queue_len, len(self._queue))
+
+            def waiter() -> Generator[Any, Any, None]:
+                yield granter
+                grant()
+
+            self.sim.spawn(waiter(), name=f"{self.name}.waiter")
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of {self.name!r} with nothing acquired")
+        if self._queue:
+            # Hand the slot straight to the next waiter (count stays).
+            self._queue.popleft().fire(None)
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:
+        return f"Resource({self.name!r}, {self._in_use}/{self.capacity}, queued={len(self._queue)})"
+
+
+class SimLock(Resource):
+    """Capacity-1 resource; models a mutex / critical section."""
+
+    def __init__(self, sim: Simulator, name: str = "lock") -> None:
+        super().__init__(sim, capacity=1, name=name)
+
+    @property
+    def locked(self) -> bool:
+        return self.in_use > 0
+
+
+class Store:
+    """Unbounded FIFO item store (producer/consumer buffer)."""
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+        self.total_put = 0
+        self.total_got = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self.total_put += 1
+        if self._getters:
+            self.total_got += 1
+            self._getters.popleft().fire(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        """Event firing with the next item (immediately if available)."""
+        ev = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            self.total_got += 1
+            ev.fire(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class Channel:
+    """Bounded rendezvous-ish channel: ``put`` blocks when full.
+
+    Used to model bounded work queues (e.g. the web-fetch connection
+    feeder in project 10).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "channel") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+        self._putters: Deque[tuple[SimEvent, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> SimEvent:
+        """Event firing once the item has been accepted."""
+        ev = self.sim.event(name=f"{self.name}.put")
+        if self._getters:
+            self._getters.popleft().fire(item)
+            ev.fire(None)
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.fire(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> SimEvent:
+        """Event firing with the next item."""
+        ev = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                pev, pitem = self._putters.popleft()
+                self._items.append(pitem)
+                pev.fire(None)
+            ev.fire(item)
+        elif self._putters:
+            pev, pitem = self._putters.popleft()
+            pev.fire(None)
+            ev.fire(pitem)
+        else:
+            self._getters.append(ev)
+        return ev

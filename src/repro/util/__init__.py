@@ -1,0 +1,35 @@
+"""Shared infrastructure: seeded randomness, clocks, statistics, tables.
+
+Everything in :mod:`repro` that needs randomness derives it from
+:func:`repro.util.rng.derive` so that experiments are reproducible from a
+single seed, as the benchmark harness requires.
+"""
+
+from repro.util.rng import derive, spawn_seeds
+from repro.util.stats import (
+    Summary,
+    amdahl_speedup,
+    efficiency,
+    gustafson_speedup,
+    karp_flatt,
+    speedup,
+    summarize,
+)
+from repro.util.stopwatch import ManualClock, Stopwatch, WallClock
+from repro.util.tables import Table
+
+__all__ = [
+    "derive",
+    "spawn_seeds",
+    "Summary",
+    "summarize",
+    "speedup",
+    "efficiency",
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "karp_flatt",
+    "WallClock",
+    "ManualClock",
+    "Stopwatch",
+    "Table",
+]

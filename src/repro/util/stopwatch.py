@@ -1,0 +1,105 @@
+"""Clock abstractions shared by real and simulated execution.
+
+The library runs the same code under wall-clock time (real threads) and
+virtual time (the discrete-event simulator).  Components that need "now"
+take a :class:`Clock` so they work under either regime.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "WallClock", "ManualClock", "Stopwatch"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now()`` returning seconds as ``float``."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class WallClock:
+    """Monotonic wall-clock time."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def __repr__(self) -> str:
+        return "WallClock()"
+
+
+class ManualClock:
+    """A clock advanced explicitly; the simulator owns one of these.
+
+    Time never goes backwards: :meth:`advance_to` with an earlier time
+    raises ``ValueError`` — this guards the simulator's core invariant.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance by ``dt`` seconds (must be >= 0); return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt!r}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Advance to absolute time ``t`` (must be >= now)."""
+        if t < self._now:
+            raise ValueError(f"cannot move clock backwards: now={self._now}, requested={t}")
+        self._now = float(t)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"ManualClock(now={self._now!r})"
+
+
+class Stopwatch:
+    """Accumulating stopwatch over any :class:`Clock`.
+
+    >>> clock = ManualClock()
+    >>> sw = Stopwatch(clock)
+    >>> sw.start(); _ = clock.advance(2.0); sw.stop()
+    >>> sw.elapsed
+    2.0
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock: Clock = clock if clock is not None else WallClock()
+        self.elapsed: float = 0.0
+        self._started_at: float | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = self.clock.now()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += self.clock.now() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -1,0 +1,94 @@
+"""Plain-text table rendering for benchmark reports.
+
+Benchmarks regenerate the paper's figures as text tables; this renderer is
+the single formatting path so every bench target prints a consistent,
+diff-able report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """Accumulate rows, render as an aligned ASCII (or Markdown) table.
+
+    >>> t = Table(["cores", "speedup"], title="quicksort")
+    >>> t.add_row([1, 1.0]); t.add_row([4, 3.2])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None, precision: int = 3) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.precision = precision
+        self.rows: list[list[object]] = []
+
+    def add_row(self, row: Sequence[object]) -> "Table":
+        if len(row) != len(self.columns):
+            raise ValueError(f"row has {len(row)} cells, table has {len(self.columns)} columns")
+        self.rows.append(list(row))
+        return self
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> "Table":
+        for row in rows:
+            self.add_row(row)
+        return self
+
+    def _cells(self) -> list[list[str]]:
+        return [[_fmt(c, self.precision) for c in row] for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned plain-text table (the bench report format)."""
+        cells = self._cells()
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+".join("-" * (w + 2) for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        lines.append(header)
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """The same table as GitHub-flavoured Markdown."""
+        cells = self._cells()
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in cells:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by column name (raw values)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,34 @@
+"""A miniature subversion: revisions, logs, contribution stats, hygiene.
+
+Paper §IV-A: students worked in the research group's version control;
+instructors "were able to view the development history for each group
+... powerful not only for assessment of the group as a whole, but also
+in regards to individual student contributions", and groups had to
+follow documented repository etiquette (directory hygiene, excluded
+files, Linux portability).  This package makes all of that executable:
+
+* :class:`~repro.vcs.repo.Repository` — an in-memory revisioned store
+  with commit/checkout/log;
+* :mod:`repro.vcs.stats` — per-author contribution reports (the
+  individual-assessment signal);
+* :mod:`repro.vcs.hygiene` — the PARC protocol checks as code.
+"""
+
+from repro.vcs.blame import BlameLine, annotate, blame_summary
+from repro.vcs.hygiene import HygieneReport, Violation, check_hygiene
+from repro.vcs.repo import Repository, Revision
+from repro.vcs.stats import AuthorStats, contribution_report, contribution_shares
+
+__all__ = [
+    "Repository",
+    "Revision",
+    "BlameLine",
+    "annotate",
+    "blame_summary",
+    "AuthorStats",
+    "contribution_report",
+    "contribution_shares",
+    "check_hygiene",
+    "HygieneReport",
+    "Violation",
+]

@@ -1,0 +1,89 @@
+"""Line-level provenance: ``svn blame`` for the mini repository.
+
+Instructors assessing individual contributions need more than commit
+counts — *who wrote the lines that survived* is the better signal.
+``annotate`` replays a path's history, carrying per-line attribution
+through each revision with a diff (``difflib.SequenceMatcher``): lines
+in ``equal`` blocks keep their original author; inserted or replaced
+lines belong to the revision that introduced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from difflib import SequenceMatcher
+
+from repro.vcs.repo import Repository
+
+__all__ = ["BlameLine", "annotate", "blame_summary"]
+
+
+@dataclass(frozen=True)
+class BlameLine:
+    """One annotated line of the file at the requested revision."""
+
+    line_no: int  # 1-based
+    text: str
+    author: str
+    revision: int
+
+    def __str__(self) -> str:
+        return f"{self.revision:>5} {self.author:>12} | {self.text}"
+
+
+def _split_lines(content: str) -> list[str]:
+    if content == "":
+        return []
+    lines = content.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # trailing newline does not make an extra line
+    return lines
+
+
+def annotate(repo: Repository, path: str, rev: int | None = None) -> list[BlameLine]:
+    """Per-line attribution of ``path`` at revision ``rev`` (default HEAD).
+
+    Raises ``KeyError`` if the path does not exist at that revision.
+    """
+    if rev is None:
+        rev = repo.head
+    repo.cat(path, rev)  # raises KeyError if absent at rev
+
+    annotated: list[tuple[str, str, int]] = []  # (text, author, revision)
+    for revision in repo.revisions():
+        if revision.number > rev:
+            break
+        change = dict(revision.changes).get(path, _MISSING)
+        if change is _MISSING:
+            continue
+        if change is None:  # deleted; may be re-added later
+            annotated = []
+            continue
+        new_lines = _split_lines(change)
+        old_lines = [t for t, _a, _r in annotated]
+        matcher = SequenceMatcher(a=old_lines, b=new_lines, autojunk=False)
+        next_annotated: list[tuple[str, str, int]] = []
+        for op, i1, i2, j1, j2 in matcher.get_opcodes():
+            if op == "equal":
+                next_annotated.extend(annotated[i1:i2])
+            elif op in ("replace", "insert"):
+                for j in range(j1, j2):
+                    next_annotated.append((new_lines[j], revision.author, revision.number))
+            # 'delete': contributes nothing
+        annotated = next_annotated
+
+    return [
+        BlameLine(line_no=i + 1, text=text, author=author, revision=revision)
+        for i, (text, author, revision) in enumerate(annotated)
+    ]
+
+
+_MISSING = object()
+
+
+def blame_summary(repo: Repository, path: str, rev: int | None = None) -> dict[str, int]:
+    """Surviving-line counts per author — the assessment-grade signal."""
+    counts: dict[str, int] = {}
+    for line in annotate(repo, path, rev):
+        counts[line.author] = counts.get(line.author, 0) + 1
+    return counts

@@ -1,0 +1,123 @@
+"""The PARC repository protocol, as executable checks.
+
+Paper §IV-A: "students were provided with documentation regarding good
+hygiene in the directory structure for their project.  This included
+information such as separating their source code from tests and
+benchmarks, what files to exclude from the subversion server, and so
+on", plus the rule that all committed code works on Linux ("taking minor
+differences such as file separators and new lines into consideration").
+
+Each rule is a checker producing :class:`Violation` records; the
+semester simulation grades repositories with these, and student-facing
+CI would run them per commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+__all__ = ["Violation", "HygieneReport", "check_hygiene", "RULES"]
+
+#: artefacts that must never be committed
+_EXCLUDED_SUFFIXES = (".class", ".o", ".so", ".pyc", ".jar", ".log", ".tmp")
+_EXCLUDED_NAMES = (".DS_Store", "Thumbs.db")
+_EXCLUDED_DIRS = ("bin", "build", "out", "target", ".idea", "__pycache__")
+
+_TOP_LEVEL_EXPECTED = ("src", "tests", "benchmarks")
+
+
+@dataclass(frozen=True)
+class Violation:
+    rule: str
+    path: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.path}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class HygieneReport:
+    violations: tuple[Violation, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def by_rule(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.rule] = out.get(v.rule, 0) + 1
+        return out
+
+    def __str__(self) -> str:
+        if self.clean:
+            return "hygiene: clean"
+        return "hygiene: " + "; ".join(f"{r}={n}" for r, n in sorted(self.by_rule().items()))
+
+
+def _check_excluded_artifacts(tree: Mapping[str, str]) -> list[Violation]:
+    out = []
+    for path in tree:
+        parts = path.split("/")
+        name = parts[-1]
+        if name in _EXCLUDED_NAMES or any(name.endswith(s) for s in _EXCLUDED_SUFFIXES):
+            out.append(Violation("excluded-artifact", path, "build artefact / junk file committed"))
+        elif any(d in _EXCLUDED_DIRS for d in parts[:-1]):
+            out.append(Violation("excluded-artifact", path, "file inside an excluded directory"))
+    return out
+
+
+def _check_structure(tree: Mapping[str, str]) -> list[Violation]:
+    """Source must live under src/, tests under tests/, benches under
+    benchmarks/ — 'separating source code from tests and benchmarks'."""
+    out = []
+    code_ext = (".py", ".java", ".c", ".cpp", ".rs")
+    for path in tree:
+        parts = path.split("/")
+        if len(parts) == 1 and path.endswith(code_ext):
+            out.append(Violation("structure", path, "code at the repository root; use src/"))
+            continue
+        top = parts[0]
+        name = parts[-1].lower()
+        is_test = name.startswith("test") or name.endswith(tuple(f"test{e}" for e in code_ext))
+        is_bench = "bench" in name
+        if is_test and top not in ("tests", "test"):
+            out.append(Violation("structure", path, "test file outside tests/"))
+        elif is_bench and top != "benchmarks":
+            out.append(Violation("structure", path, "benchmark outside benchmarks/"))
+    return out
+
+
+def _check_portability(tree: Mapping[str, str]) -> list[Violation]:
+    """Committed code must run on the Linux PARC systems."""
+    out = []
+    for path, content in tree.items():
+        if "\r\n" in content:
+            out.append(Violation("portability", path, "CRLF line endings"))
+        if "\\\\" in content or ":\\" in content:
+            out.append(Violation("portability", path, "Windows-style path separator in source"))
+    return out
+
+
+def _check_readme(tree: Mapping[str, str]) -> list[Violation]:
+    if not any(p.lower() in ("readme", "readme.md", "readme.txt") for p in tree):
+        return [Violation("readme", "README.md", "project has no README")]
+    return []
+
+
+RULES: dict[str, Callable[[Mapping[str, str]], list[Violation]]] = {
+    "excluded-artifact": _check_excluded_artifacts,
+    "structure": _check_structure,
+    "portability": _check_portability,
+    "readme": _check_readme,
+}
+
+
+def check_hygiene(tree: Mapping[str, str]) -> HygieneReport:
+    """Run every PARC protocol rule over a checked-out tree."""
+    violations: list[Violation] = []
+    for rule in RULES.values():
+        violations.extend(rule(tree))
+    return HygieneReport(violations=tuple(sorted(violations, key=lambda v: (v.rule, v.path))))

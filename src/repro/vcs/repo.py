@@ -1,0 +1,160 @@
+"""The revision store.
+
+Semantics follow subversion's shape at the scale the course needs:
+monotonically numbered revisions, each recording author, message,
+timestamp and a set of path changes (new content, or ``None`` for a
+deletion).  ``checkout(rev)`` reconstructs the full tree at a revision;
+``log`` filters history by path prefix and author.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = ["Revision", "Repository"]
+
+
+@dataclass(frozen=True)
+class Revision:
+    """One committed change set."""
+
+    number: int
+    author: str
+    message: str
+    timestamp: float
+    changes: tuple[tuple[str, str | None], ...]  # path -> content (None = delete)
+
+    @property
+    def paths(self) -> tuple[str, ...]:
+        return tuple(p for p, _ in self.changes)
+
+    def __str__(self) -> str:
+        return f"r{self.number} | {self.author} | {self.message} ({len(self.changes)} paths)"
+
+
+def _validate_path(path: str) -> None:
+    if not path or path.startswith("/") or path.endswith("/"):
+        raise ValueError(f"invalid path {path!r}: must be relative, non-empty")
+    if "\\" in path:
+        raise ValueError(f"invalid path {path!r}: use forward slashes (PARC runs Linux)")
+    if ".." in path.split("/"):
+        raise ValueError(f"invalid path {path!r}: no parent traversal")
+
+
+class Repository:
+    """An in-memory repository; thread-safe (commits serialise)."""
+
+    def __init__(self, name: str = "repo") -> None:
+        self.name = name
+        self._revisions: list[Revision] = []
+        self._lock = threading.Lock()
+
+    @property
+    def head(self) -> int:
+        """The latest revision number (0 = empty repository)."""
+        with self._lock:
+            return len(self._revisions)
+
+    def commit(
+        self,
+        author: str,
+        message: str,
+        changes: Mapping[str, str | None],
+        timestamp: float | None = None,
+    ) -> Revision:
+        """Record a change set; returns the new revision.
+
+        ``changes`` maps path to new full content, or ``None`` to delete.
+        Deleting a path that does not exist at HEAD is an error (matching
+        svn's behaviour of refusing bogus deletes).
+        """
+        if not changes:
+            raise ValueError("empty commit")
+        if not author:
+            raise ValueError("commit needs an author")
+        for path in changes:
+            _validate_path(path)
+        with self._lock:
+            current = self._tree_at(len(self._revisions))
+            for path, content in changes.items():
+                if content is None and path not in current:
+                    raise ValueError(f"cannot delete nonexistent path {path!r}")
+            number = len(self._revisions) + 1
+            ts = timestamp if timestamp is not None else float(number)
+            if self._revisions and ts < self._revisions[-1].timestamp:
+                raise ValueError(
+                    f"timestamp {ts} precedes previous revision "
+                    f"({self._revisions[-1].timestamp})"
+                )
+            rev = Revision(
+                number=number,
+                author=author,
+                message=message,
+                timestamp=ts,
+                changes=tuple(sorted(changes.items())),
+            )
+            self._revisions.append(rev)
+            return rev
+
+    def _tree_at(self, rev: int) -> dict[str, str]:
+        tree: dict[str, str] = {}
+        for revision in self._revisions[:rev]:
+            for path, content in revision.changes:
+                if content is None:
+                    tree.pop(path, None)
+                else:
+                    tree[path] = content
+        return tree
+
+    def checkout(self, rev: int | None = None) -> dict[str, str]:
+        """Full tree (path -> content) at ``rev`` (default HEAD)."""
+        with self._lock:
+            if rev is None:
+                rev = len(self._revisions)
+            if not 0 <= rev <= len(self._revisions):
+                raise ValueError(f"revision {rev} out of range (head is {len(self._revisions)})")
+            return self._tree_at(rev)
+
+    def cat(self, path: str, rev: int | None = None) -> str:
+        """Content of one path at a revision; KeyError if absent."""
+        tree = self.checkout(rev)
+        if path not in tree:
+            raise KeyError(f"{path!r} not in repository at r{rev if rev is not None else self.head}")
+        return tree[path]
+
+    def log(
+        self,
+        path_prefix: str | None = None,
+        author: str | None = None,
+    ) -> list[Revision]:
+        """Revisions newest-first, filtered like ``svn log``."""
+        with self._lock:
+            revisions = list(self._revisions)
+        out = []
+        for rev in reversed(revisions):
+            if author is not None and rev.author != author:
+                continue
+            if path_prefix is not None and not any(
+                p == path_prefix or p.startswith(path_prefix.rstrip("/") + "/")
+                for p in rev.paths
+            ):
+                continue
+            out.append(rev)
+        return out
+
+    def revisions(self) -> Iterator[Revision]:
+        """All revisions oldest-first."""
+        with self._lock:
+            return iter(list(self._revisions))
+
+    def authors(self) -> set[str]:
+        with self._lock:
+            return {r.author for r in self._revisions}
+
+    def __len__(self) -> int:
+        return self.head
+
+    def __repr__(self) -> str:
+        return f"Repository({self.name!r}, head=r{self.head})"

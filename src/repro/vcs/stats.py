@@ -1,0 +1,80 @@
+"""Per-author contribution statistics from the revision history.
+
+This is the instructors' individual-assessment signal (§III-C: "subversion
+logs were assessed to gauge individual member contributions").  Line
+deltas are computed against the previous revision's content, so moving or
+rewriting counts realistically rather than by commit count alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vcs.repo import Repository
+
+__all__ = ["AuthorStats", "contribution_report"]
+
+
+@dataclass
+class AuthorStats:
+    author: str
+    commits: int = 0
+    lines_added: int = 0
+    lines_removed: int = 0
+    paths_touched: set[str] = field(default_factory=set)
+
+    @property
+    def net_lines(self) -> int:
+        return self.lines_added - self.lines_removed
+
+    @property
+    def churn(self) -> int:
+        return self.lines_added + self.lines_removed
+
+    def __str__(self) -> str:
+        return (
+            f"{self.author}: {self.commits} commits, +{self.lines_added}/-{self.lines_removed} "
+            f"lines, {len(self.paths_touched)} paths"
+        )
+
+
+def _line_count(content: str | None) -> int:
+    if not content:
+        return 0
+    return content.count("\n") + (0 if content.endswith("\n") else 1)
+
+
+def contribution_report(repo: Repository) -> dict[str, AuthorStats]:
+    """Stats per author over the whole history."""
+    stats: dict[str, AuthorStats] = {}
+    tree: dict[str, str] = {}
+    for rev in repo.revisions():
+        s = stats.setdefault(rev.author, AuthorStats(author=rev.author))
+        s.commits += 1
+        for path, content in rev.changes:
+            before = _line_count(tree.get(path))
+            after = _line_count(content)
+            if content is None:
+                s.lines_removed += before
+                tree.pop(path, None)
+            else:
+                if after >= before:
+                    s.lines_added += after - before
+                else:
+                    s.lines_removed += before - after
+                tree[path] = content
+            s.paths_touched.add(path)
+    return stats
+
+
+def contribution_shares(repo: Repository) -> dict[str, float]:
+    """Each author's share of total churn (the fairness signal).
+
+    Returns an empty dict for an empty repository; shares sum to 1
+    otherwise (authors with zero churn get a zero share).
+    """
+    stats = contribution_report(repo)
+    total = sum(s.churn for s in stats.values())
+    if total == 0:
+        return {a: 0.0 for a in stats}
+    return {a: s.churn / total for a, s in stats.items()}

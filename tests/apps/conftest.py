@@ -1,0 +1,27 @@
+"""Shared app-test fixtures."""
+
+import pytest
+
+from repro.executor import InlineExecutor, SimExecutor, WorkStealingPool
+from repro.machine import MachineSpec
+
+
+def sim_machine(cores=4):
+    return MachineSpec(name=f"sim{cores}", cores=cores, dispatch_overhead=0.0)
+
+
+@pytest.fixture(params=["inline", "sim", "threads"])
+def executor(request):
+    if request.param == "inline":
+        yield InlineExecutor()
+    elif request.param == "sim":
+        yield SimExecutor(sim_machine())
+    else:
+        pool = WorkStealingPool(workers=4, name="apps-test")
+        yield pool
+        pool.shutdown()
+
+
+@pytest.fixture
+def sim_executor():
+    return SimExecutor(sim_machine())

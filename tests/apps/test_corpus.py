@@ -1,0 +1,108 @@
+"""Tests for the synthetic corpus generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_image_folder, make_pdf_corpus, make_text_corpus, make_website
+
+
+class TestImageFolder:
+    def test_count_and_names(self):
+        images = make_image_folder(10, seed=1)
+        assert len(images) == 10
+        assert len({img.name for img in images}) == 10
+
+    def test_deterministic(self):
+        a = make_image_folder(5, seed=2)
+        b = make_image_folder(5, seed=2)
+        assert all(np.array_equal(x.pixels, y.pixels) for x, y in zip(a, b))
+
+    def test_seed_changes_content(self):
+        a = make_image_folder(3, seed=1)[0]
+        b = make_image_folder(3, seed=2)[0]
+        assert a.pixels.shape != b.pixels.shape or not np.array_equal(a.pixels, b.pixels)
+
+    def test_sizes_within_bounds(self):
+        for img in make_image_folder(30, seed=3, min_side=16, max_side=64):
+            assert img.width >= 16 and img.height >= 16
+
+    def test_sizes_are_skewed(self):
+        """Mixed sizes: the biggest image dominates the mean (skew)."""
+        images = make_image_folder(50, seed=4, min_side=16, max_side=128)
+        pixels = sorted(img.n_pixels for img in images)
+        assert pixels[-1] > 4 * pixels[len(pixels) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_image_folder(-1)
+        with pytest.raises(ValueError):
+            make_image_folder(1, min_side=10, max_side=5)
+
+
+class TestTextCorpus:
+    def test_structure(self):
+        corpus = make_text_corpus(20, seed=1)
+        assert len(corpus.files) == 20
+        assert corpus.total_lines > 0
+        assert all(f.path.endswith(".txt") for f in corpus.files)
+
+    def test_needle_planted_count_matches(self):
+        corpus = make_text_corpus(30, seed=2, hit_rate=0.05)
+        actual = sum(
+            1 for f in corpus.files for line in f.lines if corpus.needle in line
+        )
+        assert actual >= corpus.planted  # planted is a lower bound (random words could collide)
+        assert corpus.planted > 0
+
+    def test_subfolder_paths(self):
+        corpus = make_text_corpus(20, seed=3, subfolders=2)
+        subs = {f.path.split("/")[0] for f in corpus.files}
+        assert subs <= {"sub0", "sub1"}
+
+    def test_hit_rate_validation(self):
+        with pytest.raises(ValueError):
+            make_text_corpus(1, hit_rate=2.0)
+
+    def test_deterministic(self):
+        a = make_text_corpus(5, seed=9)
+        b = make_text_corpus(5, seed=9)
+        assert a == b
+
+
+class TestPdfCorpus:
+    def test_structure(self):
+        corpus = make_pdf_corpus(10, seed=1)
+        assert len(corpus.documents) == 10
+        assert corpus.total_pages == sum(d.n_pages for d in corpus.documents)
+
+    def test_page_counts_skewed(self):
+        corpus = make_pdf_corpus(30, seed=2, pages_per_doc=(2, 100))
+        counts = sorted(d.n_pages for d in corpus.documents)
+        assert counts[-1] > 5 * max(1, counts[len(counts) // 2])
+
+    def test_query_planted(self):
+        corpus = make_pdf_corpus(10, seed=3, hit_rate=0.05)
+        actual = sum(
+            line.count(corpus.query)
+            for d in corpus.documents
+            for page in d.pages
+            for line in page
+        )
+        assert actual >= corpus.planted > 0
+
+
+class TestWebsite:
+    def test_structure(self):
+        site = make_website(25, seed=1)
+        assert len(site.pages) == 25
+        assert site.total_bytes == sum(p.size_bytes for p in site.pages)
+        assert len({p.url for p in site.pages}) == 25
+
+    def test_latency_and_size_ranges(self):
+        site = make_website(40, seed=2, latency_range=(0.1, 0.2), size_range=(100, 200))
+        for p in site.pages:
+            assert 0.1 <= p.server_latency <= 0.2
+            assert 100 <= p.size_bytes <= 200
+
+    def test_deterministic(self):
+        assert make_website(5, seed=7) == make_website(5, seed=7)

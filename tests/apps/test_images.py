@@ -1,0 +1,88 @@
+"""Tests for project 1: thumbnail rendering."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_image_folder
+from repro.apps.corpus import SyntheticImage
+from repro.apps.images import STRATEGIES, ThumbnailRenderer, scale_image, scaling_cost
+from repro.executor import SimExecutor
+from repro.machine import MachineSpec
+
+
+class TestScaleImage:
+    def test_downscale_dimensions(self):
+        img = SyntheticImage("a", np.ones((100, 200)))
+        thumb = scale_image(img, 50)
+        assert max(thumb.width, thumb.height) == 50
+        assert thumb.width == 50 and thumb.height == 25
+
+    def test_mean_preserved_exactly_for_uniform(self):
+        img = SyntheticImage("a", np.full((64, 64), 0.7))
+        thumb = scale_image(img, 16)
+        assert thumb.checksum == pytest.approx(0.7)
+
+    def test_mean_approximately_preserved(self):
+        rng = np.random.default_rng(0)
+        img = SyntheticImage("a", rng.random((96, 128)))
+        thumb = scale_image(img, 32)
+        assert thumb.checksum == pytest.approx(float(img.pixels.mean()), abs=0.02)
+
+    def test_no_upscale(self):
+        img = SyntheticImage("a", np.ones((10, 10)))
+        thumb = scale_image(img, 64)
+        assert (thumb.width, thumb.height) == (10, 10)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            scale_image(SyntheticImage("a", np.ones((4, 4))), 0)
+
+    def test_cost_proportional_to_pixels(self):
+        small = SyntheticImage("s", np.ones((10, 10)))
+        big = SyntheticImage("b", np.ones((100, 100)))
+        assert scaling_cost(big) == pytest.approx(100 * scaling_cost(small))
+
+
+class TestThumbnailRenderer:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_all_strategies_same_results(self, executor, strategy):
+        images = make_image_folder(8, seed=1, max_side=48)
+        renderer = ThumbnailRenderer(executor, target_side=16)
+        thumbs = renderer.render(images, strategy=strategy)
+        assert [t.name for t in thumbs] == [img.name for img in images]
+        reference = [scale_image(img, 16) for img in images]
+        assert thumbs == reference
+
+    def test_unknown_strategy(self, executor):
+        with pytest.raises(ValueError):
+            ThumbnailRenderer(executor).render([], strategy="quantum")
+
+    def test_interim_callback_fires_per_image(self, executor):
+        images = make_image_folder(6, seed=2, max_side=32)
+        seen = []
+        renderer = ThumbnailRenderer(executor, target_side=8, on_thumbnail=seen.append)
+        renderer.render(images, strategy="ptask")
+        assert sorted(t.name for t in seen) == sorted(img.name for img in images)
+
+    def test_parallel_speedup_shape(self):
+        """The project's performance claim: more cores, faster rendering."""
+        images = make_image_folder(24, seed=3, max_side=96)
+
+        def time_on(cores, strategy):
+            ex = SimExecutor(MachineSpec(name="m", cores=cores, dispatch_overhead=0.0))
+            ThumbnailRenderer(ex, target_side=16).render(images, strategy=strategy)
+            return ex.elapsed()
+
+        t_seq = time_on(4, "sequential")
+        t_par = time_on(4, "ptask")
+        assert t_par < t_seq / 2  # real parallel win on 4 cores
+        assert time_on(8, "ptask") < t_par  # scales further
+
+    def test_farm_respects_worker_cap(self):
+        images = make_image_folder(16, seed=4, min_side=32, max_side=32)
+        ex = SimExecutor(MachineSpec(name="m", cores=8, dispatch_overhead=0.0))
+        ThumbnailRenderer(ex, target_side=8).render(images, strategy="farm", workers=2)
+        t2 = ex.elapsed()
+        ex8 = SimExecutor(MachineSpec(name="m", cores=8, dispatch_overhead=0.0))
+        ThumbnailRenderer(ex8, target_side=8).render(images, strategy="farm", workers=8)
+        assert ex8.elapsed() < t2

@@ -1,0 +1,201 @@
+"""Tests for project 3: computational kernels (FFT, matmul, MD, graphs, linalg)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import (
+    LJSystem,
+    bfs_levels,
+    bfs_levels_parallel,
+    fft,
+    fft_parallel,
+    jacobi,
+    jacobi_parallel,
+    matmul_blocked,
+    matmul_parallel,
+    md_step,
+    md_step_parallel,
+    pagerank,
+    pagerank_parallel,
+)
+from repro.apps.kernels.fft import fft_cost
+from repro.apps.kernels.graphs import random_graph
+from repro.apps.kernels.linalg import diagonally_dominant_system
+from repro.executor import InlineExecutor, SimExecutor
+from repro.machine import MachineSpec
+from repro.pyjama import Pyjama
+from repro.util.rng import derive
+
+
+def sim_omp(cores=4):
+    return Pyjama(
+        SimExecutor(MachineSpec(name=f"m{cores}", cores=cores, dispatch_overhead=0.0)),
+        num_threads=cores,
+    )
+
+
+class TestFFT:
+    def test_matches_numpy(self):
+        rng = derive(0, "fft-test")
+        x = rng.random(64) + 1j * rng.random(64)
+        assert np.allclose(fft(x), np.fft.fft(x))
+
+    def test_parallel_matches_numpy(self, executor):
+        rng = derive(1, "fft-test")
+        x = rng.random(32) + 1j * rng.random(32)
+        omp = Pyjama(executor, num_threads=4)
+        assert np.allclose(fft_parallel(x, omp), np.fft.fft(x))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            fft(np.ones(12))
+        with pytest.raises(ValueError):
+            fft(np.array([]))
+
+    def test_impulse(self):
+        x = np.zeros(16, dtype=complex)
+        x[0] = 1.0
+        assert np.allclose(fft(x), np.ones(16))
+
+    def test_parallel_speedup_shape(self):
+        rng = derive(2, "fft-test")
+        x = rng.random(256)
+
+        def elapsed(cores):
+            omp = sim_omp(cores)
+            fft_parallel(x, omp, schedule="dynamic")
+            return omp.executor.elapsed()
+
+        assert elapsed(8) < elapsed(1)
+
+    def test_cost_model(self):
+        assert fft_cost(8) == pytest.approx(3 * 4 * 2e-7)
+        assert fft_cost(1) == 0.0
+
+
+class TestMatmul:
+    def test_blocked_matches_numpy(self):
+        rng = derive(3, "mm")
+        a, b = rng.random((37, 23)), rng.random((23, 41))
+        assert np.allclose(matmul_blocked(a, b, block=8), a @ b)
+
+    def test_parallel_matches_numpy(self, executor):
+        rng = derive(4, "mm")
+        a, b = rng.random((24, 24)), rng.random((24, 24))
+        omp = Pyjama(executor, num_threads=4)
+        assert np.allclose(matmul_parallel(a, b, omp, block=8), a @ b)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            matmul_blocked(np.ones((2, 3)), np.ones((4, 2)))
+
+    def test_parallel_speedup_shape(self):
+        rng = derive(5, "mm")
+        a, b = rng.random((64, 64)), rng.random((64, 64))
+
+        def elapsed(cores):
+            omp = sim_omp(cores)
+            matmul_parallel(a, b, omp, block=8)
+            return omp.executor.elapsed()
+
+        assert elapsed(8) < elapsed(1) / 4
+
+
+class TestMD:
+    def test_parallel_matches_sequential(self, executor):
+        sys_a = LJSystem.random(20, seed=1)
+        sys_b = LJSystem.random(20, seed=1)
+        e_seq = md_step(sys_a)
+        omp = Pyjama(executor, num_threads=4)
+        e_par = md_step_parallel(sys_b, omp)
+        assert e_par == pytest.approx(e_seq, rel=1e-9)
+        assert np.allclose(sys_a.positions, sys_b.positions)
+        assert np.allclose(sys_a.velocities, sys_b.velocities)
+
+    def test_energy_finite_and_forces_move_particles(self):
+        system = LJSystem.random(10, seed=2)
+        before = system.positions.copy()
+        energy = md_step(system)
+        assert np.isfinite(energy)
+        assert not np.allclose(system.positions, before)
+
+    def test_positions_stay_in_box(self):
+        system = LJSystem.random(15, seed=3, box=5.0)
+        for _ in range(3):
+            md_step(system)
+        assert np.all(system.positions >= 0)
+        assert np.all(system.positions < 5.0)
+
+    def test_parallel_speedup_shape(self):
+        def elapsed(cores):
+            omp = sim_omp(cores)
+            md_step_parallel(LJSystem.random(32, seed=4), omp, schedule="static")
+            return omp.executor.elapsed()
+
+        assert elapsed(8) < elapsed(1) / 4
+
+
+class TestGraphs:
+    def test_bfs_parallel_matches_sequential(self, executor):
+        adj = random_graph(60, avg_degree=4, seed=1)
+        omp = Pyjama(executor, num_threads=4)
+        assert bfs_levels_parallel(adj, 0, omp) == bfs_levels(adj, 0)
+
+    def test_bfs_levels_are_shortest_paths(self):
+        adj = {0: [1, 2], 1: [0, 3], 2: [0, 3], 3: [1, 2, 4], 4: [3]}
+        levels = bfs_levels(adj, 0)
+        assert levels == {0: 0, 1: 1, 2: 1, 3: 2, 4: 3}
+
+    def test_bfs_unknown_source(self):
+        with pytest.raises(KeyError):
+            bfs_levels({0: []}, 5)
+
+    def test_pagerank_parallel_matches_sequential(self, executor):
+        adj = random_graph(40, avg_degree=5, seed=2)
+        omp = Pyjama(executor, num_threads=4)
+        seq = pagerank(adj)
+        par = pagerank_parallel(adj, omp)
+        for node in adj:
+            assert par[node] == pytest.approx(seq[node], rel=1e-6)
+
+    def test_pagerank_sums_to_one(self):
+        adj = random_graph(30, avg_degree=4, seed=3)
+        ranks = pagerank(adj)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pagerank_matches_networkx(self):
+        import networkx as nx
+
+        adj = random_graph(25, avg_degree=4, seed=4)
+        g = nx.Graph((u, v) for u, vs in adj.items() for v in vs)
+        g.add_nodes_from(adj)
+        reference = nx.pagerank(g, alpha=0.85, tol=1e-10)
+        mine = pagerank(adj, tol=1e-12, max_iters=500)
+        for node in adj:
+            assert mine[node] == pytest.approx(reference[node], abs=1e-5)
+
+
+class TestJacobi:
+    def test_solves_system(self):
+        a, b = diagonally_dominant_system(20, seed=1)
+        x, iters = jacobi(a, b, tol=1e-12)
+        assert np.allclose(a @ x, b, atol=1e-8)
+        assert iters < 500
+
+    def test_parallel_matches_sequential(self, executor):
+        a, b = diagonally_dominant_system(24, seed=2)
+        omp = Pyjama(executor, num_threads=4)
+        x_seq, it_seq = jacobi(a, b, tol=1e-12)
+        x_par, it_par = jacobi_parallel(a, b, omp, tol=1e-12, block=8)
+        assert it_par == it_seq
+        assert np.allclose(x_par, x_seq)
+
+    def test_parallel_speedup_shape(self):
+        a, b = diagonally_dominant_system(64, seed=3)
+
+        def elapsed(cores):
+            omp = sim_omp(cores)
+            jacobi_parallel(a, b, omp, tol=1e-10, block=4)
+            return omp.executor.elapsed()
+
+        assert elapsed(8) < elapsed(1) / 3

@@ -1,0 +1,77 @@
+"""Tests for project 4: folder text search with streaming results."""
+
+import pytest
+
+from repro.apps import make_text_corpus
+from repro.apps.corpus import TextFile
+from repro.apps.textsearch import FolderSearch, Match, search_file
+from repro.executor import SimExecutor
+from repro.machine import MachineSpec
+
+
+class TestSearchFile:
+    def test_finds_lines(self):
+        f = TextFile(path="a.txt", lines=("no hit", "the needle here", "needle again"))
+        hits = search_file(f, "needle")
+        assert [h.line_no for h in hits] == [2, 3]
+        assert hits[0].path == "a.txt"
+
+    def test_regex(self):
+        f = TextFile(path="a.txt", lines=("abc123", "xyz", "a9"))
+        hits = search_file(f, r"[a-z]\d+", regex=True)
+        assert [h.line_no for h in hits] == [1, 3]
+
+    def test_no_hits(self):
+        f = TextFile(path="a.txt", lines=("x", "y"))
+        assert search_file(f, "zebra") == []
+
+    def test_match_str_is_grep_like(self):
+        m = Match(path="dir/f.txt", line_no=3, line="hello")
+        assert str(m) == "dir/f.txt:3: hello"
+
+
+class TestFolderSearch:
+    def test_finds_all_planted(self, executor):
+        corpus = make_text_corpus(15, seed=1, hit_rate=0.05)
+        results = FolderSearch(executor).search(corpus)
+        assert len(results) >= corpus.planted > 0
+        assert all(corpus.needle in m.line for m in results)
+
+    def test_results_in_file_then_line_order(self, executor):
+        corpus = make_text_corpus(10, seed=2, hit_rate=0.1)
+        results = FolderSearch(executor).search(corpus)
+        file_order = {f.path: i for i, f in enumerate(corpus.files)}
+        keys = [(file_order[m.path], m.line_no) for m in results]
+        assert keys == sorted(keys)
+
+    def test_streaming_callback_sees_every_match(self, executor):
+        corpus = make_text_corpus(10, seed=3, hit_rate=0.08)
+        streamed = []
+        searcher = FolderSearch(executor, on_match=streamed.append)
+        results = searcher.search(corpus)
+        assert sorted(str(m) for m in streamed) == sorted(str(m) for m in results)
+
+    def test_regex_search(self, executor):
+        corpus = make_text_corpus(5, seed=4)
+        results = FolderSearch(executor).search(corpus, pattern=r"need.e", regex=True)
+        assert all("needle" in m.line for m in results)
+
+    def test_matches_sequential_grep(self, executor):
+        corpus = make_text_corpus(8, seed=5, hit_rate=0.05)
+        expected = [
+            Match(f.path, i + 1, line)
+            for f in corpus.files
+            for i, line in enumerate(f.lines)
+            if corpus.needle in line
+        ]
+        assert FolderSearch(executor).search(corpus) == expected
+
+    def test_parallel_speedup_shape(self):
+        corpus = make_text_corpus(40, seed=6)
+
+        def elapsed(cores):
+            ex = SimExecutor(MachineSpec(name="m", cores=cores, dispatch_overhead=0.0))
+            FolderSearch(ex).search(corpus)
+            return ex.elapsed()
+
+        assert elapsed(8) < elapsed(1) / 3

@@ -1,0 +1,82 @@
+"""Tests for project 10: concurrent web access."""
+
+import pytest
+
+from repro.apps import make_website
+from repro.apps.webfetch import fetch_all, optimal_connections, sweep_connections
+
+
+class TestFetchAll:
+    def test_validation(self):
+        site = make_website(3, seed=1)
+        with pytest.raises(ValueError):
+            fetch_all(site, 0)
+
+    def test_empty_site_rejected(self):
+        from repro.apps.corpus import WebSite
+
+        with pytest.raises(ValueError):
+            fetch_all(WebSite(pages=(), bandwidth_bytes_per_s=1e6), 2)
+
+    def test_report_accounting(self):
+        site = make_website(10, seed=2)
+        report = fetch_all(site, 4)
+        assert report.n_pages == 10
+        assert report.total_bytes == site.total_bytes
+        assert report.makespan > 0
+        assert report.throughput_bytes_per_s > 0
+
+    def test_deterministic(self):
+        site = make_website(8, seed=3)
+        assert fetch_all(site, 3).makespan == fetch_all(site, 3).makespan
+
+    def test_serial_lower_bound(self):
+        """One connection pays every latency in sequence."""
+        site = make_website(10, seed=4)
+        r1 = fetch_all(site, 1)
+        min_time = sum(p.server_latency for p in site.pages) + site.total_bytes / site.bandwidth_bytes_per_s
+        assert r1.makespan >= min_time * 0.99
+
+    def test_bandwidth_floor(self):
+        """No concurrency can beat the shared-downlink transfer time."""
+        site = make_website(10, seed=5)
+        floor = site.total_bytes / site.bandwidth_bytes_per_s
+        for k in (1, 4, 16):
+            assert fetch_all(site, k).makespan >= floor * 0.99
+
+
+class TestProjectShapes:
+    """Project 10's question: how many connections should be opened?"""
+
+    def test_more_connections_hide_latency(self):
+        # latency-dominated site: huge latencies, tiny pages
+        site = make_website(32, seed=6, latency_range=(0.5, 1.0), size_range=(1000, 2000))
+        r1 = fetch_all(site, 1)
+        r8 = fetch_all(site, 8)
+        r32 = fetch_all(site, 32)
+        assert r8.makespan < r1.makespan / 4
+        assert r32.makespan <= r8.makespan
+
+    def test_bandwidth_bound_plateaus(self):
+        # bandwidth-dominated: tiny latencies, big pages
+        site = make_website(
+            32, seed=7, latency_range=(0.001, 0.002), size_range=(400_000, 600_000),
+            bandwidth_bytes_per_s=1_000_000,
+        )
+        r1 = fetch_all(site, 1)
+        r4 = fetch_all(site, 4)
+        r32 = fetch_all(site, 32)
+        # barely any win available: the downlink is the bottleneck
+        assert r4.makespan > r1.makespan * 0.9
+        assert r32.makespan > r1.makespan * 0.9
+
+    def test_sweep_and_optimum(self):
+        site = make_website(24, seed=8, latency_range=(0.2, 0.4))
+        reports = sweep_connections(site, [1, 2, 4, 8, 16])
+        assert [r.connections for r in reports] == [1, 2, 4, 8, 16]
+        best = optimal_connections(reports)
+        assert best > 1  # concurrency always helps a latency-laden site
+
+    def test_optimal_connections_empty_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_connections([])

@@ -1,0 +1,66 @@
+"""Tests for the experiment registry and the registered experiment set."""
+
+import pytest
+
+import repro.bench as bench
+from repro.bench.harness import Experiment, ExperimentResult, register
+from repro.util.tables import Table
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        ids = {e.exp_id for e in bench.all_experiments()}
+        expected = {
+            "fig1", "fig2", "tab_systems", "tab_assess", "tab_alloc", "tab_likert", "sem",
+            "proj1", "proj2", "proj3", "proj4", "proj5",
+            "proj6", "proj7", "proj8", "proj9", "proj10",
+            "abl_sched", "abl_policy", "abl_amdahl",
+        }
+        assert expected <= ids
+
+    def test_every_experiment_has_paper_ref_and_title(self):
+        for exp in bench.all_experiments():
+            assert exp.paper_ref
+            assert exp.title
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            bench.get_experiment("nope")
+
+    def test_duplicate_registration_rejected(self):
+        @register("test-dup-xyz", "t", "ref")
+        def _exp():
+            return ExperimentResult(exp_id="test-dup-xyz", tables=())
+
+        with pytest.raises(ValueError, match="already registered"):
+            register("test-dup-xyz", "t2", "ref2")(lambda: None)
+
+    def test_mismatched_result_id_rejected(self):
+        @register("test-mismatch-xyz", "t", "ref")
+        def _exp():
+            return ExperimentResult(exp_id="other", tables=())
+
+        with pytest.raises(ValueError, match="tagged"):
+            _exp()
+
+
+class TestExperimentResult:
+    def test_render_contains_tables_and_notes(self):
+        t = Table(["a"], title="T")
+        t.add_row([1])
+        result = ExperimentResult(exp_id="x", tables=(t,), notes="hello")
+        out = result.render()
+        assert "experiment x" in out
+        assert "T" in out
+        assert "notes: hello" in out
+
+    def test_topics_bench_mapping_is_real(self):
+        """Every topic's declared bench target file actually exists."""
+        from pathlib import Path
+
+        from repro.course import TOPICS
+
+        root = Path(__file__).parent.parent.parent
+        for topic in TOPICS:
+            assert (root / topic.bench).exists(), topic.bench
+            assert __import__("importlib").import_module(topic.module), topic.module

@@ -1,0 +1,129 @@
+"""Tests for atomic variables."""
+
+import threading
+
+import pytest
+
+from repro.concurrentlib import AtomicBoolean, AtomicInteger, AtomicReference
+
+
+class TestAtomicInteger:
+    def test_initial_and_get(self):
+        assert AtomicInteger().get() == 0
+        assert AtomicInteger(5).get() == 5
+
+    def test_increment_family(self):
+        a = AtomicInteger(10)
+        assert a.get_and_increment() == 10
+        assert a.get() == 11
+        assert a.increment_and_get() == 12
+
+    def test_add_family(self):
+        a = AtomicInteger()
+        assert a.get_and_add(5) == 0
+        assert a.add_and_get(5) == 10
+
+    def test_cas_success_and_failure(self):
+        a = AtomicInteger(7)
+        assert a.compare_and_set(7, 8) is True
+        assert a.compare_and_set(7, 9) is False
+        assert a.get() == 8
+        assert a.cas_failures == 1
+
+    def test_update_and_get(self):
+        a = AtomicInteger(3)
+        assert a.update_and_get(lambda v: v * v) == 9
+
+    def test_int_conversion(self):
+        assert int(AtomicInteger(42)) == 42
+
+    def test_no_lost_updates_under_threads(self):
+        a = AtomicInteger()
+        n_threads, per_thread = 8, 500
+
+        def bump():
+            for _ in range(per_thread):
+                a.increment_and_get()
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert a.get() == n_threads * per_thread
+
+    def test_unique_tickets_via_get_and_increment(self):
+        """get_and_increment hands out each value exactly once."""
+        a = AtomicInteger()
+        seen = []
+        lock = threading.Lock()
+
+        def taker():
+            got = [a.get_and_increment() for _ in range(100)]
+            with lock:
+                seen.extend(got)
+
+        threads = [threading.Thread(target=taker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(seen) == list(range(400))
+
+
+class TestAtomicBoolean:
+    def test_default_false(self):
+        assert AtomicBoolean().get() is False
+
+    def test_one_shot_latch(self):
+        """Exactly one thread wins compare_and_set(False, True)."""
+        latch = AtomicBoolean()
+        winners = []
+        lock = threading.Lock()
+
+        def attempt(i):
+            if latch.compare_and_set(False, True):
+                with lock:
+                    winners.append(i)
+
+        threads = [threading.Thread(target=attempt, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(winners) == 1
+
+    def test_get_and_set(self):
+        b = AtomicBoolean(True)
+        assert b.get_and_set(False) is True
+        assert b.get() is False
+
+    def test_bool_conversion(self):
+        assert bool(AtomicBoolean(True)) is True
+
+
+class TestAtomicReference:
+    def test_get_set(self):
+        r = AtomicReference("a")
+        assert r.get() == "a"
+        r.set("b")
+        assert r.get() == "b"
+
+    def test_cas(self):
+        r = AtomicReference("x")
+        assert r.compare_and_set("x", "y") is True
+        assert r.compare_and_set("x", "z") is False
+        assert r.get() == "y"
+
+    def test_cas_none_expected(self):
+        r = AtomicReference()
+        assert r.compare_and_set(None, "first") is True
+        assert r.get() == "first"
+
+    def test_get_and_set(self):
+        r = AtomicReference(1)
+        assert r.get_and_set(2) == 1
+
+    def test_update_and_get(self):
+        r = AtomicReference([1])
+        assert r.update_and_get(lambda v: v + [2]) == [1, 2]

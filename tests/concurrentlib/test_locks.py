@@ -1,0 +1,173 @@
+"""Tests for lock primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrentlib import FairLock, ReadWriteLock, UnfairLock
+
+
+class TestUnfairLock:
+    def test_mutual_exclusion(self):
+        lock = UnfairLock()
+        state = {"v": 0}
+
+        def bump():
+            for _ in range(200):
+                with lock:
+                    state["v"] += 1
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert state["v"] == 800
+        assert lock.acquisitions == 800
+
+    def test_timeout(self):
+        lock = UnfairLock()
+        lock.acquire()
+        assert lock.acquire(timeout=0.01) is False
+        lock.release()
+
+    def test_locked(self):
+        lock = UnfairLock()
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+
+
+class TestFairLock:
+    def test_mutual_exclusion(self):
+        lock = FairLock()
+        inside = {"n": 0, "max": 0}
+
+        def enter():
+            with lock:
+                inside["n"] += 1
+                inside["max"] = max(inside["max"], inside["n"])
+                inside["n"] -= 1
+
+        threads = [threading.Thread(target=enter) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert inside["max"] == 1
+
+    def test_fifo_grant_order(self):
+        """Tickets are served strictly in request order."""
+        lock = FairLock()
+        lock.acquire()  # hold so the others queue up
+        started = []
+        go = threading.Barrier(5)
+
+        def contender(i):
+            go.wait(timeout=5)
+            time.sleep(i * 0.02)  # stagger request order deterministically
+            started.append(i)
+            with lock:
+                pass
+
+        threads = [threading.Thread(target=contender, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        go.wait(timeout=5)
+        time.sleep(0.3)  # let all four request in staggered order
+        lock.release()
+        for t in threads:
+            t.join()
+        # grant_log[0] is the main thread's ticket 0; the rest follow FIFO
+        assert lock.grant_log == sorted(lock.grant_log)
+
+    def test_timeout_returns_false(self):
+        lock = FairLock()
+        lock.acquire()
+        t0 = time.monotonic()
+        assert lock.acquire(timeout=0.05) is False
+        assert time.monotonic() - t0 < 1.0
+        lock.release()
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        rw = ReadWriteLock()
+        n_readers = 4
+        entered = threading.Barrier(n_readers, action=lambda: None)
+
+        def reader():
+            with rw.read():
+                entered.wait(timeout=5)  # all inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(n_readers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rw.max_concurrent_readers == n_readers
+
+    def test_writer_exclusive(self):
+        rw = ReadWriteLock()
+        log = []
+
+        def writer(i):
+            with rw.write():
+                log.append(("start", i))
+                time.sleep(0.01)
+                log.append(("end", i))
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # writes never interleave: starts and ends strictly alternate
+        for a, b in zip(log[::2], log[1::2]):
+            assert a[0] == "start" and b[0] == "end" and a[1] == b[1]
+
+    def test_writer_blocks_reader(self):
+        rw = ReadWriteLock()
+        rw.acquire_write()
+        assert rw.acquire_read(timeout=0.05) is False
+        rw.release_write()
+        assert rw.acquire_read(timeout=1.0) is True
+        rw.release_read()
+
+    def test_reader_blocks_writer(self):
+        rw = ReadWriteLock()
+        rw.acquire_read()
+        assert rw.acquire_write(timeout=0.05) is False
+        rw.release_read()
+        assert rw.acquire_write(timeout=1.0) is True
+        rw.release_write()
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: a queued writer gates later readers."""
+        rw = ReadWriteLock()
+        rw.acquire_read()
+        writer_started = threading.Event()
+        writer_done = threading.Event()
+
+        def writer():
+            writer_started.set()
+            rw.acquire_write(timeout=5)
+            rw.release_write()
+            writer_done.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        writer_started.wait(timeout=5)
+        time.sleep(0.05)  # writer is now waiting
+        assert rw.acquire_read(timeout=0.05) is False  # gated by waiting writer
+        rw.release_read()  # writer proceeds
+        assert writer_done.wait(timeout=5)
+        t.join()
+
+    def test_release_without_hold_rejected(self):
+        rw = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            rw.release_read()
+        with pytest.raises(RuntimeError):
+            rw.release_write()

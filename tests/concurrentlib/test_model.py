@@ -1,0 +1,76 @@
+"""Tests for the contention model (project 9's performance substrate)."""
+
+import pytest
+
+from repro.concurrentlib.model import MODELS, run_collection_workload
+from repro.executor import InlineExecutor, SimExecutor
+from repro.machine import MachineSpec
+
+
+def sim(cores=8):
+    return SimExecutor(MachineSpec(name=f"m{cores}", cores=cores, dispatch_overhead=0.0))
+
+
+def makespan(model_name, read_fraction, tasks=8, ops=100):
+    ex = sim()
+    run_collection_workload(
+        ex,
+        MODELS[model_name],
+        tasks=tasks,
+        ops_per_task=ops,
+        read_fraction=read_fraction,
+        seed=7,
+    )
+    return ex.elapsed()
+
+
+class TestWorkloadMechanics:
+    def test_counts_add_up(self):
+        ex = InlineExecutor()
+        result = run_collection_workload(ex, MODELS["synchronized"], tasks=4, ops_per_task=50)
+        assert result.reads + result.writes == 200
+
+    def test_read_fraction_respected_roughly(self):
+        ex = InlineExecutor()
+        result = run_collection_workload(
+            ex, MODELS["synchronized"], tasks=8, ops_per_task=200, read_fraction=0.9
+        )
+        frac = result.reads / (result.reads + result.writes)
+        assert 0.85 < frac < 0.95
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            run_collection_workload(InlineExecutor(), MODELS["cow"], read_fraction=1.5)
+
+    def test_deterministic(self):
+        assert makespan("striped-16", 0.5) == makespan("striped-16", 0.5)
+
+    def test_all_models_run(self):
+        for name in MODELS:
+            ex = InlineExecutor()
+            run_collection_workload(ex, MODELS[name], tasks=2, ops_per_task=10)
+
+
+class TestPaperShapes:
+    """The comparisons project 9 reports: who wins under which mix."""
+
+    def test_striping_beats_global_lock_under_writes(self):
+        assert makespan("striped-16", 0.0) < makespan("synchronized", 0.0)
+
+    def test_more_stripes_help(self):
+        assert makespan("striped-16", 0.0) <= makespan("striped-4", 0.0) + 1e-9
+
+    def test_cow_wins_read_mostly(self):
+        assert makespan("cow", 1.0) < makespan("synchronized", 1.0)
+
+    def test_cow_loses_write_heavy(self):
+        assert makespan("cow", 0.0) > makespan("striped-16", 0.0)
+
+    def test_rwlock_near_free_for_pure_reads(self):
+        assert makespan("rwlock", 1.0) < makespan("synchronized", 1.0)
+
+    def test_synchronized_serialises_completely(self):
+        """With a global lock, 8 tasks take ~8x one task's time."""
+        one = makespan("synchronized", 0.5, tasks=1)
+        eight = makespan("synchronized", 0.5, tasks=8)
+        assert eight > 6 * one

@@ -1,0 +1,147 @@
+"""Tests for blocking and concurrent queues."""
+
+import threading
+
+import pytest
+
+from repro.concurrentlib import ArrayBlockingQueue, ConcurrentLinkedQueue
+
+
+class TestArrayBlockingQueue:
+    def test_fifo(self):
+        q = ArrayBlockingQueue(10)
+        for i in range(5):
+            q.put(i)
+        assert [q.take() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ArrayBlockingQueue(0)
+
+    def test_put_blocks_when_full(self):
+        q = ArrayBlockingQueue(1)
+        q.put("a")
+        assert q.put("b", timeout=0.02) is False
+
+    def test_take_blocks_when_empty(self):
+        q = ArrayBlockingQueue(1)
+        with pytest.raises(TimeoutError):
+            q.take(timeout=0.02)
+
+    def test_offer_poll_nonblocking(self):
+        q = ArrayBlockingQueue(1)
+        assert q.offer("x") is True
+        assert q.offer("y") is False
+        assert q.poll() == "x"
+        assert q.poll() is None
+
+    def test_len_and_remaining(self):
+        q = ArrayBlockingQueue(3)
+        q.put(1)
+        assert len(q) == 1
+        assert q.remaining_capacity() == 2
+
+    def test_producer_consumer_handoff(self):
+        q = ArrayBlockingQueue(4)
+        n = 200
+        got = []
+
+        def producer():
+            for i in range(n):
+                q.put(i, timeout=5)
+
+        def consumer():
+            for _ in range(n):
+                got.append(q.take(timeout=5))
+
+        threads = [threading.Thread(target=producer), threading.Thread(target=consumer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert got == list(range(n))
+
+    def test_none_is_a_valid_item(self):
+        q = ArrayBlockingQueue(1)
+        q.put(None)
+        assert q.take(timeout=1) is None
+
+
+class TestConcurrentLinkedQueue:
+    def test_fifo(self):
+        q = ConcurrentLinkedQueue()
+        for i in range(5):
+            q.offer(i)
+        assert [q.poll() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_poll_empty_returns_none(self):
+        assert ConcurrentLinkedQueue().poll() is None
+
+    def test_peek(self):
+        q = ConcurrentLinkedQueue([1, 2])
+        assert q.peek() == 1
+        assert q.poll() == 1  # peek did not consume
+
+    def test_none_rejected(self):
+        with pytest.raises(ValueError):
+            ConcurrentLinkedQueue().offer(None)
+
+    def test_len_and_is_empty(self):
+        q = ConcurrentLinkedQueue()
+        assert q.is_empty()
+        q.offer("x")
+        assert len(q) == 1
+
+    def test_init_from_iterable(self):
+        q = ConcurrentLinkedQueue("abc")
+        assert q.drain() == ["a", "b", "c"]
+
+    def test_concurrent_producers_consumers_no_loss(self):
+        q = ConcurrentLinkedQueue()
+        n_producers, per_producer = 4, 300
+        consumed = []
+        consumed_lock = threading.Lock()
+        done_producing = threading.Event()
+
+        def producer(pid):
+            for i in range(per_producer):
+                q.offer((pid, i))
+
+        def consumer():
+            while True:
+                item = q.poll()
+                if item is not None:
+                    with consumed_lock:
+                        consumed.append(item)
+                elif done_producing.is_set() and q.is_empty():
+                    return
+
+        producers = [threading.Thread(target=producer, args=(p,)) for p in range(n_producers)]
+        consumers = [threading.Thread(target=consumer) for _ in range(3)]
+        for t in consumers + producers:
+            t.start()
+        for t in producers:
+            t.join()
+        done_producing.set()
+        for t in consumers:
+            t.join()
+        assert len(consumed) == n_producers * per_producer
+        assert len(set(consumed)) == len(consumed)  # no duplicates
+
+    def test_per_producer_order_preserved(self):
+        """FIFO per producer survives concurrency (queue-level guarantee)."""
+        q = ConcurrentLinkedQueue()
+
+        def producer(pid):
+            for i in range(100):
+                q.offer((pid, i))
+
+        threads = [threading.Thread(target=producer, args=(p,)) for p in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        drained = q.drain()
+        for pid in range(3):
+            mine = [i for p, i in drained if p == pid]
+            assert mine == sorted(mine)

@@ -1,0 +1,62 @@
+"""Stress-harness runs over every real collection class."""
+
+import pytest
+
+from repro.concurrentlib import (
+    ConcurrentHashSet,
+    ConcurrentLinkedQueue,
+    CopyOnWriteArrayList,
+    StripedHashMap,
+    SynchronizedDict,
+    SynchronizedList,
+    SynchronizedSet,
+)
+from repro.concurrentlib.stress import stress_list, stress_map, stress_queue, stress_set
+
+
+class TestMapsUnderStress:
+    @pytest.mark.parametrize("make", [SynchronizedDict, lambda: StripedHashMap(stripes=8)])
+    def test_no_lost_updates(self, make):
+        outcome = stress_map(make(), threads=4, ops_per_thread=400)
+        assert outcome.consistent, (outcome.expected, outcome.observed)
+
+
+class TestSetsUnderStress:
+    @pytest.mark.parametrize("make", [SynchronizedSet, ConcurrentHashSet])
+    def test_unique_winners_and_membership(self, make):
+        outcome = stress_set(make(), threads=4, elements=200)
+        assert outcome.consistent
+
+
+class TestQueueUnderStress:
+    def test_nothing_lost_fifo_per_producer(self):
+        outcome = stress_queue(ConcurrentLinkedQueue(), producers=3, per_producer=300)
+        assert outcome.consistent
+
+
+class TestListsUnderStress:
+    @pytest.mark.parametrize("make", [SynchronizedList, CopyOnWriteArrayList])
+    def test_exact_multiset(self, make):
+        outcome = stress_list(make(), threads=4, per_thread=60)
+        assert outcome.consistent
+
+    def test_plain_list_would_fail_the_same_bar(self):
+        """Sanity: the invariant is strong enough to catch a lost append.
+
+        (A plain list under CPython often *passes* thanks to the GIL, so
+        instead of racing one we corrupt deliberately and check the
+        harness notices.)"""
+
+        class LossyList(SynchronizedList):
+            def __init__(self):
+                super().__init__()
+                self._dropped = False
+
+            def append(self, item):
+                if not self._dropped:
+                    self._dropped = True
+                    return  # lose exactly one append
+                super().append(item)
+
+        outcome = stress_list(LossyList(), threads=2, per_thread=20)
+        assert not outcome.consistent

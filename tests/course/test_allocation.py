@@ -1,0 +1,95 @@
+"""Tests for the doodle-poll allocation (§III-D)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.course import DoodlePoll, TOPICS, form_groups, make_cohort
+from repro.course.allocation import PollEntry
+
+
+def groups_of(n_students, seed=0):
+    return form_groups(make_cohort(n_students, seed=seed), seed=seed)
+
+
+class TestPaperScenario:
+    """'almost 60 students ... 3 per group ... 10 topics x 2 groups'."""
+
+    def test_twenty_groups_all_allocated(self):
+        groups = groups_of(60)
+        assert len(groups) == 20
+        result = DoodlePoll().run(groups, seed=1)
+        assert len(result.assignments) == 20
+        assert result.unallocated == []
+
+    def test_exactly_two_groups_per_topic(self):
+        result = DoodlePoll().run(groups_of(60), seed=2)
+        for topic in TOPICS:
+            assert len(result.groups_on_topic(topic.number)) == 2
+
+    def test_first_in_first_served(self):
+        """The earliest-arriving group always gets its first choice."""
+        poll = DoodlePoll()
+        entries = poll.make_entries(groups_of(60), seed=3)
+        earliest = min(entries, key=lambda e: (e.arrival, e.group.group_id))
+        result = poll.allocate(entries)
+        assert result.assignments[earliest.group.group_id] == earliest.preferences[0]
+        assert result.achieved_rank[earliest.group.group_id] == 0
+
+    def test_most_groups_get_top_choices(self):
+        result = DoodlePoll().run(groups_of(60), seed=4)
+        assert result.mean_achieved_rank < 2.0
+        assert result.first_choice_fraction() > 0.4
+
+
+class TestMechanics:
+    def test_double_response_rejected(self):
+        poll = DoodlePoll()
+        groups = groups_of(6)
+        entries = poll.make_entries(groups, seed=5)
+        with pytest.raises(ValueError, match="twice"):
+            poll.allocate(entries + [entries[0]])
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DoodlePoll(capacity_per_topic=0)
+
+    def test_oversubscription_leaves_unallocated(self):
+        """25 groups, 10x2 slots: exactly 5 must miss out."""
+        groups = groups_of(75)
+        result = DoodlePoll().run(groups, seed=6)
+        assert len(result.assignments) == 20
+        assert len(result.unallocated) == 5
+
+    def test_deterministic(self):
+        groups = groups_of(30)
+        a = DoodlePoll().run(groups, seed=7)
+        b = DoodlePoll().run(groups, seed=7)
+        assert a.assignments == b.assignments
+
+    def test_preferences_are_full_permutations(self):
+        entries = DoodlePoll().make_entries(groups_of(9), seed=8)
+        for e in entries:
+            assert sorted(e.preferences) == sorted(t.number for t in TOPICS)
+
+
+class TestInvariants:
+    @given(st.integers(min_value=0, max_value=80), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_capacity_never_exceeded(self, n_students, seed):
+        groups = groups_of(max(n_students, 0), seed=seed)
+        result = DoodlePoll().run(groups, seed=seed)
+        for topic in TOPICS:
+            assert len(result.groups_on_topic(topic.number)) <= result.capacity
+        # every group appears exactly once across assignments + unallocated
+        seen = set(result.assignments) | set(result.unallocated)
+        assert len(seen) == len(groups)
+        assert len(result.assignments) + len(result.unallocated) == len(groups)
+
+    @given(st.integers(min_value=1, max_value=60))
+    @settings(max_examples=15, deadline=None)
+    def test_nobody_unallocated_when_supply_sufficient(self, n_students):
+        groups = groups_of(n_students)
+        if len(groups) <= 20:
+            result = DoodlePoll().run(groups, seed=9)
+            assert result.unallocated == []

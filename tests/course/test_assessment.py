@@ -1,0 +1,89 @@
+"""Tests for the assessment scheme (§III-C)."""
+
+import pytest
+
+from repro.course import ASSESSMENT_SCHEME, AssessmentScheme, GradeBook, form_groups, make_cohort
+from repro.course.assessment import StudentMarks, moderation_factor
+from repro.vcs import Repository
+
+
+class TestScheme:
+    def test_paper_weights(self):
+        s = ASSESSMENT_SCHEME
+        assert (s.test1, s.seminar, s.test2, s.implementation, s.report) == (25, 20, 10, 25, 20)
+
+    def test_weights_total_100(self):
+        assert sum(ASSESSMENT_SCHEME.components().values()) == 100
+
+    def test_only_25_percent_individual_lecture_material(self):
+        """The paper's own observation about the scheme."""
+        assert ASSESSMENT_SCHEME.individual_lecture_weight == 25.0
+
+    def test_group_work_dominates(self):
+        assert ASSESSMENT_SCHEME.group_weight == 65.0
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            AssessmentScheme(test1=50.0)  # totals 125
+
+
+class TestStudentMarks:
+    def test_final_weighted(self):
+        marks = StudentMarks(test1=80, seminar=90, test2=70, implementation=85, report=88)
+        expected = (80 * 25 + 90 * 20 + 70 * 10 + 85 * 25 + 88 * 20) / 100
+        assert marks.final() == pytest.approx(expected)
+
+    def test_perfect_scores(self):
+        assert StudentMarks(100, 100, 100, 100, 100).final() == 100.0
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            StudentMarks(101, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            StudentMarks(0, -1, 0, 0, 0)
+
+
+class TestModeration:
+    def test_equal_contributors_keep_full_mark(self):
+        assert moderation_factor(1 / 3, 1 / 3, 3) == 1.0
+
+    def test_above_equal_share_capped_at_one(self):
+        assert moderation_factor(0.6, 0.6, 3) == 1.0
+
+    def test_free_rider_scaled_down(self):
+        f = moderation_factor(0.02, 0.05, 3)
+        assert 0.0 < f < 1.0
+
+    def test_zero_contribution_zero_factor(self):
+        assert moderation_factor(0.0, 0.0, 3) == 0.0
+
+    def test_leniency_region(self):
+        """'In most cases, students within a team were awarded equal
+        marks': moderate imbalance does not reduce anyone's mark."""
+        assert moderation_factor(0.25, 0.30, 3) == 1.0
+
+
+class TestGradeBook:
+    def test_grade_group_end_to_end(self):
+        students = make_cohort(3, seed=1)
+        group = form_groups(students, seed=1)[0]
+        repo = Repository()
+        # two members contribute, one does not
+        repo.commit(group.members[0].student_id, "m", {"src/a.py": "x\n" * 50})
+        repo.commit(group.members[1].student_id, "m", {"src/b.py": "y\n" * 50})
+        marks = GradeBook().grade_group(
+            group,
+            test1={m.student_id: 80.0 for m in group.members},
+            seminar={m.student_id: 85.0 for m in group.members},
+            test2={m.student_id: 75.0 for m in group.members},
+            implementation_group_mark=90.0,
+            report_group_mark=88.0,
+            repo=repo,
+        )
+        contributors = [group.members[0].student_id, group.members[1].student_id]
+        slacker = group.members[2].student_id
+        for sid in contributors:
+            assert marks[sid].implementation == pytest.approx(90.0)
+        assert marks[slacker].implementation < 90.0
+        # the report mark is a group mark regardless
+        assert all(m.report == 88.0 for m in marks.values())

@@ -1,0 +1,68 @@
+"""Tests for the research-teaching nexus model (Figure 1)."""
+
+from repro.course import (
+    NEXUS_QUADRANTS,
+    SOFTENG751_ACTIVITIES,
+    ContentEmphasis,
+    Participation,
+    TeachingActivity,
+    classify,
+)
+from repro.course.nexus import quadrant_coverage
+
+
+class TestModel:
+    def test_four_quadrants(self):
+        assert set(NEXUS_QUADRANTS.values()) == {
+            "research-led",
+            "research-oriented",
+            "research-tutored",
+            "research-based",
+        }
+
+    def test_healey_assignments(self):
+        """The quadrant definitions from Healey's model."""
+        assert (
+            NEXUS_QUADRANTS[(Participation.AUDIENCE, ContentEmphasis.RESEARCH_CONTENT)]
+            == "research-led"
+        )
+        assert (
+            NEXUS_QUADRANTS[(Participation.PARTICIPANTS, ContentEmphasis.PROCESSES_PROBLEMS)]
+            == "research-based"
+        )
+
+    def test_classify(self):
+        act = TeachingActivity("x", Participation.PARTICIPANTS, ContentEmphasis.RESEARCH_CONTENT)
+        assert classify(act) == "research-tutored"
+
+
+class TestSoftEng751Placement:
+    """§III-E's claims about where the course sits on the model."""
+
+    def test_lectures_are_research_led(self):
+        by_name = {a.name: a for a in SOFTENG751_ACTIVITIES}
+        assert by_name["core-concept lectures"].quadrant == "research-led"
+        assert by_name["latest-research lectures"].quadrant == "research-led"
+
+    def test_project_is_research_based(self):
+        by_name = {a.name: a for a in SOFTENG751_ACTIVITIES}
+        assert by_name["group research project"].quadrant == "research-based"
+
+    def test_presentations_are_research_tutored(self):
+        by_name = {a.name: a for a in SOFTENG751_ACTIVITIES}
+        assert by_name["group seminar presentations"].quadrant == "research-tutored"
+        assert by_name["class discussions"].quadrant == "research-tutored"
+
+    def test_research_oriented_deliberately_empty(self):
+        """'The one thing really missing in SoftEng 751 is some explicit
+        emphasis on the research methodology' — by design."""
+        coverage = quadrant_coverage()
+        assert coverage["research-oriented"] == []
+
+    def test_three_quadrants_covered(self):
+        coverage = quadrant_coverage()
+        covered = [q for q, acts in coverage.items() if acts]
+        assert sorted(covered) == ["research-based", "research-led", "research-tutored"]
+
+    def test_every_quadrant_key_present(self):
+        assert set(quadrant_coverage()) == set(NEXUS_QUADRANTS.values())

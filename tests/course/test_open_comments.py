@@ -1,0 +1,70 @@
+"""Tests for the open-comments model (the §V-A qualitative data)."""
+
+import pytest
+
+from repro.course.survey import (
+    PAPER_COMMENTS,
+    OpenComment,
+    sample_open_comments,
+    theme_counts,
+)
+
+
+class TestPaperQuotes:
+    def test_all_five_quotes_present_and_verbatim(self):
+        assert len(PAPER_COMMENTS) == 5
+        assert all(c.verbatim for c in PAPER_COMMENTS)
+        texts = " ".join(c.text for c in PAPER_COMMENTS)
+        assert "good practice" in texts
+        assert "interaction with all of the groups" in texts
+        assert "very helpful" in texts
+        assert "presentation skills" in texts
+        assert "more research oriented discussion" in texts
+
+    def test_quote_themes(self):
+        themes = [c.theme for c in PAPER_COMMENTS]
+        assert themes.count("project") == 2
+        assert "presentations" in themes
+        assert "discussions" in themes
+        assert "more-research-time" in themes
+
+
+class TestSampling:
+    def test_includes_every_verbatim_quote(self):
+        comments = sample_open_comments(20, seed=1)
+        verbatims = [c for c in comments if c.verbatim]
+        assert sorted(c.text for c in verbatims) == sorted(c.text for c in PAPER_COMMENTS)
+
+    def test_count_and_determinism(self):
+        a = sample_open_comments(15, seed=2)
+        b = sample_open_comments(15, seed=2)
+        assert len(a) == 15
+        assert a == b
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            sample_open_comments(3)
+
+    def test_synthetic_comments_theme_tagged(self):
+        comments = sample_open_comments(30, seed=3)
+        known_themes = {
+            "presentations", "discussions", "project", "more-research-time", "tools",
+        }
+        assert all(c.theme in known_themes for c in comments)
+
+    def test_order_is_shuffled(self):
+        comments = sample_open_comments(25, seed=4)
+        assert [c.verbatim for c in comments[:5]] != [True] * 5  # not all up front
+
+
+class TestThemeCounts:
+    def test_rollup(self):
+        counts = theme_counts(
+            [OpenComment("a", "x"), OpenComment("a", "y"), OpenComment("b", "z")]
+        )
+        assert counts == {"a": 2, "b": 1}
+
+    def test_rollup_of_sample_covers_paper_themes(self):
+        counts = theme_counts(sample_open_comments(40, seed=5))
+        assert counts["project"] >= 2
+        assert counts["more-research-time"] >= 1

@@ -1,0 +1,100 @@
+"""Tests for the generated Test 1 (core concepts quiz)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.course.quiz import Quiz, QuizQuestion, generate_quiz, grade, simulate_student_answers
+from repro.util.stats import amdahl_speedup
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_quiz(seed=5)
+        b = generate_quiz(seed=5)
+        assert a == b
+
+    def test_different_seeds_different_papers(self):
+        assert generate_quiz(seed=1) != generate_quiz(seed=2)
+
+    def test_covers_every_topic(self):
+        quiz = generate_quiz(seed=3, n_questions=10)
+        topics = quiz.topics()
+        assert {"amdahl", "work-span", "schedules", "memory-model"} <= topics
+        assert topics & {"speedup", "efficiency"}  # the timing generator fires too
+
+    def test_too_few_questions_rejected(self):
+        with pytest.raises(ValueError):
+            generate_quiz(n_questions=3)
+
+    def test_answers_are_finite(self):
+        for q in generate_quiz(seed=7, n_questions=20).questions:
+            assert q.answer == q.answer  # not NaN
+            assert abs(q.answer) < 1e6
+
+    def test_amdahl_questions_verifiable(self):
+        """Question answers agree with the library they were built from."""
+        for q in generate_quiz(seed=11, n_questions=20).questions:
+            if q.topic == "amdahl":
+                # parse f and p back out of the prompt and recompute
+                words = q.prompt.split()
+                f = float(words[words.index("fraction") + 1].rstrip("."))
+                p = int(words[words.index("on") + 1])
+                assert q.answer == pytest.approx(amdahl_speedup(f, p))
+
+
+class TestGrading:
+    def test_perfect_answers_score_100(self):
+        quiz = generate_quiz(seed=1)
+        assert grade(quiz, [q.answer for q in quiz.questions]) == 100.0
+
+    def test_all_wrong_scores_0(self):
+        quiz = generate_quiz(seed=1)
+        assert grade(quiz, [q.answer + 100.0 for q in quiz.questions]) == 0.0
+
+    def test_tolerance_accepts_rounding(self):
+        q = QuizQuestion(topic="t", prompt="p", answer=5.925, tolerance=1e-2)
+        assert q.is_correct(5.93)
+        assert not q.is_correct(6.2)
+
+    def test_discrete_question_exact_only(self):
+        q = QuizQuestion(topic="t", prompt="p", answer=4.0, tolerance=0.0)
+        assert q.is_correct(4.0)
+        assert not q.is_correct(4.4)
+
+    def test_wrong_answer_count_rejected(self):
+        quiz = generate_quiz(seed=1)
+        with pytest.raises(ValueError):
+            grade(quiz, [1.0])
+
+
+class TestStudentModel:
+    def test_ability_monotone_in_expectation(self):
+        quiz = generate_quiz(seed=2, n_questions=15)
+
+        def mean_mark(ability):
+            marks = [
+                grade(quiz, simulate_student_answers(quiz, ability, seed=s)) for s in range(30)
+            ]
+            return sum(marks) / len(marks)
+
+        weak, strong = mean_mark(0.2), mean_mark(0.95)
+        assert strong > weak + 20
+
+    def test_deterministic_per_seed(self):
+        quiz = generate_quiz(seed=2)
+        a = simulate_student_answers(quiz, 0.7, seed=9)
+        b = simulate_student_answers(quiz, 0.7, seed=9)
+        assert a == b
+
+    def test_ability_validation(self):
+        quiz = generate_quiz(seed=2)
+        with pytest.raises(ValueError):
+            simulate_student_answers(quiz, 1.5)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_marks_always_in_range(self, ability, seed):
+        quiz = generate_quiz(seed=4)
+        mark = grade(quiz, simulate_student_answers(quiz, ability, seed=seed))
+        assert 0.0 <= mark <= 100.0

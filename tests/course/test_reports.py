@@ -1,0 +1,61 @@
+"""Tests for the generated instructor reports."""
+
+import pytest
+
+from repro.course import SemesterConfig, run_semester
+from repro.course.reports import course_report, group_report
+
+
+@pytest.fixture(scope="module")
+def semester():
+    # n=60 so the survey percentages are exactly representable (95/95/92)
+    return run_semester(SemesterConfig(n_students=60, seed=7))
+
+
+class TestGroupReport:
+    def test_contains_members_topic_and_grades(self, semester):
+        gid = semester.groups[0].group_id
+        report = group_report(semester, gid)
+        assert gid in report
+        for member in semester.groups[0].members:
+            assert member.student_id in report
+        assert "topic:" in report
+        assert "svn churn share" in report
+        assert "surviving lines (blame)" in report
+
+    def test_surviving_lines_positive_for_contributors(self, semester):
+        from repro.vcs import contribution_shares
+
+        group = semester.groups[0]
+        report = group_report(semester, group.group_id)
+        shares = contribution_shares(semester.repos[group.group_id])
+        top = max(shares, key=shares.get)  # type: ignore[arg-type]
+        # the top contributor's row shows a non-zero surviving-line count
+        row = next(line for line in report.splitlines() if line.startswith(top))
+        assert any(int(tok) > 0 for tok in row.split("|")[2].split() if tok.isdigit())
+
+    def test_unknown_group_rejected(self, semester):
+        with pytest.raises(KeyError):
+            group_report(semester, "g99")
+
+    def test_deterministic(self, semester):
+        gid = semester.groups[1].group_id
+        assert group_report(semester, gid) == group_report(semester, gid)
+
+
+class TestCourseReport:
+    def test_contains_all_sections(self, semester):
+        report = course_report(semester)
+        assert "semester report" in report
+        assert "per-topic activity" in report
+        assert "student evaluation" in report
+        assert "masters continuing with PARC" in report
+
+    def test_every_topic_listed(self, semester):
+        report = course_report(semester)
+        for n in range(1, 11):
+            assert f"{n}. " in report
+
+    def test_survey_percentages_present(self, semester):
+        report = course_report(semester)
+        assert "95" in report and "92" in report

@@ -1,0 +1,64 @@
+"""Tests for the course structure (Figure 2)."""
+
+import pytest
+
+from repro.course import SOFTENG751_SCHEDULE, WeekUse, build_semester
+from repro.course.schedule import schedule_rows
+
+
+class TestPaperStructure:
+    """Figure 2's exact shape, pinned."""
+
+    def test_fourteen_calendar_weeks(self):
+        assert len(SOFTENG751_SCHEDULE) == 14  # 12 teaching + 2 break
+
+    def test_twelve_teaching_weeks(self):
+        assert sum(1 for w in SOFTENG751_SCHEDULE if WeekUse.BREAK not in w.uses) == 12
+
+    def test_first_five_weeks_instructor_led(self):
+        teaching = [w for w in SOFTENG751_SCHEDULE if w.number > 0]
+        for w in teaching[:5]:
+            assert w.uses == (WeekUse.INSTRUCTOR_TEACHING,)
+
+    def test_week6_is_test1(self):
+        week6 = next(w for w in SOFTENG751_SCHEDULE if w.number == 6)
+        assert WeekUse.ASSESSMENT in week6.uses
+        assert "test 1" in week6.notes
+
+    def test_break_after_week6(self):
+        labels = [w.label for w in SOFTENG751_SCHEDULE]
+        i6 = labels.index("week 6")
+        assert SOFTENG751_SCHEDULE[i6 + 1].uses == (WeekUse.BREAK,)
+        assert SOFTENG751_SCHEDULE[i6 + 2].uses == (WeekUse.BREAK,)
+
+    def test_weeks_7_to_10_student_presentations(self):
+        for n in (7, 8, 9, 10):
+            week = next(w for w in SOFTENG751_SCHEDULE if w.number == n)
+            assert WeekUse.STUDENT_TEACHING in week.uses
+            assert WeekUse.PROJECT in week.uses
+
+    def test_week11_is_test2(self):
+        week11 = next(w for w in SOFTENG751_SCHEDULE if w.number == 11)
+        assert WeekUse.ASSESSMENT in week11.uses
+        assert "test 2" in week11.notes
+
+    def test_week12_project_due(self):
+        week12 = next(w for w in SOFTENG751_SCHEDULE if w.number == 12)
+        assert week12.uses == (WeekUse.PROJECT,)
+        assert "due" in week12.notes
+
+    def test_codes_render(self):
+        rows = schedule_rows()
+        assert rows[0][1] == "IT"
+        assert any(code == "ST+P" for _l, code, _n in rows)
+
+
+class TestBuilder:
+    def test_custom_shape(self):
+        weeks = build_semester(4, 1, 4)
+        assert len(weeks) == 9
+        assert sum(1 for w in weeks if WeekUse.BREAK in w.uses) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            build_semester(-1, 2, 6)

@@ -1,0 +1,117 @@
+"""Tests for the shared Future."""
+
+import threading
+
+import pytest
+
+from repro.executor.future import Future, FutureError
+
+
+class TestCompletion:
+    def test_result_roundtrip(self):
+        f = Future("f")
+        f.set_result(42)
+        assert f.done()
+        assert f.result() == 42
+        assert f.exception() is None
+
+    def test_exception_roundtrip(self):
+        f = Future("f")
+        f.set_exception(ValueError("bad"))
+        assert f.done()
+        with pytest.raises(ValueError, match="bad"):
+            f.result()
+        assert isinstance(f.exception(), ValueError)
+
+    def test_double_completion_rejected(self):
+        f = Future()
+        f.set_result(1)
+        with pytest.raises(FutureError):
+            f.set_result(2)
+        with pytest.raises(FutureError):
+            f.set_exception(RuntimeError())
+
+    def test_set_exception_requires_exception(self):
+        f = Future()
+        with pytest.raises(TypeError):
+            f.set_exception("not an exception")  # type: ignore[arg-type]
+
+    def test_none_is_a_valid_result(self):
+        f = Future()
+        f.set_result(None)
+        assert f.done()
+        assert f.result() is None
+
+
+class TestBlocking:
+    def test_result_timeout(self):
+        f = Future("slow")
+        with pytest.raises(TimeoutError):
+            f.result(timeout=0.01)
+
+    def test_peek_pending_raises(self):
+        f = Future()
+        with pytest.raises(FutureError):
+            f.peek()
+
+    def test_peek_done(self):
+        f = Future()
+        f.set_result("v")
+        assert f.peek() == "v"
+
+    def test_result_unblocks_across_threads(self):
+        f = Future()
+        results = []
+
+        def consumer():
+            results.append(f.result(timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        f.set_result("hello")
+        t.join(timeout=5.0)
+        assert results == ["hello"]
+
+
+class TestCallbacks:
+    def test_callback_after_completion_runs_immediately(self):
+        f = Future()
+        f.set_result(1)
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(fut.result()))
+        assert seen == [1]
+
+    def test_callback_before_completion(self):
+        f = Future()
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(fut.result()))
+        assert seen == []
+        f.set_result(9)
+        assert seen == [9]
+
+    def test_callbacks_run_in_registration_order(self):
+        f = Future()
+        order = []
+        for i in range(5):
+            f.add_done_callback(lambda _f, i=i: order.append(i))
+        f.set_result(None)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_callback_runs_exactly_once(self):
+        f = Future()
+        count = [0]
+        f.add_done_callback(lambda _f: count.__setitem__(0, count[0] + 1))
+        f.set_result(None)
+        assert count[0] == 1
+
+    def test_callback_on_failure(self):
+        f = Future()
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(type(fut.exception())))
+        f.set_exception(KeyError("k"))
+        assert seen == [KeyError]
+
+    def test_meta_dict(self):
+        f = Future()
+        f.meta["last_sid"] = 7
+        assert f.meta["last_sid"] == 7

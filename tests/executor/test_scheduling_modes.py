@@ -1,0 +1,60 @@
+"""Tests for the pool's structural ablation: stealing vs central queue."""
+
+import pytest
+
+from repro.executor import WorkStealingPool
+
+
+def run_nested_workload(pool, fanout=20, grandchildren=5):
+    """A worker-spawns-children workload: the case the deques exist for."""
+
+    def child(i):
+        grand = [pool.submit(lambda j=j: j, name=f"g{i}.{j}") for j in range(grandchildren)]
+        return sum(g.result(timeout=30) for g in grand)
+
+    def parent():
+        kids = [pool.submit(child, i) for i in range(fanout)]
+        return sum(k.result(timeout=30) for k in kids)
+
+    expected = fanout * sum(range(grandchildren))
+    assert pool.submit(parent).result(timeout=30) == expected
+
+
+class TestCentralMode:
+    def test_results_identical_to_stealing(self):
+        with WorkStealingPool(workers=3, scheduling="central", name="c") as pool:
+            run_nested_workload(pool)
+        with WorkStealingPool(workers=3, scheduling="stealing", name="s") as pool:
+            run_nested_workload(pool)
+
+    def test_central_mode_never_steals(self):
+        with WorkStealingPool(workers=4, scheduling="central", name="c2") as pool:
+            run_nested_workload(pool)
+        assert pool.stats.steals == 0  # nothing in local deques to steal
+
+    def test_stealing_mode_uses_local_deques(self):
+        """Nested submits land on the submitting worker's own deque; with
+        several workers competing, steals occur (structurally, not by luck:
+        the parent blocks-and-helps while others must steal to start)."""
+        with WorkStealingPool(workers=4, scheduling="stealing", name="s2") as pool:
+            run_nested_workload(pool, fanout=40, grandchildren=8)
+            stats = pool.stats
+        assert stats.tasks_executed == 1 + 40 + 40 * 8
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            WorkStealingPool(workers=1, scheduling="telepathy")
+
+    def test_work_spread_across_workers(self):
+        """Both designs spread non-trivial work over several workers.
+
+        Tasks sleep briefly (releasing the GIL) so that no single worker
+        can drain the queue alone even on a one-core host.
+        """
+        import time
+
+        for mode in ("central", "stealing"):
+            with WorkStealingPool(workers=4, scheduling=mode, name=f"w-{mode}") as pool:
+                pool.wait_all([pool.submit(time.sleep, 0.002) for _ in range(100)])
+            busy = [n for n in pool.stats.per_worker_executed if n > 0]
+            assert len(busy) >= 2, mode  # more than one worker participated

@@ -1,0 +1,179 @@
+"""Property-based tests of the virtual-time executor.
+
+Random fork-join programs are generated and executed; the schedule must
+satisfy the classic work-span facts for greedy scheduling:
+
+* ``T_p >= T_inf``  (span bound)
+* ``T_p >= T_1 / p``  (work bound)
+* ``T_p <= T_1 / p + T_inf``  (Graham's greedy bound)
+* ``T_p <= T_1``  (never worse than serial)
+
+plus value equivalence with the inline reference on every program.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executor import InlineExecutor, SimExecutor
+from repro.machine import MachineSpec
+
+
+def machine(cores):
+    return MachineSpec(name=f"m{cores}", cores=cores, dispatch_overhead=0.0)
+
+
+# A random fork-join program: a tree where each node carries its own
+# compute cost and a list of children; parents join all children.
+node_st = st.deferred(
+    lambda: st.tuples(
+        st.floats(min_value=0.0, max_value=3.0),  # own cost
+        st.lists(node_st, max_size=3),  # children
+    )
+)
+tree_st = st.tuples(st.floats(min_value=0.0, max_value=3.0), st.lists(node_st, max_size=4))
+
+
+def run_tree(ex, tree):
+    """Execute the tree on executor ``ex``; returns total node count."""
+    cost, children = tree
+
+    def node(subtree):
+        c, kids = subtree
+        ex.compute(c)
+        futures = [ex.submit(node, kid) for kid in kids]
+        return 1 + sum(f.result() for f in futures)
+
+    return ex.submit(node, tree, name="root").result()
+
+
+class TestWorkSpanBounds:
+    @given(tree_st, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_bounds(self, tree, cores):
+        ex = SimExecutor(machine(cores))
+        run_tree(ex, tree)
+        sched = ex.schedule()
+        t1 = sched.total_work
+        tinf = sched.critical_path
+        tp = sched.makespan
+        eps = 1e-9 + 1e-9 * t1
+        assert tp >= tinf - eps
+        assert tp >= t1 / cores - eps
+        assert tp <= t1 / cores + tinf + eps  # Graham
+        assert tp <= t1 + eps
+
+    @given(tree_st)
+    @settings(max_examples=30, deadline=None)
+    def test_single_core_equals_work(self, tree):
+        ex = SimExecutor(machine(1))
+        run_tree(ex, tree)
+        sched = ex.schedule()
+        assert sched.makespan == pytest.approx(sched.total_work)
+
+    @given(tree_st, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_values_match_inline(self, tree, cores):
+        inline_count = run_tree(InlineExecutor(), tree)
+        sim_count = run_tree(SimExecutor(machine(cores)), tree)
+        assert sim_count == inline_count
+
+    @given(tree_st, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_rescheduling_consistent(self, tree, cores):
+        """schedule() is pure: same recording, same numbers, any order."""
+        ex = SimExecutor(machine(2))
+        run_tree(ex, tree)
+        a = ex.schedule(machine(cores)).makespan
+        _ = ex.schedule(machine(1)).makespan
+        b = ex.schedule(machine(cores)).makespan
+        assert a == b
+
+    @given(tree_st, st.sampled_from(["earliest", "affinity"]))
+    @settings(max_examples=30, deadline=None)
+    def test_policies_respect_bounds(self, tree, policy):
+        ex = SimExecutor(machine(4), policy=policy)
+        run_tree(ex, tree)
+        sched = ex.schedule()
+        eps = 1e-9 + 1e-9 * sched.total_work
+        assert sched.makespan <= sched.total_work / 4 + sched.critical_path + eps
+
+
+class TestCriticalSectionProperties:
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=10),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_one_lock_serialises_to_sum(self, costs, cores):
+        """N tasks doing only critical work on one lock: makespan >= sum."""
+        ex = SimExecutor(machine(cores))
+
+        def work(c):
+            with ex.critical("L"):
+                ex.compute(c)
+
+        for c in costs:
+            ex.submit(work, c)
+        assert ex.elapsed() >= sum(costs) - 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_locks_parallelise(self, costs):
+        """Each task on its own lock: makespan bounded by max, not sum."""
+        ex = SimExecutor(machine(len(costs)))
+
+        def work(i, c):
+            with ex.critical(f"L{i}"):
+                ex.compute(c)
+
+        for i, c in enumerate(costs):
+            ex.submit(work, i, c)
+        assert ex.elapsed() == pytest.approx(max(costs))
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_lock_chain_acyclic_with_nested_spawns(self, n_tasks, n_crits):
+        """Locks + nested spawns never produce a cyclic schedule graph."""
+        ex = SimExecutor(machine(4))
+
+        def child():
+            with ex.critical("shared"):
+                ex.compute(0.1)
+
+        def parent():
+            for _ in range(n_crits):
+                with ex.critical("shared"):
+                    ex.compute(0.1)
+            ex.submit(child).result()
+
+        for _ in range(n_tasks):
+            ex.submit(parent)
+        ex.schedule()  # raises on a cycle
+
+
+class TestBarrierProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_barrier_rounds_bound(self, parties, rounds, cores):
+        """k rounds of equal work with barriers: makespan >= k * slowest."""
+        ex = SimExecutor(machine(cores))
+
+        def member():
+            for r in range(rounds):
+                ex.compute(1.0)
+                ex.barrier("b", parties=parties)
+
+        for _ in range(parties):
+            ex.submit(member)
+        t = ex.elapsed()
+        per_round = 1.0 if cores >= parties else (parties / cores)
+        assert t >= rounds * 1.0 - 1e-9
+        assert t >= rounds * parties / cores - 1e-9
+        assert t <= rounds * parties + 1e-9  # never worse than full serial

@@ -1,0 +1,89 @@
+"""Tests for progress/label bindings to multi-task futures."""
+
+import pytest
+
+from repro.executor import WorkStealingPool
+from repro.gui import EventDispatchThread, Label, ProgressBar, bind_progress, bind_status_label
+from repro.ptask import ParallelTaskRuntime
+
+
+@pytest.fixture
+def edt():
+    e = EventDispatchThread("bind-edt")
+    yield e
+    e.stop()
+
+
+@pytest.fixture
+def rt():
+    pool = WorkStealingPool(workers=3, name="bind-pool")
+    yield ParallelTaskRuntime(pool)
+    pool.shutdown()
+
+
+class TestBindProgress:
+    def test_bar_reaches_complete(self, edt, rt):
+        mt = rt.spawn_multi(lambda x: x, list(range(8)))
+        bar = ProgressBar(edt, maximum=8)
+        done = []
+        bind_progress(mt, bar, edt, on_complete=lambda: done.append(True))
+        mt.results(timeout=10)
+        edt.drain()
+        assert bar.complete
+        assert bar.value == 8
+        assert done == [True]
+
+    def test_exactly_one_increment_per_task(self, edt, rt):
+        mt = rt.spawn_multi(lambda x: x, list(range(5)))
+        bar = ProgressBar(edt, maximum=5)
+        bind_progress(mt, bar, edt)
+        mt.results(timeout=10)
+        edt.drain()
+        assert bar.history == [1, 2, 3, 4, 5]
+
+    def test_too_small_bar_rejected(self, edt, rt):
+        mt = rt.spawn_multi(lambda x: x, list(range(5)))
+        mt.results(timeout=10)
+        with pytest.raises(ValueError):
+            bind_progress(mt, ProgressBar(edt, maximum=3), edt)
+
+    def test_empty_multi_completes_immediately(self, edt, rt):
+        mt = rt.spawn_multi(lambda x: x, [])
+        done = []
+        bind_progress(mt, ProgressBar(edt, maximum=1), edt, on_complete=lambda: done.append(1))
+        edt.drain()
+        assert done == [1]
+
+    def test_counts_failures_too(self, edt, rt):
+        """A failed sub-task still advances the bar (it is *done*)."""
+
+        def sometimes(x):
+            if x == 1:
+                raise RuntimeError("boom")
+            return x
+
+        mt = rt.spawn_multi(sometimes, [0, 1, 2])
+        bar = ProgressBar(edt, maximum=3)
+        bind_progress(mt, bar, edt)
+        mt.exceptions()
+        edt.drain()
+        assert bar.value == 3
+
+
+class TestBindStatusLabel:
+    def test_label_tracks_completion(self, edt, rt):
+        mt = rt.spawn_multi(lambda x: x, list(range(4)))
+        label = Label(edt)
+        bind_status_label(mt, label, edt)
+        mt.results(timeout=10)
+        edt.drain()
+        assert label.text == "4/4"
+        assert label.history[0] == "0/4"
+
+    def test_custom_template(self, edt, rt):
+        mt = rt.spawn_multi(lambda x: x, [1])
+        label = Label(edt)
+        bind_status_label(mt, label, edt, template="{done} of {total} thumbnails")
+        mt.results(timeout=10)
+        edt.drain()
+        assert label.text == "1 of 1 thumbnails"

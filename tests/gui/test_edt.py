@@ -1,0 +1,101 @@
+"""Tests for the real event-dispatch thread."""
+
+import threading
+import time
+
+import pytest
+
+from repro.gui import EventDispatchThread
+
+
+@pytest.fixture
+def edt():
+    e = EventDispatchThread("test-edt")
+    yield e
+    e.stop()
+
+
+class TestDispatch:
+    def test_invoke_later_runs_on_edt(self, edt):
+        result = {}
+        done = threading.Event()
+
+        def task():
+            result["is_edt"] = edt.is_edt()
+            result["thread"] = threading.current_thread().name
+            done.set()
+
+        edt.invoke_later(task)
+        assert done.wait(timeout=5)
+        assert result["is_edt"] is True
+        assert result["thread"] == "test-edt"
+
+    def test_invoke_and_wait_returns_value(self, edt):
+        assert edt.invoke_and_wait(lambda a, b: a + b, 2, 3) == 5
+
+    def test_invoke_and_wait_propagates_exception(self, edt):
+        def boom():
+            raise ValueError("ui error")
+
+        with pytest.raises(ValueError, match="ui error"):
+            edt.invoke_and_wait(boom)
+
+    def test_invoke_and_wait_from_edt_runs_inline(self, edt):
+        """No self-deadlock: nested invoke_and_wait executes directly."""
+        out = edt.invoke_and_wait(lambda: edt.invoke_and_wait(lambda: "nested"))
+        assert out == "nested"
+
+    def test_fifo_order(self, edt):
+        order = []
+        for i in range(20):
+            edt.invoke_later(order.append, i)
+        edt.drain()
+        assert order == list(range(20))
+
+    def test_is_edt_false_off_thread(self, edt):
+        assert edt.is_edt() is False
+
+    def test_broken_handler_does_not_kill_edt(self, edt, capsys):
+        def boom():
+            raise RuntimeError("handler bug")
+
+        edt.invoke_later(boom)
+        assert edt.invoke_and_wait(lambda: "alive") == "alive"
+
+
+class TestLifecycle:
+    def test_stop_idempotent(self):
+        edt = EventDispatchThread()
+        edt.stop()
+        edt.stop()
+
+    def test_invoke_after_stop_rejected(self):
+        edt = EventDispatchThread()
+        edt.stop()
+        with pytest.raises(RuntimeError):
+            edt.invoke_later(lambda: None)
+
+    def test_context_manager(self):
+        with EventDispatchThread() as edt:
+            assert edt.invoke_and_wait(lambda: 1) == 1
+
+    def test_stats_counted(self):
+        with EventDispatchThread() as edt:
+            for _ in range(5):
+                edt.invoke_later(lambda: None)
+            edt.drain()
+            assert edt.stats.events_processed >= 5
+            assert edt.stats.mean_queue_latency >= 0.0
+
+
+class TestQueueLatencyVisible:
+    def test_long_handler_delays_followers(self):
+        """A slow runnable inflates the queue latency of the next one —
+        the responsiveness failure mode the projects must avoid."""
+        with EventDispatchThread() as edt:
+            edt.invoke_later(time.sleep, 0.15)
+            t0 = time.monotonic()
+            edt.invoke_and_wait(lambda: None)
+            waited = time.monotonic() - t0
+            assert waited >= 0.1
+            assert edt.stats.max_queue_latency >= 0.1

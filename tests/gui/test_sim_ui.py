@@ -1,0 +1,67 @@
+"""Tests for the virtual-time responsiveness model."""
+
+import pytest
+
+from repro.gui import simulate_ui_scenario
+
+
+class TestValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            simulate_ui_scenario([1.0], strategy="magic")
+
+    def test_no_jobs(self):
+        with pytest.raises(ValueError):
+            simulate_ui_scenario([])
+
+    def test_negative_cost(self):
+        with pytest.raises(ValueError):
+            simulate_ui_scenario([-1.0])
+
+    def test_bad_cores(self):
+        with pytest.raises(ValueError):
+            simulate_ui_scenario([1.0], cores=0)
+
+
+class TestShapes:
+    """The responsiveness claims of projects 1/4/7, as invariants."""
+
+    def test_pool_keeps_latency_low_while_edt_explodes(self):
+        jobs = [0.5] * 8
+        on_edt = simulate_ui_scenario(jobs, cores=4, strategy="edt")
+        on_pool = simulate_ui_scenario(jobs, cores=4, strategy="pool")
+        assert on_edt.mean_latency > 0.5  # events stuck behind jobs
+        assert on_pool.mean_latency < 0.05  # served promptly
+        assert on_pool.max_latency < on_edt.max_latency / 10
+
+    def test_pool_finishes_jobs_faster_with_more_cores(self):
+        jobs = [0.5] * 12
+        t2 = simulate_ui_scenario(jobs, cores=2, strategy="pool").jobs_makespan
+        t4 = simulate_ui_scenario(jobs, cores=4, strategy="pool").jobs_makespan
+        t8 = simulate_ui_scenario(jobs, cores=8, strategy="pool").jobs_makespan
+        assert t4 < t2
+        assert t8 < t4
+
+    def test_edt_strategy_serialises_jobs(self):
+        jobs = [0.25] * 8
+        rep = simulate_ui_scenario(jobs, cores=8, strategy="edt")
+        assert rep.jobs_makespan >= sum(jobs)  # cores don't help on the EDT
+
+    def test_events_arrive_and_are_counted(self):
+        rep = simulate_ui_scenario([0.5] * 4, strategy="pool", event_interval=0.05)
+        assert rep.events_served >= 5
+
+    def test_deterministic(self):
+        a = simulate_ui_scenario([0.3, 0.7, 0.2], cores=3, strategy="pool")
+        b = simulate_ui_scenario([0.3, 0.7, 0.2], cores=3, strategy="pool")
+        assert a.event_latencies == b.event_latencies
+        assert a.jobs_makespan == b.jobs_makespan
+
+    def test_latency_percentiles_ordered(self):
+        rep = simulate_ui_scenario([0.5] * 8, strategy="edt")
+        assert rep.mean_latency <= rep.max_latency
+        assert rep.p95_latency <= rep.max_latency
+
+    def test_report_str(self):
+        rep = simulate_ui_scenario([0.1], strategy="pool")
+        assert "pool" in str(rep)

@@ -1,0 +1,115 @@
+"""Tests for EDT-confined widgets."""
+
+import pytest
+
+from repro.gui import EventDispatchThread, Label, ListView, ProgressBar, Window
+from repro.gui.widgets import ThreadConfinementError
+
+
+@pytest.fixture
+def edt():
+    e = EventDispatchThread("widget-edt")
+    yield e
+    e.stop()
+
+
+class TestConfinement:
+    def test_mutation_off_edt_raises(self, edt):
+        label = Label(edt, "hi")
+        with pytest.raises(ThreadConfinementError):
+            label.set_text("bye")
+
+    def test_mutation_on_edt_ok(self, edt):
+        label = Label(edt, "hi")
+        edt.invoke_and_wait(label.set_text, "bye")
+        assert label.text == "bye"
+
+    def test_headless_mode_unconfined(self):
+        label = Label(None, "hi")
+        label.set_text("anywhere")
+        assert label.text == "anywhere"
+
+    def test_reads_allowed_anywhere(self, edt):
+        label = Label(edt, "hello")
+        assert label.text == "hello"  # no raise
+
+
+class TestLabel:
+    def test_history(self):
+        label = Label(None)
+        label.set_text("a")
+        label.set_text("b")
+        assert label.history == ["a", "b"]
+        assert label.update_count == 2
+
+
+class TestProgressBar:
+    def test_progress_lifecycle(self):
+        bar = ProgressBar(None, maximum=4)
+        assert bar.fraction == 0.0
+        for _ in range(4):
+            bar.increment()
+        assert bar.complete
+        assert bar.fraction == 1.0
+
+    def test_bounds_enforced(self):
+        bar = ProgressBar(None, maximum=2)
+        with pytest.raises(ValueError):
+            bar.set_value(3)
+        with pytest.raises(ValueError):
+            bar.set_value(-1)
+
+    def test_maximum_validation(self):
+        with pytest.raises(ValueError):
+            ProgressBar(None, maximum=0)
+
+
+class TestListView:
+    def test_append_and_clear(self):
+        lv = ListView(None)
+        lv.add_item("r1")
+        lv.add_item("r2")
+        assert lv.items == ["r1", "r2"]
+        assert len(lv) == 2
+        lv.clear()
+        assert lv.items == []
+        assert "<clear>" in lv.history
+
+
+class TestWindow:
+    def test_widget_factories_share_edt(self, edt):
+        win = Window(edt, "main")
+        label = win.label("x")
+        bar = win.progress_bar(5)
+        lv = win.list_view()
+        assert win.widgets == [label, bar, lv]
+        with pytest.raises(ThreadConfinementError):
+            label.set_text("off-thread")
+
+    def test_close(self):
+        win = Window(None, "w")
+        assert not win.closed
+        win.close()
+        assert win.closed
+
+
+class TestEndToEndInterimUpdates:
+    def test_worker_publishes_via_edt(self, edt):
+        """The canonical flow: worker thread publishes results through the
+        EDT into a ListView; widget state mutates only on the EDT."""
+        from repro.executor import WorkStealingPool
+        from repro.ptask import ParallelTaskRuntime
+
+        lv = ListView(edt, name="results")
+        with WorkStealingPool(workers=2, name="gui-e2e") as pool:
+            rt = ParallelTaskRuntime(pool, edt=edt)
+
+            def search(query):
+                for i in range(5):
+                    rt.publish(f"{query}-{i}")
+                return 5
+
+            f = rt.spawn(search, "hit", notify=lv.add_item)
+            assert f.result(timeout=5) == 5
+            edt.drain()
+        assert lv.items == [f"hit-{i}" for i in range(5)]

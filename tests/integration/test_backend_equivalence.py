@@ -1,0 +1,80 @@
+"""Integration: value equivalence across execution backends.
+
+The library's central promise: the same program text produces identical
+values inline, on real threads and under simulation.  Exercised here
+over the pattern library, Pyjama worksharing and the app workloads with
+randomised inputs.
+"""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.sorting import quicksort
+from repro.executor import InlineExecutor, SimExecutor, WorkStealingPool
+from repro.machine import MachineSpec
+from repro.ptask import ParallelTaskRuntime, parallel_map, parallel_reduce
+from repro.pyjama import Pyjama
+
+
+def backends():
+    yield "inline", InlineExecutor()
+    yield "sim", SimExecutor(MachineSpec(name="m", cores=4, dispatch_overhead=0.0))
+    pool = WorkStealingPool(workers=4, name="equiv")
+    try:
+        yield "threads", pool
+    finally:
+        pool.shutdown()
+
+
+class TestPatternEquivalence:
+    @given(st.lists(st.integers(-100, 100), max_size=30), st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_parallel_map(self, xs, grain):
+        expected = [x * 2 + 1 for x in xs]
+        for name, ex in backends():
+            rt = ParallelTaskRuntime(ex)
+            assert parallel_map(rt, lambda v: v * 2 + 1, xs, grain=grain) == expected, name
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=25), st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_parallel_reduce(self, xs, grain):
+        for name, ex in backends():
+            rt = ParallelTaskRuntime(ex)
+            assert parallel_reduce(rt, operator.add, xs, identity=0, grain=grain) == sum(xs), name
+
+
+class TestPyjamaEquivalence:
+    @given(
+        st.lists(st.integers(-100, 100), max_size=30),
+        st.sampled_from(["static", "dynamic", "guided"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_parallel_for_reduction(self, xs, schedule):
+        for name, ex in backends():
+            omp = Pyjama(ex, num_threads=4)
+            assert omp.parallel_for(xs, lambda v: v, schedule=schedule, reduction="+") == sum(
+                xs
+            ), name
+
+    @given(st.lists(st.text(max_size=3), max_size=20))
+    @settings(max_examples=10, deadline=None)
+    def test_object_reduction_counter(self, words):
+        expected = {}
+        for w in words:
+            expected[w] = expected.get(w, 0) + 1
+        for name, ex in backends():
+            omp = Pyjama(ex, num_threads=3)
+            assert omp.parallel_for(words, lambda w: w, reduction="counter") == expected, name
+
+
+class TestAppEquivalence:
+    @given(st.lists(st.integers(-1000, 1000), max_size=120))
+    @settings(max_examples=10, deadline=None)
+    def test_quicksort_all_variants_all_backends(self, xs):
+        expected = sorted(xs)
+        for name, ex in backends():
+            for variant in ("sequential", "ptask", "pyjama", "threads"):
+                assert quicksort(ex, xs, variant=variant, cutoff=16) == expected, (name, variant)

@@ -1,0 +1,111 @@
+"""Integration: the GUI projects on real threads with a real EDT.
+
+These are the end-to-end flows the student projects demo'd: background
+work on the pool, interim results flowing through the notify path onto
+EDT-confined widgets, and the UI staying serviceable throughout.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps import make_image_folder, make_pdf_corpus, make_text_corpus
+from repro.apps.images import ThumbnailRenderer
+from repro.apps.pdfsearch import PdfSearcher
+from repro.apps.textsearch import FolderSearch
+from repro.executor import WorkStealingPool
+from repro.gui import EventDispatchThread, Window
+
+
+@pytest.fixture
+def edt():
+    e = EventDispatchThread("itest-edt")
+    yield e
+    e.stop()
+
+
+@pytest.fixture
+def pool():
+    p = WorkStealingPool(workers=4, name="itest-pool")
+    yield p
+    p.shutdown()
+
+
+class TestThumbnailApp:
+    def test_interim_updates_land_on_edt_widgets(self, edt, pool):
+        images = make_image_folder(10, seed=1, max_side=48)
+        window = Window(edt, "thumbs")
+        listview = window.list_view()
+        progress = window.progress_bar(len(images))
+
+        def show(thumb):
+            listview.add_item(thumb.name)
+            progress.increment()
+
+        renderer = ThumbnailRenderer(pool, target_side=8, on_thumbnail=show, edt=edt)
+        thumbs = renderer.render(images, strategy="ptask")
+        edt.drain()
+
+        assert len(thumbs) == 10
+        assert sorted(listview.items) == sorted(img.name for img in images)
+        assert progress.complete
+        # every widget mutation went through the EDT (no confinement error
+        # was raised during the run, and the history is fully populated)
+        assert listview.update_count == 10
+
+    def test_updates_off_edt_rejected(self, edt, pool):
+        """Forgetting edt= is the classic bug: confinement catches it."""
+        from repro.gui.widgets import ThreadConfinementError
+
+        images = make_image_folder(3, seed=2, max_side=32)
+        window = Window(edt, "thumbs")
+        listview = window.list_view()
+
+        renderer = ThumbnailRenderer(
+            pool, target_side=8, on_thumbnail=lambda t: listview.add_item(t.name), edt=None
+        )
+        mt = renderer.runtime.spawn_multi(renderer._scale_one, list(images))
+        excs = mt.exceptions()
+        assert any(isinstance(e, ThreadConfinementError) for e in excs)
+
+
+class TestSearchApps:
+    def test_folder_search_streams_to_listview(self, edt, pool):
+        corpus = make_text_corpus(12, seed=3, hit_rate=0.05)
+        window = Window(edt, "search")
+        results_view = window.list_view("hits")
+
+        searcher = FolderSearch(pool, on_match=lambda m: results_view.add_item(str(m)), edt=edt)
+        matches = searcher.search(corpus)
+        edt.drain()
+
+        assert len(results_view.items) == len(matches) > 0
+        # UI remained serviceable during the search
+        assert edt.invoke_and_wait(lambda: "alive") == "alive"
+
+    def test_pdf_search_interim_hits(self, edt, pool):
+        corpus = make_pdf_corpus(5, seed=4, pages_per_doc=(2, 12), hit_rate=0.05)
+        window = Window(edt, "pdf")
+        hits_view = window.list_view("hits")
+
+        searcher = PdfSearcher(pool, on_hit=lambda h: hits_view.add_item(h.path), edt=edt)
+        hits = searcher.search(corpus, granularity="per_page")
+        edt.drain()
+        assert len(hits_view.items) == len(hits)
+
+
+class TestResponsivenessUnderLoad:
+    def test_clicks_serviced_while_pool_renders(self, edt):
+        """Wall-clock version of the responsiveness claim."""
+        with WorkStealingPool(workers=2, compute_mode="sleep", time_scale=1.0, name="busy") as pool:
+            # background jobs occupying the pool for ~0.3s
+            jobs = [pool.submit(pool.compute, 0.15) for _ in range(4)]
+            worst = 0.0
+            while not all(j.done() for j in jobs):
+                t0 = time.monotonic()
+                edt.invoke_and_wait(lambda: None)
+                worst = max(worst, time.monotonic() - t0)
+                time.sleep(0.01)
+            pool.wait_all(jobs)
+        assert worst < 0.2  # the EDT never waited on the pool's work

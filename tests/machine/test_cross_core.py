@@ -1,0 +1,68 @@
+"""Tests for the cross-core communication penalty in the machine model."""
+
+import pytest
+
+from repro.machine import MachineSpec, SegmentGraph, simulate_schedule
+
+
+def machine(cores, penalty):
+    return MachineSpec(
+        name="m", cores=cores, dispatch_overhead=0.0, cross_core_penalty=penalty
+    )
+
+
+def chain(n, cost=1.0):
+    g = SegmentGraph()
+    prev = None
+    for i in range(n):
+        prev = g.add(0, f"s{i}", cost, deps=[prev.sid] if prev else [])
+    return g
+
+
+class TestPenaltySemantics:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            machine(2, -1.0)
+
+    def test_single_core_never_pays(self):
+        g = chain(5)
+        base = simulate_schedule(g, machine(1, 0.0)).makespan
+        with_penalty = simulate_schedule(g, machine(1, 0.5)).makespan
+        assert with_penalty == pytest.approx(base)
+
+    def test_chain_on_one_core_pays_nothing_under_affinity(self):
+        g = chain(6)
+        r = simulate_schedule(g, machine(4, 0.5), policy="affinity")
+        assert len(set(r.cores)) == 1  # stayed put
+        assert r.makespan == pytest.approx(6.0)
+
+    def test_forced_migration_pays(self):
+        """Two independent producers feeding one consumer: at least one
+        producer ran elsewhere, so the consumer pays at least once."""
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        b = g.add(1, "b", 1.0)
+        g.add(2, "c", 1.0, deps=[a.sid, b.sid])
+        r = simulate_schedule(g, machine(2, 0.25))
+        assert r.makespan == pytest.approx(1.0 + 1.0 + 0.25)
+
+    def test_zero_cost_deps_transfer_free(self):
+        """Bookkeeping segments (spawn/join markers) carry no data."""
+        g = SegmentGraph()
+        marker = g.add(0, "spawn", 0.0)
+        g.add(1, "w1", 1.0, deps=[marker.sid])
+        g.add(2, "w2", 1.0, deps=[marker.sid])
+        r = simulate_schedule(g, machine(2, 0.5))
+        assert r.makespan == pytest.approx(1.0)
+
+    def test_affinity_beats_earliest_under_penalty(self):
+        """Two interleaved chains on two cores with staggered costs."""
+        g = SegmentGraph()
+        for c, cost in enumerate((1.0, 1.5, 0.7)):
+            prev = None
+            for _ in range(4):
+                prev = g.add(c, "s", cost, deps=[prev.sid] if prev else [])
+        m = machine(2, 0.6)
+        t_earliest = simulate_schedule(g, m, policy="earliest").makespan
+        t_affinity = simulate_schedule(g, m, policy="affinity").makespan
+        assert t_affinity <= t_earliest

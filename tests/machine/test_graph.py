@@ -1,0 +1,141 @@
+"""Tests for segment graphs (work/span, topology, forward edges)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.graph import SegmentGraph
+
+
+def chain(costs):
+    g = SegmentGraph()
+    prev = None
+    for i, c in enumerate(costs):
+        seg = g.add(task_id=0, name=f"s{i}", cost=c, deps=[prev.sid] if prev else [])
+        prev = seg
+    return g
+
+
+class TestConstruction:
+    def test_add_assigns_sequential_ids(self):
+        g = SegmentGraph()
+        assert g.add(0, "a", 1.0).sid == 0
+        assert g.add(0, "b", 1.0).sid == 1
+        assert len(g) == 2
+
+    def test_negative_cost_rejected(self):
+        g = SegmentGraph()
+        with pytest.raises(ValueError):
+            g.add(0, "a", -1.0)
+
+    def test_dep_on_future_segment_rejected_at_add(self):
+        g = SegmentGraph()
+        with pytest.raises(ValueError):
+            g.add(0, "a", 1.0, deps=[5])
+
+    def test_add_cost_accumulates(self):
+        g = SegmentGraph()
+        s = g.add(0, "a", 1.0)
+        g.add_cost(s.sid, 2.5)
+        assert g[s.sid].cost == 3.5
+
+    def test_add_cost_negative_rejected(self):
+        g = SegmentGraph()
+        s = g.add(0, "a", 1.0)
+        with pytest.raises(ValueError):
+            g.add_cost(s.sid, -0.5)
+
+    def test_add_dep_forward_edge_allowed(self):
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        b = g.add(1, "b", 1.0)
+        g.add_dep(a.sid, b.sid)  # forward edge: a depends on b
+        assert b.sid in g[a.sid].deps
+        g.validate()  # still acyclic
+
+    def test_add_dep_self_rejected(self):
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        with pytest.raises(ValueError):
+            g.add_dep(a.sid, a.sid)
+
+    def test_add_dep_deduplicates(self):
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        b = g.add(0, "b", 1.0, deps=[a.sid])
+        g.add_dep(b.sid, a.sid)
+        assert g[b.sid].deps.count(a.sid) == 1
+
+    def test_cycle_detected(self):
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        b = g.add(0, "b", 1.0, deps=[a.sid])
+        g.add_dep(a.sid, b.sid)  # creates a <-> b cycle
+        with pytest.raises(ValueError, match="cycle"):
+            g.validate()
+
+
+class TestWorkSpan:
+    def test_chain_span_equals_work(self):
+        g = chain([1.0, 2.0, 3.0])
+        assert g.total_work() == 6.0
+        assert g.critical_path() == 6.0
+        assert g.parallelism() == pytest.approx(1.0)
+
+    def test_independent_segments_span_is_max(self):
+        g = SegmentGraph()
+        for c in [1.0, 5.0, 2.0]:
+            g.add(0, "s", c)
+        assert g.total_work() == 8.0
+        assert g.critical_path() == 5.0
+        assert g.parallelism() == pytest.approx(8.0 / 5.0)
+
+    def test_diamond(self):
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        b = g.add(1, "b", 2.0, deps=[a.sid])
+        c = g.add(2, "c", 4.0, deps=[a.sid])
+        g.add(0, "d", 1.0, deps=[b.sid, c.sid])
+        assert g.total_work() == 8.0
+        assert g.critical_path() == 6.0  # a -> c -> d
+
+    def test_empty_graph(self):
+        g = SegmentGraph()
+        assert g.total_work() == 0.0
+        assert g.critical_path() == 0.0
+        assert g.parallelism() == 1.0
+
+    def test_zero_cost_work_parallelism_inf(self):
+        g = SegmentGraph()
+        g.add(0, "a", 1.0)
+        g.add(0, "b", 0.0)
+        # span from the 1-cost segment
+        assert g.critical_path() == 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30))
+    def test_span_never_exceeds_work(self, costs):
+        g = SegmentGraph()
+        for c in costs:
+            g.add(0, "s", c)
+        assert g.critical_path() <= g.total_work() + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=30))
+    def test_chain_parallelism_is_one(self, costs):
+        g = chain(costs)
+        assert g.parallelism() == pytest.approx(1.0)
+
+
+class TestTopologicalOrder:
+    def test_respects_deps(self):
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        b = g.add(0, "b", 1.0)
+        g.add_dep(a.sid, b.sid)  # a after b
+        order = g.topological_order()
+        assert order.index(b.sid) < order.index(a.sid)
+
+    def test_complete_order(self):
+        g = SegmentGraph()
+        for i in range(10):
+            g.add(0, f"s{i}", 1.0)
+        assert sorted(g.topological_order()) == list(range(10))

@@ -1,0 +1,170 @@
+"""Tests for the greedy list scheduler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import MachineSpec, SegmentGraph, simulate_schedule
+
+
+def machine(cores, **kw):
+    kw.setdefault("dispatch_overhead", 0.0)
+    return MachineSpec(name=f"m{cores}", cores=cores, **kw)
+
+
+def independent(costs):
+    g = SegmentGraph()
+    for i, c in enumerate(costs):
+        g.add(task_id=i, name=f"s{i}", cost=c)
+    return g
+
+
+class TestBasicScheduling:
+    def test_empty_graph(self):
+        r = simulate_schedule(SegmentGraph(), machine(4))
+        assert r.makespan == 0.0
+        assert r.n_segments == 0
+
+    def test_single_segment(self):
+        g = independent([2.0])
+        r = simulate_schedule(g, machine(4))
+        assert r.makespan == 2.0
+
+    def test_perfect_split(self):
+        g = independent([1.0] * 8)
+        r = simulate_schedule(g, machine(4))
+        assert r.makespan == pytest.approx(2.0)
+        assert r.speedup_vs_serial == pytest.approx(4.0)
+        assert r.utilization == pytest.approx(1.0)
+
+    def test_serial_chain_no_speedup(self):
+        g = SegmentGraph()
+        prev = None
+        for i in range(5):
+            prev = g.add(0, f"s{i}", 1.0, deps=[prev.sid] if prev else [])
+        r = simulate_schedule(g, machine(8))
+        assert r.makespan == pytest.approx(5.0)
+        assert r.speedup_vs_serial == pytest.approx(1.0)
+
+    def test_one_core_serialises(self):
+        g = independent([1.0, 2.0, 3.0])
+        r = simulate_schedule(g, machine(1))
+        assert r.makespan == pytest.approx(6.0)
+
+    def test_speed_scales_makespan(self):
+        g = independent([4.0])
+        r = simulate_schedule(g, machine(1, speed=2.0))
+        assert r.makespan == pytest.approx(2.0)
+
+    def test_dispatch_overhead_charged_per_segment(self):
+        g = independent([1.0, 1.0])
+        m = MachineSpec(name="m", cores=1, dispatch_overhead=0.5)
+        r = simulate_schedule(g, m)
+        assert r.makespan == pytest.approx(3.0)
+
+    def test_zero_cost_segments_free(self):
+        g = SegmentGraph()
+        g.add(0, "z", 0.0)
+        m = MachineSpec(name="m", cores=1, dispatch_overhead=0.5)
+        r = simulate_schedule(g, m)
+        assert r.makespan == 0.0
+
+
+class TestDependencies:
+    def test_diamond_honours_precedence(self):
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        b = g.add(1, "b", 2.0, deps=[a.sid])
+        c = g.add(2, "c", 2.0, deps=[a.sid])
+        d = g.add(0, "d", 1.0, deps=[b.sid, c.sid])
+        r = simulate_schedule(g, machine(4))
+        assert r.makespan == pytest.approx(4.0)  # 1 + 2 (parallel) + 1
+        # starts respect finishes of deps
+        assert r.starts[b.sid] >= r.finishes[a.sid]
+        assert r.starts[d.sid] >= max(r.finishes[b.sid], r.finishes[c.sid])
+
+    def test_forward_dep_schedules_correctly(self):
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        b = g.add(1, "b", 1.0)
+        g.add_dep(a.sid, b.sid)
+        r = simulate_schedule(g, machine(2))
+        assert r.starts[a.sid] >= r.finishes[b.sid]
+
+    def test_cycle_raises(self):
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        b = g.add(0, "b", 1.0, deps=[a.sid])
+        g.add_dep(a.sid, b.sid)
+        with pytest.raises((RuntimeError, ValueError)):
+            simulate_schedule(g, machine(2))
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_schedule(SegmentGraph(), machine(2), policy="magic")
+
+    def test_affinity_prefers_dep_core(self):
+        g = SegmentGraph()
+        a = g.add(0, "a", 1.0)
+        b = g.add(0, "b", 1.0, deps=[a.sid])
+        r = simulate_schedule(g, machine(4), policy="affinity")
+        assert r.cores[a.sid] == r.cores[b.sid]
+
+    def test_both_policies_valid_schedules(self):
+        g = SegmentGraph()
+        roots = [g.add(i, f"r{i}", 1.0) for i in range(4)]
+        for i, root in enumerate(roots):
+            g.add(i, f"c{i}", 2.0, deps=[root.sid])
+        for policy in ("earliest", "affinity"):
+            r = simulate_schedule(g, machine(4), policy=policy)
+            for seg in g:
+                for d in seg.deps:
+                    assert r.starts[seg.sid] >= r.finishes[d] - 1e-12
+
+
+class TestInvariants:
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_makespan_bounds(self, costs, cores):
+        """Greedy schedule: span <= makespan <= work; 2-approx bound."""
+        g = independent(costs)
+        r = simulate_schedule(g, machine(cores))
+        work = sum(costs)
+        assert r.makespan >= max(costs) - 1e-9  # at least the longest segment
+        assert r.makespan <= work + 1e-9  # never worse than serial
+        # Graham bound for independent tasks: makespan <= work/p + max
+        assert r.makespan <= work / cores + max(costs) + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_no_core_overlap(self, costs, cores):
+        g = independent(costs)
+        r = simulate_schedule(g, machine(cores))
+        by_core: dict[int, list[tuple[float, float]]] = {}
+        for sid in range(len(costs)):
+            by_core.setdefault(r.cores[sid], []).append((r.starts[sid], r.finishes[sid]))
+        for intervals in by_core.values():
+            intervals.sort()
+            for (s1, f1), (s2, _f2) in zip(intervals, intervals[1:]):
+                assert s2 >= f1 - 1e-9
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_monotone_in_cores(self, cores):
+        """More cores never hurts for independent equal tasks."""
+        g = independent([1.0] * 32)
+        r1 = simulate_schedule(g, machine(cores))
+        r2 = simulate_schedule(g, machine(cores + 1))
+        assert r2.makespan <= r1.makespan + 1e-9
+
+    def test_deterministic(self):
+        g = independent([0.3, 1.7, 0.9, 2.2, 1.1])
+        a = simulate_schedule(g, machine(3))
+        b = simulate_schedule(g, machine(3))
+        assert a.starts == b.starts
+        assert a.cores == b.cores

@@ -1,0 +1,70 @@
+"""Tests for machine specifications and the PARC catalogue."""
+
+import pytest
+
+from repro.machine import PARC8, PARC16, PARC64, PARC_MACHINES, MachineSpec
+
+
+class TestMachineSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", cores=0)
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", cores=1, speed=0.0)
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", cores=1, dispatch_overhead=-1)
+
+    def test_segment_duration_scales_with_speed(self):
+        fast = MachineSpec(name="fast", cores=1, speed=2.0)
+        slow = MachineSpec(name="slow", cores=1, speed=0.5)
+        assert fast.segment_duration(1.0) == 0.5
+        assert slow.segment_duration(1.0) == 2.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            PARC64.segment_duration(-1.0)
+
+    def test_bandwidth_penalty(self):
+        m = MachineSpec(name="m", cores=4, memory_bandwidth_penalty=0.1)
+        assert m.segment_duration(1.0, concurrency=1) == 1.0
+        assert m.segment_duration(1.0, concurrency=3) == pytest.approx(1.2)
+
+    def test_bandwidth_penalty_capped_at_2x(self):
+        m = MachineSpec(name="m", cores=64, memory_bandwidth_penalty=0.1)
+        assert m.segment_duration(1.0, concurrency=64) == pytest.approx(2.0)
+
+    def test_with_cores(self):
+        m = PARC64.with_cores(4)
+        assert m.cores == 4
+        assert m.speed == PARC64.speed
+        assert "4c" in m.name
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PARC64.cores = 128  # type: ignore[misc]
+
+
+class TestParcCatalogue:
+    """The catalogue mirrors the paper's §III-B systems list."""
+
+    def test_paper_core_counts(self):
+        assert PARC64.cores == 64
+        assert PARC16.cores == 16
+        assert PARC8.cores == 8
+
+    def test_catalogue_complete(self):
+        names = set(PARC_MACHINES)
+        assert {"parc64", "parc16", "parc8", "lab-quad", "android-tablet", "android-phone"} <= names
+
+    def test_opteron_is_reference_speed(self):
+        assert PARC64.speed == 1.0
+
+    def test_relative_clocks(self):
+        # 2.4 GHz Xeon vs 2.1 GHz Opteron; 1.86 GHz Xeon is slower.
+        assert PARC16.speed > 1.0
+        assert PARC8.speed < 1.0
+
+    def test_descriptions_mention_hardware(self):
+        assert "Opteron" in PARC64.description
+        assert "Xeon" in PARC16.description
+        assert "Xeon" in PARC8.description

@@ -1,0 +1,175 @@
+"""Tests for exhaustive exploration under the three memory models."""
+
+import pytest
+
+from repro.memmodel import SNIPPETS, Program, explore, load, random_runs, store
+from repro.memmodel.interpreter import Interpreter
+from repro.memmodel.program import exit_unless as exit_unless_stub
+
+
+def joint_regs(result, pairs):
+    """Is there an outcome where every (tid, reg) == value holds at once?"""
+    return any(
+        not o.deadlocked and all(o.reg(t, r) == v for (t, r), v in pairs.items())
+        for o in result.outcomes
+    )
+
+
+class TestBasics:
+    def test_single_thread_deterministic(self):
+        p = Program(shared={"x": 0}, threads=[[store("x", 5), load("r", "x")]])
+        res = explore(p, "sc")
+        assert len(res.outcomes) == 1
+        out = next(iter(res.outcomes))
+        assert out.get("x") == 5
+        assert out.reg(0, "r") == 5
+
+    def test_unknown_model_rejected(self):
+        p = Program(shared={"x": 0}, threads=[[store("x", 1)]])
+        with pytest.raises(ValueError):
+            Interpreter(p, "weird")
+
+    def test_max_states_guard(self):
+        big = Program(
+            shared={f"v{i}": 0 for i in range(6)},
+            threads=[[store(f"v{i}", 1) for i in range(6)] for _ in range(3)],
+        )
+        with pytest.raises(RuntimeError, match="max_states"):
+            explore(big, "relaxed", max_states=50)
+
+    def test_models_agree_on_race_free_program(self):
+        p = SNIPPETS["lost_update_locked"].program
+        for model in ("sc", "tso", "relaxed"):
+            res = explore(p, model)
+            assert res.shared_values("x") == {2}, model
+
+
+class TestLostUpdate:
+    def test_sc_allows_lost_update(self):
+        res = explore(SNIPPETS["lost_update"].program, "sc")
+        assert res.shared_values("x") == {1, 2}
+
+    def test_lock_fixes_it(self):
+        res = explore(SNIPPETS["lost_update_locked"].program, "sc")
+        assert res.shared_values("x") == {2}
+        assert not res.has_deadlock
+
+    def test_frequencies_show_both(self):
+        counts, _ = random_runs(SNIPPETS["lost_update"].program, "sc", runs=300, seed=1)
+        values = {o.get("x") for o in counts}
+        assert values == {1, 2}
+
+
+class TestAtomicAdd:
+    def test_atomic_counter_always_exact(self):
+        for model in ("sc", "tso", "relaxed"):
+            res = explore(SNIPPETS["lost_update_atomic"].program, model)
+            assert res.shared_values("x") == {2}, model
+
+    def test_atomic_add_drains_buffer(self):
+        """An atomic RMW publishes the thread's buffered stores first."""
+        from repro.memmodel import atomic_add, load, store
+
+        p = Program(
+            shared={"x": 0, "y": 0},
+            threads=[
+                [store("y", 7), atomic_add("x", 1)],
+                [load("rx", "x"), exit_unless_stub("rx", 1), load("ry", "y")],
+            ],
+        )
+        # under tso: if reader saw x==1, y's buffered store must be visible
+        res = explore(p, "tso")
+        assert not any(
+            not o.deadlocked and o.reg(1, "rx") == 1 and o.reg(1, "ry") == 0
+            for o in res.outcomes
+        )
+
+
+class TestStoreBuffering:
+    BOTH_ZERO = {(0, "r0"): 0, (1, "r1"): 0}
+
+    def test_sc_forbids_both_zero(self):
+        res = explore(SNIPPETS["store_buffering"].program, "sc")
+        assert not joint_regs(res, self.BOTH_ZERO)
+
+    def test_tso_allows_both_zero(self):
+        res = explore(SNIPPETS["store_buffering"].program, "tso")
+        assert joint_regs(res, self.BOTH_ZERO)
+
+    def test_fence_restores_sc(self):
+        res = explore(SNIPPETS["store_buffering_fenced"].program, "tso")
+        assert not joint_regs(res, self.BOTH_ZERO)
+
+    def test_relaxed_also_allows(self):
+        res = explore(SNIPPETS["store_buffering"].program, "relaxed")
+        assert joint_regs(res, self.BOTH_ZERO)
+
+
+class TestMessagePassing:
+    STALE = {(1, "rf"): 1, (1, "rd"): 0}  # flag seen, data stale
+
+    def test_sc_forbids_stale_read(self):
+        res = explore(SNIPPETS["message_passing"].program, "sc")
+        assert not joint_regs(res, self.STALE)
+
+    def test_tso_forbids_stale_read(self):
+        """FIFO buffers preserve store order: MP is safe under TSO."""
+        res = explore(SNIPPETS["message_passing"].program, "tso")
+        assert not joint_regs(res, self.STALE)
+
+    def test_relaxed_allows_stale_read(self):
+        res = explore(SNIPPETS["message_passing"].program, "relaxed")
+        assert joint_regs(res, self.STALE)
+
+    def test_volatile_fixes_relaxed(self):
+        res = explore(SNIPPETS["message_passing_volatile"].program, "relaxed")
+        assert not joint_regs(res, self.STALE)
+
+
+class TestDirtyPublication:
+    HALF_BUILT = {(1, "rref"): 1, (1, "ra"): 0}
+
+    def test_relaxed_exposes_half_built_object(self):
+        res = explore(SNIPPETS["dirty_publication"].program, "relaxed")
+        assert joint_regs(res, self.HALF_BUILT)
+
+    def test_volatile_publication_safe(self):
+        res = explore(SNIPPETS["dirty_publication_volatile"].program, "relaxed")
+        assert not joint_regs(res, self.HALF_BUILT)
+
+
+class TestDeadlock:
+    def test_abba_deadlocks(self):
+        res = explore(SNIPPETS["deadlock_abba"].program, "sc")
+        assert res.has_deadlock
+        # and some interleavings complete fine — that's why it's insidious
+        assert any(not o.deadlocked for o in res.outcomes)
+
+    def test_ordered_never_deadlocks(self):
+        res = explore(SNIPPETS["deadlock_ordered"].program, "sc")
+        assert not res.has_deadlock
+        assert res.shared_values("x") == {2}
+
+    def test_deadlock_frequency_sampled(self):
+        counts, _ = random_runs(SNIPPETS["deadlock_abba"].program, "sc", runs=200, seed=3)
+        assert any(o.deadlocked for o in counts)
+
+
+class TestModelHierarchy:
+    """Weaker models allow a superset of outcomes."""
+
+    @pytest.mark.parametrize(
+        "name", ["lost_update", "store_buffering", "message_passing", "dirty_publication"]
+    )
+    def test_outcome_sets_nest(self, name):
+        p = SNIPPETS[name].program
+        sc = explore(p, "sc").outcomes
+        tso = explore(p, "tso").outcomes
+        relaxed = explore(p, "relaxed").outcomes
+        assert sc <= tso <= relaxed
+
+    def test_determinism(self):
+        a = explore(SNIPPETS["store_buffering"].program, "tso")
+        b = explore(SNIPPETS["store_buffering"].program, "tso")
+        assert a.outcomes == b.outcomes
+        assert a.states_explored == b.states_explored

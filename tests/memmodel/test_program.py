@@ -1,0 +1,49 @@
+"""Tests for the thread-program DSL."""
+
+import pytest
+
+from repro.memmodel import Program, add, fence, load, lock, store, unlock
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            Program(shared={}, threads=[])
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValueError, match="unknown shared variable"):
+            Program(shared={"x": 0}, threads=[[load("r", "y")]])
+
+    def test_unbalanced_lock_rejected(self):
+        with pytest.raises(ValueError, match="never released"):
+            Program(shared={"x": 0}, threads=[[lock("m"), store("x", 1)]])
+
+    def test_unlock_unheld_rejected(self):
+        with pytest.raises(ValueError, match="unheld"):
+            Program(shared={"x": 0}, threads=[[unlock("m")]])
+
+    def test_relock_rejected(self):
+        with pytest.raises(ValueError, match="relock"):
+            Program(shared={"x": 0}, threads=[[lock("m"), lock("m"), unlock("m"), unlock("m")]])
+
+    def test_valid_program(self):
+        p = Program(
+            shared={"x": 0},
+            threads=[[lock("m"), load("r", "x"), add("r", 1), store("x", "r"), unlock("m")]],
+        )
+        assert p.n_threads == 1
+        assert p.total_instructions() == 5
+
+
+class TestStringForms:
+    def test_instruction_str(self):
+        assert str(load("r", "x")) == "r = read(x)"
+        assert str(store("x", 1)) == "write(x, 1)"
+        assert str(add("r", 1)) == "r += 1"
+        assert str(fence()) == "fence"
+        assert str(lock("m")) == "lock(m)"
+
+    def test_program_str(self):
+        p = Program(shared={"x": 0}, threads=[[store("x", 1)]], name="demo")
+        s = str(p)
+        assert "demo" in s and "thread 0" in s

@@ -1,0 +1,162 @@
+"""Tests for the vector-clock race detector."""
+
+import pytest
+
+from repro.memmodel import SNIPPETS, RaceDetector, detect_races, random_runs
+from repro.memmodel.interpreter import TraceEvent
+from repro.memmodel.races import VectorClock
+
+
+def traces_of(snippet_name, model="sc", runs=50, seed=0):
+    _counts, traces = random_runs(
+        SNIPPETS[snippet_name].program, model, runs=runs, seed=seed, collect_traces=True
+    )
+    return traces
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        vc = VectorClock()
+        assert vc.get(0) == 0
+        vc.tick(0)
+        assert vc.get(0) == 1
+
+    def test_join_takes_max(self):
+        a = VectorClock({0: 3, 1: 1})
+        b = VectorClock({1: 5})
+        a.join(b)
+        assert a.get(0) == 3 and a.get(1) == 5
+
+    def test_happens_before(self):
+        a = VectorClock({0: 1})
+        b = VectorClock({0: 2, 1: 1})
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_incomparable(self):
+        a = VectorClock({0: 2})
+        b = VectorClock({1: 2})
+        assert not a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({0: 1})
+        b = a.copy()
+        b.tick(0)
+        assert a.get(0) == 1
+
+
+class TestDetectorPrimitives:
+    def test_write_write_race(self):
+        det = RaceDetector()
+        det.observe(TraceEvent(0, "write", "x"))
+        det.observe(TraceEvent(1, "write", "x"))
+        assert det.racy
+        assert det.racy_variables() == {"x"}
+
+    def test_write_read_race(self):
+        det = RaceDetector()
+        det.observe(TraceEvent(0, "write", "x"))
+        det.observe(TraceEvent(1, "read", "x"))
+        assert det.racy
+
+    def test_read_read_no_race(self):
+        det = RaceDetector()
+        det.observe(TraceEvent(0, "read", "x"))
+        det.observe(TraceEvent(1, "read", "x"))
+        assert not det.racy
+
+    def test_same_thread_no_race(self):
+        det = RaceDetector()
+        det.observe(TraceEvent(0, "write", "x"))
+        det.observe(TraceEvent(0, "write", "x"))
+        det.observe(TraceEvent(0, "read", "x"))
+        assert not det.racy
+
+    def test_lock_orders_accesses(self):
+        det = RaceDetector()
+        det.observe(TraceEvent(0, "lock", "m"))
+        det.observe(TraceEvent(0, "write", "x"))
+        det.observe(TraceEvent(0, "unlock", "m"))
+        det.observe(TraceEvent(1, "lock", "m"))
+        det.observe(TraceEvent(1, "write", "x"))
+        det.observe(TraceEvent(1, "unlock", "m"))
+        assert not det.racy
+
+    def test_unrelated_locks_do_not_order(self):
+        det = RaceDetector()
+        det.observe(TraceEvent(0, "lock", "a"))
+        det.observe(TraceEvent(0, "write", "x"))
+        det.observe(TraceEvent(0, "unlock", "a"))
+        det.observe(TraceEvent(1, "lock", "b"))
+        det.observe(TraceEvent(1, "write", "x"))
+        det.observe(TraceEvent(1, "unlock", "b"))
+        assert det.racy
+
+    def test_volatile_release_acquire_orders(self):
+        det = RaceDetector()
+        det.observe(TraceEvent(0, "write", "data"))
+        det.observe(TraceEvent(0, "vwrite", "flag"))
+        det.observe(TraceEvent(1, "vread", "flag"))
+        det.observe(TraceEvent(1, "read", "data"))
+        assert not det.racy
+
+    def test_plain_flag_does_not_order(self):
+        det = RaceDetector()
+        det.observe(TraceEvent(0, "write", "data"))
+        det.observe(TraceEvent(0, "write", "flag"))
+        det.observe(TraceEvent(1, "read", "flag"))
+        det.observe(TraceEvent(1, "read", "data"))
+        assert det.racy
+        assert {"data", "flag"} & det.racy_variables()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RaceDetector().observe(TraceEvent(0, "teleport", "x"))
+
+
+class TestDetectorOnSnippets:
+    """The project-8 story: buggy snippets race, fixed ones don't."""
+
+    def test_lost_update_races(self):
+        races = detect_races(traces_of("lost_update"))
+        assert any(r.var == "x" for r in races)
+
+    def test_locked_counter_race_free(self):
+        assert detect_races(traces_of("lost_update_locked")) == []
+
+    def test_message_passing_races(self):
+        races = detect_races(traces_of("message_passing"))
+        assert any(r.var == "data" for r in races)
+
+    def test_volatile_message_passing_race_free(self):
+        assert detect_races(traces_of("message_passing_volatile")) == []
+
+    def test_dirty_publication_races(self):
+        assert detect_races(traces_of("dirty_publication")) != []
+
+    def test_volatile_publication_race_free(self):
+        assert detect_races(traces_of("dirty_publication_volatile")) == []
+
+    def test_racy_flag_matches_detector(self):
+        """Snippet metadata agrees with the detector for every snippet.
+
+        Note this checks ``racy``, not ``buggy``: store_buffering_fenced
+        is outcome-correct yet formally racy, and the deadlock snippets
+        are buggy without racing — the distinction is the lesson.
+        """
+        for name, snippet in SNIPPETS.items():
+            races = detect_races(traces_of(name, runs=80, seed=11))
+            if snippet.racy:
+                assert races, f"{name} should race"
+            else:
+                assert races == [], f"{name} should be race-free"
+
+    def test_fence_fixes_outcome_but_not_race(self):
+        """The headline nuance, pinned explicitly."""
+        fenced = SNIPPETS["store_buffering_fenced"]
+        assert not fenced.buggy and fenced.racy
+        assert detect_races(traces_of("store_buffering_fenced")) != []
+        volatile = SNIPPETS["store_buffering_volatile"]
+        assert not volatile.buggy and not volatile.racy
+        assert detect_races(traces_of("store_buffering_volatile")) == []

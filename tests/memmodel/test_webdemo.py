@@ -1,0 +1,95 @@
+"""Tests for the interactive race-condition web pages (§V-B outcome)."""
+
+import json
+import re
+
+import pytest
+
+from repro.memmodel import SNIPPETS
+from repro.memmodel.webdemo import render_index, render_snippet_page, write_demo_site
+
+
+class TestRenderSnippetPage:
+    def test_page_is_self_contained_html(self):
+        page = render_snippet_page(SNIPPETS["lost_update"])
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<script>" in page and "</script>" in page
+        assert "http://" not in page and "https://" not in page  # no network
+
+    def test_program_instructions_shown(self):
+        page = render_snippet_page(SNIPPETS["lost_update"])
+        assert "r = read(x)" in page
+        assert "write(x, r)" in page
+
+    def test_lesson_and_flags_shown(self):
+        snippet = SNIPPETS["store_buffering_fenced"]
+        page = render_snippet_page(snippet)
+        assert "fences order" in page  # the lesson text
+        assert "<b>buggy:</b> no" in page
+        assert "racy (by happens-before):</b> yes" in page
+
+    def test_schedules_embedded_for_all_models(self):
+        page = render_snippet_page(SNIPPETS["store_buffering"])
+        match = re.search(r"const SCHEDULES = (\{.*?\});\n", page, re.DOTALL)
+        assert match, "SCHEDULES payload missing"
+        schedules = json.loads(match.group(1))
+        assert set(schedules) == {"sc", "tso", "relaxed"}
+        for model, traces in schedules.items():
+            assert "round-robin" in traces
+            assert "thread-0-first" in traces
+            # every step carries a machine state the widget can render
+            for step in traces["round-robin"]:
+                assert {"label", "pcs", "regs", "buffers", "mem"} <= set(step)
+
+    def test_traces_reach_completion(self):
+        page = render_snippet_page(SNIPPETS["message_passing"])
+        schedules = json.loads(re.search(r"const SCHEDULES = (\{.*?\});\n", page, re.DOTALL).group(1))
+        trace = schedules["sc"]["round-robin"]
+        final = trace[-1]
+        lengths = [2, 3]  # producer 2 instrs; consumer 3 (load, guard, load)
+        assert final["pcs"] == lengths
+
+    def test_outcome_sets_listed_per_model(self):
+        page = render_snippet_page(SNIPPETS["lost_update"])
+        assert "<h3>sc (" in page
+        assert "<h3>tso (" in page
+        assert "<h3>relaxed (" in page
+        assert "x=1" in page and "x=2" in page  # both outcomes visible
+
+    def test_deadlock_marked_bad(self):
+        page = render_snippet_page(SNIPPETS["deadlock_abba"])
+        assert 'class="bad"' in page
+        assert "DEADLOCK" in page
+
+    def test_html_escaping(self):
+        # instruction text contains no raw angle brackets, but the guard
+        # against injection should hold for names/lessons regardless
+        page = render_snippet_page(SNIPPETS["message_passing_volatile"])
+        assert "<script>alert" not in page
+
+
+class TestSiteGeneration:
+    def test_write_demo_site(self, tmp_path):
+        paths = write_demo_site(tmp_path, names=["lost_update", "lost_update_locked"])
+        names = {p.name for p in paths}
+        assert names == {"lost_update.html", "lost_update_locked.html", "index.html"}
+        for p in paths:
+            assert p.exists()
+            assert p.stat().st_size > 500
+
+    def test_index_links_every_page(self, tmp_path):
+        write_demo_site(tmp_path)
+        index = (tmp_path / "index.html").read_text()
+        for name in SNIPPETS:
+            assert f'href="{name}.html"' in index
+
+    def test_unknown_snippet_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            write_demo_site(tmp_path, names=["not_a_snippet"])
+
+    def test_full_site_under_a_second_of_content(self, tmp_path):
+        """All eleven pages generate; the biggest stays comfortably small
+        (self-contained does not mean bloated)."""
+        paths = write_demo_site(tmp_path)
+        assert len(paths) == len(SNIPPETS) + 1
+        assert max(p.stat().st_size for p in paths) < 300_000

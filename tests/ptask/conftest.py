@@ -1,0 +1,38 @@
+"""Shared fixtures: every ptask test that can, runs on all three backends."""
+
+import pytest
+
+from repro.executor import InlineExecutor, SimExecutor, WorkStealingPool
+from repro.machine import MachineSpec
+from repro.ptask import ParallelTaskRuntime
+
+
+def _sim_machine():
+    return MachineSpec(name="test4", cores=4, dispatch_overhead=0.0)
+
+
+@pytest.fixture(params=["inline", "sim", "threads"])
+def rt(request):
+    """A ParallelTaskRuntime on each backend."""
+    if request.param == "inline":
+        yield ParallelTaskRuntime(InlineExecutor())
+    elif request.param == "sim":
+        yield ParallelTaskRuntime(SimExecutor(_sim_machine()))
+    else:
+        pool = WorkStealingPool(workers=4, name="ptask-test")
+        yield ParallelTaskRuntime(pool)
+        pool.shutdown()
+
+
+@pytest.fixture
+def sim_rt():
+    """A runtime on the simulated backend only (for timing assertions)."""
+    return ParallelTaskRuntime(SimExecutor(_sim_machine()))
+
+
+@pytest.fixture
+def pool_rt():
+    """A runtime on real threads only (for concurrency assertions)."""
+    pool = WorkStealingPool(workers=4, name="ptask-pool")
+    yield ParallelTaskRuntime(pool)
+    pool.shutdown()

@@ -1,0 +1,66 @@
+"""Tests for task groups."""
+
+import pytest
+
+from repro.ptask import TaskGroup
+
+
+class TestTaskGroup:
+    def test_join_collects_in_add_order(self, rt):
+        g = TaskGroup("g")
+        for i in range(4):
+            g.add(rt.spawn(lambda i=i: i * 2))
+        assert g.join(timeout=5) == [0, 2, 4, 6]
+
+    def test_add_returns_future(self, rt):
+        g = TaskGroup()
+        f = g.add(rt.spawn(lambda: 1))
+        assert f.result(timeout=5) == 1
+
+    def test_extend_and_len(self, rt):
+        g = TaskGroup()
+        g.extend([rt.spawn(lambda: 1), rt.spawn(lambda: 2)])
+        assert len(g) == 2
+
+    def test_join_settled_splits_failures(self, rt):
+        def boom():
+            raise RuntimeError("g")
+
+        g = TaskGroup()
+        g.add(rt.spawn(lambda: 1))
+        g.add(rt.spawn(boom))
+        g.add(rt.spawn(lambda: 3))
+        values, errors = g.join_settled()
+        assert values == [1, 3]
+        assert len(errors) == 1
+        assert isinstance(errors[0], RuntimeError)
+
+    def test_join_raises_first_error(self, rt):
+        def boom():
+            raise KeyError("x")
+
+        g = TaskGroup()
+        g.add(rt.spawn(boom))
+        with pytest.raises(KeyError):
+            g.join(timeout=5)
+
+    def test_done_and_pending(self, rt):
+        g = TaskGroup()
+        g.add(rt.spawn(lambda: 1))
+        g.join(timeout=5)
+        assert g.done()
+        assert g.pending_count() == 0
+
+    def test_on_each_done(self, rt):
+        g = TaskGroup()
+        seen = []
+        for i in range(3):
+            g.add(rt.spawn(lambda i=i: i))
+        g.join(timeout=5)
+        g.on_each_done(lambda f: seen.append(f.result()))
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_empty_group(self):
+        g = TaskGroup()
+        assert g.done()
+        assert g.join() == []

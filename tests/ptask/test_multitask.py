@@ -1,0 +1,85 @@
+"""Tests for multi-task expansion and aggregate futures."""
+
+import operator
+
+import pytest
+
+from repro.ptask.multitask import MultiTaskFuture
+
+
+class TestSpawnMulti:
+    def test_results_in_item_order(self, rt):
+        mt = rt.spawn_multi(lambda x: x * x, [1, 2, 3, 4])
+        assert mt.results(timeout=5) == [1, 4, 9, 16]
+
+    def test_item_and_index(self, rt):
+        mt = rt.spawn_multi(lambda item, i: (i, item), ["a", "b"])
+        assert mt.results(timeout=5) == [(0, "a"), (1, "b")]
+
+    def test_empty_items(self, rt):
+        mt = rt.spawn_multi(lambda x: x, [])
+        assert len(mt) == 0
+        assert mt.results() == []
+        assert mt.done()
+
+    def test_cost_fn(self, sim_rt):
+        mt = sim_rt.spawn_multi(lambda x: x, [3, 1, 2], cost_fn=float)
+        mt.results()
+        # 3+1+2 work units on 4 cores: bounded below by max item
+        assert sim_rt.executor.elapsed() >= 3.0 - 1e-9
+
+    def test_partial_failure(self, rt):
+        def picky(x):
+            if x == 2:
+                raise ValueError("two!")
+            return x
+
+        mt = rt.spawn_multi(picky, [1, 2, 3])
+        excs = mt.exceptions()
+        assert excs[0] is None and excs[2] is None
+        assert isinstance(excs[1], ValueError)
+        assert mt.successful_results() == [1, 3]
+        with pytest.raises(ValueError):
+            mt.results(timeout=5)
+
+    def test_notify_shared_across_subtasks(self, rt):
+        seen = []
+
+        def body(x):
+            rt.publish(x)
+            return x
+
+        mt = rt.spawn_multi(body, [10, 20, 30], notify=seen.append)
+        mt.results(timeout=5)
+        assert sorted(seen) == [10, 20, 30]
+
+
+class TestMultiTaskFuture:
+    def test_progress_counting(self, rt):
+        mt = rt.spawn_multi(lambda x: x, [1, 2, 3])
+        mt.results(timeout=5)
+        assert mt.completed_count() == 3
+        assert mt.done()
+
+    def test_indexing_and_iter(self, rt):
+        mt = rt.spawn_multi(lambda x: x + 1, [0, 1, 2])
+        assert mt[0].result(timeout=5) == 1
+        assert [f.result(timeout=5) for f in mt] == [1, 2, 3]
+
+    def test_reduce(self, rt):
+        mt = rt.spawn_multi(lambda x: x, [1, 2, 3, 4])
+        assert mt.reduce(operator.add) == 10
+        assert mt.reduce(operator.add, initial=100) == 110
+
+    def test_result_alias(self, rt):
+        mt = rt.spawn_multi(lambda x: x, [5])
+        assert mt.result(timeout=5) == [5]
+
+    def test_repr_shows_progress(self):
+        from repro.executor.future import Future
+
+        done = Future("d")
+        done.set_result(1)
+        pending = Future("p")
+        mt = MultiTaskFuture([done, pending], name="m")
+        assert "1/2" in repr(mt)

@@ -1,0 +1,178 @@
+"""Tests for the parallel-patterns library (paper §V-B outcome)."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executor import InlineExecutor, SimExecutor
+from repro.machine import MachineSpec
+from repro.ptask import (
+    ParallelTaskRuntime,
+    divide_and_conquer,
+    parallel_map,
+    parallel_reduce,
+    pipeline,
+    task_farm,
+)
+
+
+def fresh_inline_rt():
+    return ParallelTaskRuntime(InlineExecutor())
+
+
+class TestParallelMap:
+    def test_order_preserved(self, rt):
+        assert parallel_map(rt, lambda x: x * 3, [1, 2, 3]) == [3, 6, 9]
+
+    def test_empty(self, rt):
+        assert parallel_map(rt, lambda x: x, []) == []
+
+    def test_grain_batches(self, rt):
+        out = parallel_map(rt, lambda x: x + 1, list(range(10)), grain=3)
+        assert out == list(range(1, 11))
+
+    def test_grain_validation(self, rt):
+        with pytest.raises(ValueError):
+            parallel_map(rt, lambda x: x, [1], grain=0)
+
+    def test_cost_fn_in_sim(self, sim_rt):
+        parallel_map(sim_rt, lambda x: x, [1.0] * 8, cost_fn=lambda _x: 1.0)
+        assert sim_rt.executor.elapsed() == pytest.approx(2.0)  # 8 units / 4 cores
+
+    @given(st.lists(st.integers(), max_size=30), st.integers(min_value=1, max_value=7))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_sequential_map(self, xs, grain):
+        rt = fresh_inline_rt()
+        assert parallel_map(rt, lambda v: v * v, xs, grain=grain) == [v * v for v in xs]
+
+
+class TestParallelReduce:
+    def test_sum(self, rt):
+        assert parallel_reduce(rt, operator.add, list(range(10)), identity=0) == 45
+
+    def test_no_identity(self, rt):
+        assert parallel_reduce(rt, operator.add, [5, 6, 7]) == 18
+
+    def test_empty_needs_identity(self, rt):
+        with pytest.raises(ValueError):
+            parallel_reduce(rt, operator.add, [])
+        assert parallel_reduce(rt, operator.add, [], identity=0) == 0
+
+    def test_max_reduction(self, rt):
+        assert parallel_reduce(rt, max, [3, 9, 1, 7], grain=2) == 9
+
+    def test_tree_parallelises_in_sim(self, sim_rt):
+        parallel_reduce(
+            sim_rt, operator.add, list(range(16)), identity=0, grain=2, cost_per_item=1.0
+        )
+        t = sim_rt.executor.elapsed()
+        serial = 8 * 2.0 + 7 * 1.0  # leaves + combine nodes on one core
+        assert t < serial  # the tree overlapped work
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_associative_op_matches_fold(self, xs, grain):
+        rt = fresh_inline_rt()
+        assert parallel_reduce(rt, operator.add, xs, identity=0, grain=grain) == sum(xs)
+
+    @given(st.lists(st.sets(st.integers(0, 20)), min_size=1, max_size=15))
+    @settings(max_examples=25, deadline=None)
+    def test_object_reduction_set_union(self, sets):
+        rt = fresh_inline_rt()
+        out = parallel_reduce(rt, operator.or_, sets, identity=set())
+        assert out == set().union(*sets)
+
+
+class TestDivideAndConquer:
+    @staticmethod
+    def dac_sum(rt, xs, spawn_depth=3):
+        return divide_and_conquer(
+            rt,
+            xs,
+            is_base=lambda p: len(p) <= 2,
+            solve_base=sum,
+            divide=lambda p: (p[: len(p) // 2], p[len(p) // 2 :]),
+            combine=lambda _p, parts: sum(parts),
+            spawn_depth=spawn_depth,
+        )
+
+    def test_sum(self, rt):
+        assert self.dac_sum(rt, list(range(64))) == sum(range(64))
+
+    def test_base_case_direct(self, rt):
+        assert self.dac_sum(rt, [1, 2]) == 3
+
+    def test_spawn_depth_zero_goes_sequential(self, rt):
+        assert self.dac_sum(rt, list(range(32)), spawn_depth=0) == sum(range(32))
+
+    def test_sim_speedup(self):
+        def run(cores):
+            ex = SimExecutor(MachineSpec(name="m", cores=cores, dispatch_overhead=0.0))
+            rt = ParallelTaskRuntime(ex)
+            divide_and_conquer(
+                rt,
+                list(range(64)),
+                is_base=lambda p: len(p) <= 4,
+                solve_base=sum,
+                divide=lambda p: (p[: len(p) // 2], p[len(p) // 2 :]),
+                combine=lambda _p, parts: sum(parts),
+                spawn_depth=10,
+                base_cost=lambda p: float(len(p)),
+            )
+            return ex.elapsed()
+
+        assert run(1) > run(8) * 2  # genuine speedup shape
+
+
+class TestPipeline:
+    def test_stages_compose(self, rt):
+        out = pipeline(rt, [lambda x: x + 1, lambda x: x * 2], [1, 2, 3])
+        assert out == [4, 6, 8]
+
+    def test_single_stage(self, rt):
+        assert pipeline(rt, [str], [1, 2]) == ["1", "2"]
+
+    def test_no_stages_rejected(self, rt):
+        with pytest.raises(ValueError):
+            pipeline(rt, [], [1])
+
+    def test_stage_costs_validated(self, rt):
+        with pytest.raises(ValueError):
+            pipeline(rt, [str], [1], stage_costs=[1.0, 2.0])
+
+    def test_pipeline_overlaps_in_sim(self, sim_rt):
+        """3 stages x 6 items: steady-state overlap beats serial."""
+        pipeline(
+            sim_rt,
+            [lambda x: x, lambda x: x, lambda x: x],
+            list(range(6)),
+            stage_costs=[1.0, 1.0, 1.0],
+        )
+        t = sim_rt.executor.elapsed()
+        assert t == pytest.approx(3 + 5, abs=0.5)  # fill + drain, not 18
+        assert t < 18.0
+
+    def test_empty_items(self, rt):
+        assert pipeline(rt, [str], []) == []
+
+
+class TestTaskFarm:
+    def test_results_in_order(self, rt):
+        assert task_farm(rt, lambda x: -x, [1, 2, 3], workers=2) == [-1, -2, -3]
+
+    def test_workers_validation(self, rt):
+        with pytest.raises(ValueError):
+            task_farm(rt, lambda x: x, [1], workers=0)
+
+    def test_lane_serialisation_in_sim(self, sim_rt):
+        """2 lanes x 4 unit items on 4 cores: lanes cap parallelism at 2."""
+        task_farm(sim_rt, lambda x: x, [1] * 4, workers=2, cost_fn=lambda _x: 1.0)
+        assert sim_rt.executor.elapsed() == pytest.approx(2.0)
+
+    def test_more_workers_than_items(self, rt):
+        assert task_farm(rt, lambda x: x, [9], workers=8) == [9]

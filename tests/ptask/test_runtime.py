@@ -1,0 +1,172 @@
+"""Tests for the Parallel Task runtime across all backends."""
+
+import pytest
+
+from repro.executor import SimExecutor
+from repro.machine import MachineSpec
+from repro.ptask import ParallelTaskRuntime
+
+
+class TestSpawn:
+    def test_spawn_returns_future(self, rt):
+        f = rt.spawn(lambda: 7)
+        assert f.result(timeout=5) == 7
+
+    def test_spawn_with_args(self, rt):
+        f = rt.spawn(lambda a, b: a + b, 2, 3)
+        assert f.result(timeout=5) == 5
+
+    def test_spawn_exception(self, rt):
+        def boom():
+            raise ValueError("task error")
+
+        f = rt.spawn(boom)
+        with pytest.raises(ValueError, match="task error"):
+            f.result(timeout=5)
+
+    def test_nested_spawn(self, rt):
+        def outer():
+            return rt.spawn(lambda: 4).result(timeout=5) + 1
+
+        assert rt.spawn(outer).result(timeout=5) == 5
+
+
+class TestTaskDecorator:
+    def test_decorator_plain(self, rt):
+        @rt.task
+        def double(x):
+            return 2 * x
+
+        assert double(5) == 10  # direct call stays synchronous
+        assert double.spawn(5).result(timeout=5) == 10
+
+    def test_decorator_with_cost(self, rt):
+        @rt.task(cost=2.0)
+        def work(x):
+            return x
+
+        assert work.spawn(3).result(timeout=5) == 3
+
+    def test_decorator_with_cost_fn(self, rt):
+        @rt.task(cost=lambda xs: float(len(xs)))
+        def total(xs):
+            return sum(xs)
+
+        assert total.spawn([1, 2, 3]).result(timeout=5) == 6
+
+    def test_cost_fn_drives_sim_time(self):
+        ex = SimExecutor(MachineSpec(name="m1", cores=1, dispatch_overhead=0.0))
+        rt = ParallelTaskRuntime(ex)
+
+        @rt.task(cost=lambda xs: float(len(xs)))
+        def total(xs):
+            return sum(xs)
+
+        total.spawn([1] * 5).result()
+        assert ex.elapsed() == pytest.approx(5.0)
+
+    def test_decorator_preserves_metadata(self, rt):
+        @rt.task
+        def documented(x):
+            """Docstring survives."""
+            return x
+
+        assert documented.__name__ == "documented"
+        assert "survives" in documented.__doc__
+
+
+class TestDependences:
+    def test_depends_on_ordering(self, rt):
+        trace = []
+        f1 = rt.spawn(lambda: trace.append("a"))
+        f2 = rt.spawn(lambda: trace.append("b"), depends_on=[f1])
+        f2.result(timeout=5)
+        assert trace == ["a", "b"]
+
+    def test_depends_on_failure_propagates(self, rt):
+        def boom():
+            raise RuntimeError("dep fail")
+
+        bad = rt.spawn(boom)
+        if bad.exception(timeout=5) is None:
+            pytest.fail("dependency should have failed")
+        f = rt.spawn(lambda: "x", depends_on=[bad])
+        with pytest.raises(RuntimeError):
+            f.result(timeout=5)
+
+    def test_diamond_dependences_in_sim_time(self, sim_rt):
+        ex = sim_rt.executor
+        a = sim_rt.spawn(lambda: None, cost=1.0)
+        b = sim_rt.spawn(lambda: None, cost=2.0, depends_on=[a])
+        c = sim_rt.spawn(lambda: None, cost=2.0, depends_on=[a])
+        d = sim_rt.spawn(lambda: None, cost=1.0, depends_on=[b, c])
+        d.result()
+        assert ex.elapsed() == pytest.approx(4.0)
+
+
+class TestNotify:
+    def test_publish_routes_to_handler(self, rt):
+        seen = []
+
+        def task_body():
+            for i in range(3):
+                rt.publish(i)
+            return "done"
+
+        f = rt.spawn(task_body, notify=seen.append)
+        assert f.result(timeout=5) == "done"
+        assert seen == [0, 1, 2]
+
+    def test_publish_without_handler_is_dropped(self, rt):
+        f = rt.spawn(lambda: rt.publish("nobody") or 1)
+        assert f.result(timeout=5) == 1
+
+    def test_publish_outside_task_is_dropped(self, rt):
+        rt.publish("from main")  # must not raise
+
+    def test_handler_cleaned_up_after_task(self, rt):
+        f = rt.spawn(lambda: rt.publish("x"), notify=lambda v: None)
+        f.result(timeout=5)
+        assert rt._notify_handlers == {}
+
+    def test_notify_with_edt_dispatches_there(self):
+        class FakeEdt:
+            def __init__(self):
+                self.calls = []
+
+            def invoke_later(self, fn, *args):
+                self.calls.append((fn, args))
+                fn(*args)
+
+        from repro.executor import InlineExecutor
+
+        edt = FakeEdt()
+        rt = ParallelTaskRuntime(InlineExecutor(), edt=edt)
+        seen = []
+        rt.spawn(lambda: rt.publish(9), notify=seen.append).result()
+        assert seen == [9]
+        assert len(edt.calls) == 1
+
+
+class TestAsyncErrors:
+    def test_on_error_handler_invoked(self, rt):
+        caught = []
+
+        def boom():
+            raise KeyError("handled")
+
+        f = rt.spawn(boom, on_error=caught.append)
+        assert f.exception(timeout=5) is not None
+        assert len(caught) == 1
+        assert isinstance(caught[0], KeyError)
+
+    def test_on_error_not_invoked_on_success(self, rt):
+        caught = []
+        rt.spawn(lambda: 1, on_error=caught.append).result(timeout=5)
+        assert caught == []
+
+
+class TestBarrierSync:
+    def test_barrier_sync_collects_results(self, rt):
+        futures = [rt.spawn(lambda i=i: i * 10) for i in range(5)]
+        assert rt.barrier_sync(futures) == [0, 10, 20, 30, 40]

@@ -1,0 +1,75 @@
+"""Tests for the sequential/parallel polymorphic-switch idiom."""
+
+import pytest
+
+from repro.ptask import Parallelizable
+
+
+class SummerBase(Parallelizable):
+    """Test double recording which variant ran."""
+
+    def __init__(self, runtime, **kw):
+        super().__init__(runtime, **kw)
+        self.calls = []
+
+    def run_sequential(self, xs):
+        self.calls.append("seq")
+        return sum(xs)
+
+    def run_parallel(self, xs):
+        self.calls.append("par")
+        mid = len(xs) // 2
+        left = self.runtime.spawn(sum, xs[:mid])
+        return left.result(timeout=5) + sum(xs[mid:])
+
+
+class TestParallelizable:
+    def test_explicit_sequential(self, rt):
+        s = SummerBase(rt)
+        assert s(list(range(10)), mode="sequential") == 45
+        assert s.calls == ["seq"]
+
+    def test_explicit_parallel(self, rt):
+        s = SummerBase(rt)
+        assert s(list(range(10)), mode="parallel") == 45
+        assert s.calls == ["par"]
+
+    def test_auto_below_threshold(self, rt):
+        s = SummerBase(rt, parallel_threshold=100)
+        assert s(list(range(10))) == 45
+        assert s.calls == ["seq"]
+
+    def test_auto_at_threshold(self, rt):
+        s = SummerBase(rt, parallel_threshold=10)
+        assert s(list(range(10))) == 45
+        assert s.calls == ["par"]
+
+    def test_same_answer_both_modes(self, rt):
+        s = SummerBase(rt)
+        xs = list(range(33))
+        assert s(xs, mode="sequential") == s(xs, mode="parallel")
+
+    def test_unknown_mode_rejected(self, rt):
+        with pytest.raises(ValueError):
+            SummerBase(rt)([1], mode="quantum")
+
+    def test_negative_threshold_rejected(self, rt):
+        with pytest.raises(ValueError):
+            SummerBase(rt, parallel_threshold=-1)
+
+    def test_unsized_problem_goes_parallel(self, rt):
+        class Gen(SummerBase):
+            def run_sequential(self, n):
+                self.calls.append("seq")
+                return n
+
+            def run_parallel(self, n):
+                self.calls.append("par")
+                return n
+
+        g = Gen(rt)
+        assert g(42) == 42
+        assert g.calls == ["par"]
+
+    def test_repr(self, rt):
+        assert "SummerBase" in repr(SummerBase(rt))

@@ -1,0 +1,247 @@
+"""Tests for task-safe classes (project 6).
+
+The key scenarios come straight from the project brief: thread-keyed
+constructs misbehave under a task runtime; task-keyed ones don't.
+"""
+
+import threading
+
+import pytest
+
+from repro.executor import InlineExecutor, WorkStealingPool
+from repro.ptask import ParallelTaskRuntime, TaskLocal, TaskSafeAccumulator, TaskSafeCollector, TaskSafeLock
+
+
+class TestTaskLocal:
+    def test_per_task_isolation(self, rt):
+        tl = TaskLocal(rt.executor, default_factory=list)
+
+        def body(i):
+            tl.get().append(i)
+            return tuple(tl.get())
+
+        results = [rt.spawn(body, i).result(timeout=5) for i in range(4)]
+        # each task saw only its own value, never a shared list
+        assert results == [(0,), (1,), (2,), (3,)]
+
+    def test_threadlocal_leaks_where_tasklocal_does_not(self):
+        """The motivating bug: one worker thread runs many tasks, so a
+        thread-local carries state across tasks; a task-local never does."""
+        with WorkStealingPool(workers=1, name="leak") as pool:
+            thread_local = threading.local()
+            task_local = TaskLocal(pool, default_factory=lambda: "fresh")
+
+            def observe_thread_local():
+                seen = getattr(thread_local, "v", "fresh")
+                thread_local.v = "dirty"
+                return seen
+
+            def observe_task_local():
+                seen = task_local.get()
+                task_local.set("dirty")
+                return seen
+
+            first = pool.submit(observe_thread_local).result(timeout=5)
+            second = pool.submit(observe_thread_local).result(timeout=5)
+            assert first == "fresh" and second == "dirty"  # the leak
+
+            t_first = pool.submit(observe_task_local).result(timeout=5)
+            t_second = pool.submit(observe_task_local).result(timeout=5)
+            assert t_first == t_second == "fresh"  # no leak
+
+    def test_get_without_default_raises(self, rt):
+        tl = TaskLocal(rt.executor)
+        with pytest.raises(LookupError):
+            rt.spawn(tl.get).result(timeout=5)
+
+    def test_set_then_get(self, rt):
+        tl = TaskLocal(rt.executor)
+
+        def body():
+            tl.set(99)
+            return tl.get()
+
+        assert rt.spawn(body).result(timeout=5) == 99
+
+    def test_clear_and_is_set(self, rt):
+        tl = TaskLocal(rt.executor, default_factory=int)
+
+        def body():
+            tl.set(5)
+            assert tl.is_set()
+            tl.clear()
+            return tl.is_set()
+
+        assert rt.spawn(body).result(timeout=5) is False
+
+    def test_live_tasks_observability(self, rt):
+        tl = TaskLocal(rt.executor)
+
+        def body():
+            tl.set(1)
+
+        rt.spawn(body).result(timeout=5)
+        rt.spawn(body).result(timeout=5)
+        assert tl.live_tasks() == 2  # values linger until cleared
+
+
+class TestTaskSafeLock:
+    def test_reentrant_within_task(self, rt):
+        lock = TaskSafeLock(rt.executor)
+
+        def body():
+            with lock:
+                with lock:  # same task re-enters fine
+                    return lock.owner
+
+        owner = rt.spawn(body).result(timeout=5)
+        assert owner is not None
+
+    def test_release_restores_unowned(self, rt):
+        lock = TaskSafeLock(rt.executor)
+
+        def body():
+            with lock:
+                pass
+            return lock.owner
+
+        assert rt.spawn(body).result(timeout=5) is None
+
+    def test_release_by_non_owner_rejected(self, rt):
+        lock = TaskSafeLock(rt.executor)
+        with pytest.raises(RuntimeError, match="release"):
+            rt.spawn(lock.release).result(timeout=5)
+
+    def test_nested_task_deadlock_detected(self):
+        """A nested task (inline nesting models helping) acquiring its
+        parent's lock is detected as a deadlock, not a silent re-entry."""
+        ex = InlineExecutor()
+        rt = ParallelTaskRuntime(ex)
+        lock = TaskSafeLock(ex)
+
+        def parent():
+            with lock:
+                return rt.spawn(child).exception()
+
+        def child():
+            with lock:  # parent above us holds it: certain deadlock
+                return "entered"
+
+        exc = rt.spawn(parent).result(timeout=5)
+        assert isinstance(exc, RuntimeError)
+        assert "deadlock" in str(exc)
+
+    def test_rlock_admits_nested_task_the_trap(self):
+        """Counterpart: a thread-reentrant RLock lets the nested task into
+        the parent's critical section — the bug task-safe classes fix."""
+        ex = InlineExecutor()
+        rt = ParallelTaskRuntime(ex)
+        rlock = threading.RLock()
+
+        def parent():
+            with rlock:
+                return rt.spawn(child).result(timeout=5)
+
+        def child():
+            got = rlock.acquire(blocking=False)
+            if got:
+                rlock.release()
+            return got
+
+        assert rt.spawn(parent).result(timeout=5) is True  # silently admitted
+
+    def test_mutual_exclusion_across_worker_tasks(self):
+        with WorkStealingPool(workers=4, name="tsl") as pool:
+            lock = TaskSafeLock(pool)
+            state = {"v": 0}
+
+            def bump():
+                with lock:
+                    v = state["v"]
+                    state["v"] = v + 1
+
+            pool.wait_all([pool.submit(bump) for _ in range(50)])
+            assert state["v"] == 50
+
+    def test_acquire_timeout(self):
+        with WorkStealingPool(workers=2, name="tslt") as pool:
+            lock = TaskSafeLock(pool)
+            started = threading.Event()
+            release = threading.Event()
+
+            def holder():
+                with lock:
+                    started.set()
+                    release.wait(timeout=5)
+
+            f = pool.submit(holder)
+            started.wait(timeout=5)
+            assert pool.submit(lambda: lock.acquire(timeout=0.05)).result(timeout=5) is False
+            release.set()
+            f.result(timeout=5)
+
+
+class TestTaskSafeAccumulator:
+    def test_sums_across_tasks(self, rt):
+        acc = TaskSafeAccumulator(rt.executor)
+        futures = [rt.spawn(acc.add, 2.0) for _ in range(10)]
+        rt.barrier_sync(futures)
+        assert acc.value() == 20.0
+
+    def test_initial_value(self, rt):
+        acc = TaskSafeAccumulator(rt.executor, initial=100.0)
+        rt.spawn(acc.add, 1.0).result(timeout=5)
+        assert acc.value() == 101.0
+
+    def test_reset(self, rt):
+        acc = TaskSafeAccumulator(rt.executor, initial=5.0)
+        rt.spawn(acc.add, 1.0).result(timeout=5)
+        acc.reset()
+        assert acc.value() == 0.0
+
+    def test_no_lost_updates_under_real_threads(self):
+        with WorkStealingPool(workers=4, name="acc") as pool:
+            acc = TaskSafeAccumulator(pool)
+
+            def work():
+                for _ in range(100):
+                    acc.add(1.0)
+
+            pool.wait_all([pool.submit(work) for _ in range(8)])
+            assert acc.value() == 800.0
+
+
+class TestTaskSafeCollector:
+    def test_collect_is_deterministic_by_task_order(self, rt):
+        col = TaskSafeCollector(rt.executor)
+
+        def body(i):
+            col.append(i * 10)
+            col.append(i * 10 + 1)
+
+        futures = [rt.spawn(body, i) for i in range(3)]
+        rt.barrier_sync(futures)
+        assert col.collect() == [0, 1, 10, 11, 20, 21]
+
+    def test_extend(self, rt):
+        col = TaskSafeCollector(rt.executor)
+        rt.spawn(lambda: col.extend([1, 2, 3])).result(timeout=5)
+        assert col.collect() == [1, 2, 3]
+
+    def test_task_count_and_clear(self, rt):
+        col = TaskSafeCollector(rt.executor)
+        rt.barrier_sync([rt.spawn(col.append, i) for i in range(4)])
+        assert col.task_count() == 4
+        col.clear()
+        assert col.collect() == []
+
+    def test_determinism_under_real_threads(self):
+        """Same program, same result, despite nondeterministic timing."""
+
+        def run():
+            with WorkStealingPool(workers=4, name="det") as pool:
+                col = TaskSafeCollector(pool)
+                pool.wait_all([pool.submit(lambda i=i: col.append(i)) for i in range(20)])
+                return col.collect()
+
+        assert run() == run()

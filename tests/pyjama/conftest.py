@@ -1,0 +1,28 @@
+"""Fixtures: Pyjama on every backend."""
+
+import pytest
+
+from repro.executor import InlineExecutor, SimExecutor, WorkStealingPool
+from repro.machine import MachineSpec
+from repro.pyjama import Pyjama
+
+
+def sim_machine(cores=4):
+    return MachineSpec(name=f"sim{cores}", cores=cores, dispatch_overhead=0.0)
+
+
+@pytest.fixture(params=["inline", "sim", "threads"])
+def omp(request):
+    if request.param == "inline":
+        yield Pyjama(InlineExecutor(), num_threads=4)
+    elif request.param == "sim":
+        yield Pyjama(SimExecutor(sim_machine()), num_threads=4)
+    else:
+        pool = WorkStealingPool(workers=4, name="omp-test")
+        yield Pyjama(pool, num_threads=4)
+        pool.shutdown()
+
+
+@pytest.fixture
+def sim_omp():
+    return Pyjama(SimExecutor(sim_machine()), num_threads=4)

@@ -1,0 +1,260 @@
+"""Tests for parallel regions, worksharing and Pyjama reductions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executor import InlineExecutor, SimExecutor
+from repro.machine import MachineSpec
+from repro.pyjama import Pyjama
+
+
+class TestParallelRegion:
+    def test_team_size_and_tids(self, omp):
+        result = omp.parallel(lambda ctx: ctx.tid, num_threads=4)
+        assert sorted(result.returns) == [0, 1, 2, 3]
+
+    def test_default_num_threads(self, omp):
+        result = omp.parallel(lambda ctx: ctx.num_threads)
+        assert result.returns == [4, 4, 4, 4]
+
+    def test_master_only_tid0(self, omp):
+        result = omp.parallel(lambda ctx: ctx.master(), num_threads=3)
+        assert result.returns == [True, False, False]
+
+    def test_single_exactly_one(self, omp):
+        result = omp.parallel(lambda ctx: ctx.single(), num_threads=4)
+        assert sum(result.returns) == 1
+
+    def test_single_per_key(self, omp):
+        def body(ctx):
+            return (ctx.single("a"), ctx.single("b"))
+
+        result = omp.parallel(body, num_threads=4)
+        assert sum(a for a, _ in result.returns) == 1
+        assert sum(b for _, b in result.returns) == 1
+
+    def test_barrier_all_members(self, omp):
+        def body(ctx):
+            ctx.barrier()
+            ctx.barrier("second")
+            return ctx.tid
+
+        result = omp.parallel(body, num_threads=4)
+        assert sorted(result.returns) == [0, 1, 2, 3]
+
+    def test_critical_protects(self, omp):
+        state = {"v": 0}
+
+        def body(ctx):
+            for _ in range(25):
+                with ctx.critical():
+                    state["v"] += 1
+
+        omp.parallel(body, num_threads=4)
+        assert state["v"] == 100
+
+    def test_contribute_reduction(self, omp):
+        def body(ctx):
+            ctx.contribute("total", ctx.tid + 1, "+")
+
+        result = omp.parallel(body, num_threads=4)
+        assert result["total"] == 10
+
+    def test_contribute_object_reduction(self, omp):
+        def body(ctx):
+            ctx.contribute("all", [ctx.tid], "list")
+
+        result = omp.parallel(body, num_threads=4)
+        assert result["all"] == [0, 1, 2, 3]  # tid order, deterministic
+
+    def test_contribute_mismatched_reduction_rejected(self, omp):
+        def body(ctx):
+            ctx.contribute("k", 1, "+" if ctx.tid == 0 else "*")
+
+        with pytest.raises(ValueError, match="reduction key"):
+            omp.parallel(body, num_threads=2)
+
+    def test_invalid_num_threads(self, omp):
+        with pytest.raises(ValueError):
+            omp.parallel(lambda ctx: None, num_threads=0)
+
+
+class TestForRange:
+    def test_static_covers_all(self, omp):
+        seen = []
+
+        def body(ctx):
+            mine = list(ctx.for_range(20, "static"))
+            with ctx.critical():
+                seen.extend(mine)
+            return len(mine)
+
+        result = omp.parallel(body, num_threads=4)
+        assert sorted(seen) == list(range(20))
+        assert all(n == 5 for n in result.returns)
+
+    def test_dynamic_covers_all(self, omp):
+        seen = []
+
+        def body(ctx):
+            for i in ctx.for_range(17, "dynamic", chunk_size=3):
+                with ctx.critical():
+                    seen.append(i)
+
+        omp.parallel(body, num_threads=4)
+        assert sorted(seen) == list(range(17))
+
+    def test_static_deterministic_assignment(self, omp):
+        def body(ctx):
+            return list(ctx.for_range(8, "static"))
+
+        r1 = omp.parallel(body, num_threads=2)
+        r2 = omp.parallel(body, num_threads=2)
+        assert r1.returns == r2.returns == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+
+class TestParallelFor:
+    def test_no_reduction_returns_results_in_order(self, omp):
+        out = omp.parallel_for(list(range(10)), lambda x: x * x)
+        assert out == [i * i for i in range(10)]
+
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "guided"])
+    def test_all_schedules_same_values(self, omp, schedule):
+        out = omp.parallel_for(list(range(23)), lambda x: x + 1, schedule=schedule, chunk_size=2)
+        assert out == list(range(1, 24))
+
+    def test_sum_reduction(self, omp):
+        total = omp.parallel_for(list(range(100)), lambda x: x, reduction="+")
+        assert total == 4950
+
+    def test_list_reduction_preserves_iteration_order(self, omp):
+        out = omp.parallel_for(
+            list(range(12)), lambda x: x, reduction="list", schedule="dynamic", chunk_size=2
+        )
+        assert out == list(range(12))
+
+    def test_set_reduction(self, omp):
+        out = omp.parallel_for([1, 2, 2, 3], lambda x: x, reduction="set")
+        assert out == {1, 2, 3}
+
+    def test_counter_reduction(self, omp):
+        words = ["a", "b", "a", "c", "a", "c"]
+        out = omp.parallel_for(words, lambda w: w, reduction="counter")
+        assert out == {"a": 3, "b": 1, "c": 2}
+
+    def test_empty_items(self, omp):
+        assert omp.parallel_for([], lambda x: x) == []
+        assert omp.parallel_for([], lambda x: x, reduction="+") == 0
+
+    def test_min_reduction(self, omp):
+        assert omp.parallel_for([5, 3, 8, 1], lambda x: x, reduction="min") == 1
+
+    @given(
+        st.lists(st.integers(-100, 100), max_size=40),
+        st.sampled_from(["static", "dynamic", "guided"]),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_matches_sequential(self, xs, schedule, threads):
+        omp = Pyjama(InlineExecutor(), num_threads=threads)
+        assert omp.parallel_for(xs, lambda x: x, schedule=schedule, reduction="+") == sum(xs)
+
+
+class TestParallelForTiming:
+    """Virtual-time shape checks: the lessons the schedules teach."""
+
+    def test_parallel_for_speedup(self):
+        def run(cores):
+            omp = Pyjama(
+                SimExecutor(MachineSpec(name="m", cores=cores, dispatch_overhead=0.0)),
+                num_threads=cores,
+            )
+            omp.parallel_for(
+                list(range(32)), lambda x: x, schedule="dynamic", cost_fn=lambda _x: 1.0
+            )
+            return omp.executor.elapsed()
+
+        assert run(1) == pytest.approx(32.0)
+        assert run(4) == pytest.approx(8.0)
+        assert run(8) == pytest.approx(4.0)
+
+    def test_dynamic_beats_static_under_skew(self):
+        """The canonical demo: triangular costs ruin static's balance."""
+        costs = [float(i + 1) for i in range(32)]
+
+        def run(schedule):
+            omp = Pyjama(
+                SimExecutor(MachineSpec(name="m", cores=4, dispatch_overhead=0.0)),
+                num_threads=4,
+            )
+            omp.parallel_for(
+                list(range(32)),
+                lambda x: x,
+                schedule=schedule,
+                chunk_size=1 if schedule != "static" else None,
+                cost_fn=lambda i: costs[i],
+            )
+            return omp.executor.elapsed()
+
+        t_static = run("static")
+        t_dynamic = run("dynamic")
+        t_guided = run("guided")
+        assert t_dynamic < t_static
+        assert t_guided < t_static
+        # dynamic with unit chunks is near-optimal: total/4
+        assert t_dynamic == pytest.approx(sum(costs) / 4, rel=0.1)
+
+    def test_num_threads_caps_parallelism_even_on_big_machine(self):
+        omp = Pyjama(
+            SimExecutor(MachineSpec(name="m", cores=64, dispatch_overhead=0.0)),
+            num_threads=2,
+        )
+        omp.parallel_for(
+            list(range(8)), lambda x: x, schedule="dynamic", cost_fn=lambda _x: 1.0
+        )
+        assert omp.executor.elapsed() == pytest.approx(4.0)  # 8 units / 2 lanes
+
+
+class TestSections:
+    def test_results_in_order(self, omp):
+        out = omp.sections([lambda: "a", lambda: "b", lambda: "c"])
+        assert out == ["a", "b", "c"]
+
+    def test_sections_parallel_in_sim(self, sim_omp):
+        def section():
+            sim_omp.executor.compute(2.0)
+            return 1
+
+        out = sim_omp.sections([section] * 4)
+        assert out == [1, 1, 1, 1]
+        assert sim_omp.executor.elapsed() == pytest.approx(2.0)
+
+    def test_empty_sections(self, omp):
+        assert omp.sections([]) == []
+
+
+class TestGuiDirectives:
+    def test_on_gui_requires_edt(self, omp):
+        with pytest.raises(RuntimeError, match="EDT"):
+            omp.on_gui(lambda: None)
+
+    def test_on_gui_dispatches(self):
+        class FakeEdt:
+            def __init__(self):
+                self.calls = []
+
+            def invoke_later(self, fn, *args):
+                self.calls.append(args)
+                fn(*args)
+
+        edt = FakeEdt()
+        omp = Pyjama(InlineExecutor(), edt=edt)
+        out = []
+        omp.on_gui(out.append, 5)
+        assert out == [5]
+        assert edt.calls == [(5,)]
+
+    def test_free_gui_returns_future(self, omp):
+        f = omp.free_gui(lambda: 42)
+        assert f.result(timeout=5) == 42

@@ -1,0 +1,84 @@
+"""Tests for data-sharing clauses (private/firstprivate/lastprivate)."""
+
+import pytest
+
+from repro.pyjama import Pyjama, firstprivate, lastprivate, private
+from repro.executor import InlineExecutor
+
+
+class TestPrivate:
+    def test_factory_per_thread(self, omp):
+        buf = private(list)
+
+        def body(ctx):
+            mine = buf.get(ctx.tid)
+            mine.append(ctx.tid)
+            return id(mine)
+
+        result = omp.parallel(body, num_threads=4)
+        assert len(set(result.returns)) == 4  # four distinct lists
+        snap = buf.snapshot()
+        assert {tid: v for tid, v in snap.items()} == {0: [0], 1: [1], 2: [2], 3: [3]}
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            private([])  # type: ignore[arg-type]
+
+    def test_set_overrides(self, omp):
+        cell = private(lambda: 0)
+
+        def body(ctx):
+            cell.set(ctx.tid, ctx.tid * 10)
+            return cell.get(ctx.tid)
+
+        result = omp.parallel(body, num_threads=3)
+        assert result.returns == [0, 10, 20]
+
+
+class TestFirstprivate:
+    def test_copies_initial_value(self, omp):
+        fp = firstprivate([1, 2])
+
+        def body(ctx):
+            mine = fp.get(ctx.tid)
+            mine.append(ctx.tid)
+            return mine
+
+        result = omp.parallel(body, num_threads=2)
+        assert sorted(result.returns) == [[1, 2, 0], [1, 2, 1]]
+
+    def test_deep_copy_isolation(self, omp):
+        original = {"inner": []}
+        fp = firstprivate(original)
+
+        def body(ctx):
+            fp.get(ctx.tid)["inner"].append(ctx.tid)
+
+        omp.parallel(body, num_threads=3)
+        assert original["inner"] == []  # untouched
+
+
+class TestLastprivate:
+    def test_last_iteration_wins(self):
+        omp = Pyjama(InlineExecutor(), num_threads=4)
+        lp = lastprivate()
+
+        def body(i):
+            lp.set(i, i * 2)
+
+        omp.parallel_for(list(range(10)), body, schedule="dynamic", chunk_size=3)
+        assert lp.get() == 18  # iteration 9
+
+    def test_logical_order_beats_execution_order(self):
+        lp = lastprivate()
+        # writes arrive out of order; the highest iteration index wins
+        lp.set(5, "five")
+        lp.set(9, "nine")
+        lp.set(7, "seven")
+        assert lp.get() == "nine"
+
+    def test_unwritten_raises(self):
+        lp = lastprivate()
+        assert not lp.written
+        with pytest.raises(LookupError):
+            lp.get()

@@ -1,0 +1,135 @@
+"""Tests for the reduction registry and the project-5 object reductions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pyjama import Reduction, get_reduction, list_reductions, register_reduction
+
+
+class TestRegistry:
+    def test_builtin_scalars_present(self):
+        for name in ["+", "*", "min", "max", "&", "|", "^", "&&", "||"]:
+            assert get_reduction(name) is not None
+
+    def test_object_reductions_present(self):
+        for name in ["list", "set", "dict", "counter", "merge_sorted", "str"]:
+            assert name in list_reductions()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown reduction"):
+            get_reduction("frobnicate")
+
+    def test_none_passthrough(self):
+        assert get_reduction(None) is None
+
+    def test_reduction_object_passthrough(self):
+        r = Reduction("custom", lambda a, b: a + b, lambda: 0)
+        assert get_reduction(r) is r
+
+    def test_register_and_use(self):
+        r = register_reduction(
+            "test-gcd", lambda a, b: __import__("math").gcd(a, b), lambda: 0, overwrite=True
+        )
+        assert get_reduction("test-gcd") is r
+        assert r.fold([12, 18, 24]) == 6
+
+    def test_duplicate_registration_rejected(self):
+        register_reduction("test-dup", lambda a, b: a, lambda: 0, overwrite=True)
+        with pytest.raises(ValueError, match="already registered"):
+            register_reduction("test-dup", lambda a, b: a, lambda: 0)
+
+
+class TestScalarSemantics:
+    def test_sum_identity(self):
+        assert get_reduction("+").fold([]) == 0
+        assert get_reduction("+").fold([1, 2, 3]) == 6
+
+    def test_product(self):
+        assert get_reduction("*").fold([2, 3, 4]) == 24
+
+    def test_min_max_identities(self):
+        assert get_reduction("min").fold([]) == float("inf")
+        assert get_reduction("max").fold([3, 9, 1]) == 9
+
+    def test_bitwise(self):
+        assert get_reduction("&").fold([0b1110, 0b0111]) == 0b0110
+        assert get_reduction("|").fold([0b100, 0b001]) == 0b101
+        assert get_reduction("^").fold([5, 5]) == 0
+
+    def test_logical(self):
+        assert get_reduction("&&").fold([True, True, False]) is False
+        assert get_reduction("||").fold([False, False, True]) is True
+        assert get_reduction("&&").fold([]) is True
+        assert get_reduction("||").fold([]) is False
+
+
+class TestObjectSemantics:
+    def test_list_concat_preserves_order(self):
+        assert get_reduction("list").fold([[1, 2], [3], [4, 5]]) == [1, 2, 3, 4, 5]
+
+    def test_list_accepts_scalars(self):
+        assert get_reduction("list").fold([1, [2, 3], 4]) == [1, 2, 3, 4]
+
+    def test_set_union(self):
+        assert get_reduction("set").fold([{1, 2}, {2, 3}, 4]) == {1, 2, 3, 4}
+
+    def test_dict_merge_later_wins(self):
+        assert get_reduction("dict").fold([{"a": 1}, {"a": 2, "b": 3}]) == {"a": 2, "b": 3}
+
+    def test_counter(self):
+        assert get_reduction("counter").fold(["x", "y", "x", {"x": 3}]) == {"x": 5, "y": 1}
+
+    def test_merge_sorted(self):
+        assert get_reduction("merge_sorted").fold([[1, 4], [2, 3], [0]]) == [0, 1, 2, 3, 4]
+
+    def test_str_concat(self):
+        assert get_reduction("str").fold(["ab", "cd"]) == "abcd"
+
+    def test_identity_is_fresh_each_time(self):
+        """Mutable identities must never be shared between folds."""
+        red = get_reduction("list")
+        a = red.fold([[1]])
+        b = red.fold([[2]])
+        assert a == [1] and b == [2]
+
+    @given(st.lists(st.lists(st.integers(), max_size=5), max_size=10))
+    def test_list_fold_equals_concatenation(self, lists):
+        assert get_reduction("list").fold(lists) == [x for sub in lists for x in sub]
+
+    @given(st.lists(st.dictionaries(st.text(max_size=3), st.integers(), max_size=4), max_size=8))
+    def test_counter_commutes_with_total(self, dicts):
+        out = get_reduction("counter").fold(dicts)
+        assert sum(out.values()) == sum(sum(d.values()) for d in dicts)
+
+    @given(
+        st.lists(st.lists(st.integers(-50, 50), max_size=6).map(sorted), max_size=8)
+    )
+    def test_merge_sorted_property(self, runs):
+        out = get_reduction("merge_sorted").fold(runs)
+        assert out == sorted(x for run in runs for x in run)
+
+
+class TestAssociativity:
+    """Parallel correctness hinges on associativity: tree-combining in any
+    bracketing must match the sequential fold."""
+
+    @pytest.mark.parametrize("name,values", [
+        ("+", [1, 2, 3, 4, 5, 6, 7]),
+        ("*", [1, 2, 3, 4]),
+        ("min", [5, 2, 9, 1]),
+        ("max", [5, 2, 9, 1]),
+        ("list", [[1], [2], [3], [4]]),
+        ("set", [{1}, {2}, {1, 3}]),
+        ("counter", [{"a": 1}, {"b": 2}, {"a": 3}]),
+    ])
+    def test_tree_vs_fold(self, name, values):
+        red = get_reduction(name)
+
+        def tree(vals):
+            if len(vals) == 1:
+                return red.combine(red.identity(), vals[0])
+            mid = len(vals) // 2
+            return red.combine(tree(vals[:mid]), tree(vals[mid:]))
+
+        assert tree(list(values)) == red.fold(values)

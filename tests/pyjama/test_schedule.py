@@ -1,0 +1,107 @@
+"""Tests for loop-schedule chunking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pyjama import make_chunks
+
+
+def covered(chunks, n):
+    seen = []
+    for c in chunks:
+        seen.extend(c.iterations())
+    return seen == list(range(n))
+
+
+class TestStatic:
+    def test_default_one_block_per_thread(self):
+        chunks = make_chunks(10, "static", None, 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert [c.lane for c in chunks] == [0, 1, 2]
+        assert covered(chunks, 10)
+
+    def test_more_threads_than_iterations(self):
+        chunks = make_chunks(2, "static", None, 8)
+        assert len(chunks) == 2  # empty blocks are dropped
+        assert covered(chunks, 2)
+
+    def test_static_with_chunk_size_round_robin(self):
+        chunks = make_chunks(10, "static", 2, 2)
+        assert [c.lane for c in chunks] == [0, 1, 0, 1, 0]
+        assert covered(chunks, 10)
+
+
+class TestDynamic:
+    def test_default_chunk_one(self):
+        chunks = make_chunks(5, "dynamic", None, 4)
+        assert [len(c) for c in chunks] == [1] * 5
+        assert all(c.lane is None for c in chunks)
+
+    def test_chunk_size(self):
+        chunks = make_chunks(10, "dynamic", 3, 4)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert covered(chunks, 10)
+
+
+class TestGuided:
+    def test_decreasing_sizes(self):
+        chunks = make_chunks(100, "guided", None, 4)
+        sizes = [len(c) for c in chunks]
+        assert sizes[0] > sizes[-1]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert covered(chunks, 100)
+
+    def test_floor_respected(self):
+        chunks = make_chunks(100, "guided", 5, 4)
+        assert all(len(c) >= 5 for c in chunks[:-1])
+
+    def test_first_chunk_fraction(self):
+        chunks = make_chunks(80, "guided", None, 4)
+        assert len(chunks[0]) == 10  # 80 // (2*4)
+
+
+class TestValidation:
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            make_chunks(10, "fair", None, 2)
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            make_chunks(-1, "static", None, 2)
+
+    def test_zero_iterations(self):
+        assert make_chunks(0, "dynamic", None, 2) == []
+
+    def test_bad_threads(self):
+        with pytest.raises(ValueError):
+            make_chunks(10, "static", None, 0)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            make_chunks(10, "dynamic", 0, 2)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.sampled_from(["static", "dynamic", "guided"]),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=17)),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_exact_coverage(self, n, schedule, chunk_size, threads):
+        """Every iteration appears exactly once, in ascending order."""
+        chunks = make_chunks(n, schedule, chunk_size, threads)
+        assert covered(chunks, n)
+
+    @given(st.integers(min_value=1, max_value=300), st.integers(min_value=1, max_value=8))
+    def test_static_balance(self, n, threads):
+        """Default static blocks differ in size by at most 1."""
+        chunks = make_chunks(n, "static", None, threads)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(min_value=1, max_value=300), st.integers(min_value=1, max_value=8))
+    def test_chunk_indices_sequential(self, n, threads):
+        chunks = make_chunks(n, "guided", None, threads)
+        assert [c.index for c in chunks] == list(range(len(chunks)))

@@ -1,0 +1,47 @@
+"""Tests for the ``task`` directive inside parallel regions."""
+
+import pytest
+
+from repro.pyjama import Pyjama
+
+
+class TestTaskDirective:
+    def test_task_and_taskwait(self, omp):
+        def body(ctx):
+            futures = [ctx.task(lambda i=i: i * 10) for i in range(3)]
+            return ctx.taskwait(futures)
+
+        result = omp.parallel(body, num_threads=2)
+        assert result.returns == [[0, 10, 20], [0, 10, 20]]
+
+    def test_taskwait_single_future(self, omp):
+        def body(ctx):
+            return ctx.taskwait(ctx.task(lambda: 99))
+
+        assert omp.parallel(body, num_threads=1).returns == [99]
+
+    def test_recursive_tasks(self, omp):
+        """The irregular-parallelism case worksharing cannot express."""
+
+        def fib(ctx, n):
+            if n < 2:
+                return n
+            left = ctx.task(fib, ctx, n - 1)
+            right = fib(ctx, n - 2)
+            return ctx.taskwait(left) + right
+
+        def body(ctx):
+            return fib(ctx, 8) if ctx.master() else None
+
+        result = omp.parallel(body, num_threads=2)
+        assert result.returns[0] == 21
+
+    def test_task_cost_drives_sim_time(self, sim_omp):
+        def body(ctx):
+            if ctx.single():
+                futures = [ctx.task(lambda: None, cost=1.0) for _ in range(8)]
+                ctx.taskwait(futures)
+
+        sim_omp.parallel(body, num_threads=4)
+        # 8 unit tasks on 4 cores: at least 2 time units
+        assert sim_omp.executor.elapsed() >= 2.0 - 1e-9

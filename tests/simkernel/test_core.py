@@ -1,0 +1,308 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simkernel import Process, SimCancelled, SimEvent, Simulator
+
+
+class TestBasicProcesses:
+    def test_delay_advances_clock(self):
+        sim = Simulator()
+
+        def p():
+            yield 2.5
+            return "done"
+
+        proc = sim.spawn(p())
+        sim.run()
+        assert sim.now == 2.5
+        assert proc.result == "done"
+
+    def test_zero_delay(self):
+        sim = Simulator()
+
+        def p():
+            yield 0
+            return 1
+
+        proc = sim.spawn(p())
+        sim.run()
+        assert sim.now == 0.0
+        assert proc.result == 1
+
+    def test_negative_delay_fails_process(self):
+        sim = Simulator()
+
+        def p():
+            yield -1.0
+
+        proc = sim.spawn(p())
+        sim.run()
+        with pytest.raises(ValueError):
+            proc.result
+
+    def test_sequential_delays_accumulate(self):
+        sim = Simulator()
+        times = []
+
+        def p():
+            yield 1.0
+            times.append(sim.now)
+            yield 2.0
+            times.append(sim.now)
+
+        sim.spawn(p())
+        sim.run()
+        assert times == [1.0, 3.0]
+
+    def test_exception_propagates_to_result(self):
+        sim = Simulator()
+
+        def p():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        proc = sim.spawn(p())
+        sim.run()
+        with pytest.raises(RuntimeError, match="boom"):
+            proc.result
+
+    def test_yield_none_resumes_same_time(self):
+        sim = Simulator()
+
+        def p():
+            yield None
+            return sim.now
+
+        proc = sim.spawn(p())
+        sim.run()
+        assert proc.result == 0.0
+
+
+class TestDeterminism:
+    def test_fifo_tie_break(self):
+        """Processes scheduled at the same instant run in spawn order."""
+        sim = Simulator()
+        order = []
+
+        def p(i):
+            yield 1.0
+            order.append(i)
+
+        for i in range(5):
+            sim.spawn(p(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_identical_runs_identical_traces(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+
+            def worker(i):
+                yield 0.5 * i
+                trace.append((sim.now, i))
+                yield 1.0
+                trace.append((sim.now, i))
+
+            for i in range(4):
+                sim.spawn(worker(i))
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()
+
+
+class TestEvents:
+    def test_wait_then_fire(self):
+        sim = Simulator()
+        ev = sim.event("e")
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append((sim.now, value))
+
+        def firer():
+            yield 3.0
+            ev.fire("hello")
+
+        sim.spawn(waiter())
+        sim.spawn(firer())
+        sim.run()
+        assert got == [(3.0, "hello")]
+
+    def test_wait_on_already_fired(self):
+        sim = Simulator()
+        ev = sim.event("e")
+        ev.fire(42)
+
+        def waiter():
+            value = yield ev
+            return value
+
+        proc = sim.spawn(waiter())
+        sim.run()
+        assert proc.result == 42
+
+    def test_double_fire_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fire(1)
+        with pytest.raises(RuntimeError):
+            ev.fire(2)
+
+    def test_fail_propagates_into_waiters(self):
+        sim = Simulator()
+        ev = sim.event("bad")
+
+        def waiter():
+            yield ev
+
+        proc = sim.spawn(waiter())
+        ev.fail(ValueError("nope"))
+        sim.run()
+        with pytest.raises(ValueError, match="nope"):
+            proc.result
+
+    def test_value_before_fire_rejected(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            sim.event().value
+
+    def test_multiple_waiters_all_resumed(self):
+        sim = Simulator()
+        ev = sim.event()
+        done = []
+
+        def waiter(i):
+            yield ev
+            done.append(i)
+
+        for i in range(3):
+            sim.spawn(waiter(i))
+
+        def firer():
+            yield 1.0
+            ev.fire(None)
+
+        sim.spawn(firer())
+        sim.run()
+        assert sorted(done) == [0, 1, 2]
+
+
+class TestProcessComposition:
+    def test_wait_for_process(self):
+        sim = Simulator()
+
+        def child():
+            yield 2.0
+            return 99
+
+        def parent():
+            c = sim.spawn(child())
+            value = yield c
+            return (sim.now, value)
+
+        proc = sim.spawn(parent())
+        sim.run()
+        assert proc.result == (2.0, 99)
+
+    def test_all_of(self):
+        sim = Simulator()
+        e1 = sim.timeout(1.0, value="a")
+        e2 = sim.timeout(3.0, value="b")
+
+        def waiter():
+            values = yield sim.all_of([e1, e2])
+            return (sim.now, values)
+
+        proc = sim.spawn(waiter())
+        sim.run()
+        assert proc.result == (3.0, ["a", "b"])
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        combined = sim.all_of([])
+        assert combined.fired
+        assert combined.value == []
+
+    def test_cancel(self):
+        sim = Simulator()
+
+        def slow():
+            yield 100.0
+            return "never"
+
+        proc = sim.spawn(slow())
+
+        def canceller():
+            yield 1.0
+            proc.cancel()
+
+        sim.spawn(canceller())
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+        with pytest.raises(SimCancelled):
+            proc.result
+
+    def test_call_at(self):
+        sim = Simulator()
+        marks = []
+        sim.call_at(5.0, lambda: marks.append(sim.now))
+        sim.run()
+        assert marks == [5.0]
+
+    def test_call_at_past_rejected(self):
+        sim = Simulator(start=10.0)
+        with pytest.raises(ValueError):
+            sim.call_at(5.0, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        sim.spawn(_delayer(10.0))
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_run_until_then_continue(self):
+        sim = Simulator()
+        proc = sim.spawn(_delayer(10.0))
+        sim.run(until=4.0)
+        assert not proc.done.fired
+        sim.run()
+        assert sim.now == 10.0
+        assert proc.done.fired
+
+    def test_max_steps_guards_livelock(self):
+        sim = Simulator()
+
+        def spinner():
+            while True:
+                yield 0.0
+
+        sim.spawn(spinner())
+        with pytest.raises(RuntimeError, match="steps"):
+            sim.run(max_steps=100)
+
+    def test_steps_counter(self):
+        sim = Simulator()
+        sim.spawn(_delayer(1.0))
+        sim.run()
+        assert sim.steps >= 1
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20))
+    def test_clock_ends_at_max_delay(self, delays):
+        sim = Simulator()
+        for d in delays:
+            sim.spawn(_delayer(d))
+        sim.run()
+        assert sim.now == pytest.approx(max(delays))
+
+
+def _delayer(dt):
+    yield dt
+    return dt

@@ -1,0 +1,116 @@
+"""Property-based tests for the simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import Resource, Simulator, Store
+
+
+class TestResourceProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.floats(min_value=0.1, max_value=2.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_batching(self, capacity, durations):
+        """Makespan of equal-priority holders respects the capacity bound:
+        sum/c <= makespan <= sum (and equals the batch formula for equal
+        durations)."""
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+
+        def holder(d):
+            yield res.acquire()
+            yield d
+            res.release()
+
+        for d in durations:
+            sim.spawn(holder(d))
+        sim.run(max_steps=100_000)
+        total = sum(durations)
+        assert sim.now >= total / capacity - 1e-9
+        assert sim.now <= total + 1e-9
+        assert res.total_acquisitions == len(durations)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_equal_durations_batch_formula(self, capacity, n):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+
+        def holder():
+            yield res.acquire()
+            yield 1.0
+            res.release()
+
+        for _ in range(n):
+            sim.spawn(holder())
+        sim.run(max_steps=100_000)
+        batches = -(-n // capacity)  # ceil
+        assert sim.now == pytest.approx(float(batches))
+
+    @given(st.integers(min_value=2, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_wait_time_accounting_consistent(self, n):
+        """With capacity 1 and unit service, the k-th arrival waits k-1."""
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.acquire()
+            yield 1.0
+            res.release()
+
+        for _ in range(n):
+            sim.spawn(holder())
+        sim.run(max_steps=100_000)
+        assert res.total_wait_time == pytest.approx(sum(range(n)))
+
+
+class TestStoreProperties:
+    @given(st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_fifo_through_any_interleaving(self, items):
+        """Whatever the put/get timing, items come out in put order."""
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i, item in enumerate(items):
+                store.put(item)
+                yield 0.1 * (i % 3)
+
+        def consumer():
+            for _ in items:
+                got.append((yield store.get()))
+                yield 0.05
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run(max_steps=100_000)
+        assert got == list(items)
+
+    @given(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_counters_conserve(self, n_put, n_get):
+        sim = Simulator()
+        store = Store(sim)
+        taken = min(n_put, n_get)
+
+        def producer():
+            for i in range(n_put):
+                store.put(i)
+                yield 0.1
+
+        def consumer():
+            for _ in range(taken):
+                yield store.get()
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run(max_steps=100_000)
+        assert store.total_put == n_put
+        assert store.total_got == taken
+        assert len(store) == n_put - taken

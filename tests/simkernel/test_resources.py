@@ -1,0 +1,243 @@
+"""Tests for simulation resources, locks, stores and channels."""
+
+import pytest
+
+from repro.simkernel import Channel, Resource, SimLock, Simulator, Store
+
+
+class TestResource:
+    def test_capacity_respected(self):
+        """With capacity 2 and three 1-second holders, makespan is 2s."""
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        finish = []
+
+        def holder(i):
+            yield res.acquire()
+            yield 1.0
+            res.release()
+            finish.append((i, sim.now))
+
+        for i in range(3):
+            sim.spawn(holder(i))
+        sim.run()
+        assert sim.now == 2.0
+        assert [t for _, t in sorted(finish)] == [1.0, 1.0, 2.0]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        grants = []
+
+        def holder(i):
+            yield res.acquire()
+            grants.append(i)
+            yield 1.0
+            res.release()
+
+        for i in range(4):
+            sim.spawn(holder(i))
+        sim.run()
+        assert grants == [0, 1, 2, 3]
+
+    def test_release_without_acquire_rejected(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_wait_time_accounting(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.acquire()
+            yield 2.0
+            res.release()
+
+        sim.spawn(holder())
+        sim.spawn(holder())
+        sim.run()
+        assert res.total_acquisitions == 2
+        assert res.total_wait_time == pytest.approx(2.0)  # second waits 2s
+
+    def test_peak_queue_len(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.acquire()
+            yield 1.0
+            res.release()
+
+        for _ in range(5):
+            sim.spawn(holder())
+        sim.run()
+        assert res.peak_queue_len == 4
+
+
+class TestSimLock:
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        lock = SimLock(sim)
+        inside = []
+        max_inside = []
+
+        def critical(i):
+            yield lock.acquire()
+            inside.append(i)
+            max_inside.append(len(inside))
+            yield 0.5
+            inside.remove(i)
+            lock.release()
+
+        for i in range(4):
+            sim.spawn(critical(i))
+        sim.run()
+        assert max(max_inside) == 1
+        assert sim.now == 2.0
+
+    def test_locked_property(self):
+        sim = Simulator()
+        lock = SimLock(sim)
+        assert not lock.locked
+
+        def holder():
+            yield lock.acquire()
+            yield 1.0
+            lock.release()
+
+        sim.spawn(holder())
+        sim.run(until=0.5)
+        assert lock.locked
+        sim.run()
+        assert not lock.locked
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+
+        def getter():
+            item = yield store.get()
+            return item
+
+        proc = sim.spawn(getter())
+        sim.run()
+        assert proc.result == "x"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def getter():
+            item = yield store.get()
+            return (sim.now, item)
+
+        def putter():
+            yield 2.0
+            store.put("late")
+
+        proc = sim.spawn(getter())
+        sim.spawn(putter())
+        sim.run()
+        assert proc.result == (2.0, "late")
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def getter():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        sim.spawn(getter())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_counters(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+
+        def getter():
+            yield store.get()
+
+        sim.spawn(getter())
+        sim.run()
+        assert store.total_put == 2
+        assert store.total_got == 1
+        assert len(store) == 1
+
+
+class TestChannel:
+    def test_put_blocks_when_full(self):
+        sim = Simulator()
+        ch = Channel(sim, capacity=1)
+        done_puts = []
+
+        def producer():
+            yield ch.put("a")
+            done_puts.append(sim.now)
+            yield ch.put("b")  # blocks until consumer takes "a"
+            done_puts.append(sim.now)
+
+        def consumer():
+            yield 3.0
+            yield ch.get()
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert done_puts == [0.0, 3.0]
+
+    def test_rendezvous_get_first(self):
+        sim = Simulator()
+        ch = Channel(sim, capacity=1)
+
+        def consumer():
+            item = yield ch.get()
+            return (sim.now, item)
+
+        def producer():
+            yield 1.0
+            yield ch.put("v")
+
+        proc = sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert proc.result == (1.0, "v")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Channel(Simulator(), capacity=0)
+
+    def test_order_preserved_through_blocking(self):
+        sim = Simulator()
+        ch = Channel(sim, capacity=2)
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield ch.put(i)
+
+        def consumer():
+            for _ in range(5):
+                got.append((yield ch.get()))
+                yield 0.1
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("fig1", "fig2", "proj1", "proj10", "sem", "tab_likert"):
+            assert exp_id in out
+
+
+class TestRun:
+    def test_run_one(self, capsys):
+        assert main(["run", "tab_assess"]) == 0
+        out = capsys.readouterr().out
+        assert "assessment scheme" in out
+        assert "TOTAL" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_with_output_dir(self, tmp_path, capsys):
+        assert main(["run", "fig2", "-o", str(tmp_path)]) == 0
+        assert (tmp_path / "fig2.txt").exists()
+        assert "week 12" in (tmp_path / "fig2.txt").read_text()
+
+
+class TestWebdemo:
+    def test_generates_site(self, tmp_path, capsys):
+        assert main(["webdemo", str(tmp_path / "site")]) == 0
+        assert (tmp_path / "site" / "index.html").exists()
+
+
+class TestTopics:
+    def test_prints_ten_topics(self, capsys):
+        assert main(["topics"]) == 0
+        out = capsys.readouterr().out
+        assert "Parallel quicksort" in out
+        assert "repro.apps.webfetch" in out
+        assert out.count("implemented in") == 10
+
+
+class TestArgparse:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,50 @@
+"""Every example script must run clean end to end.
+
+The examples are deliverable (b); this suite keeps them green the same
+way the unit tests keep the library green.  Each runs in a subprocess
+(fresh interpreter, like a user would) with a generous timeout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=tmp_path,  # examples must not depend on the CWD
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_example_inventory():
+    """At least the documented set of examples exists."""
+    expected = {
+        "quickstart.py",
+        "thumbnails_responsive.py",
+        "quicksort_three_ways.py",
+        "kernels_pyjama.py",
+        "semester_simulation.py",
+        "memory_model_explorer.py",
+        "web_connections.py",
+        "race_condition_webpages.py",
+    }
+    assert expected <= set(EXAMPLES)
+
+
+def test_examples_have_module_docstrings():
+    for script in EXAMPLES:
+        text = (EXAMPLES_DIR / script).read_text()
+        assert text.lstrip().startswith('"""'), f"{script} lacks a docstring"
+        assert "Run:" in text, f"{script} docstring lacks a Run: line"

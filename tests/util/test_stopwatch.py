@@ -1,0 +1,99 @@
+"""Tests for clock abstractions."""
+
+import pytest
+
+from repro.util.stopwatch import Clock, ManualClock, Stopwatch, WallClock
+
+
+class TestManualClock:
+    def test_starts_at_zero(self):
+        assert ManualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert ManualClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        c = ManualClock()
+        assert c.advance(2.5) == 2.5
+        assert c.now() == 2.5
+
+    def test_advance_to(self):
+        c = ManualClock(1.0)
+        c.advance_to(4.0)
+        assert c.now() == 4.0
+
+    def test_no_negative_advance(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+    def test_no_time_travel(self):
+        c = ManualClock(10.0)
+        with pytest.raises(ValueError):
+            c.advance_to(9.0)
+
+    def test_advance_to_now_is_ok(self):
+        c = ManualClock(3.0)
+        c.advance_to(3.0)
+        assert c.now() == 3.0
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(ManualClock(), Clock)
+        assert isinstance(WallClock(), Clock)
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        c = WallClock()
+        a = c.now()
+        b = c.now()
+        assert b >= a
+
+
+class TestStopwatch:
+    def test_accumulates_over_manual_clock(self):
+        clock = ManualClock()
+        sw = Stopwatch(clock)
+        sw.start()
+        clock.advance(2.0)
+        assert sw.stop() == 2.0
+        sw.start()
+        clock.advance(3.0)
+        sw.stop()
+        assert sw.elapsed == 5.0
+
+    def test_context_manager(self):
+        clock = ManualClock()
+        with Stopwatch(clock) as sw:
+            clock.advance(1.5)
+        assert sw.elapsed == 1.5
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch(ManualClock())
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch(ManualClock()).stop()
+
+    def test_reset(self):
+        clock = ManualClock()
+        sw = Stopwatch(clock)
+        sw.start()
+        clock.advance(1.0)
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_running_property(self):
+        sw = Stopwatch(ManualClock())
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_default_clock_is_wall(self):
+        assert isinstance(Stopwatch().clock, WallClock)

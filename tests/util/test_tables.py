@@ -1,0 +1,69 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTable:
+    def test_basic_render(self):
+        t = Table(["a", "b"])
+        t.add_row([1, 2.5])
+        out = t.render()
+        assert "a" in out and "b" in out
+        assert "1" in out and "2.500" in out
+
+    def test_title(self):
+        t = Table(["x"], title="My Title")
+        t.add_row([1])
+        assert "My Title" in t.render()
+
+    def test_row_width_mismatch_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_precision(self):
+        t = Table(["v"], precision=1)
+        t.add_row([3.14159])
+        assert "3.1" in t.render()
+        assert "3.14" not in t.render()
+
+    def test_bool_formatting(self):
+        t = Table(["flag"])
+        t.add_row([True]).add_row([False])
+        out = t.render()
+        assert "yes" in out and "no" in out
+
+    def test_nan_formatting(self):
+        t = Table(["v"])
+        t.add_row([float("nan")])
+        assert "-" in t.render()
+
+    def test_markdown(self):
+        t = Table(["a", "b"], title="T")
+        t.add_row([1, 2])
+        md = t.render_markdown()
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+
+    def test_extend_and_len(self):
+        t = Table(["a"])
+        t.extend([[1], [2], [3]])
+        assert len(t) == 3
+
+    def test_to_dicts_preserves_raw_values(self):
+        t = Table(["name", "v"])
+        t.add_row(["x", 1.23456])
+        d = t.to_dicts()
+        assert d == [{"name": "x", "v": 1.23456}]
+
+    def test_alignment_consistent(self):
+        t = Table(["col"])
+        t.add_row(["short"]).add_row(["a much longer cell"])
+        lines = t.render().splitlines()
+        assert len({len(line) for line in lines[-2:]}) == 1

@@ -1,0 +1,89 @@
+"""Tests for line-level provenance (svn blame)."""
+
+import pytest
+
+from repro.vcs import Repository, annotate, blame_summary
+
+
+def build_repo():
+    repo = Repository()
+    repo.commit("alice", "initial", {"src/a.py": "def f():\n    return 1\n"})
+    # bob appends a function, alice's lines survive untouched
+    repo.commit(
+        "bob",
+        "add g",
+        {"src/a.py": "def f():\n    return 1\n\ndef g():\n    return 2\n"},
+    )
+    # carol rewrites f's body only
+    repo.commit(
+        "carol",
+        "fix f",
+        {"src/a.py": "def f():\n    return 42\n\ndef g():\n    return 2\n"},
+    )
+    return repo
+
+
+class TestAnnotate:
+    def test_surviving_lines_keep_original_author(self):
+        lines = annotate(build_repo(), "src/a.py")
+        by_text = {l.text: l for l in lines}
+        assert by_text["def f():"].author == "alice"  # never changed
+        assert by_text["def g():"].author == "bob"
+        assert by_text["    return 2"].author == "bob"
+
+    def test_rewritten_line_reattributed(self):
+        lines = annotate(build_repo(), "src/a.py")
+        by_text = {l.text: l for l in lines}
+        assert by_text["    return 42"].author == "carol"
+        assert by_text["    return 42"].revision == 3
+
+    def test_line_numbers_sequential(self):
+        lines = annotate(build_repo(), "src/a.py")
+        assert [l.line_no for l in lines] == list(range(1, len(lines) + 1))
+
+    def test_historical_revision(self):
+        lines = annotate(build_repo(), "src/a.py", rev=1)
+        assert all(l.author == "alice" for l in lines)
+        assert len(lines) == 2
+
+    def test_missing_path_raises(self):
+        with pytest.raises(KeyError):
+            annotate(build_repo(), "nope.py")
+
+    def test_deleted_then_readded_attributes_to_readder(self):
+        repo = Repository()
+        repo.commit("alice", "add", {"f.txt": "one\ntwo\n"})
+        repo.commit("bob", "rm", {"f.txt": None})
+        repo.commit("carol", "re-add", {"f.txt": "one\ntwo\n"})
+        lines = annotate(repo, "f.txt")
+        assert all(l.author == "carol" for l in lines)
+
+    def test_empty_file(self):
+        repo = Repository()
+        repo.commit("alice", "touch", {"empty.txt": ""})
+        assert annotate(repo, "empty.txt") == []
+
+    def test_str_rendering(self):
+        line = annotate(build_repo(), "src/a.py")[0]
+        assert "alice" in str(line)
+
+
+class TestBlameSummary:
+    def test_counts(self):
+        summary = blame_summary(build_repo(), "src/a.py")
+        # 5 lines: alice keeps 'def f():'; bob has the blank + g's two
+        # lines; carol has the rewritten return
+        assert summary == {"alice": 1, "bob": 3, "carol": 1}
+
+    def test_assessment_signal_vs_churn(self):
+        """A member whose code was entirely rewritten shows in churn but
+        not in blame — the distinction instructors care about."""
+        repo = Repository()
+        repo.commit("dave", "draft", {"x.py": "a\nb\nc\n"})
+        repo.commit("erin", "rewrite all", {"x.py": "d\ne\nf\n"})
+        summary = blame_summary(repo, "x.py")
+        assert summary == {"erin": 3}
+        from repro.vcs import contribution_report
+
+        churn = contribution_report(repo)
+        assert churn["dave"].lines_added == 3  # the effort is still visible

@@ -1,0 +1,87 @@
+"""Property-based tests over random repository histories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vcs import Repository, annotate, blame_summary, contribution_report, contribution_shares
+
+paths_st = st.sampled_from(["src/a.py", "src/b.py", "tests/test_a.py", "README.md"])
+content_st = st.one_of(
+    st.just(""),
+    st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta"]), max_size=6).map("\n".join),
+)
+authors_st = st.sampled_from(["alice", "bob", "carol"])
+
+# a history: list of (author, {path: content}) commits
+history_st = st.lists(
+    st.tuples(authors_st, st.dictionaries(paths_st, content_st, min_size=1, max_size=3)),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build(history):
+    repo = Repository()
+    for author, changes in history:
+        repo.commit(author, "step", changes)
+    return repo
+
+
+class TestRepositoryProperties:
+    @given(history_st)
+    @settings(max_examples=40, deadline=None)
+    def test_checkout_matches_sequential_replay(self, history):
+        repo = build(history)
+        replay: dict[str, str] = {}
+        for _author, changes in history:
+            replay.update(changes)
+        assert repo.checkout() == replay
+
+    @given(history_st)
+    @settings(max_examples=30, deadline=None)
+    def test_head_counts_commits(self, history):
+        assert build(history).head == len(history)
+
+    @given(history_st)
+    @settings(max_examples=30, deadline=None)
+    def test_log_partition_by_author(self, history):
+        repo = build(history)
+        total = sum(len(repo.log(author=a)) for a in repo.authors())
+        assert total == repo.head
+
+    @given(history_st)
+    @settings(max_examples=30, deadline=None)
+    def test_historical_checkouts_are_prefixes(self, history):
+        repo = build(history)
+        for k in range(len(history) + 1):
+            replay: dict[str, str] = {}
+            for _author, changes in history[:k]:
+                replay.update(changes)
+            assert repo.checkout(k) == replay
+
+    @given(history_st)
+    @settings(max_examples=30, deadline=None)
+    def test_contribution_shares_sum_to_one(self, history):
+        repo = build(history)
+        shares = contribution_shares(repo)
+        if any(s.churn > 0 for s in contribution_report(repo).values()):
+            assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 + 1e-12 for v in shares.values())
+
+    @given(history_st)
+    @settings(max_examples=30, deadline=None)
+    def test_blame_covers_every_line(self, history):
+        """For every live path: blame line count == file line count, and
+        every attributed author actually committed."""
+        repo = build(history)
+        authors = repo.authors()
+        for path, content in repo.checkout().items():
+            lines = annotate(repo, path)
+            n_lines = 0 if content == "" else len(content.split("\n")) - (
+                1 if content.endswith("\n") else 0
+            )
+            assert len(lines) == n_lines
+            assert {l.author for l in lines} <= authors
+            summary = blame_summary(repo, path)
+            assert sum(summary.values()) == n_lines

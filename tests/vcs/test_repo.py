@@ -1,0 +1,104 @@
+"""Tests for the mini-subversion revision store."""
+
+import pytest
+
+from repro.vcs import Repository
+
+
+class TestCommit:
+    def test_numbers_monotonic(self):
+        repo = Repository()
+        r1 = repo.commit("alice", "first", {"src/a.py": "print(1)\n"})
+        r2 = repo.commit("bob", "second", {"src/b.py": "print(2)\n"})
+        assert (r1.number, r2.number) == (1, 2)
+        assert repo.head == 2
+
+    def test_empty_commit_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Repository().commit("alice", "nothing", {})
+
+    def test_anonymous_commit_rejected(self):
+        with pytest.raises(ValueError, match="author"):
+            Repository().commit("", "msg", {"a": "x"})
+
+    def test_bad_paths_rejected(self):
+        repo = Repository()
+        for bad in ("/abs", "dir/", "a\\b", "a/../b", ""):
+            with pytest.raises(ValueError):
+                repo.commit("a", "m", {bad: "x"})
+
+    def test_delete_nonexistent_rejected(self):
+        repo = Repository()
+        with pytest.raises(ValueError, match="nonexistent"):
+            repo.commit("a", "m", {"ghost.py": None})
+
+    def test_timestamps_must_not_regress(self):
+        repo = Repository()
+        repo.commit("a", "m1", {"f": "x"}, timestamp=10.0)
+        with pytest.raises(ValueError, match="timestamp"):
+            repo.commit("a", "m2", {"f": "y"}, timestamp=5.0)
+
+
+class TestCheckout:
+    def test_head_tree(self):
+        repo = Repository()
+        repo.commit("a", "m", {"f1": "one", "f2": "two"})
+        repo.commit("a", "m", {"f1": "uno", "f3": "three"})
+        assert repo.checkout() == {"f1": "uno", "f2": "two", "f3": "three"}
+
+    def test_historical_tree(self):
+        repo = Repository()
+        repo.commit("a", "m", {"f": "v1"})
+        repo.commit("a", "m", {"f": "v2"})
+        assert repo.checkout(1) == {"f": "v1"}
+        assert repo.checkout(0) == {}
+
+    def test_delete_applies(self):
+        repo = Repository()
+        repo.commit("a", "m", {"f": "x"})
+        repo.commit("a", "rm", {"f": None})
+        assert repo.checkout() == {}
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Repository().checkout(3)
+
+    def test_cat(self):
+        repo = Repository()
+        repo.commit("a", "m", {"f": "hello"})
+        assert repo.cat("f") == "hello"
+        with pytest.raises(KeyError):
+            repo.cat("missing")
+
+
+class TestLog:
+    def build(self):
+        repo = Repository()
+        repo.commit("alice", "init", {"src/a.py": "a"})
+        repo.commit("bob", "tests", {"tests/test_a.py": "t"})
+        repo.commit("alice", "fix", {"src/a.py": "a2"})
+        return repo
+
+    def test_newest_first(self):
+        log = self.build().log()
+        assert [r.number for r in log] == [3, 2, 1]
+
+    def test_filter_author(self):
+        log = self.build().log(author="alice")
+        assert [r.number for r in log] == [3, 1]
+
+    def test_filter_path_prefix(self):
+        log = self.build().log(path_prefix="src")
+        assert [r.number for r in log] == [3, 1]
+
+    def test_filter_exact_path(self):
+        log = self.build().log(path_prefix="tests/test_a.py")
+        assert [r.number for r in log] == [2]
+
+    def test_prefix_does_not_match_partial_component(self):
+        repo = Repository()
+        repo.commit("a", "m", {"srcfoo/x": "1"})
+        assert repo.log(path_prefix="src") == []
+
+    def test_authors(self):
+        assert self.build().authors() == {"alice", "bob"}

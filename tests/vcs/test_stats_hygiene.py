@@ -1,0 +1,91 @@
+"""Tests for contribution stats and PARC hygiene rules."""
+
+import pytest
+
+from repro.vcs import Repository, check_hygiene, contribution_report, contribution_shares
+
+
+class TestContributionReport:
+    def test_counts_commits_and_lines(self):
+        repo = Repository()
+        repo.commit("alice", "m", {"src/a.py": "l1\nl2\nl3\n"})
+        repo.commit("bob", "m", {"src/b.py": "x\n"})
+        repo.commit("alice", "m", {"src/a.py": "l1\n"})  # shrank by 2
+        stats = contribution_report(repo)
+        assert stats["alice"].commits == 2
+        assert stats["alice"].lines_added == 3
+        assert stats["alice"].lines_removed == 2
+        assert stats["bob"].lines_added == 1
+        assert stats["alice"].paths_touched == {"src/a.py"}
+
+    def test_delete_counts_as_removal(self):
+        repo = Repository()
+        repo.commit("a", "m", {"f": "1\n2\n"})
+        repo.commit("a", "rm", {"f": None})
+        stats = contribution_report(repo)
+        assert stats["a"].lines_removed == 2
+        assert stats["a"].net_lines == 0
+
+    def test_shares_sum_to_one(self):
+        repo = Repository()
+        repo.commit("a", "m", {"f": "1\n2\n3\n"})
+        repo.commit("b", "m", {"g": "1\n"})
+        shares = contribution_shares(repo)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["a"] == pytest.approx(0.75)
+
+    def test_empty_repo(self):
+        assert contribution_shares(Repository()) == {}
+
+    def test_last_line_without_newline_counted(self):
+        repo = Repository()
+        repo.commit("a", "m", {"f": "one\ntwo"})
+        assert contribution_report(repo)["a"].lines_added == 2
+
+
+class TestHygiene:
+    def test_clean_project(self):
+        tree = {
+            "README.md": "# proj\n",
+            "src/main.py": "print('hi')\n",
+            "tests/test_main.py": "def test(): pass\n",
+            "benchmarks/bench_main.py": "pass\n",
+        }
+        report = check_hygiene(tree)
+        assert report.clean, str(report)
+
+    def test_committed_artifacts_flagged(self):
+        report = check_hygiene({"README.md": "", "src/Main.class": "", "src/.DS_Store": ""})
+        assert report.by_rule()["excluded-artifact"] == 2
+
+    def test_excluded_directories_flagged(self):
+        report = check_hygiene({"README.md": "", "build/output.py": "x", "__pycache__/m.py": "x"})
+        assert report.by_rule()["excluded-artifact"] == 2
+
+    def test_tests_outside_tests_dir_flagged(self):
+        report = check_hygiene({"README.md": "", "src/test_sneaky.py": "x"})
+        assert any(v.rule == "structure" for v in report.violations)
+
+    def test_benchmarks_outside_flagged(self):
+        report = check_hygiene({"README.md": "", "src/bench_things.py": "x"})
+        assert any(v.rule == "structure" for v in report.violations)
+
+    def test_code_at_root_flagged(self):
+        report = check_hygiene({"README.md": "", "main.py": "x"})
+        assert any("root" in v.detail for v in report.violations)
+
+    def test_crlf_flagged(self):
+        report = check_hygiene({"README.md": "", "src/win.py": "a\r\nb\r\n"})
+        assert report.by_rule()["portability"] == 1
+
+    def test_windows_paths_flagged(self):
+        report = check_hygiene({"README.md": "", "src/p.py": 'open("C:\\\\data")\n'})
+        assert any(v.rule == "portability" for v in report.violations)
+
+    def test_missing_readme_flagged(self):
+        report = check_hygiene({"src/a.py": "x"})
+        assert any(v.rule == "readme" for v in report.violations)
+
+    def test_report_str(self):
+        assert "clean" in str(check_hygiene({"README.md": ""}))
+        assert "readme" in str(check_hygiene({"src/a.py": "x"}))
