@@ -1,6 +1,6 @@
 """Bench: project 1 — thumbnail strategies, scaling and responsiveness."""
 
-from conftest import run_once, series
+from conftest import run_once
 
 from repro.bench import get_experiment
 

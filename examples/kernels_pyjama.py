@@ -24,7 +24,7 @@ from repro.apps.kernels import (
 )
 from repro.apps.kernels.graphs import random_graph
 from repro.apps.kernels.linalg import diagonally_dominant_system
-from repro.executor import SimExecutor
+from repro.executor import create
 from repro.machine import PARC16
 from repro.pyjama import Pyjama
 from repro.util.rng import derive
@@ -36,9 +36,9 @@ def kernels():
     table = Table(["kernel", "matches sequential", "S(16) virtual"], title="Pyjama kernels", precision=2)
 
     def timed(fn):
-        omp1 = Pyjama(SimExecutor(PARC16.with_cores(1)), num_threads=1)
+        omp1 = Pyjama(create("sim", cores=1, machine=PARC16), num_threads=1)
         out1 = fn(omp1)
-        omp16 = Pyjama(SimExecutor(PARC16.with_cores(16)), num_threads=16)
+        omp16 = Pyjama(create("sim", cores=16, machine=PARC16), num_threads=16)
         out16 = fn(omp16)
         return out1, out16, omp1.executor.elapsed() / omp16.executor.elapsed()
 
@@ -68,7 +68,7 @@ def kernels():
 
 
 def reductions():
-    omp = Pyjama(SimExecutor(PARC16), num_threads=8)
+    omp = Pyjama(create("sim", machine=PARC16), num_threads=8)
     words = "the quick brown fox jumps over the lazy dog the end".split()
 
     print("\nobject reductions (project 5):")

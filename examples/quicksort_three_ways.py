@@ -9,7 +9,7 @@ Run:  python examples/quicksort_three_ways.py
 """
 
 from repro.apps.sorting import VARIANTS, quicksort, random_array
-from repro.executor import SimExecutor, WorkStealingPool
+from repro.executor import create
 from repro.machine import PARC8, PARC16, PARC64
 from repro.util.tables import Table
 
@@ -17,7 +17,7 @@ from repro.util.tables import Table
 def correctness_on_real_threads():
     data = random_array(5_000, seed=1)
     expected = sorted(data)
-    with WorkStealingPool(workers=4) as pool:
+    with create("threads", cores=4) as pool:
         for variant in VARIANTS:
             out = quicksort(pool, data, variant=variant, cutoff=256)
             status = "ok" if out == expected else "WRONG"
@@ -33,12 +33,12 @@ def speedups_on_parc_machines():
         precision=2,
     )
     for variant in ("ptask", "pyjama", "threads"):
-        ex1 = SimExecutor(PARC64.with_cores(1))
+        ex1 = create("sim", cores=1, machine=PARC64)
         quicksort(ex1, data, variant=variant, cutoff=128)
         t1 = ex1.elapsed()
         row = [variant, t1]
         for machine in machines:
-            ex = SimExecutor(machine)
+            ex = create("sim", machine=machine)
             quicksort(ex, data, variant=variant, cutoff=128)
             row.append(t1 / ex.elapsed())
         table.add_row(row)
@@ -55,7 +55,7 @@ def cutoff_sweep():
         precision=4,
     )
     for cutoff in (16, 64, 256, 1024, 4096):
-        ex = SimExecutor(PARC16)
+        ex = create("sim", machine=PARC16)
         quicksort(ex, data, variant="ptask", cutoff=cutoff)
         table.add_row([cutoff, ex._task_counter, ex.elapsed()])
     print()

@@ -8,7 +8,7 @@ the simulated machine reports meaningful speedups.
 Run:  python examples/quickstart.py
 """
 
-from repro.executor import InlineExecutor, SimExecutor, WorkStealingPool
+from repro.executor import create
 from repro.machine import PARC64
 from repro.ptask import ParallelTaskRuntime, parallel_map
 from repro.pyjama import Pyjama
@@ -68,7 +68,7 @@ def virtual_time_speedup():
     table = Table(["cores", "virtual time (s)", "speedup"], title="64 unit tasks on simulated PARC64")
     t1 = None
     for cores in (1, 4, 16, 64):
-        ex = SimExecutor(PARC64.with_cores(cores))
+        ex = create("sim", cores=cores, machine=PARC64)
         rt = ParallelTaskRuntime(ex)
         futures = [rt.spawn(lambda: None, cost=1.0) for _ in range(64)]
         rt.barrier_sync(futures)
@@ -81,16 +81,17 @@ def virtual_time_speedup():
 
 def main():
     print("== inline (sequential reference) ==")
-    with_parallel_task(InlineExecutor(), "inline")
-    with_pyjama(InlineExecutor(), "inline")
+    inline = create("inline")
+    with_parallel_task(inline, "inline")
+    with_pyjama(inline, "inline")
 
     print("\n== real threads (work-stealing pool) ==")
-    with WorkStealingPool(workers=4) as pool:
+    with create("threads", cores=4) as pool:
         with_parallel_task(pool, "threads")
         with_pyjama(pool, "threads")
 
     print("\n== virtual time (simulated PARC64) ==")
-    sim = SimExecutor(PARC64)
+    sim = create("sim", machine=PARC64)
     with_parallel_task(sim, "sim")
     with_pyjama(sim, "sim")
     print(f"[sim] virtual elapsed so far: {sim.elapsed():.4f}s on {sim.machine}")

@@ -14,15 +14,15 @@ import time
 
 from repro.apps import make_image_folder
 from repro.apps.images import ThumbnailRenderer
-from repro.executor import WorkStealingPool
+from repro.executor import create
 from repro.gui import EventDispatchThread, Window
 
 
 def responsive_design():
     print("== Parallel Task design: scaling on the pool, updates via the EDT ==")
     images = make_image_folder(12, seed=7, min_side=48, max_side=96)
-    with EventDispatchThread("demo-edt") as edt, WorkStealingPool(
-        workers=4, compute_mode="sleep", time_scale=3e5
+    with EventDispatchThread("demo-edt") as edt, create(
+        "threads", cores=4, compute_mode="sleep", time_scale=3e5
     ) as pool:
         window = Window(edt, "Thumbnails")
         listview = window.list_view("thumbs")

@@ -8,7 +8,7 @@ Run:  python examples/web_connections.py
 """
 
 from repro.apps import make_website
-from repro.apps.webfetch import fetch_all, optimal_connections, sweep_connections
+from repro.apps.webfetch import optimal_connections, sweep_connections
 from repro.util.tables import Table
 
 

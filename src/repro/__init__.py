@@ -16,18 +16,20 @@ course runs on:
   a memory-model explorer with a race detector (:mod:`repro.memmodel`),
   an EDT/GUI layer (:mod:`repro.gui`), a mini subversion
   (:mod:`repro.vcs`);
-* **the ten student projects** (:mod:`repro.apps`) and
+* **the ten student projects** (:mod:`repro.apps`),
 * **the course machinery itself** (:mod:`repro.course`): nexus model,
   schedule, doodle-poll allocation, assessment, Likert survey, and a
-  full semester simulation.
+  full semester simulation; and
+* **observability** (:mod:`repro.obs`) — tracing and metrics for every
+  backend (``python -m repro trace <experiment>`` writes a Chrome
+  trace_event timeline).
 
 Quickstart::
 
-    from repro.executor import SimExecutor
-    from repro.machine import PARC64
+    from repro.executor import create
     from repro.ptask import ParallelTaskRuntime
 
-    ex = SimExecutor(PARC64)
+    ex = create("sim", cores=64)
     rt = ParallelTaskRuntime(ex)
     futures = [rt.spawn(lambda i=i: i * i, cost=1.0) for i in range(64)]
     print([f.result() for f in futures][:5], ex.elapsed())
@@ -44,6 +46,7 @@ __all__ = [
     "gui",
     "machine",
     "memmodel",
+    "obs",
     "ptask",
     "pyjama",
     "simkernel",

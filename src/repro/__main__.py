@@ -5,6 +5,7 @@ Usage::
     python -m repro list                     # every registered experiment
     python -m repro run fig2                 # print one experiment's tables
     python -m repro run all -o reports/      # run everything, save reports
+    python -m repro trace proj2              # run under tracing, write Chrome JSON
     python -m repro webdemo out_dir/         # generate the race-condition site
     python -m repro topics                   # the ten project topics
 """
@@ -49,6 +50,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment under an ambient trace recorder.
+
+    Every executor the experiment constructs (however deep) picks the
+    recorder up via :func:`repro.obs.use`, so no experiment code needs a
+    ``trace=`` parameter.  The span/event timeline is written as Chrome
+    ``trace_event`` JSON — load it in chrome://tracing or Perfetto — and
+    the metrics snapshot is printed to stderr.
+    """
+    import repro.bench as bench
+    from repro.obs import ChromeTraceSink, TraceRecorder, use
+
+    try:
+        exp = bench.get_experiment(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    out_path = Path(args.output or f"trace_{exp.exp_id}.json")
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    recorder = TraceRecorder()
+    with use(recorder):
+        result = exp()
+    events = recorder.events()
+    ChromeTraceSink.write_events(events, out_path)
+    print(result.render())
+    metrics_block = result.render_metrics()
+    if metrics_block:
+        print(file=sys.stderr)
+        print(metrics_block, file=sys.stderr)
+    print(
+        f"\n{len(events)} trace events -> {out_path} (open in chrome://tracing or Perfetto)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_webdemo(args: argparse.Namespace) -> int:
     from repro.memmodel import write_demo_site
 
@@ -78,6 +115,15 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("experiment")
     run.add_argument("-o", "--output", help="directory to also write reports into")
     run.set_defaults(fn=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment under tracing and write Chrome trace_event JSON"
+    )
+    trace.add_argument("experiment")
+    trace.add_argument(
+        "-o", "--output", help="trace file path (default: trace_<experiment>.json)"
+    )
+    trace.set_defaults(fn=_cmd_trace)
 
     web = sub.add_parser("webdemo", help="generate the interactive race-condition pages")
     web.add_argument("out_dir")

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-import numpy as np
 
 from repro.apps.corpus import SyntheticImage
 from repro.executor.base import Executor

@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.executor.base import Executor
 from repro.pyjama import Pyjama
-from repro.util.rng import derive
 
 __all__ = ["random_graph", "bfs_levels", "bfs_levels_parallel", "pagerank", "pagerank_parallel"]
 

@@ -8,7 +8,7 @@ both worksharing and reductions, which is why the course liked it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

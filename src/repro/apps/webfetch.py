@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from repro.apps.corpus import WebPage, WebSite
-from repro.simkernel import Resource, Simulator, Store
+from repro.simkernel import Resource, Simulator
 
 __all__ = ["FetchReport", "fetch_all", "sweep_connections"]
 

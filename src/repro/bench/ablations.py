@@ -9,8 +9,7 @@ from __future__ import annotations
 
 from repro.bench.common import bench_machine
 from repro.bench.harness import ExperimentResult, register
-from repro.executor import SimExecutor
-from repro.machine import PARC64
+from repro.executor import create
 from repro.pyjama import Pyjama
 from repro.util.stats import amdahl_speedup, gustafson_speedup, karp_flatt, speedup
 from repro.util.tables import Table
@@ -46,7 +45,7 @@ def run_ablation_schedules() -> ExperimentResult:
             ("guided", None),
         ):
             base = sched.split(",")[0]
-            omp = Pyjama(SimExecutor(_machine(8)), num_threads=8)
+            omp = Pyjama(create("sim", machine=_machine(8)), num_threads=8)
             omp.parallel_for(
                 list(range(n)),
                 lambda i: i,
@@ -111,7 +110,7 @@ def run_ablation_policy() -> ExperimentResult:
             row: list[object] = [label, penalty]
             for policy in ("earliest", "affinity"):
                 machine = replace(_machine(8), cross_core_penalty=penalty)
-                ex = SimExecutor(machine, policy=policy)
+                ex = create("sim", machine=machine, policy=policy)
                 workload(ex)
                 row.append(ex.schedule().makespan)
             table.add_row(row)
@@ -133,7 +132,7 @@ def run_ablation_amdahl() -> ExperimentResult:
     data = random_array(8000, seed=42)
     times = {}
     for cores in (1, 2, 4, 8, 16, 32, 64):
-        ex = SimExecutor(_machine(cores))
+        ex = create("sim", machine=_machine(cores))
         quicksort(ex, data, variant="ptask", cutoff=128)
         times[cores] = ex.elapsed()
 

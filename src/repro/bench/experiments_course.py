@@ -10,7 +10,6 @@ from __future__ import annotations
 from repro.bench.harness import ExperimentResult, register
 from repro.course import (
     ASSESSMENT_SCHEME,
-    SOFTENG751_SCHEDULE,
     TOPICS,
     DoodlePoll,
     SemesterConfig,

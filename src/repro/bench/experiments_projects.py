@@ -8,7 +8,6 @@ what factor, where the knees are — are the reproduced result.
 
 from __future__ import annotations
 
-import operator
 
 from repro.apps import make_image_folder, make_text_corpus
 from repro.apps.images import STRATEGIES, ThumbnailRenderer, scaling_cost
@@ -25,7 +24,7 @@ from repro.apps.kernels.linalg import diagonally_dominant_system
 from repro.apps.textsearch import FolderSearch
 from repro.bench.common import bench_machine
 from repro.bench.harness import ExperimentResult, register
-from repro.executor import SimExecutor
+from repro.executor import create
 from repro.gui import simulate_ui_scenario
 from repro.machine import PARC64
 from repro.pyjama import Pyjama, get_reduction
@@ -61,7 +60,7 @@ def run_proj1_thumbnails(seed: int = 2013) -> ExperimentResult:
     for strategy in STRATEGIES:
         row: list[object] = [strategy]
         for cores in CORE_SWEEP:
-            ex = SimExecutor(_machine(cores))
+            ex = create("sim", machine=_machine(cores))
             ThumbnailRenderer(ex, target_side=24).render(images, strategy=strategy)
             t = ex.elapsed()
             if strategy == "sequential":
@@ -111,9 +110,9 @@ def run_proj1_thumbnails(seed: int = 2013) -> ExperimentResult:
         for overhead in (1e-6, 5e-4):
             machine1 = bench_machine(1, dispatch_overhead=overhead)
             machine8 = bench_machine(8, dispatch_overhead=overhead)
-            ex1 = SimExecutor(machine1)
+            ex1 = create("sim", machine=machine1)
             ThumbnailRenderer(ex1, target_side=16).render(folder, strategy="sequential")
-            ex8 = SimExecutor(machine8)
+            ex8 = create("sim", machine=machine8)
             ThumbnailRenderer(ex8, target_side=16).render(folder, strategy="ptask")
             row.append(speedup(ex1.elapsed(), ex8.elapsed()))
         sizes.add_row(row)
@@ -127,10 +126,10 @@ def run_proj1_thumbnails(seed: int = 2013) -> ExperimentResult:
         precision=4,
     )
     for device in (LAB_WORKSTATION, ANDROID_TABLET, ANDROID_PHONE):
-        ex_seq = SimExecutor(device)
+        ex_seq = create("sim", machine=device)
         ThumbnailRenderer(ex_seq, target_side=24).render(images, strategy="sequential")
         t_seq = ex_seq.elapsed()
-        ex_par = SimExecutor(device)
+        ex_par = create("sim", machine=device)
         ThumbnailRenderer(ex_par, target_side=24).render(images, strategy="ptask")
         t_par = ex_par.elapsed()
         devices.add_row([device.name, device.cores, t_seq, t_par, speedup(t_seq, t_par)])
@@ -159,7 +158,7 @@ def run_proj2_quicksort(seed: int = 2013, n: int = 12_000) -> ExperimentResult:
     for variant in VARIANTS:
         row: list[object] = [variant]
         for cores in CORE_SWEEP:
-            ex = SimExecutor(_machine(cores))
+            ex = create("sim", machine=_machine(cores))
             out = quicksort(ex, data, variant=variant, cutoff=128)
             assert out == sorted(data)
             t = ex.elapsed()
@@ -174,7 +173,7 @@ def run_proj2_quicksort(seed: int = 2013, n: int = 12_000) -> ExperimentResult:
         precision=4,
     )
     for cutoff in (8, 32, 128, 512, 2048):
-        ex = SimExecutor(_machine(8))
+        ex = create("sim", machine=_machine(8))
         quicksort(ex, data, variant="ptask", cutoff=cutoff)
         cutoffs.add_row([cutoff, ex.elapsed(), ex._task_counter])
 
@@ -216,7 +215,7 @@ def run_proj3_kernels(seed: int = 2013) -> ExperimentResult:
     for name, fn in cases:
         times = []
         for cores in (1, 2, 4, 8, 16):
-            omp = Pyjama(SimExecutor(_machine(cores)), num_threads=cores)
+            omp = Pyjama(create("sim", machine=_machine(cores)), num_threads=cores)
             fn(omp)
             times.append(omp.executor.elapsed())
         table.add_row([name] + times + [speedup(times[0], times[-1])])
@@ -242,7 +241,7 @@ def run_proj4_textsearch(seed: int = 2013) -> ExperimentResult:
     t1 = None
     for cores in CORE_SWEEP:
         streamed: list[object] = []
-        ex = SimExecutor(_machine(cores))
+        ex = create("sim", machine=_machine(cores))
         results = FolderSearch(ex, on_match=streamed.append).search(corpus)
         t = ex.elapsed()
         if t1 is None:
@@ -298,7 +297,7 @@ def run_proj5_reductions(seed: int = 2013) -> ExperimentResult:
         reference = red.fold([body(x) for x in items])
         ok = True
         for schedule in ("static", "dynamic", "guided"):
-            omp = Pyjama(SimExecutor(_machine(8)), num_threads=8)
+            omp = Pyjama(create("sim", machine=_machine(8)), num_threads=8)
             out = omp.parallel_for(items, body, schedule=schedule, reduction=name, chunk_size=16)
             ok = ok and (out == reference)
         shown = repr(reference)
@@ -311,13 +310,13 @@ def run_proj5_reductions(seed: int = 2013) -> ExperimentResult:
         precision=4,
     )
     for cores in (1, 8):
-        omp = Pyjama(SimExecutor(_machine(cores)), num_threads=cores)
+        omp = Pyjama(create("sim", machine=_machine(cores)), num_threads=cores)
         omp.parallel_for(
             numbers, lambda x: x, reduction="+", schedule="static", cost_fn=lambda _x: 2e-5
         )
         contention.add_row(["reduction", cores, omp.executor.elapsed()])
     for cores in (1, 8):
-        ex = SimExecutor(_machine(cores))
+        ex = create("sim", machine=_machine(cores))
         omp = Pyjama(ex, num_threads=cores)
         box = {"total": 0}
 

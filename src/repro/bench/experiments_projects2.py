@@ -10,8 +10,7 @@ from repro.apps.webfetch import fetch_all, optimal_connections
 from repro.bench.common import bench_machine
 from repro.bench.harness import ExperimentResult, register
 from repro.concurrentlib.model import MODELS, run_collection_workload
-from repro.executor import InlineExecutor, SimExecutor
-from repro.machine import PARC64
+from repro.executor import create
 from repro.memmodel import SNIPPETS, detect_races, explore, random_runs
 from repro.ptask import ParallelTaskRuntime, TaskLocal, TaskSafeLock
 from repro.util.stats import speedup
@@ -39,7 +38,7 @@ def run_proj6_tasksafe() -> ExperimentResult:
     )
 
     # scenario 1: nested task enters its parent's critical section
-    ex = InlineExecutor()
+    ex = create("inline")
     rt = ParallelTaskRuntime(ex)
     rlock = threading.RLock()
 
@@ -60,9 +59,7 @@ def run_proj6_tasksafe() -> ExperimentResult:
     table.add_row(["nested task vs parent's lock", rlock_outcome, tlock_outcome])
 
     # scenario 2: worker reuse leaks thread-locals across tasks
-    from repro.executor import WorkStealingPool
-
-    with WorkStealingPool(workers=1, name="p6") as pool:
+    with create("threads", cores=1, name="p6") as pool:
         tl_thread = threading.local()
 
         def observe_thread():
@@ -111,7 +108,7 @@ def run_proj7_pdfsearch(seed: int = 2013) -> ExperimentResult:
     for granularity in GRANULARITIES:
         row: list[object] = [granularity]
         for cores in (1, 2, 4, 8, 16, 32):
-            ex = SimExecutor(_machine(cores))
+            ex = create("sim", machine=_machine(cores))
             hits = PdfSearcher(ex).search(corpus, granularity=granularity)
             hits_per_granularity[granularity] = len(hits)
             row.append(ex.elapsed())
@@ -208,7 +205,7 @@ def run_proj9_collections(seed: int = 2013) -> ExperimentResult:
     for name, model in MODELS.items():
         row: list[object] = [name]
         for mix in mixes:
-            ex = SimExecutor(_machine(8))
+            ex = create("sim", machine=_machine(8))
             run_collection_workload(
                 ex, model, tasks=8, ops_per_task=300, read_fraction=mix, seed=seed
             )

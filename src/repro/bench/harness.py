@@ -1,11 +1,19 @@
-"""Experiment registry and result rendering."""
+"""Experiment registry and result rendering.
+
+Observability: running an experiment while a trace recorder is installed
+(``trace=`` on executors, or ambiently via :func:`repro.obs.use` — which
+is what ``python -m repro trace <exp>`` does) captures a per-experiment
+metrics snapshot on the result.  With no recorder installed the result —
+and its rendered report — is byte-identical to the untraced behaviour.
+"""
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
 
+from repro.obs import current_recorder
 from repro.util.tables import Table
 
 __all__ = ["Experiment", "ExperimentResult", "register", "get_experiment", "all_experiments"]
@@ -18,6 +26,10 @@ class ExperimentResult:
     exp_id: str
     tables: tuple[Table, ...]
     notes: str = ""
+    #: metrics snapshot captured when the experiment ran under a trace
+    #: recorder (name -> count/gauge value or util.stats Summary); None
+    #: when observability was off.  Deliberately not part of render().
+    metrics: dict[str, Any] | None = field(default=None, compare=False)
 
     def render(self) -> str:
         parts = [f"===== experiment {self.exp_id} ====="]
@@ -27,6 +39,15 @@ class ExperimentResult:
         if self.notes:
             parts.append(f"notes: {self.notes}")
         return "\n".join(parts)
+
+    def render_metrics(self) -> str:
+        """Human-readable metrics block ('' when none were captured)."""
+        if not self.metrics:
+            return ""
+        lines = [f"----- metrics for {self.exp_id} -----"]
+        for name, value in sorted(self.metrics.items()):
+            lines.append(f"{name:40s} {value}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -39,11 +60,18 @@ class Experiment:
     run: Callable[[], ExperimentResult] = field(compare=False)
 
     def __call__(self) -> ExperimentResult:
-        result = self.run()
+        recorder = current_recorder()
+        if recorder.enabled:
+            with recorder.span("experiment", self.exp_id):
+                result = self.run()
+        else:
+            result = self.run()
         if result.exp_id != self.exp_id:
             raise ValueError(
                 f"experiment {self.exp_id!r} returned result tagged {result.exp_id!r}"
             )
+        if recorder.enabled:
+            result = replace(result, metrics=recorder.metrics.snapshot())
         return result
 
 

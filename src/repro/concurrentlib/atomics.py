@@ -9,7 +9,7 @@ interface mirrors ``java.util.concurrent.atomic``.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Generic, TypeVar
+from typing import Callable, Generic, TypeVar
 
 __all__ = ["AtomicInteger", "AtomicBoolean", "AtomicReference"]
 

@@ -8,7 +8,7 @@ read-mostly-vs-write-heavy comparison.
 from __future__ import annotations
 
 import threading
-from typing import Any, Generic, Iterable, Iterator, TypeVar
+from typing import Generic, Iterable, Iterator, TypeVar
 
 __all__ = ["SynchronizedList", "CopyOnWriteArrayList"]
 

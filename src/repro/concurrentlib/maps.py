@@ -10,7 +10,7 @@ sweeps.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Generic, Hashable, Iterator, TypeVar
+from typing import Callable, Generic, Hashable, Iterator, TypeVar
 
 __all__ = ["SynchronizedDict", "StripedHashMap"]
 

@@ -11,7 +11,7 @@ single-lock queue.
 from __future__ import annotations
 
 import threading
-from typing import Any, Generic, Iterable, TypeVar
+from typing import Generic, Iterable, TypeVar
 
 __all__ = ["ArrayBlockingQueue", "ConcurrentLinkedQueue"]
 

@@ -16,7 +16,7 @@ group achieved) is what the allocation bench reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.course.groups import Group
 from repro.course.topics import TOPICS, Topic

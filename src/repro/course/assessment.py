@@ -20,7 +20,7 @@ well below an equal share.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.course.groups import Group
 from repro.vcs.repo import Repository

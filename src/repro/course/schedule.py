@@ -16,7 +16,7 @@ is parameterised so an adopting instructor can reshape it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["WeekUse", "Week", "build_semester", "SOFTENG751_SCHEDULE", "schedule_rows"]
 

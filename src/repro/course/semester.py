@@ -12,7 +12,7 @@ Masters-taught students flowing on to PARC projects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from repro.course.allocation import AllocationResult, DoodlePoll
 from repro.course.assessment import ASSESSMENT_SCHEME, GradeBook, StudentMarks
 from repro.course.groups import Group, form_groups
 from repro.course.quiz import generate_quiz, grade, simulate_student_answers
-from repro.course.schedule import SOFTENG751_SCHEDULE, Week, WeekUse
+from repro.course.schedule import Week
 from repro.course.students import Student, make_cohort
 from repro.course.survey import (
     PAPER_QUESTIONS,

@@ -21,7 +21,7 @@ measured, not copied.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.rng import derive
 

@@ -13,12 +13,40 @@ interface:
   plus virtual-time scheduling of the recorded task graph on a
   :class:`~repro.machine.spec.MachineSpec`, used for every speedup
   experiment (see DESIGN.md §2 for why).
+
+**Construction:** prefer the :func:`create` factory (or its declarative
+twin :class:`ExecutorConfig`) over the direct constructors — it is the
+single front door that resolves core counts, machine models and
+observability (``trace=``) uniformly across backends::
+
+    from repro.executor import create
+    ex = create("sim", cores=16)
+
+Direct constructor imports remain supported for backward compatibility.
+``ThreadPoolExecutor`` is an alias of :class:`WorkStealingPool` (the name
+DESIGN.md's inventory uses for the real-threads backend).
 """
 
-from repro.executor.base import Executor
+from repro.executor.base import Executor, ExecutorShutdown
+from repro.executor.factory import KINDS, ExecutorConfig, create
 from repro.executor.future import Future
 from repro.executor.inline import InlineExecutor
 from repro.executor.simulated import SimExecutor
 from repro.executor.threads import WorkStealingPool
 
-__all__ = ["Executor", "Future", "InlineExecutor", "SimExecutor", "WorkStealingPool"]
+#: Backward/forward-compatible alias: the real-threads backend under the
+#: name used by DESIGN.md's package inventory.
+ThreadPoolExecutor = WorkStealingPool
+
+__all__ = [
+    "Executor",
+    "ExecutorShutdown",
+    "Future",
+    "InlineExecutor",
+    "SimExecutor",
+    "WorkStealingPool",
+    "ThreadPoolExecutor",
+    "create",
+    "ExecutorConfig",
+    "KINDS",
+]

@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.executor.future import Future
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 
 __all__ = ["Executor", "ExecutorShutdown"]
 
@@ -35,6 +36,13 @@ class Executor(abc.ABC):
 
     #: number of processing units this executor models or uses
     cores: int = 1
+
+    #: observability recorder (see :mod:`repro.obs`); backends set this
+    #: from their ``trace=`` argument, defaulting to the disabled
+    #: :data:`~repro.obs.trace.NULL_RECORDER` so instrumentation is free
+    #: unless a recorder is installed.  Layers above (ptask, pyjama)
+    #: emit through the same recorder, keeping one timeline per run.
+    trace: TraceRecorder = NULL_RECORDER
 
     @abc.abstractmethod
     def submit(

@@ -1,0 +1,139 @@
+"""One front door for constructing any executor backend.
+
+:func:`create` is the canonical way to build an executor::
+
+    from repro.executor import create
+
+    ex = create("inline")                      # sequential reference
+    ex = create("threads", cores=4)            # real work-stealing pool
+    ex = create("sim", cores=16)               # virtual time on PARC64@16c
+    ex = create("sim", machine=ANDROID_PHONE)  # virtual time, given machine
+    ex = create("threads", cores=2, compute_mode="sleep", trace=recorder)
+
+Every backend accepts the same cross-cutting arguments (``cores``,
+``machine``, ``trace``) plus backend-specific options passed through
+``**opts`` (``compute_mode``/``time_scale``/``steal_seed``/``name``/
+``scheduling`` for threads, ``policy`` for sim).  The
+:class:`ExecutorConfig` dataclass is the declarative twin: it validates
+eagerly, can be stored/compared, and :meth:`ExecutorConfig.build` makes
+the executor.
+
+Direct constructors (:class:`~repro.executor.inline.InlineExecutor`,
+:class:`~repro.executor.threads.WorkStealingPool`,
+:class:`~repro.executor.simulated.SimExecutor`) remain supported for
+backward compatibility, but new code should prefer this factory — it is
+the one place where defaults, machine resolution and trace injection are
+decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.executor.base import Executor
+from repro.executor.inline import InlineExecutor
+from repro.executor.simulated import SimExecutor
+from repro.executor.threads import WorkStealingPool
+from repro.machine.spec import PARC64, MachineSpec
+from repro.obs.trace import TraceRecorder
+
+__all__ = ["create", "ExecutorConfig", "KINDS"]
+
+#: canonical backend kinds (aliases: "pool" -> "threads", "simulated" -> "sim")
+KINDS = ("inline", "threads", "sim")
+
+_ALIASES = {"pool": "threads", "thread": "threads", "simulated": "sim", "virtual": "sim"}
+
+_THREAD_OPTS = {"compute_mode", "time_scale", "steal_seed", "name", "scheduling"}
+_SIM_OPTS = {"policy"}
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """A validated, storable description of an executor to build.
+
+    Parameters
+    ----------
+    kind:
+        ``"inline"``, ``"threads"`` or ``"sim"`` (aliases ``"pool"``,
+        ``"simulated"`` accepted and normalised).
+    cores:
+        Worker count (threads) or simulated core count (sim).  Defaults:
+        threads 4; sim takes the machine's core count.  ``inline`` is
+        definitionally single-core and rejects any other value.
+    machine:
+        A :class:`~repro.machine.spec.MachineSpec` for the sim backend
+        (default PARC64, rescaled to ``cores`` when both are given).
+        For ``threads`` it only supplies a default worker count.
+    trace:
+        Observability recorder handed to the backend; ``None`` defers to
+        the ambient recorder (see :mod:`repro.obs`).
+    options:
+        Backend-specific keyword options, validated per kind.
+    """
+
+    kind: str
+    cores: int | None = None
+    machine: MachineSpec | None = None
+    trace: TraceRecorder | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        kind = _ALIASES.get(self.kind, self.kind)
+        object.__setattr__(self, "kind", kind)
+        if kind not in KINDS:
+            raise ValueError(f"unknown executor kind {self.kind!r}; expected one of {KINDS}")
+        if self.cores is not None and self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        allowed = {"inline": set(), "threads": _THREAD_OPTS, "sim": _SIM_OPTS}[kind]
+        unknown = set(self.options) - allowed
+        if unknown:
+            raise ValueError(
+                f"options {sorted(unknown)} not understood by the {kind!r} backend; "
+                f"it accepts {sorted(allowed) or 'no options'}"
+            )
+        if kind == "inline":
+            if self.cores not in (None, 1):
+                raise ValueError(f"inline execution is single-core; got cores={self.cores}")
+            if self.machine is not None:
+                raise ValueError("inline execution takes no machine model")
+
+    def resolved_machine(self) -> MachineSpec:
+        """The machine the sim backend will run on (PARC64-derived default)."""
+        machine = self.machine if self.machine is not None else PARC64
+        if self.cores is not None and machine.cores != self.cores:
+            machine = machine.with_cores(self.cores)
+        return machine
+
+    def build(self) -> Executor:
+        """Construct the configured executor."""
+        if self.kind == "inline":
+            return InlineExecutor(trace=self.trace)
+        if self.kind == "threads":
+            if self.cores is not None:
+                workers = self.cores
+            elif self.machine is not None:
+                workers = self.machine.cores
+            else:
+                workers = 4
+            return WorkStealingPool(workers=workers, trace=self.trace, **self.options)
+        return SimExecutor(self.resolved_machine(), trace=self.trace, **self.options)
+
+
+def create(
+    kind: str,
+    *,
+    cores: int | None = None,
+    machine: MachineSpec | None = None,
+    trace: TraceRecorder | None = None,
+    **opts: Any,
+) -> Executor:
+    """Build an executor backend; the canonical construction path.
+
+    See :class:`ExecutorConfig` for parameter semantics.  Unknown kinds
+    and options raise ``ValueError`` eagerly, naming what is accepted.
+    """
+    return ExecutorConfig(
+        kind=kind, cores=cores, machine=machine, trace=trace, options=dict(opts)
+    ).build()

@@ -14,20 +14,27 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.executor.base import Executor
 from repro.executor.future import Future
+from repro.obs.trace import TraceRecorder, resolve_recorder
 
 __all__ = ["InlineExecutor"]
 
 
 class InlineExecutor(Executor):
-    """Runs every task synchronously at submit time."""
+    """Runs every task synchronously at submit time.
+
+    .. note:: prefer ``repro.executor.create("inline")`` over this
+       constructor; the direct form stays supported for backward
+       compatibility.
+    """
 
     cores = 1
 
-    def __init__(self) -> None:
+    def __init__(self, trace: TraceRecorder | None = None) -> None:
         self._task_counter = 0
         self._current_task = 0
         self._barrier_counts: dict[str, int] = {}
         self._lock = threading.Lock()
+        self.trace = resolve_recorder(trace)
 
     def submit(
         self,
@@ -56,12 +63,18 @@ class InlineExecutor(Executor):
         tid = self._task_counter
         prev = self._current_task
         self._current_task = tid
+        trace = self.trace
+        if trace.enabled:
+            trace.event("task", future.name, phase="B", task_id=tid, worker=0)
+            trace.count("inline.tasks")
         try:
             future.set_result(fn(*args, **kwargs))
         except Exception as exc:
             future.set_exception(exc)
         finally:
             self._current_task = prev
+            if trace.enabled:
+                trace.event("task", future.name, phase="E", task_id=tid, worker=0)
         return future
 
     def compute(self, cost: float) -> None:
@@ -85,6 +98,11 @@ class InlineExecutor(Executor):
             raise ValueError(f"parties must be >= 1, got {parties}")
         n = self._barrier_counts.get(key, 0) + 1
         self._barrier_counts[key] = n % parties
+        if self.trace.enabled:
+            self.trace.event(
+                "barrier", f"{key}:arrive", task_id=self._current_task, key=key, parties=parties
+            )
+            self.trace.count("inline.barrier_arrivals")
 
     def task_id(self) -> int:
         return self._current_task

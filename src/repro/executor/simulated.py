@@ -33,6 +33,7 @@ from repro.executor.future import Future
 from repro.machine.graph import SegmentGraph
 from repro.machine.listsched import ScheduleResult, simulate_schedule
 from repro.machine.spec import MachineSpec
+from repro.obs.trace import TraceRecorder, resolve_recorder
 
 __all__ = ["SimExecutor", "SimFuture"]
 
@@ -62,12 +63,28 @@ class _TaskCtx:
 
 
 class SimExecutor(Executor):
-    """Records a task program and schedules it in virtual time."""
+    """Records a task program and schedules it in virtual time.
 
-    def __init__(self, machine: MachineSpec, policy: str = "earliest") -> None:
+    .. note:: prefer ``repro.executor.create("sim", cores=..., machine=...)``
+       over this constructor; the direct form stays supported for
+       backward compatibility.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        policy: str = "earliest",
+        trace: TraceRecorder | None = None,
+    ) -> None:
         self.machine = machine
         self.cores = machine.cores
         self.policy = policy
+        # Virtual timestamps only exist once a schedule is computed, so
+        # the sim backend traces *post hoc*: each ``schedule()`` call
+        # emits its placements as one trace group (see
+        # :meth:`_emit_schedule_trace`).
+        self.trace = resolve_recorder(trace)
+        self._schedule_count = 0
         self.graph = SegmentGraph()
         root = self.graph.add(task_id=0, name="main", cost=0.0)
         self._stack: list[_TaskCtx] = [_TaskCtx(task_id=0, current_sid=root.sid)]
@@ -151,6 +168,7 @@ class SimExecutor(Executor):
             return fut
 
         first = self.graph.add(task_id=tid, name=name, cost=float(cost or 0.0), deps=dep_sids)
+        self.trace.count("sim.tasks_recorded")
         ctx = _TaskCtx(task_id=tid, current_sid=first.sid)
         fut = SimFuture(self, name=name)
 
@@ -247,7 +265,65 @@ class SimExecutor(Executor):
                 )
                 for prev_sid, next_sid in zip(chain, chain[1:]):
                     graph.add_dep(next_sid, prev_sid)
-        return simulate_schedule(graph, machine or self.machine, policy=policy or self.policy)
+        result = simulate_schedule(graph, machine or self.machine, policy=policy or self.policy)
+        if self.trace.enabled:
+            self._emit_schedule_trace(graph, result)
+        return result
+
+    def _emit_schedule_trace(self, graph: SegmentGraph, result: ScheduleResult) -> None:
+        """Emit one trace group of virtual-time spans for a schedule.
+
+        Every cost-carrying segment becomes a complete span on its core's
+        lane.  Zero-cost synchronisation segments keep their own kinds
+        (``barrier`` / ``critical`` / ``join``, recognised by the name
+        prefixes the recorder writes) so rendezvous and lock hand-offs
+        are visible.  A segment placed on a different core than the one
+        that ran its task's previous segment (or, for a task's first
+        segment, its spawn parent) is a *migration* — the virtual-time
+        analogue of a work steal — and is emitted as a ``steal`` instant.
+        """
+        trace = self.trace
+        self._schedule_count += 1
+        group = trace.new_group(
+            f"{result.machine.name} schedule#{self._schedule_count} ({self.policy})"
+        )
+        last_core_of_task: dict[int, int] = {}
+        for sid in range(result.n_segments):
+            seg = graph[sid]
+            core = result.cores[sid]
+            start, finish = result.starts[sid], result.finishes[sid]
+            prefix = seg.name.split(":", 1)[0]
+            kind = {"bar": "barrier", "crit": "critical", "postcrit": "critical", "join": "join"}.get(
+                prefix, "task"
+            )
+            prev_core = last_core_of_task.get(seg.task_id)
+            if prev_core is None and seg.deps:
+                prev_core = result.cores[seg.deps[0]]  # the spawning segment
+            if prev_core is not None and prev_core != core:
+                trace.event(
+                    "steal",
+                    f"migrate:task{seg.task_id}",
+                    ts=start,
+                    task_id=seg.task_id,
+                    worker=core,
+                    group=group,
+                    from_core=prev_core,
+                )
+                trace.count("sim.migrations")
+            last_core_of_task[seg.task_id] = core
+            if seg.cost > 0 or kind != "task":
+                trace.emit_span(
+                    kind, seg.name, start, finish, task_id=seg.task_id, worker=core, group=group
+                )
+            if kind == "barrier":
+                trace.event(
+                    "barrier", seg.name, ts=finish, task_id=seg.task_id, worker=core, group=group
+                )
+                trace.count("sim.barrier_passes")
+        trace.count("sim.schedules")
+        trace.set_gauge("sim.makespan", result.makespan)
+        trace.set_gauge("sim.utilization", result.utilization)
+        trace.observe("sim.schedule_makespans", result.makespan)
 
     @staticmethod
     def _segment_depths(graph: SegmentGraph) -> list[int]:

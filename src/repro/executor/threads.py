@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.executor.base import Executor, ExecutorShutdown
 from repro.executor.future import Future
+from repro.obs.trace import TraceRecorder, resolve_recorder
 
 __all__ = ["WorkStealingPool", "PoolStats"]
 
@@ -69,7 +70,12 @@ class _PoolFuture(Future):
 
 
 class WorkStealingPool(Executor):
-    """Bounded pool of worker threads with per-worker deques."""
+    """Bounded pool of worker threads with per-worker deques.
+
+    .. note:: prefer ``repro.executor.create("threads", cores=N, ...)``
+       over this constructor; the direct form stays supported for
+       backward compatibility (``ThreadPoolExecutor`` is an alias).
+    """
 
     def __init__(
         self,
@@ -79,6 +85,7 @@ class WorkStealingPool(Executor):
         steal_seed: int = 0,
         name: str = "pool",
         scheduling: str = "stealing",
+        trace: TraceRecorder | None = None,
     ) -> None:
         """
         Parameters
@@ -98,6 +105,11 @@ class WorkStealingPool(Executor):
             ``"stealing"`` (per-worker deques, LIFO-own/FIFO-steal) or
             ``"central"`` (one shared FIFO, no local queues) — the
             structural ablation of the pool design.
+        trace:
+            Observability recorder (:mod:`repro.obs`); ``None`` picks up
+            the ambient recorder (disabled by default).  When enabled the
+            pool emits submit instants, per-task spans, steal/help
+            instants, critical-section spans and barrier events.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -110,6 +122,7 @@ class WorkStealingPool(Executor):
         self.compute_mode = compute_mode
         self.time_scale = time_scale
         self.scheduling = scheduling
+        self.trace = resolve_recorder(trace)
 
         self._mutex = threading.Lock()
         self._work_available = threading.Condition(self._mutex)
@@ -151,6 +164,9 @@ class WorkStealingPool(Executor):
             self._task_counter += 1
             tid = self._task_counter
         task = _Task(fn=fn, args=args, kwargs=kwargs, future=future, tid=tid, cost=cost)
+        if self.trace.enabled:
+            self.trace.event("submit", future.name, task_id=tid, deps=len(after))
+            self.trace.count("pool.submitted")
 
         pending = [dep for dep in after if not dep.done()]
         if not pending:
@@ -220,6 +236,10 @@ class WorkStealingPool(Executor):
         if stack is None:
             stack = _local.tid_stack = []
         stack.append(task.tid)
+        trace = self.trace
+        if trace.enabled:
+            trace.event("task", task.future.name, phase="B", task_id=task.tid, worker=wid)
+            started = time.monotonic()
         try:
             value = task.fn(*task.args, **task.kwargs)
         except Exception as exc:
@@ -228,6 +248,10 @@ class WorkStealingPool(Executor):
             task.future.set_result(value)
         finally:
             stack.pop()
+            if trace.enabled:
+                trace.event("task", task.future.name, phase="E", task_id=task.tid, worker=wid)
+                trace.observe("pool.task_seconds", time.monotonic() - started)
+                trace.count("pool.tasks_executed")
             with self._mutex:
                 self._stats.tasks_executed += 1
                 if 0 <= wid < len(self._stats.per_worker_executed):
@@ -246,6 +270,9 @@ class WorkStealingPool(Executor):
                         task, stolen = self._take_work(wid)
                     if stolen:
                         self._stats.steals += 1
+                if stolen and self.trace.enabled:
+                    self.trace.event("steal", f"w{wid}-steals", task_id=task.tid, worker=wid)
+                    self.trace.count("pool.steals")
                 self._run_task(task, wid)
         finally:
             _local.worker = None
@@ -267,6 +294,12 @@ class WorkStealingPool(Executor):
                 if stolen:
                     self._stats.steals += 1
                 self._stats.helped_joins += 1
+            if self.trace.enabled:
+                if stolen:
+                    self.trace.event("steal", f"w{wid}-steals", task_id=task.tid, worker=wid)
+                    self.trace.count("pool.steals")
+                self.trace.event("help", f"w{wid}-helps", task_id=task.tid, worker=wid)
+                self.trace.count("pool.helped_joins")
             self._run_task(task, wid)
             if deadline is not None and time.monotonic() > deadline:
                 return  # let Future.result raise TimeoutError uniformly
@@ -293,10 +326,29 @@ class WorkStealingPool(Executor):
 
     @contextmanager
     def critical(self, name: str = "default") -> Iterator[None]:
+        """Named critical section (re-entrant per thread, see base class)."""
         with self._mutex:
             lock = self._critical_locks.setdefault(name, threading.RLock())
-        with lock:
-            yield
+        trace = self.trace
+        if not trace.enabled:
+            with lock:
+                yield
+            return
+        # The span opens at the acquire *request*, so lock wait time is
+        # visible in the trace; "acquired" marks the transition.
+        tid = self.task_id()
+        worker = getattr(_local, "worker", None)
+        wid = worker[1] if worker is not None and worker[0] is self else None
+        trace.event("critical", name, phase="B", task_id=tid, worker=wid, lock=name)
+        requested = time.monotonic()
+        try:
+            with lock:
+                trace.event("critical", f"{name}:acquired", task_id=tid, worker=wid)
+                trace.observe("pool.lock_wait_seconds", time.monotonic() - requested)
+                trace.count("pool.critical_sections")
+                yield
+        finally:
+            trace.event("critical", name, phase="E", task_id=tid, worker=wid)
 
     def barrier(self, key: str, parties: int) -> None:
         """Block on a real threading.Barrier shared by the named team."""
@@ -315,7 +367,16 @@ class WorkStealingPool(Executor):
                 raise RuntimeError(
                     f"barrier {key!r} reused with parties={parties}, was {bar.parties}"
                 )
+        if not self.trace.enabled:
+            bar.wait()
+            return
+        tid = self.task_id()
+        self.trace.event("barrier", f"{key}:arrive", task_id=tid, key=key, parties=parties)
+        waited = time.monotonic()
         bar.wait()
+        self.trace.event("barrier", f"{key}:pass", task_id=tid, key=key, parties=parties)
+        self.trace.observe("pool.barrier_wait_seconds", time.monotonic() - waited)
+        self.trace.count("pool.barrier_passes")
 
     def task_id(self) -> int:
         stack = getattr(_local, "tid_stack", None)

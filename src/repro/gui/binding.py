@@ -7,7 +7,7 @@ no matter which worker finished it.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Callable
 
 from repro.gui.edt import EventDispatchThread
 from repro.gui.widgets import Label, ProgressBar

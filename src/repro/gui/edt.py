@@ -18,6 +18,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs.trace import TraceRecorder, resolve_recorder
+
 __all__ = ["EventDispatchThread", "EdtStats"]
 
 _STOP = object()
@@ -39,8 +41,12 @@ class EdtStats:
 class EventDispatchThread:
     """The single UI thread; all widget mutation must happen here."""
 
-    def __init__(self, name: str = "edt") -> None:
+    def __init__(self, name: str = "edt", trace: TraceRecorder | None = None) -> None:
         self.name = name
+        #: observability (see :mod:`repro.obs`): queue latency histogram
+        #: and a service span per event, so "was the UI responsive?" is
+        #: readable straight off a trace.
+        self.trace = resolve_recorder(trace)
         self._queue: list[tuple[Any, ...]] = []
         self._cond = threading.Condition()
         self._stats = EdtStats()
@@ -116,6 +122,13 @@ class EventDispatchThread:
             self._stats.events_processed += 1
             self._stats.total_queue_latency += latency
             self._stats.max_queue_latency = max(self._stats.max_queue_latency, latency)
+            trace = self.trace
+            if trace.enabled:
+                trace.event(
+                    "edt", getattr(fn, "__name__", "event"), phase="B", queue_latency=latency
+                )
+                trace.observe("edt.queue_latency_seconds", latency)
+                trace.count("edt.events")
             try:
                 fn(*args)
             except Exception:  # noqa: BLE001
@@ -124,6 +137,9 @@ class EventDispatchThread:
                 import traceback
 
                 traceback.print_exc()
+            finally:
+                if trace.enabled:
+                    trace.event("edt", getattr(fn, "__name__", "event"), phase="E")
 
     def __enter__(self) -> "EventDispatchThread":
         return self

@@ -13,7 +13,7 @@ bench harness) observe "interim results appeared while work ran".
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Generic, TypeVar
+from typing import Any, Generic, TypeVar
 
 from repro.gui.edt import EventDispatchThread
 
@@ -40,7 +40,7 @@ class Widget:
         if self._edt is not None and not self._edt.is_edt():
             raise ThreadConfinementError(
                 f"widget {self.name!r} mutated off the EDT "
-                f"(use edt.invoke_later / runtime notify handlers)"
+                "(use edt.invoke_later / runtime notify handlers)"
             )
 
     def _record(self, entry: Any) -> None:

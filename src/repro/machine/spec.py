@@ -8,7 +8,7 @@ unit — what the experiments compare is shape across core counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = [
     "MachineSpec",

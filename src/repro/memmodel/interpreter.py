@@ -24,10 +24,9 @@ access traces for the race detector.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
-import numpy as np
 
 from repro.memmodel.program import Instruction, Program
 from repro.util.rng import derive
@@ -315,7 +314,7 @@ def explore(program: Program, model: str = "sc", max_states: int = 200_000) -> E
                 if len(seen) >= max_states:
                     raise RuntimeError(
                         f"state-space exceeds max_states={max_states} "
-                        f"(program too large for exhaustive exploration)"
+                        "(program too large for exhaustive exploration)"
                     )
                 seen.add(nxt)
                 stack.append(nxt)

@@ -17,7 +17,7 @@ publication) all fit, and exhaustive exploration stays tractable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence, Union
 
 __all__ = [

@@ -14,7 +14,7 @@ first.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.memmodel.interpreter import TraceEvent

@@ -23,7 +23,6 @@ deadlock_ordered             consistent order never deadlocks
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.memmodel.program import (
     Program,

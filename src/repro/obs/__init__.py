@@ -1,0 +1,65 @@
+"""Observability: structured tracing and metrics for every execution layer.
+
+The paper's pedagogy rests on students *seeing* parallel behaviour —
+speedup shapes, steal counts, GUI latency under load (paper §III-B,
+§IV-B/C) — so the runtime layers emit what they actually did:
+
+* :class:`TraceRecorder` collects :class:`TraceEvent` records (task
+  submit/start/end with task ids, work-steal events, critical-section
+  spans, barrier rendezvous, EDT service latency) into a pluggable
+  :class:`Sink` — in-memory for tests, JSONL for logs, or Chrome
+  ``trace_event`` JSON loadable in ``chrome://tracing`` / Perfetto;
+* :class:`Metrics` is a registry of counters, gauges and histograms
+  (percentile summaries reuse :func:`repro.util.stats.summarize`);
+* :data:`NULL_RECORDER` is the zero-overhead default — every
+  instrumentation point is a no-op until a real recorder is installed,
+  either explicitly (``trace=`` on any executor or the
+  :func:`repro.executor.create` factory) or ambiently via :func:`use`.
+
+Typical use::
+
+    from repro import obs
+    from repro.executor import create
+
+    rec = obs.TraceRecorder()
+    ex = create("threads", cores=4, trace=rec)
+    ...
+    obs.ChromeTraceSink.write_events(rec.events(), "trace.json")
+
+or ambiently, which is what ``python -m repro trace <experiment>`` does::
+
+    with obs.use(obs.TraceRecorder()) as rec:
+        run_experiment()
+    print(rec.metrics.render())
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics, NullMetrics
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink, Sink
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    current_recorder,
+    resolve_recorder,
+    use,
+)
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "current_recorder",
+    "resolve_recorder",
+    "use",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "Metrics",
+    "NullMetrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+]

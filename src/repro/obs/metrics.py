@@ -1,0 +1,198 @@
+"""Counters, gauges and histograms with percentile summaries.
+
+A :class:`Metrics` instance is a flat, thread-safe registry keyed by
+dotted names (``"pool.steals"``, ``"edt.queue_latency"``).  Instruments
+are created on first use, so instrumented code never has to declare
+anything up front; a histogram's :meth:`Histogram.summary` reuses
+:func:`repro.util.stats.summarize` for the mean/CI/percentile fields the
+bench tables already report.
+
+:class:`NullMetrics` is the disabled twin: every method is a no-op and
+allocates nothing, so instrumentation left in hot paths costs one
+attribute lookup and one call when observability is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from repro.util.stats import Summary, summarize
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "NullMetrics"]
+
+
+class Counter:
+    """Monotonically increasing count (events, tasks, steals)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """Last-written value (makespan, utilisation, queue depth)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self._value:.6g})"
+
+
+class Histogram:
+    """Sample accumulator summarised on demand (durations, latencies)."""
+
+    __slots__ = ("name", "_samples", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> list[float]:
+        with self._lock:
+            return list(self._samples)
+
+    def summary(self) -> Summary:
+        """Five-number-plus summary; raises ``ValueError`` when empty."""
+        return summarize(self.samples())
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class Metrics:
+    """Thread-safe registry of named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    #: real registries record; the null twin overrides this to False
+    enabled = True
+
+    # -- instrument access (create on first use) ----------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name)
+            return inst
+
+    # -- one-call recording shorthand ---------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- introspection ------------------------------------------------------
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted({*self._counters, *self._gauges, *self._histograms})
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        with self._lock:
+            instruments = [*self._counters.values(), *self._gauges.values(), *self._histograms.values()]
+        return iter(sorted(instruments, key=lambda i: i.name))
+
+    def snapshot(self) -> dict[str, object]:
+        """Point-in-time view: counters/gauges as numbers, histograms as
+        :class:`~repro.util.stats.Summary` (or ``None`` when empty)."""
+        out: dict[str, object] = {}
+        for inst in self:
+            if isinstance(inst, Histogram):
+                out[inst.name] = inst.summary() if inst.count else None
+            else:
+                out[inst.name] = inst.value
+        return out
+
+    def render(self) -> str:
+        """Human-readable dump, one instrument per line, sorted by name."""
+        lines = []
+        for inst in self:
+            if isinstance(inst, Counter):
+                lines.append(f"{inst.name:40s} count={inst.value}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"{inst.name:40s} gauge={inst.value:.6g}")
+            else:
+                body = str(inst.summary()) if inst.count else "n=0"
+                lines.append(f"{inst.name:40s} {body}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Metrics(instruments={len(self.names())})"
+
+
+class NullMetrics(Metrics):
+    """Disabled registry: records nothing, allocates nothing."""
+
+    enabled = False
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass

@@ -1,0 +1,145 @@
+"""Where trace events go: memory, JSONL, or Chrome ``trace_event`` JSON.
+
+Sinks receive :class:`~repro.obs.trace.TraceEvent` records one at a time
+via :meth:`Sink.emit`; emission must be cheap and thread-safe because the
+thread-pool backend emits from worker threads.  Serialisation happens at
+:meth:`Sink.close` / :meth:`ChromeTraceSink.write` time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # import cycle: trace.py imports this module
+    from repro.obs.trace import TraceEvent
+
+__all__ = ["Sink", "MemorySink", "JsonlSink", "ChromeTraceSink"]
+
+
+class Sink:
+    """Base sink: subclasses override :meth:`emit`; :meth:`close` is
+    idempotent and optional."""
+
+    def emit(self, event: "TraceEvent") -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class MemorySink(Sink):
+    """Keeps every event in a list — the test and default sink."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: list["TraceEvent"] = []
+
+    def emit(self, event: "TraceEvent") -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"MemorySink(events={len(self.events)})"
+
+
+class JsonlSink(Sink):
+    """One JSON object per line, written as events arrive.
+
+    Accepts a path (opened lazily, closed by :meth:`close`) or an open
+    text file object (left open — the caller owns it).
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        self._lock = threading.Lock()
+        if isinstance(target, (str, Path)):
+            self._path: Path | None = Path(target)
+            self._fp: IO[str] | None = None
+            self._owns_fp = True
+        else:
+            self._path = None
+            self._fp = target
+            self._owns_fp = False
+        self._count = 0
+
+    def emit(self, event: "TraceEvent") -> None:
+        line = json.dumps(event.to_json(), sort_keys=True, default=str)
+        with self._lock:
+            if self._fp is None:
+                if self._path is None:
+                    raise ValueError("JsonlSink already closed")
+                self._fp = self._path.open("w")
+            self._fp.write(line + "\n")
+            self._count += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fp is not None and self._owns_fp:
+                self._fp.close()
+                self._fp = None
+
+    def __repr__(self) -> str:
+        where = str(self._path) if self._path is not None else "<stream>"
+        return f"JsonlSink({where!r}, events={self._count})"
+
+
+class ChromeTraceSink(Sink):
+    """Buffers events and writes Chrome ``trace_event`` JSON on close.
+
+    The output is the *object* form (``{"traceEvents": [...]}``), which
+    both ``chrome://tracing`` and Perfetto load directly.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._lock = threading.Lock()
+        self._path = Path(path)
+        self.events: list["TraceEvent"] = []
+        self._written = False
+
+    def emit(self, event: "TraceEvent") -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._written:
+                return
+            self._written = True
+            events = list(self.events)
+        self._path.write_text(self.render_events(events))
+
+    # -- reusable serialisation ---------------------------------------------
+
+    @staticmethod
+    def render_events(events: Iterable["TraceEvent"]) -> str:
+        """Chrome trace JSON text for ``events`` (stable field order)."""
+        doc = {
+            "traceEvents": [e.to_chrome() for e in events],
+            "displayTimeUnit": "ms",
+        }
+        return json.dumps(doc, default=str)
+
+    @classmethod
+    def write_events(cls, events: Iterable["TraceEvent"], path: str | Path) -> Path:
+        """One-shot: serialise ``events`` (e.g. from a MemorySink) to ``path``."""
+        out = Path(path)
+        out.write_text(cls.render_events(events))
+        return out
+
+    def __repr__(self) -> str:
+        return f"ChromeTraceSink({str(self._path)!r}, events={len(self.events)})"

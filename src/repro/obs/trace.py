@@ -1,0 +1,328 @@
+"""Structured trace recording with a zero-overhead disabled mode.
+
+A :class:`TraceRecorder` turns runtime happenings into
+:class:`TraceEvent` records and hands them to a sink
+(:mod:`repro.obs.sinks`).  Events carry a *kind* (``task``, ``steal``,
+``critical``, ``barrier``, ``edt``, ``region`` ...), a *phase* in the
+Chrome ``trace_event`` vocabulary (``"B"``/``"E"`` span edges, ``"X"``
+complete spans with a duration, ``"i"`` instants), a timestamp in
+seconds, and the task/worker identity the event belongs to.
+
+Two timelines coexist:
+
+* **wall time** — the thread pool, EDT and inline executor stamp events
+  with seconds since the recorder was created (:meth:`TraceRecorder.now`);
+* **virtual time** — the simulated executor emits its schedule *post
+  hoc* via :meth:`TraceRecorder.emit_span` with explicit virtual-second
+  timestamps, one trace group (Chrome "process") per ``schedule()`` call
+  so core sweeps stay separable in the viewer.
+
+:data:`NULL_RECORDER` is the module-wide disabled recorder: every method
+is a no-op, ``enabled`` is ``False``, and its metrics registry is a
+:class:`~repro.obs.metrics.NullMetrics`.  Instrumented code may either
+call it unconditionally (calls are cheap) or guard hot paths with
+``if recorder.enabled:``.
+
+An *ambient* recorder can be installed with :func:`use`; constructors
+that take ``trace=None`` resolve it via :func:`resolve_recorder`, which
+is how ``python -m repro trace <exp>`` captures executors built deep
+inside an experiment without threading a parameter through every layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.metrics import Metrics, NullMetrics
+from repro.obs.sinks import MemorySink, Sink
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "current_recorder",
+    "resolve_recorder",
+    "use",
+]
+
+#: Chrome trace_event phases this layer emits.
+_PHASES = ("B", "E", "X", "i", "M")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured record of something the runtime did.
+
+    ``ts`` and ``dur`` are seconds (wall or virtual, per the emitting
+    backend); sinks that need microseconds convert on serialisation.
+    ``group`` maps to the Chrome "pid" so unrelated timelines (e.g. the
+    same recording scheduled on 1, 2, 4 ... cores) don't overlap.
+    """
+
+    kind: str
+    name: str
+    phase: str = "i"
+    ts: float = 0.0
+    dur: float | None = None
+    task_id: int = 0
+    worker: int | None = None
+    group: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.phase not in _PHASES:
+            raise ValueError(f"unknown trace phase {self.phase!r}; expected one of {_PHASES}")
+        if self.dur is not None and self.dur < 0:
+            raise ValueError(f"event duration must be >= 0, got {self.dur}")
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-dict form used by the JSONL sink (seconds, flat keys)."""
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "name": self.name,
+            "ph": self.phase,
+            "ts": self.ts,
+            "task": self.task_id,
+            "group": self.group,
+        }
+        if self.dur is not None:
+            out["dur"] = self.dur
+        if self.worker is not None:
+            out["worker"] = self.worker
+        if self.attrs:
+            out["args"] = dict(self.attrs)
+        return out
+
+    def to_chrome(self) -> dict[str, Any]:
+        """Chrome ``trace_event`` dict (timestamps in microseconds)."""
+        lane = self.worker if self.worker is not None else self.task_id
+        out: dict[str, Any] = {
+            "name": self.name,
+            "cat": self.kind,
+            "ph": self.phase,
+            "ts": self.ts * 1e6,
+            "pid": self.group,
+            "tid": lane,
+            "args": {"task": self.task_id, **self.attrs},
+        }
+        if self.phase == "X":
+            out["dur"] = (self.dur or 0.0) * 1e6
+        if self.phase == "i":
+            out["s"] = "t"  # instant scope: thread
+        return out
+
+
+class TraceRecorder:
+    """Collects trace events into a sink and metrics into a registry."""
+
+    #: real recorders record; :class:`NullRecorder` flips this to False
+    enabled = True
+
+    def __init__(self, sink: Sink | None = None, metrics: Metrics | None = None) -> None:
+        self.sink: Sink = sink if sink is not None else MemorySink()
+        self.metrics: Metrics = metrics if metrics is not None else Metrics()
+        self._epoch = time.monotonic()
+        self._lock = threading.Lock()
+        self._next_group = 1  # group 0 is the wall-clock timeline
+
+    # -- clocks & grouping ---------------------------------------------------
+
+    def now(self) -> float:
+        """Wall seconds since this recorder was created."""
+        return time.monotonic() - self._epoch
+
+    def new_group(self, label: str = "") -> int:
+        """Allocate a trace group (Chrome "process") for a separate
+        timeline; emits the metadata event that names it in the viewer."""
+        with self._lock:
+            group = self._next_group
+            self._next_group += 1
+        if label:
+            self.sink.emit(
+                TraceEvent(kind="meta", name="process_name", phase="M",
+                           group=group, attrs={"name": label})
+            )
+        return group
+
+    # -- event emission ------------------------------------------------------
+
+    def event(
+        self,
+        kind: str,
+        name: str,
+        *,
+        phase: str = "i",
+        ts: float | None = None,
+        task_id: int = 0,
+        worker: int | None = None,
+        group: int = 0,
+        **attrs: Any,
+    ) -> None:
+        """Record one event; ``ts=None`` stamps wall time now."""
+        self.sink.emit(
+            TraceEvent(
+                kind=kind,
+                name=name,
+                phase=phase,
+                ts=self.now() if ts is None else ts,
+                task_id=task_id,
+                worker=worker,
+                group=group,
+                attrs=attrs,
+            )
+        )
+
+    def emit_span(
+        self,
+        kind: str,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        task_id: int = 0,
+        worker: int | None = None,
+        group: int = 0,
+        **attrs: Any,
+    ) -> None:
+        """Record a complete span with explicit (e.g. virtual) timestamps."""
+        self.sink.emit(
+            TraceEvent(
+                kind=kind,
+                name=name,
+                phase="X",
+                ts=start,
+                dur=max(0.0, end - start),
+                task_id=task_id,
+                worker=worker,
+                group=group,
+                attrs=attrs,
+            )
+        )
+
+    @contextmanager
+    def span(
+        self,
+        kind: str,
+        name: str,
+        *,
+        task_id: int = 0,
+        worker: int | None = None,
+        **attrs: Any,
+    ) -> Iterator[None]:
+        """Wall-clock span: emits matched ``B``/``E`` events around the body.
+
+        The ``E`` event is emitted even when the body raises, so spans
+        are always well-nested per task (the obs test suite pins this).
+        """
+        self.event(kind, name, phase="B", task_id=task_id, worker=worker, **attrs)
+        try:
+            yield
+        finally:
+            self.event(kind, name, phase="E", task_id=task_id, worker=worker)
+
+    # -- metrics facade ------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.metrics.count(name, n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    # -- convenience ---------------------------------------------------------
+
+    def events(self) -> list[TraceEvent]:
+        """The recorded events, if the sink keeps them (MemorySink does);
+        raises ``TypeError`` for write-only sinks."""
+        events = getattr(self.sink, "events", None)
+        if events is None:
+            raise TypeError(f"sink {self.sink!r} does not retain events")
+        return list(events)
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"TraceRecorder(sink={self.sink!r}, metrics={self.metrics!r})"
+
+
+class NullRecorder(TraceRecorder):
+    """The disabled recorder: records nothing, costs (almost) nothing.
+
+    Every emission method is an immediate-return no-op and the metrics
+    registry is a :class:`~repro.obs.metrics.NullMetrics`, so leaving
+    instrumentation calls in hot paths is safe when tracing is off.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sink=MemorySink(), metrics=NullMetrics())
+
+    def event(self, kind: str, name: str, **kwargs: Any) -> None:  # type: ignore[override]
+        pass
+
+    def emit_span(self, kind: str, name: str, start: float, end: float, **kwargs: Any) -> None:  # type: ignore[override]
+        pass
+
+    @contextmanager
+    def span(self, kind: str, name: str, **kwargs: Any) -> Iterator[None]:  # type: ignore[override]
+        yield
+
+    def new_group(self, label: str = "") -> int:
+        return 0
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+#: Shared disabled recorder; the default everywhere ``trace=`` is omitted.
+NULL_RECORDER = NullRecorder()
+
+_ambient = threading.local()
+
+
+def current_recorder() -> TraceRecorder:
+    """The ambient recorder installed by :func:`use` (NULL when none)."""
+    return getattr(_ambient, "recorder", None) or NULL_RECORDER
+
+
+def resolve_recorder(trace: TraceRecorder | None) -> TraceRecorder:
+    """What constructors do with their ``trace=`` argument: an explicit
+    recorder wins; ``None`` falls back to the ambient one."""
+    return trace if trace is not None else current_recorder()
+
+
+@contextmanager
+def use(recorder: TraceRecorder) -> Iterator[TraceRecorder]:
+    """Install ``recorder`` as the ambient recorder for this thread.
+
+    Constructors that default ``trace=None`` pick it up, which lets a
+    driver (the CLI, a test) observe executors created arbitrarily deep
+    inside the code under observation.
+    """
+    prev = getattr(_ambient, "recorder", None)
+    _ambient.recorder = recorder
+    try:
+        yield recorder
+    finally:
+        _ambient.recorder = prev

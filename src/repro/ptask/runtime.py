@@ -89,6 +89,10 @@ class ParallelTaskRuntime:
         """
         self.executor = executor
         self.edt = edt
+        #: observability: the runtime shares its executor's recorder so
+        #: spawn/notify/error events land on the same timeline as the
+        #: backend's task spans (see :mod:`repro.obs`).
+        self.trace = executor.trace
         self._notify_handlers: dict[int, Callable[[Any], None]] = {}
         self._handler_lock = threading.Lock()
 
@@ -145,10 +149,18 @@ class ParallelTaskRuntime:
         future = self.executor.submit(
             body, *args, cost=cost, name=name or getattr(fn, "__name__", "task"), after=depends_on, **kwargs
         )
+        if self.trace.enabled:
+            self.trace.event(
+                "spawn", future.name, deps=len(depends_on), notify=notify is not None
+            )
+            self.trace.count("ptask.spawns")
         if on_error is not None:
             def route_error(f: Future) -> None:
                 exc = f.exception()
                 if exc is not None:
+                    if self.trace.enabled:
+                        self.trace.event("error", f.name, exception=type(exc).__name__)
+                        self.trace.count("ptask.errors_routed")
                     self._dispatch(on_error, exc)
 
             future.add_done_callback(route_error)
@@ -199,6 +211,9 @@ class ParallelTaskRuntime:
         tid = self.executor.task_id()
         with self._handler_lock:
             handler = self._notify_handlers.get(tid)
+        if self.trace.enabled:
+            self.trace.event("notify", f"task{tid}", task_id=tid, delivered=handler is not None)
+            self.trace.count("ptask.notifications")
         if handler is not None:
             self._dispatch(handler, value)
 

@@ -13,7 +13,7 @@ threshold decide).
 from __future__ import annotations
 
 import abc
-from typing import Any, Generic, TypeVar
+from typing import Generic, TypeVar
 
 from repro.ptask.runtime import ParallelTaskRuntime
 

@@ -165,6 +165,9 @@ class Pyjama:
         self.executor = executor
         self.default_num_threads = num_threads or executor.cores
         self.edt = edt
+        #: observability: regions and worksharing emit on the executor's
+        #: recorder so directive-level events align with task spans.
+        self.trace = executor.trace
 
     def _resolve_threads(self, num_threads: int | None) -> int:
         t = self.default_num_threads if num_threads is None else num_threads
@@ -186,11 +189,18 @@ class Pyjama:
         def member(tid: int) -> Any:
             return body(TeamContext(self, state, tid))
 
+        if self.trace.enabled:
+            self.trace.event("region", f"region{state.region_id}", phase="B", threads=t)
+            self.trace.count("pyjama.regions")
         futures = [
             self.executor.submit(member, tid, name=f"omp-r{state.region_id}-t{tid}")
             for tid in range(t)
         ]
-        returns = [f.result() for f in futures]
+        try:
+            returns = [f.result() for f in futures]
+        finally:
+            if self.trace.enabled:
+                self.trace.event("region", f"region{state.region_id}", phase="E")
         reductions = {}
         for key, pairs in state.contributions.items():
             red = state.reducers[key]
@@ -224,6 +234,12 @@ class Pyjama:
         red = get_reduction(reduction)
         chunks = make_chunks(n, schedule, chunk_size, t)
         lanes = _assign_lanes(chunks, t, items, cost_fn)
+        if self.trace.enabled:
+            self.trace.event(
+                "worksharing", name, schedule=schedule, iterations=n, chunks=len(chunks), threads=t
+            )
+            self.trace.count("pyjama.parallel_for")
+            self.trace.count("pyjama.chunks", len(chunks))
 
         def run_chunk(chunk: Chunk) -> Any:
             if red is not None:

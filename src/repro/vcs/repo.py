@@ -10,7 +10,7 @@ deletion).  ``checkout(rev)`` reconstructs the full tree at a revision;
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 __all__ = ["Revision", "Repository"]

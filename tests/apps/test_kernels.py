@@ -21,7 +21,7 @@ from repro.apps.kernels import (
 from repro.apps.kernels.fft import fft_cost
 from repro.apps.kernels.graphs import random_graph
 from repro.apps.kernels.linalg import diagonally_dominant_system
-from repro.executor import InlineExecutor, SimExecutor
+from repro.executor import SimExecutor
 from repro.machine import MachineSpec
 from repro.pyjama import Pyjama
 from repro.util.rng import derive

@@ -1,6 +1,5 @@
 """Tests for project 4: folder text search with streaming results."""
 
-import pytest
 
 from repro.apps import make_text_corpus
 from repro.apps.corpus import TextFile

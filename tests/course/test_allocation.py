@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.course import DoodlePoll, TOPICS, form_groups, make_cohort
-from repro.course.allocation import PollEntry
 
 
 def groups_of(n_students, seed=0):

@@ -8,7 +8,6 @@ randomised inputs.
 
 import operator
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,6 @@ work on the pool, interim results flowing through the notify path onto
 EDT-confined widgets, and the UI staying serviceable throughout.
 """
 
-import threading
 import time
 
 import pytest

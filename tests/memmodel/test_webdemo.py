@@ -6,7 +6,7 @@ import re
 import pytest
 
 from repro.memmodel import SNIPPETS
-from repro.memmodel.webdemo import render_index, render_snippet_page, write_demo_site
+from repro.memmodel.webdemo import render_snippet_page, write_demo_site
 
 
 class TestRenderSnippetPage:

@@ -1,0 +1,92 @@
+"""Metrics registry: instruments, snapshots, and the disabled twin."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import Metrics, NullMetrics
+from repro.util.stats import Summary
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        m = Metrics()
+        m.count("pool.steals")
+        m.count("pool.steals", 4)
+        assert m.counter("pool.steals").value == 5
+
+    def test_counter_rejects_decrease(self):
+        m = Metrics()
+        with pytest.raises(ValueError, match="decrease"):
+            m.count("c", -1)
+
+    def test_gauge_keeps_last_value(self):
+        m = Metrics()
+        m.set_gauge("sim.makespan", 2.0)
+        m.set_gauge("sim.makespan", 1.5)
+        assert m.gauge("sim.makespan").value == 1.5
+
+    def test_histogram_summary_uses_util_stats(self):
+        m = Metrics()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            m.observe("lat", v)
+        s = m.histogram("lat").summary()
+        assert isinstance(s, Summary)
+        assert s.mean == pytest.approx(2.5)
+
+    def test_empty_histogram_summary_raises(self):
+        m = Metrics()
+        h = m.histogram("empty")
+        with pytest.raises(ValueError):
+            h.summary()
+
+    def test_create_on_first_use_is_idempotent(self):
+        m = Metrics()
+        assert m.counter("x") is m.counter("x")
+        assert m.names() == ["x"]
+
+
+class TestSnapshot:
+    def test_snapshot_mixes_instrument_kinds(self):
+        m = Metrics()
+        m.count("c", 3)
+        m.set_gauge("g", 0.5)
+        m.observe("h", 1.0)
+        snap = m.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 0.5
+        assert isinstance(snap["h"], Summary)
+
+    def test_empty_histogram_snapshots_as_none(self):
+        m = Metrics()
+        m.histogram("h")
+        assert m.snapshot() == {"h": None}
+
+    def test_render_lists_every_instrument(self):
+        m = Metrics()
+        m.count("a.count", 2)
+        m.set_gauge("b.gauge", 7)
+        text = m.render()
+        assert "a.count" in text and "count=2" in text
+        assert "b.gauge" in text and "gauge=7" in text
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=30))
+    def test_snapshot_counts_match_events(self, names):
+        m = Metrics()
+        for name in names:
+            m.count(name)
+        snap = m.snapshot()
+        for name in set(names):
+            assert snap[name] == names.count(name)
+
+
+class TestNullMetrics:
+    def test_records_nothing(self):
+        m = NullMetrics()
+        m.count("c")
+        m.set_gauge("g", 1.0)
+        m.observe("h", 1.0)
+        assert not m.enabled
+        assert m.names() == []
+        assert m.snapshot() == {}
+        assert m.render() == ""

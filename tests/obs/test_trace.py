@@ -1,0 +1,219 @@
+"""Trace recorder: event structure, span nesting, ambient resolution."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executor import create
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    current_recorder,
+    resolve_recorder,
+    use,
+)
+
+
+class TestTraceEvent:
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            TraceEvent(kind="task", name="t", phase="Z")
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            TraceEvent(kind="task", name="t", phase="X", dur=-1.0)
+
+    def test_to_chrome_microseconds(self):
+        e = TraceEvent(kind="task", name="t", phase="X", ts=1.5, dur=0.25, task_id=7)
+        c = e.to_chrome()
+        assert c["ts"] == pytest.approx(1.5e6)
+        assert c["dur"] == pytest.approx(0.25e6)
+        assert c["cat"] == "task"
+        assert c["args"]["task"] == 7
+
+    def test_to_chrome_lane_prefers_worker(self):
+        assert TraceEvent(kind="k", name="n", worker=3, task_id=9).to_chrome()["tid"] == 3
+        assert TraceEvent(kind="k", name="n", task_id=9).to_chrome()["tid"] == 9
+
+    def test_instants_get_thread_scope(self):
+        assert TraceEvent(kind="steal", name="s").to_chrome()["s"] == "t"
+
+
+class TestRecorder:
+    def test_event_stamps_wall_time(self):
+        rec = TraceRecorder()
+        rec.event("task", "a")
+        rec.event("task", "b")
+        a, b = rec.events()
+        assert 0.0 <= a.ts <= b.ts
+
+    def test_explicit_timestamp_wins(self):
+        rec = TraceRecorder()
+        rec.event("task", "a", ts=42.0)
+        assert rec.events()[0].ts == 42.0
+
+    def test_emit_span_clamps_duration(self):
+        rec = TraceRecorder()
+        rec.emit_span("task", "t", start=5.0, end=4.0)
+        assert rec.events()[0].dur == 0.0
+
+    def test_span_closes_on_exception(self):
+        rec = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("task", "boom", task_id=1):
+                raise RuntimeError("x")
+        phases = [e.phase for e in rec.events()]
+        assert phases == ["B", "E"]
+
+    def test_new_group_emits_metadata(self):
+        rec = TraceRecorder()
+        g1 = rec.new_group("sweep cores=2")
+        g2 = rec.new_group("sweep cores=4")
+        assert g1 != g2 and 0 not in (g1, g2)  # group 0 is the wall clock
+        metas = [e for e in rec.events() if e.phase == "M"]
+        assert {m.attrs["name"] for m in metas} == {"sweep cores=2", "sweep cores=4"}
+
+    def test_events_raises_for_write_only_sink(self, tmp_path):
+        from repro.obs import JsonlSink
+
+        rec = TraceRecorder(sink=JsonlSink(tmp_path / "t.jsonl"))
+        with pytest.raises(TypeError):
+            rec.events()
+
+
+class TestNullRecorder:
+    def test_disabled_and_silent(self):
+        rec = NullRecorder()
+        rec.event("task", "a")
+        rec.emit_span("task", "a", 0.0, 1.0)
+        with rec.span("task", "a"):
+            pass
+        rec.count("c")
+        rec.observe("h", 1.0)
+        rec.set_gauge("g", 1.0)
+        assert not rec.enabled
+        assert rec.events() == []
+        assert rec.metrics.snapshot() == {}
+
+    def test_instrumented_run_adds_no_events(self):
+        """A full pool workload against the default (null) recorder is a
+        byte-for-byte no-op on the shared NULL_RECORDER."""
+        before = len(NULL_RECORDER.events())
+        with create("threads", cores=2) as pool:
+            fs = [pool.submit(lambda i=i: i * i) for i in range(20)]
+            assert [f.result() for f in fs] == [i * i for i in range(20)]
+            with pool.critical("c"):
+                pass
+        assert pool.trace is NULL_RECORDER
+        assert len(NULL_RECORDER.events()) == before
+        assert NULL_RECORDER.metrics.snapshot() == {}
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        assert current_recorder() is NULL_RECORDER
+        assert resolve_recorder(None) is NULL_RECORDER
+
+    def test_explicit_beats_ambient(self):
+        mine = TraceRecorder()
+        ambient = TraceRecorder()
+        with use(ambient):
+            assert resolve_recorder(None) is ambient
+            assert resolve_recorder(mine) is mine
+        assert resolve_recorder(None) is NULL_RECORDER
+
+    def test_use_nests_and_restores(self):
+        outer, inner = TraceRecorder(), TraceRecorder()
+        with use(outer):
+            with use(inner):
+                assert current_recorder() is inner
+            assert current_recorder() is outer
+
+    def test_ambient_is_thread_local(self):
+        rec = TraceRecorder()
+        seen = {}
+
+        def peek():
+            seen["other"] = current_recorder()
+
+        with use(rec):
+            t = threading.Thread(target=peek)
+            t.start()
+            t.join()
+        assert seen["other"] is NULL_RECORDER
+
+    def test_executor_constructed_under_use_picks_up_recorder(self):
+        rec = TraceRecorder()
+        with use(rec):
+            ex = create("sim", cores=4)
+        assert ex.trace is rec
+
+
+def _check_well_nested(events):
+    """Every task's B/E events must balance like parentheses, and every
+    start must have a matching end (the obs suite's core invariant)."""
+    stacks: dict[int, list[str]] = {}
+    for e in events:
+        if e.phase == "B":
+            stacks.setdefault(e.task_id, []).append(e.name)
+        elif e.phase == "E":
+            stack = stacks.get(e.task_id)
+            assert stack, f"E without B for task {e.task_id}: {e.name}"
+            assert stack.pop() == e.name, f"interleaved spans for task {e.task_id}"
+    leftovers = {tid: s for tid, s in stacks.items() if s}
+    assert not leftovers, f"unclosed spans: {leftovers}"
+
+
+# A little recursive span-tree language: each node is (name, children).
+_tree = st.recursive(
+    st.tuples(st.sampled_from("abcd"), st.just(())),
+    lambda kids: st.tuples(st.sampled_from("abcd"), st.lists(kids, max_size=3)),
+    max_leaves=12,
+)
+
+
+class TestWellNesting:
+    @given(trees=st.lists(_tree, min_size=1, max_size=4), fail_at=st.integers(0, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_span_trees_are_well_nested(self, trees, fail_at):
+        """Arbitrary span nesting — including a body that raises partway
+        through — always leaves a balanced, well-nested event stream."""
+        rec = TraceRecorder()
+        counter = [0]
+
+        def walk(node, task_id):
+            name, children = node
+            with rec.span("task", name, task_id=task_id):
+                counter[0] += 1
+                if counter[0] == fail_at:
+                    raise RuntimeError("injected")
+                for child in children:
+                    walk(child, task_id)
+
+        for tid, tree in enumerate(trees):
+            try:
+                walk(tree, tid)
+            except RuntimeError:
+                pass
+        _check_well_nested(rec.events())
+
+    @given(
+        n_tasks=st.integers(1, 24),
+        workers=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_pool_task_spans_well_nested(self, n_tasks, workers, seed):
+        """Real pool execution: every submitted task gets exactly one B
+        and one matching E, whatever the stealing interleaving."""
+        rec = TraceRecorder()
+        with create("threads", cores=workers, steal_seed=seed, trace=rec) as pool:
+            fs = [pool.submit(lambda i=i: i, name=f"t{i}") for i in range(n_tasks)]
+            assert [f.result() for f in fs] == list(range(n_tasks))
+        events = [e for e in rec.events() if e.kind == "task"]
+        _check_well_nested(events)
+        assert sum(1 for e in events if e.phase == "B") == n_tasks

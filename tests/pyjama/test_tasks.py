@@ -1,8 +1,6 @@
 """Tests for the ``task`` directive inside parallel regions."""
 
-import pytest
 
-from repro.pyjama import Pyjama
 
 
 class TestTaskDirective:

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.simkernel import Process, SimCancelled, SimEvent, Simulator
+from repro.simkernel import Process, SimCancelled, Simulator
 
 
 class TestBasicProcesses:

@@ -5,6 +5,7 @@ way the unit tests keep the library green.  Each runs in a subprocess
 (fresh interpreter, like a user would) with a generous timeout.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -13,6 +14,15 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+SRC_DIR = Path(__file__).parent.parent / "src"
+
+
+def _env_with_src():
+    """Subprocess env with ``src`` importable, however pytest was invoked."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = str(SRC_DIR) + (os.pathsep + existing if existing else "")
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES)
@@ -23,6 +33,7 @@ def test_example_runs_clean(script, tmp_path):
         text=True,
         timeout=180,
         cwd=tmp_path,  # examples must not depend on the CWD
+        env=_env_with_src(),
     )
     assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
     assert proc.stdout.strip(), f"{script} produced no output"

@@ -1,6 +1,5 @@
 """Tests for summary statistics and parallel-performance metrics."""
 
-import math
 
 import pytest
 from hypothesis import given
