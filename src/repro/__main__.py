@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig2                 # print one experiment's tables
     python -m repro run all -o reports/      # run everything, save reports
     python -m repro trace proj2              # run under tracing, write Chrome JSON
+    python -m repro analyze abl_sched        # work/span analytics + HTML report
+    python -m repro compare abl_sched        # gate a run against its stored baseline
     python -m repro webdemo out_dir/         # generate the race-condition site
     python -m repro topics                   # the ten project topics
 """
@@ -86,6 +88,93 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_traced(exp_id: str, max_events: int | None = None):
+    """Run one experiment under an ambient recorder; (recorder, result)."""
+    import repro.bench as bench
+    from repro.obs import TraceRecorder, use
+
+    exp = bench.get_experiment(exp_id)  # KeyError -> handled by callers
+    recorder = TraceRecorder(max_events=max_events)
+    with use(recorder):
+        result = exp()
+    return recorder, result
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Run one experiment traced, print the analysis, write the HTML report.
+
+    The terminal output is the experiment's own report followed by the
+    work/span + scheduler-health summary; the self-contained HTML report
+    (SVG Gantt, utilization bars) lands in ``-o`` (default
+    ``benchmarks/reports/``).  ``--update-baseline`` persists the
+    analyzed metrics for later ``compare`` runs.
+    """
+    from repro.obs import render_html, update_baseline
+
+    try:
+        recorder, result = _run_traced(args.experiment, max_events=args.max_events)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    analysis = result.analysis
+    if analysis is None:
+        print("experiment produced no trace analysis", file=sys.stderr)
+        return 1
+    print(result.render())
+    print()
+    print(result.render_analysis(), end="")
+    if recorder.dropped_events:
+        print(
+            f"warning: {recorder.dropped_events} events dropped (raise --max-events)",
+            file=sys.stderr,
+        )
+    out_dir = Path(args.output or "benchmarks/reports")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    html_path = out_dir / f"analysis_{args.experiment}.html"
+    html_path.write_text(render_html(analysis, title=f"{args.experiment} — trace analysis"))
+    print(f"HTML report -> {html_path}", file=sys.stderr)
+    if args.update_baseline:
+        path = update_baseline(args.experiment, analysis.baseline_metrics(), args.baseline)
+        print(f"baseline updated -> {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Re-run one experiment and gate it against its stored baseline.
+
+    Exit codes: 0 = no regressions, 1 = at least one gated metric moved
+    the wrong way past the threshold, 2 = unknown experiment or no
+    stored baseline for it.
+    """
+    from repro.obs import compare_to_baseline, load_baselines
+
+    store = load_baselines(args.baseline)
+    if args.experiment not in store:
+        print(
+            f"no baseline for {args.experiment!r} in {args.baseline} "
+            f"(known: {sorted(store)}); run "
+            f"'python -m repro analyze {args.experiment} --update-baseline' first",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        _, result = _run_traced(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if result.analysis is None:
+        print("experiment produced no trace analysis", file=sys.stderr)
+        return 1
+    comparison = compare_to_baseline(
+        args.experiment,
+        result.analysis.baseline_metrics(),
+        store[args.experiment],
+        threshold=args.threshold,
+    )
+    print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
 def _cmd_webdemo(args: argparse.Namespace) -> int:
     from repro.memmodel import write_demo_site
 
@@ -124,6 +213,37 @@ def main(argv: list[str] | None = None) -> int:
         "-o", "--output", help="trace file path (default: trace_<experiment>.json)"
     )
     trace.set_defaults(fn=_cmd_trace)
+
+    default_baseline = "benchmarks/reports/baselines.json"
+    analyze = sub.add_parser(
+        "analyze", help="run one experiment traced: work/span analytics + HTML report"
+    )
+    analyze.add_argument("experiment")
+    analyze.add_argument(
+        "-o", "--output", help="report directory (default: benchmarks/reports)"
+    )
+    analyze.add_argument(
+        "--max-events", type=int, default=None, help="cap recorded trace events"
+    )
+    analyze.add_argument(
+        "--update-baseline", action="store_true", help="persist metrics as the new baseline"
+    )
+    analyze.add_argument(
+        "--baseline", default=default_baseline, help=f"baseline store (default: {default_baseline})"
+    )
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    compare = sub.add_parser(
+        "compare", help="re-run one experiment and gate it against its stored baseline"
+    )
+    compare.add_argument("experiment")
+    compare.add_argument(
+        "--baseline", default=default_baseline, help=f"baseline store (default: {default_baseline})"
+    )
+    compare.add_argument(
+        "--threshold", type=float, default=0.25, help="relative drift tolerated (default: 0.25)"
+    )
+    compare.set_defaults(fn=_cmd_compare)
 
     web = sub.add_parser("webdemo", help="generate the interactive race-condition pages")
     web.add_argument("out_dir")

@@ -13,7 +13,7 @@ import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
-from repro.obs import current_recorder
+from repro.obs import TraceAnalysis, analyze_trace, current_recorder, render_text
 from repro.util.tables import Table
 
 __all__ = ["Experiment", "ExperimentResult", "register", "get_experiment", "all_experiments"]
@@ -30,6 +30,11 @@ class ExperimentResult:
     #: recorder (name -> count/gauge value or util.stats Summary); None
     #: when observability was off.  Deliberately not part of render().
     metrics: dict[str, Any] | None = field(default=None, compare=False)
+    #: trace analytics (work/span, utilization, steal stats, model fits)
+    #: computed from the recorded events; None when observability was
+    #: off.  Deliberately not part of render() — the bench report stays
+    #: byte-identical with tracing disabled.
+    analysis: TraceAnalysis | None = field(default=None, compare=False)
 
     def render(self) -> str:
         parts = [f"===== experiment {self.exp_id} ====="]
@@ -48,6 +53,12 @@ class ExperimentResult:
         for name, value in sorted(self.metrics.items()):
             lines.append(f"{name:40s} {value}")
         return "\n".join(lines)
+
+    def render_analysis(self) -> str:
+        """Terminal trace-analysis block ('' when the run was untraced)."""
+        if self.analysis is None:
+            return ""
+        return render_text(self.analysis)
 
 
 @dataclass(frozen=True)
@@ -71,7 +82,12 @@ class Experiment:
                 f"experiment {self.exp_id!r} returned result tagged {result.exp_id!r}"
             )
         if recorder.enabled:
-            result = replace(result, metrics=recorder.metrics.snapshot())
+            snapshot = recorder.metrics.snapshot()
+            analysis = None
+            events = getattr(recorder, "events", None)
+            if callable(events):  # recorders without replay just skip analytics
+                analysis = analyze_trace(events(), metrics=snapshot)
+            result = replace(result, metrics=snapshot, analysis=analysis)
         return result
 
 

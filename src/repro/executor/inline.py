@@ -61,11 +61,18 @@ class InlineExecutor(Executor):
                 return future
         self._task_counter += 1
         tid = self._task_counter
+        future.meta["tid"] = tid
         prev = self._current_task
         self._current_task = tid
         trace = self.trace
         if trace.enabled:
-            trace.event("task", future.name, phase="B", task_id=tid, worker=0)
+            # ``parent`` is the spawning task (0 = main), so the analyzer
+            # can rebuild the spawn tree even without submit instants.
+            dep_tasks = [d.meta["tid"] for d in after if "tid" in d.meta]
+            trace.event(
+                "task", future.name, phase="B", task_id=tid, worker=0,
+                parent=prev, dep_tasks=dep_tasks,
+            )
             trace.count("inline.tasks")
         try:
             future.set_result(fn(*args, **kwargs))

@@ -164,6 +164,7 @@ class SimExecutor(Executor):
             seg = self.graph.add(task_id=tid, name=f"{name}(dep-failed)", cost=0.0, deps=dep_sids)
             fut = SimFuture(self, name=name)
             fut.meta["last_sid"] = seg.sid
+            fut.meta["tid"] = tid
             fut.set_exception(failed_dep)
             return fut
 
@@ -171,6 +172,7 @@ class SimExecutor(Executor):
         self.trace.count("sim.tasks_recorded")
         ctx = _TaskCtx(task_id=tid, current_sid=first.sid)
         fut = SimFuture(self, name=name)
+        fut.meta["tid"] = tid
 
         self._stack.append(ctx)
         try:
@@ -285,8 +287,25 @@ class SimExecutor(Executor):
         trace = self.trace
         self._schedule_count += 1
         group = trace.new_group(
-            f"{result.machine.name} schedule#{self._schedule_count} ({self.policy})"
+            f"{result.machine.name} schedule#{self._schedule_count} ({self.policy})",
+            cores=result.machine.cores,
         )
+        # Authoritative schedule-level numbers: the analyzer prefers these
+        # exact figures over reconstructing them from the span stream, and
+        # the speedup-model fit reads (cores, makespan) pairs from them.
+        trace.event(
+            "sched",
+            "schedule_summary",
+            ts=0.0,
+            group=group,
+            cores=result.machine.cores,
+            makespan=result.makespan,
+            work=result.total_work,
+            span=result.critical_path,
+            utilization=result.utilization,
+            policy=self.policy,
+        )
+        first_seg_of_task: dict[int, bool] = {}
         last_core_of_task: dict[int, int] = {}
         for sid in range(result.n_segments):
             seg = graph[sid]
@@ -311,9 +330,17 @@ class SimExecutor(Executor):
                 )
                 trace.count("sim.migrations")
             last_core_of_task[seg.task_id] = core
+            span_attrs: dict[str, object] = {}
+            if not first_seg_of_task.get(seg.task_id):
+                first_seg_of_task[seg.task_id] = True
+                if seg.deps:
+                    # Spawn edge: the first segment's first dependency is
+                    # the spawning segment of the parent task.
+                    span_attrs["parent"] = graph[seg.deps[0]].task_id
             if seg.cost > 0 or kind != "task":
                 trace.emit_span(
-                    kind, seg.name, start, finish, task_id=seg.task_id, worker=core, group=group
+                    kind, seg.name, start, finish, task_id=seg.task_id, worker=core,
+                    group=group, **span_attrs,
                 )
             if kind == "barrier":
                 trace.event(

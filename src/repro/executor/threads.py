@@ -50,6 +50,7 @@ class PoolStats:
 
     tasks_executed: int = 0
     steals: int = 0
+    steal_attempts: int = 0
     helped_joins: int = 0
     per_worker_executed: list[int] = field(default_factory=list)
 
@@ -163,9 +164,20 @@ class WorkStealingPool(Executor):
                 raise ExecutorShutdown(f"pool {self.name!r} is shut down")
             self._task_counter += 1
             tid = self._task_counter
+        future.meta["tid"] = tid  # lets dependants trace their dep edges
         task = _Task(fn=fn, args=args, kwargs=kwargs, future=future, tid=tid, cost=cost)
         if self.trace.enabled:
-            self.trace.event("submit", future.name, task_id=tid, deps=len(after))
+            # Parent/dep task ids let the analyzer rebuild the task graph
+            # (work/span/critical path) from the event stream alone.
+            dep_tasks = [d.meta["tid"] for d in after if "tid" in d.meta]
+            self.trace.event(
+                "submit",
+                future.name,
+                task_id=tid,
+                parent=self.task_id(),
+                deps=len(after),
+                dep_tasks=dep_tasks,
+            )
             self.trace.count("pool.submitted")
 
         pending = [dep for dep in after if not dep.done()]
@@ -219,12 +231,22 @@ class WorkStealingPool(Executor):
     # -- worker machinery ----------------------------------------------------------
 
     def _take_work(self, wid: int) -> tuple[_Task | None, bool]:
-        """Pop a task (own LIFO, inbox FIFO, else steal). Caller holds mutex."""
+        """Pop a task (own LIFO, inbox FIFO, else steal). Caller holds mutex.
+
+        An empty own-deque + empty inbox counts as one steal *attempt*
+        (a scan of every victim queue), whether or not it finds work —
+        steals/attempts is the scheduler-health success rate the analyzer
+        reports.  Idle polling counts too, deliberately: a pool that scans
+        and finds nothing is telling you it is starved.
+        """
         own = self._deques[wid]
         if own:
             return own.pop(), False
         if self._inbox:
             return self._inbox.popleft(), False
+        self._stats.steal_attempts += 1
+        if self.trace.enabled:
+            self.trace.count("pool.steal_attempts")
         for victim in self._victim_orders[wid]:
             vq = self._deques[victim]
             if vq:

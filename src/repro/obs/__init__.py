@@ -31,9 +31,45 @@ or ambiently, which is what ``python -m repro trace <experiment>`` does::
     with obs.use(obs.TraceRecorder()) as rec:
         run_experiment()
     print(rec.metrics.render())
+
+On top of recording sits the *analytics* layer (this package's other
+half, used by ``python -m repro analyze`` / ``compare``):
+
+* :func:`analyze_trace` (:mod:`repro.obs.analyze`) reconstructs the
+  task timeline from an event stream and computes work/span/parallelism,
+  per-worker utilization, steal and contention statistics, and
+  Amdahl/Gustafson speedup-model fits (:func:`fit_speedup_models`);
+* :func:`render_text` / :func:`render_html` (:mod:`repro.obs.report`)
+  turn an analysis into a terminal summary or a self-contained HTML
+  report with an SVG Gantt timeline;
+* :mod:`repro.obs.baseline` persists analyzed metrics per experiment
+  and gates regressions (:func:`compare_to_baseline`).
 """
 
+from repro.obs.analyze import (
+    BarrierWait,
+    GroupAnalysis,
+    LatencyStats,
+    LockContention,
+    SpeedupFit,
+    TaskSpan,
+    TraceAnalysis,
+    WorkerUtilization,
+    analyze_trace,
+    fit_speedup_models,
+)
+from repro.obs.baseline import (
+    DEFAULT_BASELINE_PATH,
+    Comparison,
+    MetricDelta,
+    compare_to_baseline,
+    load_baselines,
+    metric_direction,
+    save_baselines,
+    update_baseline,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, Metrics, NullMetrics
+from repro.obs.report import render_html, render_text
 from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink, Sink
 from repro.obs.trace import (
     NULL_RECORDER,
@@ -62,4 +98,25 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    # analytics
+    "TaskSpan",
+    "WorkerUtilization",
+    "LockContention",
+    "BarrierWait",
+    "LatencyStats",
+    "GroupAnalysis",
+    "SpeedupFit",
+    "TraceAnalysis",
+    "analyze_trace",
+    "fit_speedup_models",
+    "render_text",
+    "render_html",
+    "DEFAULT_BASELINE_PATH",
+    "MetricDelta",
+    "Comparison",
+    "metric_direction",
+    "load_baselines",
+    "save_baselines",
+    "update_baseline",
+    "compare_to_baseline",
 ]

@@ -17,6 +17,8 @@ from __future__ import annotations
 import threading
 from typing import Iterator
 
+import numpy as np
+
 from repro.util.stats import Summary, summarize
 
 __all__ = ["Counter", "Gauge", "Histogram", "Metrics", "NullMetrics"]
@@ -94,6 +96,26 @@ class Histogram:
         """Five-number-plus summary; raises ``ValueError`` when empty."""
         return summarize(self.samples())
 
+    def flat_summary(self) -> dict[str, float]:
+        """Deterministic flat fields (``<name>.n/.mean/.p50/.p90/.p99/.max``).
+
+        This is the snapshot/baseline form: plain floats with stable key
+        names, so two snapshots of the same run diff cleanly.  An empty
+        histogram contributes only ``<name>.n = 0``.
+        """
+        samples = self.samples()
+        out: dict[str, float] = {f"{self.name}.n": float(len(samples))}
+        if not samples:
+            return out
+        arr = np.asarray(samples, dtype=float)
+        p50, p90, p99 = np.percentile(arr, [50, 90, 99])
+        out[f"{self.name}.mean"] = float(arr.mean())
+        out[f"{self.name}.p50"] = float(p50)
+        out[f"{self.name}.p90"] = float(p90)
+        out[f"{self.name}.p99"] = float(p99)
+        out[f"{self.name}.max"] = float(arr.max())
+        return out
+
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.count})"
 
@@ -155,16 +177,22 @@ class Metrics:
             instruments = [*self._counters.values(), *self._gauges.values(), *self._histograms.values()]
         return iter(sorted(instruments, key=lambda i: i.name))
 
-    def snapshot(self) -> dict[str, object]:
-        """Point-in-time view: counters/gauges as numbers, histograms as
-        :class:`~repro.util.stats.Summary` (or ``None`` when empty)."""
-        out: dict[str, object] = {}
+    def snapshot(self) -> dict[str, float]:
+        """Deterministic point-in-time view: a flat ``name -> number`` dict.
+
+        Counters and gauges appear under their own name; each histogram is
+        expanded to flat ``<name>.n/.mean/.p50/.p90/.p99/.max`` fields (an
+        empty histogram contributes only ``<name>.n = 0``).  Keys are
+        sorted, so two snapshots of equivalent runs diff cleanly — this is
+        the form the baseline store persists and compares.
+        """
+        out: dict[str, float] = {}
         for inst in self:
             if isinstance(inst, Histogram):
-                out[inst.name] = inst.summary() if inst.count else None
+                out.update(inst.flat_summary())
             else:
                 out[inst.name] = inst.value
-        return out
+        return dict(sorted(out.items()))
 
     def render(self) -> str:
         """Human-readable dump, one instrument per line, sorted by name."""

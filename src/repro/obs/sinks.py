@@ -20,11 +20,17 @@ __all__ = ["Sink", "MemorySink", "JsonlSink", "ChromeTraceSink"]
 
 
 class Sink:
-    """Base sink: subclasses override :meth:`emit`; :meth:`close` is
-    idempotent and optional."""
+    """Base sink: subclasses override :meth:`emit`; :meth:`flush` and
+    :meth:`close` are idempotent and optional.  Every sink is a context
+    manager — leaving the ``with`` block flushes and closes it
+    deterministically, so file-backed sinks never rely on interpreter
+    exit to get their bytes on disk."""
 
     def emit(self, event: "TraceEvent") -> None:
         raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered output toward its destination; no-op by default."""
 
     def close(self) -> None:
         pass
@@ -62,7 +68,13 @@ class JsonlSink(Sink):
     """One JSON object per line, written as events arrive.
 
     Accepts a path (opened lazily, closed by :meth:`close`) or an open
-    text file object (left open — the caller owns it).
+    text file object (flushed but left open — the caller owns it).  Use
+    it as a context manager for deterministic flush+close::
+
+        with JsonlSink(path) as sink:
+            recorder = TraceRecorder(sink=sink)
+            ...
+        # every line is on disk here, whatever happened in the body
     """
 
     def __init__(self, target: str | Path | IO[str]) -> None:
@@ -87,9 +99,20 @@ class JsonlSink(Sink):
             self._fp.write(line + "\n")
             self._count += 1
 
-    def close(self) -> None:
+    def flush(self) -> None:
+        """Flush the underlying file object (owned or caller-provided)."""
         with self._lock:
-            if self._fp is not None and self._owns_fp:
+            if self._fp is not None:
+                self._fp.flush()
+
+    def close(self) -> None:
+        """Flush, then close the handle if this sink opened it; a
+        caller-provided stream is flushed but left open."""
+        with self._lock:
+            if self._fp is None:
+                return
+            self._fp.flush()
+            if self._owns_fp:
                 self._fp.close()
                 self._fp = None
 
@@ -115,7 +138,22 @@ class ChromeTraceSink(Sink):
         with self._lock:
             self.events.append(event)
 
+    def clear(self) -> None:
+        """Drop buffered events (used by ``TraceRecorder.clear``)."""
+        with self._lock:
+            self.events.clear()
+
+    def flush(self) -> None:
+        """Serialise the events buffered so far without sealing the sink;
+        a later :meth:`close` rewrites the file with the full stream."""
+        with self._lock:
+            if self._written:
+                return
+            events = list(self.events)
+        self._path.write_text(self.render_events(events))
+
     def close(self) -> None:
+        """Write the final trace JSON exactly once (idempotent)."""
         with self._lock:
             if self._written:
                 return

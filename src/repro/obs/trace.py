@@ -123,12 +123,27 @@ class TraceRecorder:
     #: real recorders record; :class:`NullRecorder` flips this to False
     enabled = True
 
-    def __init__(self, sink: Sink | None = None, metrics: Metrics | None = None) -> None:
+    def __init__(
+        self,
+        sink: Sink | None = None,
+        metrics: Metrics | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """``max_events`` bounds how many events reach the sink; beyond it
+        events are counted in :attr:`dropped_events` instead of recorded,
+        so heavy-traffic runs cannot grow a MemorySink without bound.
+        Metadata events (group labels, phase ``M``) are exempt — they are
+        tiny and the analyzer needs them to name timelines."""
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.sink: Sink = sink if sink is not None else MemorySink()
         self.metrics: Metrics = metrics if metrics is not None else Metrics()
+        self.max_events = max_events
         self._epoch = time.monotonic()
         self._lock = threading.Lock()
         self._next_group = 1  # group 0 is the wall-clock timeline
+        self._emitted = 0
+        self._dropped = 0
 
     # -- clocks & grouping ---------------------------------------------------
 
@@ -136,20 +151,40 @@ class TraceRecorder:
         """Wall seconds since this recorder was created."""
         return time.monotonic() - self._epoch
 
-    def new_group(self, label: str = "") -> int:
+    def new_group(self, label: str = "", **attrs: Any) -> int:
         """Allocate a trace group (Chrome "process") for a separate
-        timeline; emits the metadata event that names it in the viewer."""
+        timeline; emits the metadata event that names it in the viewer.
+
+        Extra ``attrs`` (e.g. ``cores=8`` from the simulated executor)
+        ride on the metadata event, which is how the analyzer learns a
+        timeline's machine shape for speedup-model fitting."""
         with self._lock:
             group = self._next_group
             self._next_group += 1
         if label:
-            self.sink.emit(
+            self._emit(
                 TraceEvent(kind="meta", name="process_name", phase="M",
-                           group=group, attrs={"name": label})
+                           group=group, attrs={"name": label, **attrs})
             )
         return group
 
     # -- event emission ------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        """Hand one event to the sink, honouring the ``max_events`` cap
+        (metadata events are always recorded — see ``__init__``)."""
+        if self.max_events is not None and event.phase != "M":
+            with self._lock:
+                if self._emitted >= self.max_events:
+                    self._dropped += 1
+                    return
+                self._emitted += 1
+        self.sink.emit(event)
+
+    @property
+    def dropped_events(self) -> int:
+        """Events discarded because the ``max_events`` cap was reached."""
+        return self._dropped
 
     def event(
         self,
@@ -164,7 +199,7 @@ class TraceRecorder:
         **attrs: Any,
     ) -> None:
         """Record one event; ``ts=None`` stamps wall time now."""
-        self.sink.emit(
+        self._emit(
             TraceEvent(
                 kind=kind,
                 name=name,
@@ -190,7 +225,7 @@ class TraceRecorder:
         **attrs: Any,
     ) -> None:
         """Record a complete span with explicit (e.g. virtual) timestamps."""
-        self.sink.emit(
+        self._emit(
             TraceEvent(
                 kind=kind,
                 name=name,
@@ -246,6 +281,18 @@ class TraceRecorder:
             raise TypeError(f"sink {self.sink!r} does not retain events")
         return list(events)
 
+    def clear(self) -> None:
+        """Discard recorded events and reset the cap accounting, so one
+        recorder can observe several phases of a long run in bounded
+        memory; raises ``TypeError`` for sinks that cannot clear."""
+        clear = getattr(self.sink, "clear", None)
+        if clear is None:
+            raise TypeError(f"sink {self.sink!r} does not support clear()")
+        clear()
+        with self._lock:
+            self._emitted = 0
+            self._dropped = 0
+
     def close(self) -> None:
         self.sink.close()
 
@@ -282,7 +329,7 @@ class NullRecorder(TraceRecorder):
     def span(self, kind: str, name: str, **kwargs: Any) -> Iterator[None]:  # type: ignore[override]
         yield
 
-    def new_group(self, label: str = "") -> int:
+    def new_group(self, label: str = "", **attrs: Any) -> int:
         return 0
 
     def count(self, name: str, n: int = 1) -> None:

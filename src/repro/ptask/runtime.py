@@ -151,7 +151,12 @@ class ParallelTaskRuntime:
         )
         if self.trace.enabled:
             self.trace.event(
-                "spawn", future.name, deps=len(depends_on), notify=notify is not None
+                "spawn",
+                future.name,
+                task_id=future.meta.get("tid", 0),
+                parent=self.executor.task_id(),
+                deps=len(depends_on),
+                notify=notify is not None,
             )
             self.trace.count("ptask.spawns")
         if on_error is not None:

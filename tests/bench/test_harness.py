@@ -4,7 +4,20 @@ import pytest
 
 import repro.bench as bench
 from repro.bench.harness import Experiment, ExperimentResult, register
+from repro.executor import create
+from repro.obs import TraceAnalysis, TraceRecorder, use
 from repro.util.tables import Table
+
+
+@register("test-obs-tiny-sim", "tiny traced sim workload", "obs fixture")
+def _tiny_sim_experiment():
+    ex = create("sim", cores=2)
+    for _ in range(4):
+        ex.submit(lambda: None, cost=1.0).result()
+    schedule = ex.schedule()
+    t = Table(["makespan"], title="tiny")
+    t.add_row([schedule.makespan])
+    return ExperimentResult(exp_id="test-obs-tiny-sim", tables=(t,))
 
 
 class TestRegistry:
@@ -53,6 +66,29 @@ class TestExperimentResult:
         assert "experiment x" in out
         assert "T" in out
         assert "notes: hello" in out
+
+    def test_untraced_run_attaches_no_analytics(self):
+        result = _tiny_sim_experiment()
+        assert result.metrics is None
+        assert result.analysis is None
+        assert result.render_analysis() == ""
+
+    def test_traced_run_attaches_analysis(self):
+        with use(TraceRecorder()):
+            result = _tiny_sim_experiment()
+        assert isinstance(result.analysis, TraceAnalysis)
+        assert result.analysis.primary is not None
+        assert result.analysis.primary.exact  # sim emits authoritative summaries
+        assert result.analysis.primary.work == pytest.approx(4.0)
+        assert "trace analysis:" in result.render_analysis()
+
+    def test_report_byte_identical_with_tracing_on_or_off(self):
+        """The zero-cost guarantee: installing a recorder must not change
+        a single byte of the rendered bench report."""
+        plain = _tiny_sim_experiment().render()
+        with use(TraceRecorder()):
+            traced = _tiny_sim_experiment()
+        assert traced.render() == plain
 
     def test_topics_bench_mapping_is_real(self):
         """Every topic's declared bench target file actually exists."""

@@ -1,0 +1,302 @@
+"""Trace analytics: work/span reconstruction, health stats, model fits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executor import create
+from repro.obs import TraceEvent, TraceRecorder, analyze_trace, fit_speedup_models
+from repro.ptask import ParallelTaskRuntime
+from repro.util.stats import amdahl_speedup
+
+_EPS = 1e-9
+
+
+def _span(task_id, start, end, worker=0, group=0, name="t", parent=None, deps=()):
+    attrs = {}
+    if parent is not None:
+        attrs["parent"] = parent
+    if deps:
+        attrs["dep_tasks"] = list(deps)
+    return TraceEvent(
+        kind="task", name=name, phase="X", ts=start, dur=end - start,
+        task_id=task_id, worker=worker, group=group, attrs=attrs,
+    )
+
+
+class TestReconstruction:
+    def test_single_task(self):
+        a = analyze_trace([_span(1, 0.0, 2.0)])
+        (g,) = a.groups
+        assert g.work == pytest.approx(2.0)
+        assert g.span == pytest.approx(2.0)
+        assert g.parallelism == pytest.approx(1.0)
+        assert g.makespan == pytest.approx(2.0)
+
+    def test_two_independent_tasks_on_two_workers(self):
+        a = analyze_trace([_span(1, 0.0, 1.0, worker=0), _span(2, 0.0, 1.0, worker=1)])
+        (g,) = a.groups
+        assert g.work == pytest.approx(2.0)
+        assert g.span == pytest.approx(1.0)  # no edges: span = longest task
+        assert g.parallelism == pytest.approx(2.0)
+        assert g.utilization == pytest.approx(1.0)
+
+    def test_dependence_chain_extends_span(self):
+        """Diamond: 1 -> {2, 3} -> 4; span follows the heavy branch."""
+        events = [
+            _span(1, 0.0, 1.0, worker=0),
+            _span(2, 1.0, 3.0, worker=0, parent=1),
+            _span(3, 1.0, 4.0, worker=1, parent=1),
+            _span(4, 4.0, 5.0, worker=0, deps=(2, 3)),
+        ]
+        a = analyze_trace(events)
+        (g,) = a.groups
+        assert g.work == pytest.approx(7.0)
+        assert g.span == pytest.approx(1.0 + 3.0 + 1.0)
+        assert g.tasks == 4
+
+    def test_nested_helping_span_not_double_counted(self):
+        """A worker that helps another task mid-join nests that task's
+        span inside its own; work charges each interval exactly once."""
+        events = [
+            _span(1, 0.0, 10.0, worker=0),
+            _span(2, 2.0, 4.0, worker=0),  # helped task, nested in task 1
+        ]
+        a = analyze_trace(events)
+        (g,) = a.groups
+        assert g.work == pytest.approx(10.0)  # 8 exclusive + 2 nested
+        assert g.utilization == pytest.approx(1.0)
+
+    def test_be_pairs_close_and_unclosed_counted(self):
+        rec = TraceRecorder()
+        with rec.span("task", "done", task_id=1):
+            pass
+        rec.event("task", "hung", phase="B", task_id=2)
+        a = analyze_trace(rec.events())
+        assert a.unclosed_spans == 1
+        (g,) = a.groups
+        assert g.tasks == 1
+
+    def test_edge_into_unknown_task_ignored(self):
+        a = analyze_trace([_span(1, 0.0, 1.0, deps=(999,))])
+        assert a.groups[0].span == pytest.approx(1.0)
+
+    def test_cycle_degrades_instead_of_raising(self):
+        events = [
+            _span(1, 0.0, 1.0, deps=(2,)),
+            _span(2, 1.0, 3.0, deps=(1,)),
+        ]
+        a = analyze_trace(events)
+        assert a.groups[0].span >= 2.0 - _EPS  # node-local lower bound
+
+    def test_groups_stay_separate(self):
+        events = [_span(1, 0.0, 1.0, group=1), _span(1, 0.0, 2.0, group=2)]
+        a = analyze_trace(events)
+        assert [g.group for g in a.groups] == [1, 2]
+        assert a.groups[0].work == pytest.approx(1.0)
+        assert a.groups[1].work == pytest.approx(2.0)
+
+
+class TestHealthStats:
+    def test_steals_and_helps_counted(self):
+        events = [
+            TraceEvent(kind="steal", name="s", worker=1),
+            TraceEvent(kind="steal", name="s", worker=2),
+            TraceEvent(kind="help", name="h", worker=1),
+        ]
+        a = analyze_trace(events)
+        assert a.steals == 2 and a.helps == 1
+
+    def test_steal_success_rate_from_metrics(self):
+        a = analyze_trace(
+            [TraceEvent(kind="steal", name="s")],
+            metrics={"pool.steal_attempts": 4},
+        )
+        assert a.steal_attempts == 4
+        assert a.steal_success_rate == pytest.approx(0.25)
+        assert analyze_trace([]).steal_success_rate is None
+
+    def test_lock_wait_measured_from_acquire_instant(self):
+        events = [
+            TraceEvent(kind="critical", name="lk", phase="B", ts=1.0, task_id=5,
+                       attrs={"lock": "lk"}),
+            TraceEvent(kind="critical", name="lk:acquired", phase="i", ts=1.25, task_id=5),
+            TraceEvent(kind="critical", name="lk", phase="E", ts=2.0, task_id=5),
+        ]
+        a = analyze_trace(events)
+        (c,) = a.locks
+        assert c.name == "lk"
+        assert c.acquisitions == 1
+        assert c.total_wait == pytest.approx(0.25)
+        assert c.mean_wait == pytest.approx(0.25)
+
+    def test_barrier_wait_arrive_to_pass(self):
+        events = [
+            TraceEvent(kind="barrier", name="b:arrive", phase="i", ts=0.0, task_id=1),
+            TraceEvent(kind="barrier", name="b:arrive", phase="i", ts=0.4, task_id=2),
+            TraceEvent(kind="barrier", name="b:pass", phase="i", ts=0.5, task_id=1),
+            TraceEvent(kind="barrier", name="b:pass", phase="i", ts=0.5, task_id=2),
+        ]
+        a = analyze_trace(events)
+        (b,) = a.barriers
+        assert b.passes == 2
+        assert b.total_wait == pytest.approx(0.6)
+        assert b.max_wait == pytest.approx(0.5)
+
+    def test_edt_latency_percentiles(self):
+        events = [
+            TraceEvent(kind="edt", name="e", phase="B", ts=float(i),
+                       attrs={"queue_latency": i / 100})
+            for i in range(1, 101)
+        ]
+        a = analyze_trace(events)
+        assert a.edt_latency.n == 100
+        assert a.edt_latency.p50 <= a.edt_latency.p90 <= a.edt_latency.p99 <= a.edt_latency.maximum
+        assert a.edt_latency.maximum == pytest.approx(1.0)
+
+
+class TestSpeedupFit:
+    def test_recovers_amdahl_fraction(self):
+        cores = [1, 2, 4, 8, 16, 32]
+        times = [1.0 / amdahl_speedup(0.2, p) for p in cores]
+        fit = fit_speedup_models(cores, times)
+        assert fit.amdahl_fraction == pytest.approx(0.2, abs=1e-3)
+        assert fit.preferred == "amdahl"
+        assert fit.serial_fraction is not None
+        assert fit.serial_fraction.mean == pytest.approx(0.2, abs=1e-6)
+
+    def test_linear_scaling_fits_zero_fraction(self):
+        fit = fit_speedup_models([1, 2, 4], [1.0, 0.5, 0.25])
+        assert fit.amdahl_fraction == pytest.approx(0.0, abs=1e-9)
+        assert fit.amdahl_rmse == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "cores,times,msg",
+        [
+            ([1, 2], [1.0], "disagree"),
+            ([2, 4], [1.0, 0.5], "1-core"),
+            ([1, 1], [1.0, 1.0], "duplicate"),
+            ([1, 2], [1.0, -0.5], "positive"),
+            ([1], [1.0], "at least two"),
+        ],
+    )
+    def test_rejects_malformed_sweeps(self, cores, times, msg):
+        with pytest.raises(ValueError, match=msg):
+            fit_speedup_models(cores, times)
+
+    def test_fit_from_sim_core_sweep(self):
+        """A traced simulated core sweep carries enough schedule summaries
+        to fit a speedup model without any extra bookkeeping."""
+        rec = TraceRecorder()
+        for cores in (1, 2, 4, 8):
+            ex = create("sim", cores=cores, trace=rec)
+            rt = ParallelTaskRuntime(ex)
+            for i in range(16):
+                rt.spawn(lambda: None, cost=1.0)
+            ex.schedule()
+        a = analyze_trace(rec.events())
+        assert a.fit is not None
+        assert a.fit.cores == (1, 2, 4, 8)
+        assert a.fit.speedups[0] == pytest.approx(1.0)
+
+    def test_same_core_schedules_do_not_fit(self):
+        """Policy ablations re-schedule at one core count; no sweep, no fit."""
+        rec = TraceRecorder()
+        ex = create("sim", cores=4, trace=rec)
+        ex.submit(lambda: None, cost=1.0).result()
+        ex.schedule()
+        ex.schedule()
+        assert analyze_trace(rec.events()).fit is None
+
+
+class TestExactSimFigures:
+    def test_schedule_summary_is_authoritative(self):
+        rec = TraceRecorder()
+        ex = create("sim", cores=4, trace=rec)
+        rt = ParallelTaskRuntime(ex)
+        a = rt.spawn(lambda: 1, cost=2.0)
+        rt.spawn(lambda a=a: a.result(), cost=1.0, depends_on=[a])
+        result = ex.schedule()
+        analysis = analyze_trace(rec.events())
+        g = analysis.primary
+        assert g.exact
+        assert g.cores == 4
+        assert g.work == pytest.approx(result.total_work)
+        assert g.span == pytest.approx(result.critical_path)
+        assert g.makespan == pytest.approx(result.makespan)
+        assert g.utilization == pytest.approx(result.utilization)
+
+    def test_baseline_metrics_flat_sorted_numeric(self):
+        rec = TraceRecorder()
+        ex = create("sim", cores=2, trace=rec)
+        ex.submit(lambda: None, cost=1.0).result()
+        ex.schedule()
+        bm = analyze_trace(rec.events(), metrics=rec.metrics.snapshot()).baseline_metrics()
+        assert list(bm) == sorted(bm)
+        assert all(isinstance(v, float) for v in bm.values())
+        assert "primary.work" in bm and "trace.tasks" in bm
+
+
+# -- property tests: the invariants hold for arbitrary timelines -------------
+
+_workload = st.lists(
+    st.tuples(
+        st.integers(0, 3),                        # worker lane
+        st.floats(0.001, 1.0, allow_nan=False),   # duration
+        st.floats(0.0, 0.5, allow_nan=False),     # idle gap before the task
+        st.integers(0, 10_000),                   # parent pick (mod earlier ids)
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _timeline(workload):
+    """Lay generated tasks back-to-back per worker (never overlapping) and
+    wire each to a random earlier task, yielding a valid span DAG."""
+    cursor = {}
+    events = []
+    for tid, (worker, dur, gap, pick) in enumerate(workload, start=1):
+        start = cursor.get(worker, 0.0) + gap
+        end = start + dur
+        cursor[worker] = end
+        parent = (pick % (tid - 1)) + 1 if tid > 1 and pick % 2 else None
+        events.append(_span(tid, start, end, worker=worker, parent=parent))
+    return events
+
+
+class TestInvariants:
+    @given(workload=_workload)
+    @settings(max_examples=120, deadline=None)
+    def test_span_work_parallelism_utilization(self, workload):
+        a = analyze_trace(_timeline(workload))
+        (g,) = a.groups
+        assert g.span <= g.work + _EPS
+        assert g.parallelism >= 1.0 - _EPS
+        assert 0.0 <= g.utilization <= 1.0 + _EPS
+        for w in g.workers:
+            assert 0.0 <= w.utilization <= 1.0 + _EPS
+            assert w.busy <= g.makespan + _EPS
+        assert g.work == pytest.approx(sum(d for _, d, _, _ in workload))
+
+    @given(workload=_workload)
+    @settings(max_examples=60, deadline=None)
+    def test_achieved_speedup_bounded_by_worker_count(self, workload):
+        """work/makespan (the *achieved* speedup, unlike T1/T∞ which is
+        the DAG's inherent parallelism) cannot exceed the lane count:
+        each lane contributes at most ``makespan`` seconds of work."""
+        a = analyze_trace(_timeline(workload))
+        (g,) = a.groups
+        lanes = len({w for w, _, _, _ in workload})
+        assert g.work <= lanes * g.makespan + _EPS
+
+    @given(
+        fraction=st.floats(0.0, 1.0, allow_nan=False),
+        n_points=st.integers(2, 6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_fit_recovers_generated_fraction(self, fraction, n_points):
+        cores = [2**i for i in range(n_points)]
+        times = [1.0 / amdahl_speedup(fraction, p) for p in cores]
+        fit = fit_speedup_models(cores, times)
+        assert fit.amdahl_fraction == pytest.approx(fraction, abs=1e-3)

@@ -1,0 +1,131 @@
+"""Baseline store: persistence round-trips and direction-aware gating."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Comparison,
+    compare_to_baseline,
+    load_baselines,
+    metric_direction,
+    save_baselines,
+    update_baseline,
+)
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baselines.json"
+        data = {"exp_a": {"primary.work": 1.5, "trace.tasks": 8.0}}
+        save_baselines(data, path)
+        assert load_baselines(path) == data
+
+    def test_missing_file_is_empty_store(self, tmp_path):
+        assert load_baselines(tmp_path / "nope.json") == {}
+
+    def test_update_inserts_and_replaces(self, tmp_path):
+        path = tmp_path / "b.json"
+        update_baseline("e1", {"m": 1.0}, path)
+        update_baseline("e2", {"m": 2.0}, path)
+        update_baseline("e1", {"m": 3.0}, path)
+        store = load_baselines(path)
+        assert store == {"e1": {"m": 3.0}, "e2": {"m": 2.0}}
+
+    def test_file_is_sorted_versioned_json(self, tmp_path):
+        path = tmp_path / "b.json"
+        save_baselines({"z": {"b": 2.0, "a": 1.0}, "a": {"x": 0.0}}, path)
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        assert list(doc["experiments"]) == ["a", "z"]
+        assert list(doc["experiments"]["z"]) == ["a", "b"]
+        assert path.read_text().endswith("\n")
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("pool.task_seconds.p99", "lower"),
+            ("primary.makespan", "lower"),
+            ("primary.span", "lower"),
+            ("primary.work", "lower"),
+            ("edt_latency.p99", "lower"),
+            ("barrier_wait.total_seconds", "lower"),
+            ("fit.serial_fraction", "lower"),
+            ("primary.parallelism", "higher"),
+            ("primary.utilization", "higher"),
+            ("trace.tasks", "info"),
+            ("pool.submitted", "info"),
+            ("trace.steals", "info"),
+        ],
+    )
+    def test_vocabulary(self, name, expected):
+        assert metric_direction(name) == expected
+
+
+class TestCompare:
+    def test_no_drift_is_ok(self):
+        base = {"primary.makespan": 1.0, "primary.parallelism": 4.0}
+        cmp = compare_to_baseline("e", dict(base), base)
+        assert isinstance(cmp, Comparison)
+        assert cmp.ok and cmp.regressions == ()
+
+    def test_lower_better_regresses_when_it_grows(self):
+        cmp = compare_to_baseline(
+            "e", {"primary.makespan": 1.5}, {"primary.makespan": 1.0}, threshold=0.25
+        )
+        assert not cmp.ok
+        (r,) = cmp.regressions
+        assert r.name == "primary.makespan" and r.direction == "lower"
+        assert r.rel_change == pytest.approx(0.5)
+
+    def test_lower_better_improvement_never_flags(self):
+        cmp = compare_to_baseline("e", {"primary.makespan": 0.1}, {"primary.makespan": 1.0})
+        assert cmp.ok
+
+    def test_higher_better_regresses_when_it_shrinks(self):
+        cmp = compare_to_baseline(
+            "e", {"primary.parallelism": 2.0}, {"primary.parallelism": 4.0}, threshold=0.25
+        )
+        assert not cmp.ok
+        assert cmp.regressions[0].direction == "higher"
+
+    def test_drift_inside_threshold_tolerated(self):
+        cmp = compare_to_baseline(
+            "e", {"primary.makespan": 1.2}, {"primary.makespan": 1.0}, threshold=0.25
+        )
+        assert cmp.ok
+
+    def test_counts_never_gate(self):
+        cmp = compare_to_baseline("e", {"trace.steals": 900.0}, {"trace.steals": 3.0})
+        assert cmp.ok
+        (d,) = cmp.deltas
+        assert d.direction == "info" and not d.regressed
+
+    def test_zero_baseline_never_gates(self):
+        cmp = compare_to_baseline("e", {"lock_wait.total_seconds": 5.0},
+                                  {"lock_wait.total_seconds": 0.0})
+        assert cmp.ok
+        assert cmp.deltas[0].rel_change is None
+
+    def test_one_sided_metrics_reported_not_gated(self):
+        cmp = compare_to_baseline("e", {"new.metric": 1.0}, {"gone.seconds": 1.0})
+        assert cmp.ok
+        assert cmp.new == ("new.metric",)
+        assert cmp.missing == ("gone.seconds",)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_to_baseline("e", {}, {}, threshold=-0.1)
+
+    def test_render_names_regressions(self):
+        cmp = compare_to_baseline("exp", {"primary.makespan": 9.0}, {"primary.makespan": 1.0})
+        text = cmp.render()
+        assert "REGRESSED" in text
+        assert "1 regression(s)" in text
+        assert "exp" in text
+
+    def test_render_clean_run(self):
+        text = compare_to_baseline("exp", {"m.seconds": 1.0}, {"m.seconds": 1.0}).render()
+        assert "no regressions" in text

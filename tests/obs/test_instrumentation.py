@@ -23,7 +23,7 @@ class TestPoolInstrumentation:
         snap = rec.metrics.snapshot()
         assert snap["pool.submitted"] == 6
         assert snap["pool.tasks_executed"] == 6
-        assert snap["pool.task_seconds"].n == 6
+        assert snap["pool.task_seconds.n"] == 6
 
     def test_critical_section_span_carries_lock_name(self):
         rec = TraceRecorder()
@@ -102,7 +102,7 @@ class TestEdtInstrumentation:
             edt.invoke_and_wait(lambda: None)
         snap = rec.metrics.snapshot()
         assert snap["edt.events"] >= 1
-        assert snap["edt.queue_latency_seconds"].n >= 1
+        assert snap["edt.queue_latency_seconds.n"] >= 1
         assert any(e.kind == "edt" for e in rec.events())
 
 

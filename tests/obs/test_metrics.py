@@ -55,12 +55,27 @@ class TestSnapshot:
         snap = m.snapshot()
         assert snap["c"] == 3
         assert snap["g"] == 0.5
-        assert isinstance(snap["h"], Summary)
+        assert snap["h.n"] == 1
+        assert snap["h.mean"] == 1.0
+        assert snap["h.p50"] == snap["h.p99"] == snap["h.max"] == 1.0
 
-    def test_empty_histogram_snapshots_as_none(self):
+    def test_empty_histogram_snapshots_as_count_zero(self):
         m = Metrics()
         m.histogram("h")
-        assert m.snapshot() == {"h": None}
+        assert m.snapshot() == {"h.n": 0}
+
+    def test_snapshot_is_sorted_and_flat(self):
+        """Baselines diff cleanly: keys sorted, every value a plain number."""
+        m = Metrics()
+        m.observe("z.lat", 2.0)
+        m.count("a.count")
+        m.set_gauge("m.gauge", 3.0)
+        for v in (1.0, 2.0, 3.0):
+            m.observe("z.lat", v)
+        snap = m.snapshot()
+        assert list(snap) == sorted(snap)
+        assert all(isinstance(v, (int, float)) for v in snap.values())
+        assert snap["z.lat.p90"] >= snap["z.lat.p50"]
 
     def test_render_lists_every_instrument(self):
         m = Metrics()

@@ -1,0 +1,149 @@
+"""Report renderers: golden terminal output, self-contained HTML."""
+
+from dataclasses import replace
+
+from repro.executor import create
+from repro.obs import (
+    TaskSpan,
+    TraceEvent,
+    TraceRecorder,
+    analyze_trace,
+    render_html,
+    render_text,
+)
+from repro.obs.report import MAX_GANTT_SPANS
+from repro.ptask import ParallelTaskRuntime
+
+
+def _span(task_id, start, end, worker, parent=None):
+    attrs = {"parent": parent} if parent else {}
+    return TraceEvent(kind="task", name=f"t{task_id}", phase="X", ts=start,
+                      dur=end - start, task_id=task_id, worker=worker, attrs=attrs)
+
+
+#: A fixed little two-worker timeline: 1 -> {2, 3}, one steal, one
+#: contended lock, one barrier pass.  Every figure below is hand-checked.
+FIXTURE = [
+    _span(1, 0.0, 1.0, worker=0),
+    _span(2, 1.0, 3.0, worker=0, parent=1),
+    _span(3, 1.0, 2.5, worker=1, parent=1),
+    TraceEvent(kind="steal", name="steal", worker=1),
+    TraceEvent(kind="critical", name="lk", phase="B", ts=1.0, task_id=2, attrs={"lock": "lk"}),
+    TraceEvent(kind="critical", name="lk:acquired", phase="i", ts=1.5, task_id=2),
+    TraceEvent(kind="critical", name="lk", phase="E", ts=2.0, task_id=2),
+    TraceEvent(kind="barrier", name="b:arrive", phase="i", ts=2.0, task_id=2),
+    TraceEvent(kind="barrier", name="b:pass", phase="i", ts=2.5, task_id=2),
+]
+
+GOLDEN = """\
+trace analysis: 9 events, 1 group(s), 3 task(s)
+primary group 0 (wall clock): work 4.500000  span 3.000000  parallelism 1.500  utilization 0.750
+
+== work/span per group ==
+group | label      | cores | tasks | work     | span     | parallelism | makespan | util     | source
+-------+------------+-------+-------+----------+----------+-------------+----------+----------+---------------
+0     | wall clock | 2     | 3     | 4.500000 | 3.000000 | 1.500000    | 3.000000 | 0.750000 | reconstructed
+
+== workers (group 0) ==
+worker | busy     | tasks | utilization
+--------+----------+-------+-------------
+0      | 3.000000 | 2     | 1.000000
+1      | 1.500000 | 1     | 0.500000
+
+scheduler: steals 1 / 4 attempts (25.0% success), helps 0
+
+== critical-section contention ==
+lock | acquisitions | mean wait | max wait | total wait
+------+--------------+-----------+----------+------------
+lk   | 1            | 0.500000  | 0.500000 | 0.500000
+
+== barrier waits ==
+barrier | passes | mean wait | max wait | total wait
+---------+--------+-----------+----------+------------
+b       | 1      | 0.500000  | 0.500000 | 0.500000
+"""
+
+
+def _fixture_analysis():
+    return analyze_trace(FIXTURE, metrics={"pool.steal_attempts": 4})
+
+
+def _canon(text):
+    """Strip the table renderer's alignment padding at line ends."""
+    return "\n".join(line.rstrip() for line in text.splitlines()) + "\n"
+
+
+class TestText:
+    def test_golden_report(self):
+        """The terminal summary is pinned against a golden copy (modulo
+        end-of-line alignment padding): formatting drift is a deliberate
+        decision, not an accident."""
+        assert _canon(render_text(_fixture_analysis())) == GOLDEN
+
+    def test_deterministic(self):
+        assert render_text(_fixture_analysis()) == render_text(_fixture_analysis())
+
+    def test_empty_trace_renders(self):
+        text = render_text(analyze_trace([]))
+        assert "0 events" in text
+
+    def test_unclosed_spans_warn(self):
+        rec = TraceRecorder()
+        rec.event("task", "hung", phase="B", task_id=1)
+        assert "never closed" in render_text(analyze_trace(rec.events()))
+
+    def test_fit_section_present_for_core_sweep(self):
+        rec = TraceRecorder()
+        for cores in (1, 2, 4):
+            ex = create("sim", cores=cores, trace=rec)
+            rt = ParallelTaskRuntime(ex)
+            for _ in range(8):
+                rt.spawn(lambda: None, cost=1.0)
+            ex.schedule()
+        text = render_text(analyze_trace(rec.events()))
+        assert "measured speedup" in text
+        assert "amdahl serial fraction" in text
+
+
+class TestHtml:
+    def test_self_contained_with_svg_gantt(self):
+        doc = render_html(_fixture_analysis(), title="fixture")
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "<svg" in doc and "<rect" in doc
+        assert "<script" not in doc  # no JS: must work offline
+        assert "http://" not in doc.replace("http://www.w3.org/2000/svg", "")
+        assert "https://" not in doc
+        assert "prefers-color-scheme" in doc  # dark mode is selected, not absent
+        assert "work T1" in doc and "span T∞" in doc
+
+    def test_task_identity_rides_in_tooltips(self):
+        doc = render_html(_fixture_analysis())
+        assert "<title>t2 (task 2)" in doc
+
+    def test_escapes_hostile_labels(self):
+        evil = TraceEvent(kind="task", name="<script>alert(1)</script>", phase="X",
+                          ts=0.0, dur=1.0, task_id=1, worker=0)
+        doc = render_html(analyze_trace([evil]))
+        assert "<script>" not in doc
+        assert "&lt;script&gt;" in doc
+
+    def test_gantt_truncates_past_cap(self):
+        a = _fixture_analysis()
+        (g,) = a.groups
+        many = tuple(
+            TaskSpan(group=0, task_id=i, name=f"t{i}", worker=i % 2,
+                     start=float(i), end=float(i) + 0.5, exclusive=0.5)
+            for i in range(MAX_GANTT_SPANS + 50)
+        )
+        crowded = replace(a, groups=(replace(g, spans=many, tasks=len(many)),))
+        doc = render_html(crowded)
+        assert doc.count("<rect") == MAX_GANTT_SPANS
+        assert "longest of" in doc and "omitted" in doc
+
+    def test_deterministic(self):
+        assert render_html(_fixture_analysis()) == render_html(_fixture_analysis())
+
+    def test_utilization_bars_present(self):
+        doc = render_html(_fixture_analysis())
+        assert 'class="bar-fill" style="width:100.0%"' in doc
+        assert 'class="bar-fill" style="width:50.0%"' in doc

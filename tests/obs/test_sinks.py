@@ -64,6 +64,57 @@ class TestJsonlSink:
         assert [p["name"] for p in parsed] == [e.name for e in events]
 
 
+class TestDeterministicFlush:
+    def test_jsonl_flush_pushes_lines_to_disk_mid_run(self, tmp_path):
+        """Lines must be readable after flush() without closing — the
+        long-run tailing case (crash forensics, live dashboards)."""
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(TraceEvent(kind="task", name="early"))
+        sink.flush()
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "early"
+        sink.emit(TraceEvent(kind="task", name="late"))
+        sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_jsonl_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.emit(TraceEvent(kind="task", name="x"))
+        sink.close()
+        sink.close()  # second close must not raise or truncate
+        assert len((tmp_path / "t.jsonl").read_text().splitlines()) == 1
+
+    def test_chrome_flush_writes_partial_doc_then_close_completes(self, tmp_path):
+        path = tmp_path / "t.json"
+        sink = ChromeTraceSink(path)
+        sink.emit(TraceEvent(kind="task", name="a"))
+        sink.flush()
+        assert len(json.loads(path.read_text())["traceEvents"]) == 1
+        sink.emit(TraceEvent(kind="task", name="b"))
+        sink.close()
+        assert len(json.loads(path.read_text())["traceEvents"]) == 2
+
+    def test_chrome_close_idempotent_and_seals(self, tmp_path):
+        path = tmp_path / "t.json"
+        sink = ChromeTraceSink(path)
+        sink.emit(TraceEvent(kind="task", name="a"))
+        sink.close()
+        sink.emit(TraceEvent(kind="task", name="ignored-after-seal"))
+        sink.close()
+        sink.flush()  # sealed: neither rewrites the file
+        assert len(json.loads(path.read_text())["traceEvents"]) == 1
+
+    def test_chrome_clear_drops_buffered_events(self, tmp_path):
+        sink = ChromeTraceSink(tmp_path / "t.json")
+        sink.emit(TraceEvent(kind="task", name="a"))
+        sink.clear()
+        sink.close()
+        assert json.loads((tmp_path / "t.json").read_text())["traceEvents"] == []
+
+    def test_base_sink_flush_is_noop(self):
+        MemorySink().flush()  # inherited default: must simply not raise
+
+
 class TestChromeTraceSink:
     def test_file_written_on_close(self, tmp_path):
         path = tmp_path / "trace.json"

@@ -85,6 +85,55 @@ class TestRecorder:
             rec.events()
 
 
+class TestEventCap:
+    def test_cap_drops_and_counts_overflow(self):
+        rec = TraceRecorder(max_events=3)
+        for i in range(10):
+            rec.event("task", f"t{i}")
+        assert len(rec.events()) == 3
+        assert rec.dropped_events == 7
+
+    def test_metadata_exempt_from_cap(self):
+        """Group labels must survive the cap — the analyzer needs them to
+        name timelines even when the event budget is spent."""
+        rec = TraceRecorder(max_events=1)
+        rec.event("task", "fills-the-budget")
+        rec.event("task", "dropped")
+        g = rec.new_group("late sweep", cores=8)
+        metas = [e for e in rec.events() if e.phase == "M"]
+        assert [m.group for m in metas] == [g]
+        assert metas[0].attrs["cores"] == 8
+        assert rec.dropped_events == 1
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="max_events"):
+            TraceRecorder(max_events=0)
+
+    def test_clear_resets_events_and_accounting(self):
+        rec = TraceRecorder(max_events=2)
+        for i in range(5):
+            rec.event("task", f"t{i}")
+        rec.clear()
+        assert rec.events() == []
+        assert rec.dropped_events == 0
+        rec.event("task", "after")  # the budget is fresh again
+        assert [e.name for e in rec.events()] == ["after"]
+
+    def test_clear_raises_for_sink_without_clear(self, tmp_path):
+        from repro.obs import JsonlSink
+
+        rec = TraceRecorder(sink=JsonlSink(tmp_path / "t.jsonl"))
+        with pytest.raises(TypeError, match="clear"):
+            rec.clear()
+
+    def test_uncapped_recorder_never_drops(self):
+        rec = TraceRecorder()
+        for i in range(100):
+            rec.event("task", f"t{i}")
+        assert rec.dropped_events == 0
+        assert len(rec.events()) == 100
+
+
 class TestNullRecorder:
     def test_disabled_and_silent(self):
         rec = NullRecorder()

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line front end."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -28,6 +30,53 @@ class TestRun:
         assert main(["run", "fig2", "-o", str(tmp_path)]) == 0
         assert (tmp_path / "fig2.txt").exists()
         assert "week 12" in (tmp_path / "fig2.txt").read_text()
+
+
+class TestAnalyze:
+    def test_prints_analysis_and_writes_html(self, tmp_path, capsys):
+        assert main(["analyze", "abl_sched", "-o", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "trace analysis:" in captured.out
+        assert "parallelism" in captured.out
+        assert "scheduler:" in captured.out
+        assert "work/span per group" in captured.out
+        html = (tmp_path / "analysis_abl_sched.html").read_text()
+        assert html.startswith("<!DOCTYPE html>") and "<svg" in html
+
+    def test_max_events_cap_warns(self, tmp_path, capsys):
+        assert main(["analyze", "abl_sched", "-o", str(tmp_path), "--max-events", "10"]) == 0
+        assert "events dropped" in capsys.readouterr().err
+
+    def test_unknown_experiment(self, tmp_path, capsys):
+        assert main(["analyze", "nope", "-o", str(tmp_path)]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baselines.json")
+        assert main(["compare", "abl_sched", "--baseline", baseline]) == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_roundtrip_then_injected_regression(self, tmp_path, capsys):
+        """The CI gate end-to-end: a run compared against its own baseline
+        passes; doctoring the stored makespan to half flags a regression
+        and exits non-zero."""
+        baseline = tmp_path / "baselines.json"
+        assert main(
+            ["analyze", "abl_sched", "-o", str(tmp_path),
+             "--update-baseline", "--baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["compare", "abl_sched", "--baseline", str(baseline)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        doc = json.loads(baseline.read_text())
+        doc["experiments"]["abl_sched"]["primary.makespan"] /= 2  # now "2x slower"
+        baseline.write_text(json.dumps(doc))
+        assert main(["compare", "abl_sched", "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "primary.makespan" in out
 
 
 class TestWebdemo:
