@@ -8,6 +8,7 @@ Usage::
     python -m repro trace proj2              # run under tracing, write Chrome JSON
     python -m repro analyze abl_sched        # work/span analytics + HTML report
     python -m repro compare abl_sched        # gate a run against its stored baseline
+    python -m repro chaos proj10             # run one experiment under injected faults
     python -m repro webdemo out_dir/         # generate the race-condition site
     python -m repro topics                   # the ten project topics
 """
@@ -175,6 +176,76 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one experiment under a seeded fault plan and summarise recovery.
+
+    The plan is installed ambiently (:func:`repro.resilience.use_faults`)
+    alongside a trace recorder, so the corpus network model retries
+    failed fetches and the executors can inject task faults — without
+    the experiment knowing.  The printed analysis includes the
+    resilience line (cancelled/retries/faults/drained); ``--expect``
+    turns it into a gate: exit 1 unless every named lifecycle event kind
+    occurred at least once.
+    """
+    import repro.bench as bench
+    from repro.obs import TraceRecorder, use
+    from repro.resilience import FaultPlan, use_faults
+
+    try:
+        exp = bench.get_experiment(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    plan = FaultPlan(
+        seed=args.seed,
+        failure_rate=args.failure_rate,
+        task_failure_rate=args.task_failure_rate,
+        latency_spike_rate=args.latency_spike_rate,
+    )
+    recorder = TraceRecorder(max_events=args.max_events)
+    with use(recorder), use_faults(plan):
+        result = exp()
+    analysis = result.analysis
+    if analysis is None:
+        print("experiment produced no trace analysis", file=sys.stderr)
+        return 1
+    print(result.render())
+    print()
+    print(result.render_analysis(), end="")
+    print(
+        f"\nchaos plan: seed={plan.seed} failure_rate={plan.failure_rate} "
+        f"task_failure_rate={plan.task_failure_rate} "
+        f"latency_spike_rate={plan.latency_spike_rate}",
+        file=sys.stderr,
+    )
+    if args.expect:
+        observed = {
+            "cancel": analysis.cancelled,
+            "retry": analysis.retries,
+            "fault": analysis.faults,
+            "drain": analysis.drained,
+        }
+        missing = []
+        for kind in (k.strip() for k in args.expect.split(",") if k.strip()):
+            if kind not in observed:
+                print(
+                    f"--expect: unknown lifecycle kind {kind!r} "
+                    f"(known: {sorted(observed)})",
+                    file=sys.stderr,
+                )
+                return 2
+            if observed[kind] == 0:
+                missing.append(kind)
+        if missing:
+            print(
+                f"chaos gate FAILED: no {', '.join(missing)} events in the trace",
+                file=sys.stderr,
+            )
+            return 1
+        print("chaos gate passed: all expected lifecycle events observed", file=sys.stderr)
+    return 0
+
+
 def _cmd_webdemo(args: argparse.Namespace) -> int:
     from repro.memmodel import write_demo_site
 
@@ -244,6 +315,33 @@ def main(argv: list[str] | None = None) -> int:
         "--threshold", type=float, default=0.25, help="relative drift tolerated (default: 0.25)"
     )
     compare.set_defaults(fn=_cmd_compare)
+
+    chaos = sub.add_parser(
+        "chaos", help="run one experiment under a seeded fault plan and summarise recovery"
+    )
+    chaos.add_argument("experiment")
+    chaos.add_argument("--seed", type=int, default=0, help="fault-plan seed (default: 0)")
+    chaos.add_argument(
+        "--failure-rate", type=float, default=0.2,
+        help="per-attempt call failure probability (default: 0.2)",
+    )
+    chaos.add_argument(
+        "--task-failure-rate", type=float, default=0.0,
+        help="executor task-body failure probability (default: 0, opt in)",
+    )
+    chaos.add_argument(
+        "--latency-spike-rate", type=float, default=0.1,
+        help="latency spike probability (default: 0.1)",
+    )
+    chaos.add_argument(
+        "--max-events", type=int, default=None, help="cap recorded trace events"
+    )
+    chaos.add_argument(
+        "--expect",
+        help="comma-separated lifecycle kinds (cancel,retry,fault,drain) that must "
+        "appear in the trace; exit 1 otherwise",
+    )
+    chaos.set_defaults(fn=_cmd_chaos)
 
     web = sub.add_parser("webdemo", help="generate the interactive race-condition pages")
     web.add_argument("out_dir")

@@ -20,9 +20,16 @@ from dataclasses import dataclass
 from typing import Generator
 
 from repro.apps.corpus import WebPage, WebSite
+from repro.obs.trace import current_recorder
+from repro.resilience.faults import FaultPlan, resolve_faults
+from repro.resilience.retry import RetryPolicy
 from repro.simkernel import Resource, Simulator
 
-__all__ = ["FetchReport", "fetch_all", "sweep_connections"]
+__all__ = ["FetchError", "FetchReport", "fetch_all", "sweep_connections", "optimal_connections"]
+
+
+class FetchError(RuntimeError):
+    """A page download failed (all retry attempts exhausted)."""
 
 
 @dataclass(frozen=True)
@@ -34,6 +41,10 @@ class FetchReport:
     total_bytes: int
     makespan: float
     mean_page_time: float
+    #: fetch attempts that were retried after an injected failure
+    retries: int = 0
+    #: injected per-attempt failures encountered (see FaultPlan.failure_rate)
+    faults: int = 0
 
     @property
     def throughput_bytes_per_s(self) -> float:
@@ -42,58 +53,128 @@ class FetchReport:
         return self.total_bytes / self.makespan
 
 
-def fetch_all(site: WebSite, connections: int) -> FetchReport:
+def fetch_all(
+    site: WebSite,
+    connections: int,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+) -> FetchReport:
     """Download every page using ``connections`` concurrent connections.
 
     Bandwidth sharing is modelled in aggregate: a transfer's streaming
     time is its size over an equal share of the downlink, where the
     share is the number of connections concurrently *streaming* (dead
     latency time does not consume bandwidth).
+
+    Fault semantics: under a :class:`~repro.resilience.FaultPlan`
+    (explicit, or ambient via :func:`repro.resilience.use_faults`) each
+    attempt may fail after its server latency and may draw a latency
+    spike — both pure functions of ``(seed, url, attempt)``, so a chaos
+    run is exactly reproducible.  A failed attempt releases its
+    connection slot, backs off per ``retry`` (default: a policy seeded
+    from the plan) in *virtual* time, and reconnects.  Exhausted pages
+    raise :class:`FetchError` once the simulation completes; pass
+    ``retry=RetryPolicy(max_attempts=1)`` to observe the no-retry
+    behaviour.
     """
     if connections < 1:
         raise ValueError(f"connections must be >= 1, got {connections}")
     if not site.pages:
         raise ValueError("site has no pages")
+    faults = resolve_faults(faults)
+    if faults is not None and not faults.active:
+        faults = None
+    if retry is None and faults is not None:
+        retry = RetryPolicy(
+            max_attempts=4, base_delay=0.2, multiplier=2.0, max_delay=5.0, seed=faults.seed
+        )
+    trace = current_recorder()
 
     sim = Simulator()
     slots = Resource(sim, capacity=connections, name="connections")
     streaming = {"n": 0}
     page_times: list[float] = []
+    counters = {"retries": 0, "faults": 0}
+    errors: list[FetchError] = []
 
     def fetch(page: WebPage) -> Generator:
         start = sim.now
-        yield slots.acquire()
-        # dead time: server latency (no bandwidth consumed)
-        yield page.server_latency
-        # streaming: pay for the bytes in bandwidth-share-sized slices
-        streaming["n"] += 1
-        remaining = float(page.size_bytes)
-        slice_bytes = 16_384.0
-        while remaining > 0:
-            share = site.bandwidth_bytes_per_s / max(1, streaming["n"])
-            chunk = min(slice_bytes, remaining)
-            yield chunk / share
-            remaining -= chunk
-        streaming["n"] -= 1
-        slots.release()
-        page_times.append(sim.now - start)
+        attempt = 1
+        while True:
+            yield slots.acquire()
+            # dead time: server latency (no bandwidth consumed)
+            latency = page.server_latency
+            if faults is not None:
+                latency *= faults.latency_multiplier(page.url, attempt)
+            yield latency
+            if faults is not None and faults.should_fail(page.url, attempt):
+                # Connection-level failure: give the slot back, back off
+                # (in virtual time, off-slot), reconnect — or give up.
+                slots.release()
+                counters["faults"] += 1
+                if trace.enabled:
+                    trace.event("fault", page.url, attempt=attempt)
+                    trace.count("webfetch.faults_injected")
+                exc = FetchError(f"{page.url}: injected failure on attempt {attempt}")
+                if retry is not None and retry.should_retry(exc, attempt):
+                    backoff = retry.delay(attempt, page.url)
+                    counters["retries"] += 1
+                    if trace.enabled:
+                        trace.event(
+                            "retry",
+                            page.url,
+                            attempt=attempt,
+                            delay=backoff,
+                            exception="FetchError",
+                        )
+                        trace.count("resilience.retries")
+                    if backoff > 0:
+                        yield backoff
+                    attempt += 1
+                    continue
+                errors.append(exc)
+                return
+            # streaming: pay for the bytes in bandwidth-share-sized slices
+            streaming["n"] += 1
+            remaining = float(page.size_bytes)
+            slice_bytes = 16_384.0
+            while remaining > 0:
+                share = site.bandwidth_bytes_per_s / max(1, streaming["n"])
+                chunk = min(slice_bytes, remaining)
+                yield chunk / share
+                remaining -= chunk
+            streaming["n"] -= 1
+            slots.release()
+            page_times.append(sim.now - start)
+            return
 
     for page in site.pages:
         sim.spawn(fetch(page), name=page.url)
     sim.run(max_steps=5_000_000)
 
+    if errors:
+        # Deterministic: completion order is fixed by the simulation, so
+        # "the first page to exhaust its budget" is reproducible.
+        raise errors[0]
     return FetchReport(
         connections=connections,
         n_pages=len(site.pages),
         total_bytes=site.total_bytes,
         makespan=sim.now,
         mean_page_time=sum(page_times) / len(page_times),
+        retries=counters["retries"],
+        faults=counters["faults"],
     )
 
 
-def sweep_connections(site: WebSite, counts: list[int]) -> list[FetchReport]:
+def sweep_connections(
+    site: WebSite,
+    counts: list[int],
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+) -> list[FetchReport]:
     """Fetch the same site at each connection count (the project's sweep)."""
-    return [fetch_all(site, k) for k in counts]
+    return [fetch_all(site, k, faults=faults, retry=retry) for k in counts]
 
 
 def optimal_connections(reports: list[FetchReport]) -> int:

@@ -29,7 +29,7 @@ DESIGN.md's inventory uses for the real-threads backend).
 
 from repro.executor.base import Executor, ExecutorShutdown
 from repro.executor.factory import KINDS, ExecutorConfig, create
-from repro.executor.future import Future
+from repro.executor.future import CancelledError, Future, FutureError
 from repro.executor.inline import InlineExecutor
 from repro.executor.simulated import SimExecutor
 from repro.executor.threads import WorkStealingPool
@@ -42,6 +42,8 @@ __all__ = [
     "Executor",
     "ExecutorShutdown",
     "Future",
+    "FutureError",
+    "CancelledError",
     "InlineExecutor",
     "SimExecutor",
     "WorkStealingPool",

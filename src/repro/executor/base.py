@@ -23,12 +23,13 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.executor.future import Future
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
+from repro.resilience.cancel import CancelToken
 
 __all__ = ["Executor", "ExecutorShutdown"]
 
 
 class ExecutorShutdown(RuntimeError):
-    """Submit after shutdown."""
+    """Submit after shutdown, or a task stranded by a non-draining one."""
 
 
 class Executor(abc.ABC):
@@ -52,6 +53,8 @@ class Executor(abc.ABC):
         cost: float | None = None,
         name: str = "",
         after: Sequence[Future] = (),
+        cancel: CancelToken | None = None,
+        deadline: float | None = None,
         **kwargs: Any,
     ) -> Future:
         """Schedule ``fn(*args, **kwargs)`` as a task.
@@ -61,6 +64,19 @@ class Executor(abc.ABC):
         contributes only whatever it reports via :meth:`compute`.
 
         ``after``: futures that must complete before this task starts.
+        A *cancelled* dependency cancels the dependent task (its own
+        cancellation cascades further); a *failed* one fails it.
+
+        ``cancel``: a :class:`~repro.resilience.CancelToken`; cancelling
+        it cancels the future if the task has not started, and the token
+        is installed ambiently (:func:`repro.resilience.current_token`)
+        while the body runs so cooperative code can stop early.
+
+        ``deadline``: seconds from submission the task must *start*
+        within; an overdue task is cancelled with
+        :class:`~repro.resilience.DeadlineExceeded` rather than silently
+        abandoned.  On the eager backends (inline, sim) only a
+        non-positive deadline can trigger, since tasks start at submit.
         """
 
     @abc.abstractmethod
@@ -88,8 +104,14 @@ class Executor(abc.ABC):
         thread executes many tasks and (with helping) nests them.
         """
 
-    def shutdown(self) -> None:
-        """Release any resources; idempotent.  Default: nothing to do."""
+    def shutdown(self, drain: bool = True) -> None:
+        """Release any resources; idempotent.  Default: nothing to do.
+
+        ``drain=True`` finishes already-queued work before returning;
+        ``drain=False`` completes every queued-but-unstarted task's
+        future with :class:`ExecutorShutdown` so no waiter blocks
+        forever.  Backends without queues accept and ignore the flag.
+        """
 
     # -- conveniences shared by all backends --------------------------------
 

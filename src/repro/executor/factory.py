@@ -11,7 +11,7 @@
     ex = create("threads", cores=2, compute_mode="sleep", trace=recorder)
 
 Every backend accepts the same cross-cutting arguments (``cores``,
-``machine``, ``trace``) plus backend-specific options passed through
+``machine``, ``trace``, ``faults``) plus backend-specific options passed through
 ``**opts`` (``compute_mode``/``time_scale``/``steal_seed``/``name``/
 ``scheduling`` for threads, ``policy`` for sim).  The
 :class:`ExecutorConfig` dataclass is the declarative twin: it validates
@@ -37,6 +37,7 @@ from repro.executor.simulated import SimExecutor
 from repro.executor.threads import WorkStealingPool
 from repro.machine.spec import PARC64, MachineSpec
 from repro.obs.trace import TraceRecorder
+from repro.resilience.faults import FaultPlan
 
 __all__ = ["create", "ExecutorConfig", "KINDS"]
 
@@ -69,6 +70,10 @@ class ExecutorConfig:
     trace:
         Observability recorder handed to the backend; ``None`` defers to
         the ambient recorder (see :mod:`repro.obs`).
+    faults:
+        Optional :class:`~repro.resilience.FaultPlan` handed to the
+        backend; ``None`` defers to the ambient plan (see
+        :func:`repro.resilience.use_faults`) — normally no faults.
     options:
         Backend-specific keyword options, validated per kind.
     """
@@ -77,6 +82,7 @@ class ExecutorConfig:
     cores: int | None = None
     machine: MachineSpec | None = None
     trace: TraceRecorder | None = None
+    faults: FaultPlan | None = None
     options: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -109,7 +115,7 @@ class ExecutorConfig:
     def build(self) -> Executor:
         """Construct the configured executor."""
         if self.kind == "inline":
-            return InlineExecutor(trace=self.trace)
+            return InlineExecutor(trace=self.trace, faults=self.faults)
         if self.kind == "threads":
             if self.cores is not None:
                 workers = self.cores
@@ -117,8 +123,12 @@ class ExecutorConfig:
                 workers = self.machine.cores
             else:
                 workers = 4
-            return WorkStealingPool(workers=workers, trace=self.trace, **self.options)
-        return SimExecutor(self.resolved_machine(), trace=self.trace, **self.options)
+            return WorkStealingPool(
+                workers=workers, trace=self.trace, faults=self.faults, **self.options
+            )
+        return SimExecutor(
+            self.resolved_machine(), trace=self.trace, faults=self.faults, **self.options
+        )
 
 
 def create(
@@ -127,6 +137,7 @@ def create(
     cores: int | None = None,
     machine: MachineSpec | None = None,
     trace: TraceRecorder | None = None,
+    faults: FaultPlan | None = None,
     **opts: Any,
 ) -> Executor:
     """Build an executor backend; the canonical construction path.
@@ -135,5 +146,5 @@ def create(
     and options raise ``ValueError`` eagerly, naming what is accepted.
     """
     return ExecutorConfig(
-        kind=kind, cores=cores, machine=machine, trace=trace, options=dict(opts)
+        kind=kind, cores=cores, machine=machine, trace=trace, faults=faults, options=dict(opts)
     ).build()

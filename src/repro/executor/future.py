@@ -5,22 +5,65 @@ mechanism the Parallel Task dependence manager builds on, so their
 contract is strict: a callback added after completion runs immediately on
 the caller; callbacks added before completion run exactly once, on the
 completing thread, in registration order.
+
+Lifecycle
+---------
+A future moves through ``pending -> running -> done | failed``, or is
+short-circuited to ``cancelled`` while still pending.  Cancellation is
+*cooperative*: :meth:`Future.cancel` only succeeds before a worker claims
+the task via :meth:`Future.try_start` — a task that has started runs to
+completion (it may observe its :class:`~repro.resilience.CancelToken`
+and stop itself, but the future then completes normally/with an error).
+A cancelled future is *done*: waiters are released with a
+:class:`CancelledError` and done-callbacks fire, which is how
+cancellation propagates to dependent tasks.
 """
 
 from __future__ import annotations
 
+import copy
 import threading
 from typing import Any, Callable
 
-__all__ = ["Future", "FutureError"]
+from repro.resilience.cancel import CancelledError
+
+__all__ = ["Future", "FutureError", "CancelledError"]
 
 _PENDING = "pending"
+_RUNNING = "running"
 _DONE = "done"
 _FAILED = "failed"
+_CANCELLED = "cancelled"
+
+#: states in which the future's outcome is not yet known
+_INCOMPLETE = (_PENDING, _RUNNING)
 
 
 class FutureError(RuntimeError):
     """Misuse of a future (double completion, reading a pending result)."""
+
+
+def _per_waiter_copy(exc: BaseException) -> BaseException:
+    """A shallow copy of ``exc`` safe to raise to one waiter.
+
+    Raising an exception instance mutates it (the interpreter grows its
+    ``__traceback__`` with the raise site), so concurrent waiters on
+    different threads must not re-raise the one stored instance.  The
+    copy shares the original traceback chain and preserves the
+    cause/context links; exceptions that cannot be copied fall back to
+    the shared instance (correct message, racy traceback — the best we
+    can do).
+    """
+    try:
+        clone = copy.copy(exc)
+    except Exception:
+        return exc
+    if clone is exc or type(clone) is not type(exc):
+        return exc
+    clone.__cause__ = exc.__cause__
+    clone.__context__ = exc.__context__
+    clone.__suppress_context__ = exc.__suppress_context__
+    return clone.with_traceback(exc.__traceback__)
 
 
 class Future:
@@ -51,8 +94,10 @@ class Future:
 
     def _complete(self, state: str, value: Any, exc: BaseException | None) -> None:
         with self._cond:
-            if self._state != _PENDING:
-                raise FutureError(f"future {self.name!r} completed twice")
+            if self._state not in _INCOMPLETE:
+                raise FutureError(
+                    f"future {self.name!r} completed twice (was {self._state})"
+                )
             self._state = state
             self._value = value
             self._exception = exc
@@ -61,42 +106,114 @@ class Future:
         for cb in callbacks:
             cb(self)
 
+    def fail_if_pending(self, exception: BaseException) -> bool:
+        """Complete with ``exception`` iff still pending; False otherwise.
+
+        The atomic form executors use when failing *stranded* work (e.g.
+        ``shutdown(drain=False)``) that may be racing an external
+        :meth:`cancel` — exactly one of the two wins, never both.
+        """
+        with self._cond:
+            if self._state != _PENDING:
+                return False
+            self._state = _FAILED
+            self._exception = exception
+            callbacks, self._callbacks = self._callbacks, []
+            self._cond.notify_all()
+        for cb in callbacks:
+            cb(self)
+        return True
+
+    # -- cancellation --------------------------------------------------------
+
+    def cancel(self, reason: str | BaseException | None = None) -> bool:
+        """Cancel the future if its task has not started; True on success.
+
+        ``reason`` may be a message fragment or an exception instance
+        (e.g. :class:`~repro.resilience.DeadlineExceeded`) to surface to
+        waiters instead of the default :class:`CancelledError`.  A
+        successful cancel completes the future: waiters wake with the
+        cancellation exception and done-callbacks run — that is what
+        cascades cancellation through dependence managers.
+        """
+        with self._cond:
+            if self._state != _PENDING:
+                return False
+            self._state = _CANCELLED
+            if isinstance(reason, BaseException):
+                self._exception = reason
+            else:
+                detail = f": {reason}" if reason else ""
+                self._exception = CancelledError(
+                    f"future {self.name!r} was cancelled{detail}"
+                )
+            callbacks, self._callbacks = self._callbacks, []
+            self._cond.notify_all()
+        for cb in callbacks:
+            cb(self)
+        return True
+
+    def try_start(self) -> bool:
+        """Claim the task for execution (pending -> running); False if the
+        future was cancelled (or already claimed) — the worker-side half
+        of the cooperative cancellation protocol."""
+        with self._cond:
+            if self._state != _PENDING:
+                return False
+            self._state = _RUNNING
+            return True
+
     # -- consumption (consumer side) ----------------------------------------
 
     def done(self) -> bool:
         with self._cond:
-            return self._state != _PENDING
+            return self._state not in _INCOMPLETE
+
+    def running(self) -> bool:
+        with self._cond:
+            return self._state == _RUNNING
 
     def cancelled(self) -> bool:
-        return False  # cancellation is not part of this model
+        with self._cond:
+            return self._state == _CANCELLED
 
     def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The stored exception (the shared instance, not a copy), or None.
+
+        For a cancelled future this *returns* the cancellation exception
+        rather than raising it, so dependence managers can branch on
+        :meth:`cancelled` without try/except.
+        """
         self._wait(timeout)
         return self._exception
 
     def result(self, timeout: float | None = None) -> Any:
         self._wait(timeout)
         if self._exception is not None:
-            raise self._exception
+            # Per-waiter copy: concurrent result() calls on different
+            # threads must not grow one shared instance's traceback.
+            raise _per_waiter_copy(self._exception)
         return self._value
 
     def peek(self) -> Any:
         """Result if done, else raise :class:`FutureError` (non-blocking)."""
         with self._cond:
-            if self._state == _PENDING:
+            if self._state in _INCOMPLETE:
                 raise FutureError(f"future {self.name!r} is still pending")
         return self.result(timeout=0)
 
     def _wait(self, timeout: float | None) -> None:
         with self._cond:
-            if self._state == _PENDING:
-                if not self._cond.wait_for(lambda: self._state != _PENDING, timeout=timeout):
+            if self._state in _INCOMPLETE:
+                if not self._cond.wait_for(
+                    lambda: self._state not in _INCOMPLETE, timeout=timeout
+                ):
                     raise TimeoutError(f"future {self.name!r} not done after {timeout}s")
 
     def add_done_callback(self, cb: Callable[["Future"], None]) -> None:
         run_now = False
         with self._cond:
-            if self._state == _PENDING:
+            if self._state in _INCOMPLETE:
                 self._callbacks.append(cb)
             else:
                 run_now = True

@@ -15,6 +15,8 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.executor.base import Executor
 from repro.executor.future import Future
 from repro.obs.trace import TraceRecorder, resolve_recorder
+from repro.resilience.cancel import CancelToken, DeadlineExceeded, scoped_token
+from repro.resilience.faults import FaultPlan, InjectedFault, resolve_faults
 
 __all__ = ["InlineExecutor"]
 
@@ -29,12 +31,17 @@ class InlineExecutor(Executor):
 
     cores = 1
 
-    def __init__(self, trace: TraceRecorder | None = None) -> None:
+    def __init__(
+        self,
+        trace: TraceRecorder | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self._task_counter = 0
         self._current_task = 0
         self._barrier_counts: dict[str, int] = {}
         self._lock = threading.Lock()
         self.trace = resolve_recorder(trace)
+        self.faults = resolve_faults(faults)
 
     def submit(
         self,
@@ -43,9 +50,18 @@ class InlineExecutor(Executor):
         cost: float | None = None,
         name: str = "",
         after: Sequence[Future] = (),
+        cancel: CancelToken | None = None,
+        deadline: float | None = None,
         **kwargs: Any,
     ) -> Future:
-        """Run ``fn`` right now on the caller; the future is already done."""
+        """Run ``fn`` right now on the caller; the future is already done.
+
+        Eager execution leaves a narrow cancellation window: only a token
+        cancelled *before* submit (or a non-positive ``deadline``) can
+        stop the task, since it starts immediately.
+        """
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {deadline}")
         future = Future(name=name or getattr(fn, "__name__", "task"))
         for dep in after:
             if not dep.done():
@@ -53,15 +69,38 @@ class InlineExecutor(Executor):
                 # time, so an unfinished dependency is a programming error
                 # (a cycle or a future from another executor).
                 raise RuntimeError(f"inline task {name!r} depends on unfinished future {dep.name!r}")
+            if dep.cancelled():
+                # Cancellation cascades: a cancelled dep cancels the
+                # dependent (same contract as the thread pool).
+                future.cancel(f"dependency {dep.name!r} was cancelled")
+                self._emit_cancel(future)
+                return future
             exc = dep.exception()
             if exc is not None:
                 # A failed dependency fails the dependent task without
                 # running it — the same contract as the thread pool.
                 future.set_exception(exc)
                 return future
+        if cancel is not None and cancel.cancelled:
+            future.cancel(f"token {cancel.name!r} cancelled")
+            self._emit_cancel(future)
+            return future
+        if deadline == 0:
+            future.cancel(DeadlineExceeded(f"task {future.name!r} missed its deadline"))
+            self._emit_cancel(future)
+            return future
         self._task_counter += 1
         tid = self._task_counter
         future.meta["tid"] = tid
+        future.try_start()
+        if self.faults is not None and self.faults.should_fail_task("inline", tid):
+            if self.trace.enabled:
+                self.trace.event("fault", future.name, task_id=tid, worker=0)
+                self.trace.count("inline.faults_injected")
+            future.set_exception(
+                InjectedFault(f"task {future.name!r} failed by fault plan")
+            )
+            return future
         prev = self._current_task
         self._current_task = tid
         trace = self.trace
@@ -75,7 +114,8 @@ class InlineExecutor(Executor):
             )
             trace.count("inline.tasks")
         try:
-            future.set_result(fn(*args, **kwargs))
+            with scoped_token(cancel):
+                future.set_result(fn(*args, **kwargs))
         except Exception as exc:
             future.set_exception(exc)
         finally:
@@ -83,6 +123,16 @@ class InlineExecutor(Executor):
             if trace.enabled:
                 trace.event("task", future.name, phase="E", task_id=tid, worker=0)
         return future
+
+    def _emit_cancel(self, future: Future) -> None:
+        if self.trace.enabled:
+            self.trace.event(
+                "cancel",
+                future.name,
+                task_id=future.meta.get("tid", 0),
+                exception=type(future.exception()).__name__,
+            )
+            self.trace.count("inline.cancelled")
 
     def compute(self, cost: float) -> None:
         if cost < 0:

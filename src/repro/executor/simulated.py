@@ -34,6 +34,8 @@ from repro.machine.graph import SegmentGraph
 from repro.machine.listsched import ScheduleResult, simulate_schedule
 from repro.machine.spec import MachineSpec
 from repro.obs.trace import TraceRecorder, resolve_recorder
+from repro.resilience.cancel import CancelToken, DeadlineExceeded, scoped_token
+from repro.resilience.faults import FaultPlan, InjectedFault, resolve_faults
 
 __all__ = ["SimExecutor", "SimFuture"]
 
@@ -75,10 +77,12 @@ class SimExecutor(Executor):
         machine: MachineSpec,
         policy: str = "earliest",
         trace: TraceRecorder | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.machine = machine
         self.cores = machine.cores
         self.policy = policy
+        self.faults = resolve_faults(faults)
         # Virtual timestamps only exist once a schedule is computed, so
         # the sim backend traces *post hoc*: each ``schedule()`` call
         # emits its placements as one trace group (see
@@ -136,15 +140,26 @@ class SimExecutor(Executor):
         cost: float | None = None,
         name: str = "",
         after: Sequence[Future] = (),
+        cancel: CancelToken | None = None,
+        deadline: float | None = None,
         **kwargs: Any,
     ) -> Future:
-        """Record the spawn, evaluate ``fn`` eagerly, return a done future."""
+        """Record the spawn, evaluate ``fn`` eagerly, return a done future.
+
+        Eager evaluation means only a token cancelled *before* submit (or
+        a non-positive ``deadline``) can stop the task; either way a
+        zero-cost segment is still recorded so the graph stays
+        consistent for dependants and joins.
+        """
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {deadline}")
         parent = self._top()
         self._task_counter += 1
         tid = self._task_counter
         name = name or getattr(fn, "__name__", f"task{tid}")
 
         dep_sids = [parent.current_sid]
+        cancelled_dep: Future | None = None
         failed_dep: BaseException | None = None
         for dep in after:
             last = dep.meta.get("last_sid")
@@ -153,19 +168,50 @@ class SimExecutor(Executor):
                     f"task {name!r}: 'after' future {dep.name!r} was not produced by this SimExecutor"
                 )
             dep_sids.append(last)
-            if failed_dep is None:
+            if cancelled_dep is None and dep.cancelled():
+                cancelled_dep = dep
+            elif failed_dep is None:
                 exc = Future.exception(dep)  # plain read, no join recording
                 if exc is not None:
                     failed_dep = exc
+
+        def skipped(suffix: str) -> SimFuture:
+            # Record a zero-cost segment so the graph stays consistent.
+            seg = self.graph.add(task_id=tid, name=f"{name}({suffix})", cost=0.0, deps=dep_sids)
+            skipped_fut = SimFuture(self, name=name)
+            skipped_fut.meta["last_sid"] = seg.sid
+            skipped_fut.meta["tid"] = tid
+            return skipped_fut
+
+        if cancelled_dep is not None:
+            # Cancellation cascades: a cancelled dep *cancels* the
+            # dependent — same contract as the other backends.
+            fut = skipped("dep-cancelled")
+            fut.cancel(f"dependency {cancelled_dep.name!r} was cancelled")
+            self._emit_cancel(fut)
+            return fut
         if failed_dep is not None:
-            # A failed dependency fails the dependent task without running
-            # it — same contract as the other backends.  Still record a
-            # zero-cost segment so the graph stays consistent.
-            seg = self.graph.add(task_id=tid, name=f"{name}(dep-failed)", cost=0.0, deps=dep_sids)
-            fut = SimFuture(self, name=name)
-            fut.meta["last_sid"] = seg.sid
-            fut.meta["tid"] = tid
+            # A failed dependency fails the dependent task without
+            # running it.
+            fut = skipped("dep-failed")
             fut.set_exception(failed_dep)
+            return fut
+        if cancel is not None and cancel.cancelled:
+            fut = skipped("cancelled")
+            fut.cancel(f"token {cancel.name!r} cancelled")
+            self._emit_cancel(fut)
+            return fut
+        if deadline == 0:
+            fut = skipped("deadline")
+            fut.cancel(DeadlineExceeded(f"task {name!r} missed its deadline"))
+            self._emit_cancel(fut)
+            return fut
+        if self.faults is not None and self.faults.should_fail_task("sim", tid):
+            if self.trace.enabled:
+                self.trace.event("fault", name, task_id=tid)
+                self.trace.count("sim.faults_injected")
+            fut = skipped("faulted")
+            fut.set_exception(InjectedFault(f"task {name!r} failed by fault plan"))
             return fut
 
         first = self.graph.add(task_id=tid, name=name, cost=float(cost or 0.0), deps=dep_sids)
@@ -173,10 +219,12 @@ class SimExecutor(Executor):
         ctx = _TaskCtx(task_id=tid, current_sid=first.sid)
         fut = SimFuture(self, name=name)
         fut.meta["tid"] = tid
+        fut.try_start()
 
         self._stack.append(ctx)
         try:
-            value = fn(*args, **kwargs)
+            with scoped_token(cancel):
+                value = fn(*args, **kwargs)
         except Exception as exc:
             fut.meta["last_sid"] = ctx.current_sid
             self._stack.pop()
@@ -186,6 +234,16 @@ class SimExecutor(Executor):
         self._stack.pop()
         fut.set_result(value)
         return fut
+
+    def _emit_cancel(self, fut: SimFuture) -> None:
+        if self.trace.enabled:
+            self.trace.event(
+                "cancel",
+                fut.name,
+                task_id=fut.meta.get("tid", 0),
+                exception=type(Future.exception(fut)).__name__,
+            )
+            self.trace.count("sim.cancelled")
 
     def compute(self, cost: float) -> None:
         if cost < 0:

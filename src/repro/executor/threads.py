@@ -16,6 +16,7 @@ work occupies real time without needing real cores.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from collections import deque
@@ -28,6 +29,8 @@ import numpy as np
 from repro.executor.base import Executor, ExecutorShutdown
 from repro.executor.future import Future
 from repro.obs.trace import TraceRecorder, resolve_recorder
+from repro.resilience.cancel import CancelToken, DeadlineExceeded, scoped_token
+from repro.resilience.faults import FaultPlan, InjectedFault, resolve_faults
 
 __all__ = ["WorkStealingPool", "PoolStats"]
 
@@ -42,6 +45,8 @@ class _Task:
     future: Future
     tid: int
     cost: float | None
+    token: CancelToken | None = None
+    deadline: float | None = None  # absolute time.monotonic()
 
 
 @dataclass
@@ -66,8 +71,27 @@ class _PoolFuture(Future):
 
     def result(self, timeout: float | None = None) -> Any:
         if not self.done() and getattr(_local, "worker", None) is not None:
-            self._pool._help_until(self, timeout)
+            # One deadline for the whole wait: helping consumes part of
+            # the budget, the blocking wait below gets only the remainder.
+            deadline = None if timeout is None else time.monotonic() + timeout
+            self._pool._help_until(self, deadline)
+            timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
         return super().result(timeout)
+
+    def cancel(self, reason: str | BaseException | None = None) -> bool:
+        if not super().cancel(reason):
+            return False
+        pool = self._pool
+        if pool.trace.enabled:
+            pool.trace.event(
+                "cancel",
+                self.name,
+                task_id=self.meta.get("tid", 0),
+                exception=type(self._exception).__name__,
+            )
+            pool.trace.count("pool.cancelled")
+        pool._notify_all()  # wake workers so the dead task is dropped promptly
+        return True
 
 
 class WorkStealingPool(Executor):
@@ -87,6 +111,7 @@ class WorkStealingPool(Executor):
         name: str = "pool",
         scheduling: str = "stealing",
         trace: TraceRecorder | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         """
         Parameters
@@ -110,7 +135,16 @@ class WorkStealingPool(Executor):
             Observability recorder (:mod:`repro.obs`); ``None`` picks up
             the ambient recorder (disabled by default).  When enabled the
             pool emits submit instants, per-task spans, steal/help
-            instants, critical-section spans and barrier events.
+            instants, critical-section spans and barrier events — plus
+            cancel/fault/drain lifecycle events.
+        faults:
+            Optional :class:`~repro.resilience.FaultPlan`; ``None`` picks
+            up the ambient plan installed by
+            :func:`repro.resilience.use_faults` (normally none).  An
+            active plan may fail task bodies with
+            :class:`~repro.resilience.InjectedFault` and persistently
+            throttle a seeded subset of workers (realised ``compute``
+            stretched by the plan's slow-worker factor).
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -124,6 +158,7 @@ class WorkStealingPool(Executor):
         self.time_scale = time_scale
         self.scheduling = scheduling
         self.trace = resolve_recorder(trace)
+        self.faults = resolve_faults(faults)
 
         self._mutex = threading.Lock()
         self._work_available = threading.Condition(self._mutex)
@@ -134,6 +169,24 @@ class WorkStealingPool(Executor):
         self._stats = PoolStats(per_worker_executed=[0] * workers)
         self._critical_locks: dict[str, threading.RLock] = {}
         self._barriers: dict[str, threading.Barrier] = {}
+
+        # Seeded straggler injection: each worker's compute throttle is
+        # fixed at construction, so a "slow worker" stays slow for the
+        # pool's lifetime (the scenario work stealing should absorb).
+        if self.faults is not None and self.faults.active:
+            self._worker_throttle = [
+                self.faults.worker_factor(name, w) for w in range(workers)
+            ]
+        else:
+            self._worker_throttle = [1.0] * workers
+
+        # Deadline reaper: a heap of (abs_deadline, seq, future) serviced
+        # by one lazily started daemon thread that cancels overdue
+        # still-pending futures with DeadlineExceeded.
+        self._deadline_heap: list[tuple[float, int, Future]] = []
+        self._deadline_seq = 0
+        self._reaper: threading.Thread | None = None
+        self._reaper_wakeup = threading.Condition(self._mutex)
 
         rng = np.random.default_rng(steal_seed)
         self._victim_orders = [
@@ -155,9 +208,13 @@ class WorkStealingPool(Executor):
         cost: float | None = None,
         name: str = "",
         after: Sequence[Future] = (),
+        cancel: CancelToken | None = None,
+        deadline: float | None = None,
         **kwargs: Any,
     ) -> Future:
         """Enqueue ``fn`` for a worker; ``after`` gates via done-callbacks."""
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {deadline}")
         future = _PoolFuture(self, name=name or getattr(fn, "__name__", "task"))
         with self._mutex:
             if self._shutdown:
@@ -165,7 +222,25 @@ class WorkStealingPool(Executor):
             self._task_counter += 1
             tid = self._task_counter
         future.meta["tid"] = tid  # lets dependants trace their dep edges
-        task = _Task(fn=fn, args=args, kwargs=kwargs, future=future, tid=tid, cost=cost)
+        abs_deadline = None if deadline is None else time.monotonic() + deadline
+        task = _Task(
+            fn=fn,
+            args=args,
+            kwargs=kwargs,
+            future=future,
+            tid=tid,
+            cost=cost,
+            token=cancel,
+            deadline=abs_deadline,
+        )
+        if cancel is not None:
+            # A cancelled token cancels the future while it is queued;
+            # Future.cancel is a no-op once a worker has claimed the task.
+            cancel.on_cancel(
+                lambda: future.cancel(f"token {cancel.name!r} cancelled")
+            )
+        if abs_deadline is not None:
+            self._watch_deadline(abs_deadline, future)
         if self.trace.enabled:
             # Parent/dep task ids let the analyzer rebuild the task graph
             # (work/span/critical path) from the event stream alone.
@@ -183,9 +258,14 @@ class WorkStealingPool(Executor):
         pending = [dep for dep in after if not dep.done()]
         if not pending:
             for dep in after:
+                if dep.cancelled():
+                    # Cancellation cascades: a cancelled dep *cancels*
+                    # the dependent (whose own cancellation cascades on).
+                    future.cancel(f"dependency {dep.name!r} was cancelled")
+                    return future
                 exc = dep.exception()
                 if exc is not None:
-                    future.set_exception(exc)
+                    future.fail_if_pending(exc)
                     return future
             self._enqueue(task)
             return future
@@ -195,20 +275,20 @@ class WorkStealingPool(Executor):
         remaining = [len(pending)]
 
         def on_dep_done(dep: Future) -> None:
-            exc = dep.exception()
             with state_lock:
                 if remaining[0] <= 0:
                     return  # already failed/released
-                if exc is not None:
+                dead = dep.cancelled() or dep.exception() is not None
+                if dead:
                     remaining[0] = 0
-                    failed = True
                 else:
                     remaining[0] -= 1
-                    failed = False
                     if remaining[0] > 0:
                         return
-            if failed:
-                future.set_exception(exc)
+            if dep.cancelled():
+                future.cancel(f"dependency {dep.name!r} was cancelled")
+            elif dead:
+                future.fail_if_pending(dep.exception())
             else:
                 self._enqueue(task)
 
@@ -220,7 +300,9 @@ class WorkStealingPool(Executor):
         worker = getattr(_local, "worker", None)
         with self._work_available:
             if self._shutdown:
-                task.future.set_exception(ExecutorShutdown(f"pool {self.name!r} is shut down"))
+                task.future.fail_if_pending(
+                    ExecutorShutdown(f"pool {self.name!r} is shut down")
+                )
                 return
             if self.scheduling == "stealing" and worker is not None and worker[0] is self:
                 self._deques[worker[1]].append(task)  # LIFO for the owner
@@ -254,16 +336,36 @@ class WorkStealingPool(Executor):
         return None, False
 
     def _run_task(self, task: _Task, wid: int) -> None:
+        trace = self.trace
+        if task.deadline is not None and time.monotonic() > task.deadline:
+            # Overdue at pop time: cancel rather than silently abandon.
+            task.future.cancel(
+                DeadlineExceeded(f"task {task.future.name!r} missed its deadline")
+            )
+            return
+        if not task.future.try_start():
+            # Cancelled (token, deadline reaper, or dep cascade) while
+            # queued — the future is already complete, drop the task.
+            return
+        faults = self.faults
+        if faults is not None and faults.should_fail_task(self.name, task.tid):
+            if trace.enabled:
+                trace.event("fault", task.future.name, task_id=task.tid, worker=wid)
+                trace.count("pool.faults_injected")
+            task.future.set_exception(
+                InjectedFault(f"task {task.future.name!r} failed by fault plan")
+            )
+            return
         stack = getattr(_local, "tid_stack", None)
         if stack is None:
             stack = _local.tid_stack = []
         stack.append(task.tid)
-        trace = self.trace
         if trace.enabled:
             trace.event("task", task.future.name, phase="B", task_id=task.tid, worker=wid)
             started = time.monotonic()
         try:
-            value = task.fn(*task.args, **task.kwargs)
+            with scoped_token(task.token):
+                value = task.fn(*task.args, **task.kwargs)
         except Exception as exc:
             task.future.set_exception(exc)
         else:
@@ -299,13 +401,20 @@ class WorkStealingPool(Executor):
         finally:
             _local.worker = None
 
-    def _help_until(self, future: Future, timeout: float | None) -> None:
-        """Called by a worker blocked on ``future``: run other tasks."""
+    def _help_until(self, future: Future, deadline: float | None) -> None:
+        """Called by a worker blocked on ``future``: run other tasks.
+
+        ``deadline`` is absolute (``time.monotonic()``) and is checked at
+        the top of every iteration — including the no-work idle path, so
+        a bounded wait with an empty pool still returns on time and lets
+        ``Future.result`` raise ``TimeoutError`` uniformly.
+        """
         worker = _local.worker
         wid = worker[1]
-        deadline = None if timeout is None else time.monotonic() + timeout
         future.add_done_callback(lambda _f: self._notify_all())
         while not future.done():
+            if deadline is not None and time.monotonic() > deadline:
+                return
             with self._work_available:
                 task, stolen = self._take_work(wid)
                 if task is None:
@@ -323,22 +432,69 @@ class WorkStealingPool(Executor):
                 self.trace.event("help", f"w{wid}-helps", task_id=task.tid, worker=wid)
                 self.trace.count("pool.helped_joins")
             self._run_task(task, wid)
-            if deadline is not None and time.monotonic() > deadline:
-                return  # let Future.result raise TimeoutError uniformly
 
     def _notify_all(self) -> None:
         with self._work_available:
             self._work_available.notify_all()
 
+    # -- deadline reaper -----------------------------------------------------
+
+    def _watch_deadline(self, abs_deadline: float, future: Future) -> None:
+        """Register ``future`` for cancellation once ``abs_deadline`` passes.
+
+        The reaper thread starts lazily on the first deadline so pools
+        that never use deadlines pay nothing.
+        """
+        with self._mutex:
+            if self._shutdown:
+                return
+            self._deadline_seq += 1
+            heapq.heappush(self._deadline_heap, (abs_deadline, self._deadline_seq, future))
+            if self._reaper is None:
+                self._reaper = threading.Thread(
+                    target=self._reaper_loop, name=f"{self.name}-reaper", daemon=True
+                )
+                self._reaper.start()
+            self._reaper_wakeup.notify_all()
+
+    def _reaper_loop(self) -> None:
+        while True:
+            expired: list[Future] = []
+            with self._mutex:
+                if self._shutdown:
+                    return
+                now = time.monotonic()
+                heap = self._deadline_heap
+                while heap and heap[0][0] <= now:
+                    expired.append(heapq.heappop(heap)[2])
+                # Sleep to the next deadline, capped so shutdown is seen
+                # promptly even without a wakeup.
+                wait = min(heap[0][0] - now, 0.05) if heap else 0.05
+                if not expired:
+                    self._reaper_wakeup.wait(timeout=max(wait, 0.001))
+                    continue
+            for future in expired:
+                future.cancel(
+                    DeadlineExceeded(f"task {future.name!r} missed its deadline")
+                )
+
     # -- Executor interface --------------------------------------------------------
 
     def compute(self, cost: float) -> None:
-        """Realise ``cost`` per the pool's compute_mode (noop/sleep/spin)."""
+        """Realise ``cost`` per the pool's compute_mode (noop/sleep/spin).
+
+        A fault plan's slow-worker throttle stretches the realised
+        duration on throttled workers (noop mode realises nothing, so
+        there is nothing to stretch there).
+        """
         if cost < 0:
             raise ValueError(f"cost must be >= 0, got {cost}")
         if self.compute_mode == "noop" or cost == 0:
             return
         duration = cost * self.time_scale
+        worker = getattr(_local, "worker", None)
+        if worker is not None and worker[0] is self:
+            duration *= self._worker_throttle[worker[1]]
         if self.compute_mode == "sleep":
             time.sleep(duration)
         else:  # spin
@@ -404,14 +560,47 @@ class WorkStealingPool(Executor):
         stack = getattr(_local, "tid_stack", None)
         return stack[-1] if stack else 0
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop the pool; idempotent.
+
+        ``drain=True``: workers finish every already-queued task before
+        exiting (the historical behaviour, minus one bug — queued tasks
+        are no longer silently dropped with forever-pending futures).
+
+        ``drain=False``: queued-but-unstarted tasks are *not* run; their
+        futures complete with :class:`ExecutorShutdown` so every waiter
+        is released.  Running tasks still finish (cooperative model —
+        threads are never killed).
+        """
         with self._work_available:
             if self._shutdown:
                 return
+            stranded: list[_Task] = []
+            if not drain:
+                for dq in self._deques:
+                    stranded.extend(dq)
+                    dq.clear()
+                stranded.extend(self._inbox)
+                self._inbox.clear()
             self._shutdown = True
             self._work_available.notify_all()
+            self._reaper_wakeup.notify_all()
+        for task in stranded:
+            # fail_if_pending: an external cancel() racing shutdown wins
+            # atomically — the future completes exactly once either way.
+            if task.future.fail_if_pending(
+                ExecutorShutdown(
+                    f"task {task.future.name!r} stranded by non-draining shutdown "
+                    f"of pool {self.name!r}"
+                )
+            ) and self.trace.enabled:
+                self.trace.event("drain", task.future.name, task_id=task.tid)
+                self.trace.count("pool.drained")
         for t in self._threads:
-            t.join(timeout=5.0)
+            t.join(timeout=timeout)
+        reaper = self._reaper
+        if reaper is not None:
+            reaper.join(timeout=timeout)
 
     @property
     def stats(self) -> PoolStats:

@@ -204,6 +204,13 @@ class TraceAnalysis:
     n_events: int
     unclosed_spans: int = 0
     metrics: dict[str, float] = field(default_factory=dict)
+    #: task-lifecycle transitions (see :mod:`repro.resilience`): futures
+    #: cancelled, retry attempts, injected faults, and futures failed by
+    #: a non-draining shutdown.  All zero on a clean run.
+    cancelled: int = 0
+    retries: int = 0
+    faults: int = 0
+    drained: int = 0
 
     @property
     def primary(self) -> GroupAnalysis | None:
@@ -247,6 +254,16 @@ class TraceAnalysis:
             out["edt_latency.p99"] = self.edt_latency.p99
         if self.fit is not None:
             out["fit.serial_fraction"] = self.fit.amdahl_fraction
+        # Lifecycle counters only when something happened, so clean-run
+        # baselines stay byte-identical to pre-resilience ones.
+        if self.cancelled:
+            out["resilience.cancelled"] = float(self.cancelled)
+        if self.retries:
+            out["resilience.retried"] = float(self.retries)
+        if self.faults:
+            out["resilience.faulted"] = float(self.faults)
+        if self.drained:
+            out["resilience.drained"] = float(self.drained)
         for name, value in self.metrics.items():
             if isinstance(value, (int, float)):
                 out[name] = float(value)
@@ -536,6 +553,10 @@ def analyze_trace(
     pending_barriers: dict[tuple[int, str], float] = {}
     steals = 0
     helps = 0
+    cancelled = 0
+    retries = 0
+    faults = 0
+    drained = 0
 
     for e in events:
         if e.phase == "M" and e.name == "process_name":
@@ -549,6 +570,14 @@ def analyze_trace(
             steals += 1
         elif e.kind == "help":
             helps += 1
+        elif e.kind == "cancel":
+            cancelled += 1
+        elif e.kind == "retry":
+            retries += 1
+        elif e.kind == "fault":
+            faults += 1
+        elif e.kind == "drain":
+            drained += 1
         elif e.kind == "critical":
             if e.phase == "B":
                 lock = str(e.attrs.get("lock", e.name))
@@ -628,4 +657,8 @@ def analyze_trace(
         n_events=len(events),
         unclosed_spans=unclosed,
         metrics={k: v for k, v in snapshot.items() if isinstance(v, (int, float))},
+        cancelled=cancelled,
+        retries=retries,
+        faults=faults,
+        drained=drained,
     )

@@ -116,6 +116,13 @@ def render_text(analysis: TraceAnalysis) -> str:
     out.append(health)
     out.append("")
 
+    if analysis.cancelled or analysis.retries or analysis.faults or analysis.drained:
+        out.append(
+            f"resilience: cancelled {analysis.cancelled}, retries {analysis.retries}, "
+            f"faults injected {analysis.faults}, drained {analysis.drained}"
+        )
+        out.append("")
+
     if analysis.locks:
         t = Table(
             ["lock", "acquisitions", "mean wait", "max wait", "total wait"],

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.executor.future import Future
@@ -46,9 +47,37 @@ class TaskGroup:
     def pending_count(self) -> int:
         return sum(1 for f in self._futures if not f.done())
 
-    def join(self, timeout: float | None = None) -> list[Any]:
-        """Wait for every member; results in add order (first error raises)."""
-        return [f.result(timeout=timeout) for f in self._futures]
+    def join(self, timeout: float | None = None, cancel_on_timeout: bool = False) -> list[Any]:
+        """Wait for every member; results in add order (first error raises).
+
+        ``timeout`` is one budget for the *whole* join, not per member.
+        On expiry, ``cancel_on_timeout=True`` cancels the still-pending
+        members (so timed-out work is reclaimed, not abandoned) before
+        the ``TimeoutError`` propagates.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            results = []
+            for f in self._futures:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                results.append(f.result(timeout=remaining))
+            return results
+        except TimeoutError:
+            if cancel_on_timeout:
+                self.cancel_all(f"group {self.name!r} join timed out after {timeout}s")
+            raise
+
+    def cancel_all(self, reason: str = "") -> int:
+        """Cancel every not-yet-started member; returns how many were.
+
+        Members already running (or done) are unaffected — cancellation
+        is cooperative, see :meth:`repro.executor.future.Future.cancel`.
+        """
+        return sum(
+            1 for f in self._futures if f.cancel(reason or f"group {self.name!r} cancelled")
+        )
 
     def join_settled(self) -> tuple[list[Any], list[BaseException]]:
         """Wait for every member; split successes from failures."""

@@ -27,6 +27,8 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.executor.base import Executor
 from repro.executor.future import Future
 from repro.ptask.multitask import MultiTaskFuture
+from repro.resilience.cancel import CancelToken
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["ParallelTaskRuntime", "TaskFunction"]
 
@@ -121,6 +123,9 @@ class ParallelTaskRuntime:
         depends_on: Sequence[Future] = (),
         notify: Callable[[Any], None] | None = None,
         on_error: Callable[[BaseException], None] | None = None,
+        cancel: CancelToken | None = None,
+        deadline: float | None = None,
+        retry: RetryPolicy | None = None,
         **kwargs: Any,
     ) -> Future:
         """Run ``fn`` as a task; returns its future immediately.
@@ -130,9 +135,34 @@ class ParallelTaskRuntime:
         ``on_error`` receives the exception if the task fails — the
         asynchronous-catch mechanism; without it, failures surface at
         ``future.result()`` as usual.
+
+        Lifecycle controls (see :mod:`repro.resilience`): ``cancel``
+        links a :class:`~repro.resilience.CancelToken`, ``deadline``
+        cancels the task if it has not started within that many seconds,
+        and ``retry`` re-runs a failing body under the given
+        :class:`~repro.resilience.RetryPolicy` *inside* the task —
+        backoff is accounted through ``executor.compute`` (virtual
+        seconds on the sim backend) and each retry emits a trace event.
         """
+        task_name = name or getattr(fn, "__name__", "task")
+        call = fn
+        if retry is not None:
+            # Innermost wrapper: retries happen inside the task, so one
+            # spawn = one future whatever the attempt count.  The trace
+            # recorder is passed explicitly — the ambient one is
+            # thread-local and invisible on pool worker threads.
+            def call(*a: Any, **kw: Any) -> Any:
+                return retry.run(
+                    fn,
+                    *a,
+                    sleep=self.executor.compute,
+                    key=task_name,
+                    trace=self.trace,
+                    **kw,
+                )
+
         if notify is None:
-            body = fn
+            body = call
         else:
             # Register the handler under the child's task id at the moment
             # the child starts executing (we don't know the id earlier).
@@ -141,13 +171,20 @@ class ParallelTaskRuntime:
                 with self._handler_lock:
                     self._notify_handlers[tid] = notify
                 try:
-                    return fn(*a, **kw)
+                    return call(*a, **kw)
                 finally:
                     with self._handler_lock:
                         self._notify_handlers.pop(tid, None)
 
         future = self.executor.submit(
-            body, *args, cost=cost, name=name or getattr(fn, "__name__", "task"), after=depends_on, **kwargs
+            body,
+            *args,
+            cost=cost,
+            name=task_name,
+            after=depends_on,
+            cancel=cancel,
+            deadline=deadline,
+            **kwargs,
         )
         if self.trace.enabled:
             self.trace.event(
@@ -181,11 +218,16 @@ class ParallelTaskRuntime:
         depends_on: Sequence[Future] = (),
         notify: Callable[[Any], None] | None = None,
         on_error: Callable[[BaseException], None] | None = None,
+        cancel: CancelToken | None = None,
+        deadline: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> MultiTaskFuture:
         """Multi-task: ``fn(item, index)`` over each item, one sub-task each.
 
         The Java tool's ``TASK(*)``: a single logical task expanded over a
-        collection, with one aggregate future (``TaskIDGroup``).
+        collection, with one aggregate future (``TaskIDGroup``).  One
+        ``cancel`` token covers every sub-task; ``deadline``/``retry``
+        apply to each sub-task individually.
         """
         name = name or getattr(fn, "__name__", "multi")
         arity = _accepts_index(fn)
@@ -201,6 +243,9 @@ class ParallelTaskRuntime:
                     depends_on=depends_on,
                     notify=notify,
                     on_error=on_error,
+                    cancel=cancel,
+                    deadline=deadline,
+                    retry=retry,
                 )
             )
         return MultiTaskFuture(futures, name=name)

@@ -1,0 +1,54 @@
+"""Task-lifecycle resilience: cancellation, deadlines, retry, fault injection.
+
+The serving-stack robustness layer the ROADMAP's production north-star
+needs, and the failure/recovery behaviour hands-on PDC pedagogy wants
+students to *observe* rather than read about:
+
+* **cancellation** — :class:`CancelToken` (cooperative, tree-shaped) plus
+  real ``Future.cancel()`` across every executor backend; cancelling a
+  task cancels its not-yet-started dependants;
+* **deadlines** — per-submit ``deadline=`` and group timeouts that
+  *cancel* overdue work (:class:`DeadlineExceeded`) instead of abandoning
+  it;
+* **retry** — :class:`RetryPolicy`, exponential backoff with *seeded*
+  jitter so retrying code stays deterministic;
+* **fault injection** — :class:`FaultPlan`, a seeded chaos description
+  (call failures, latency spikes, slow workers) honoured by the corpus
+  network model and the executors; ``python -m repro chaos <exp>`` runs
+  any experiment under one.
+
+Every lifecycle transition (cancelled, retried, faulted, drained) emits
+:mod:`repro.obs` trace events, so ``python -m repro analyze``/``chaos``
+summarise recovery behaviour alongside work/span analytics.
+"""
+
+from repro.resilience.cancel import (
+    CancelledError,
+    CancelToken,
+    DeadlineExceeded,
+    current_token,
+    scoped_token,
+)
+from repro.resilience.faults import (
+    FaultPlan,
+    InjectedFault,
+    current_faults,
+    resolve_faults,
+    use_faults,
+)
+from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
+
+__all__ = [
+    "CancelToken",
+    "CancelledError",
+    "DeadlineExceeded",
+    "current_token",
+    "scoped_token",
+    "FaultPlan",
+    "InjectedFault",
+    "current_faults",
+    "resolve_faults",
+    "use_faults",
+    "RetryPolicy",
+    "DEFAULT_RETRY",
+]

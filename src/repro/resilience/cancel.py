@@ -1,0 +1,144 @@
+"""Cooperative cancellation: tokens, scopes and deadline errors.
+
+A :class:`CancelToken` is the *cooperative* half of task cancellation.
+:meth:`~repro.executor.future.Future.cancel` stops a task that has not
+started; a token is how a task that *has* started learns it should stop:
+the executor installs the token as ambient state for the duration of the
+task body (see :func:`current_token`), and cooperative code calls
+:meth:`CancelToken.raise_if_cancelled` at safe points::
+
+    token = CancelToken("query-7")
+    fut = pool.submit(search, corpus, cancel=token)
+    ...
+    token.cancel("user closed the window")   # queued work is cancelled;
+                                             # running work stops at its
+                                             # next raise_if_cancelled()
+
+Tokens form trees: :meth:`CancelToken.child` links a sub-scope that is
+cancelled with its parent but can also be cancelled alone — the shape a
+GUI needs (cancel one query vs. close the whole window).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = [
+    "CancelToken",
+    "CancelledError",
+    "DeadlineExceeded",
+    "current_token",
+    "scoped_token",
+]
+
+
+# Defined here (not in repro.executor.future, which re-exports it) so the
+# resilience package never imports the executor package — that would be a
+# cycle, since every executor backend imports resilience.
+class CancelledError(RuntimeError):
+    """The task behind a future was cancelled before it produced a result."""
+
+
+class DeadlineExceeded(CancelledError):
+    """A task was cancelled because its deadline passed before it ran."""
+
+
+class CancelToken:
+    """Thread-safe, idempotent cancellation flag with callbacks.
+
+    ``on_cancel`` callbacks run exactly once, on the cancelling thread
+    (or immediately on the registering thread if already cancelled) —
+    the same contract as future done-callbacks, because executors use
+    them to cancel the not-yet-started futures linked to the token.
+    """
+
+    __slots__ = ("name", "_lock", "_cancelled", "_reason", "_callbacks")
+
+    def __init__(self, name: str = "token") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._reason = ""
+        self._callbacks: list[Callable[[], None]] = []
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def reason(self) -> str:
+        """Why the token was cancelled ('' while it is not)."""
+        return self._reason
+
+    def cancel(self, reason: str = "") -> bool:
+        """Flip the token; True on the first call, False thereafter."""
+        with self._lock:
+            if self._cancelled:
+                return False
+            self._cancelled = True
+            self._reason = reason
+            callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb()
+        return True
+
+    def on_cancel(self, cb: Callable[[], None]) -> None:
+        """Run ``cb`` when (or if already) cancelled."""
+        run_now = False
+        with self._lock:
+            if self._cancelled:
+                run_now = True
+            else:
+                self._callbacks.append(cb)
+        if run_now:
+            cb()
+
+    def raise_if_cancelled(self) -> None:
+        """Cooperative check point: raise :class:`CancelledError` if set."""
+        if self._cancelled:
+            detail = f": {self._reason}" if self._reason else ""
+            raise CancelledError(f"token {self.name!r} cancelled{detail}")
+
+    def child(self, name: str = "") -> "CancelToken":
+        """A linked token: cancelling *this* token cancels the child too
+        (already-cancelled parents yield an already-cancelled child)."""
+        kid = CancelToken(name or f"{self.name}.child")
+        self.on_cancel(lambda: kid.cancel(f"parent {self.name!r} cancelled"))
+        return kid
+
+    def __repr__(self) -> str:
+        state = f"cancelled({self._reason!r})" if self._cancelled else "live"
+        return f"CancelToken({self.name!r}, {state})"
+
+
+_ambient = threading.local()
+
+
+def current_token() -> CancelToken | None:
+    """The token of the task currently executing on this thread, if any.
+
+    Executors install it around the task body (:func:`scoped_token`), so
+    library code deep inside a task can poll cancellation without the
+    token being threaded through every call signature.
+    """
+    stack = getattr(_ambient, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def scoped_token(token: CancelToken | None) -> Iterator[None]:
+    """Install ``token`` as the ambient token for the body's duration.
+
+    ``None`` still pushes (and pops) so a task spawned *without* a token
+    does not inherit the token of the task that spawned it.
+    """
+    stack = getattr(_ambient, "stack", None)
+    if stack is None:
+        stack = _ambient.stack = []
+    stack.append(token)
+    try:
+        yield
+    finally:
+        stack.pop()

@@ -1,0 +1,156 @@
+"""Seeded fault injection: the chaos half of the resilience layer.
+
+A :class:`FaultPlan` is a frozen description of what should go wrong —
+call failures, latency spikes, slow workers, injected task faults — with
+every decision a *pure function* of ``(seed, site key)``.  Running the
+same plan twice injects the identical faults at the identical places, so
+a chaos run is as reproducible as a clean one and a regression test can
+pin exactly which fetches failed.
+
+Consumers pull decisions through the narrow query API
+(:meth:`FaultPlan.should_fail`, :meth:`FaultPlan.latency_multiplier`,
+:meth:`FaultPlan.worker_factor`) keyed by stable labels — a page URL, a
+``(pool, worker)`` pair, a task id — never by call order.
+
+Like the trace recorder, a plan can be installed *ambiently*
+(:func:`use_faults`) so ``python -m repro chaos <exp>`` can push faults
+into executors and network models constructed arbitrarily deep inside an
+experiment without threading a parameter through every layer.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.rng import derive
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "current_faults",
+    "resolve_faults",
+    "use_faults",
+]
+
+
+class InjectedFault(RuntimeError):
+    """A failure deliberately injected by a :class:`FaultPlan`."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, how often, and under which seed.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; every injection decision derives from it.
+    failure_rate:
+        Probability a *call-level* fail point trips per attempt — the
+        rate the simulated network model applies per fetch attempt.
+    task_failure_rate:
+        Probability an executor fails a task body with
+        :class:`InjectedFault` instead of running it.  Off by default:
+        most experiments do not survive arbitrary task loss, and chaos
+        runs opt in explicitly.
+    latency_spike_rate / latency_spike_factor:
+        Probability that a latency-bearing step (a fetch's server
+        latency, a pool's realised ``compute``) is stretched by
+        ``latency_spike_factor``.
+    slow_worker_rate / slow_worker_factor:
+        Probability a given worker of a pool is *persistently* throttled
+        (every realised compute on it stretched by the factor) — the
+        classic straggler scenario work stealing is supposed to absorb.
+    """
+
+    seed: int = 0
+    failure_rate: float = 0.0
+    task_failure_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_factor: float = 5.0
+    slow_worker_rate: float = 0.0
+    slow_worker_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        for field in ("failure_rate", "task_failure_rate", "latency_spike_rate", "slow_worker_rate"):
+            rate = getattr(self, field)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{field} must be in [0, 1], got {rate}")
+        if self.latency_spike_factor < 1.0 or self.slow_worker_factor < 1.0:
+            raise ValueError("spike/slow factors must be >= 1")
+
+    # -- decision queries ----------------------------------------------------
+
+    def _draw(self, *key: object) -> float:
+        """One uniform draw, a pure function of ``(seed, key)``."""
+        return float(derive(self.seed, "faults", *key).random())
+
+    def should_fail(self, *key: object) -> bool:
+        """Does the call-level fail point identified by ``key`` trip?"""
+        return self.failure_rate > 0.0 and self._draw("fail", *key) < self.failure_rate
+
+    def should_fail_task(self, *key: object) -> bool:
+        """Does the executor-level fail point identified by ``key`` trip?"""
+        return (
+            self.task_failure_rate > 0.0
+            and self._draw("task-fail", *key) < self.task_failure_rate
+        )
+
+    def latency_multiplier(self, *key: object) -> float:
+        """1.0, or ``latency_spike_factor`` when ``key`` draws a spike."""
+        if self.latency_spike_rate > 0.0 and self._draw("spike", *key) < self.latency_spike_rate:
+            return self.latency_spike_factor
+        return 1.0
+
+    def worker_factor(self, *key: object) -> float:
+        """1.0, or ``slow_worker_factor`` when ``key`` names a straggler."""
+        if self.slow_worker_rate > 0.0 and self._draw("slow", *key) < self.slow_worker_rate:
+            return self.slow_worker_factor
+        return 1.0
+
+    @property
+    def active(self) -> bool:
+        """Does this plan inject anything at all?"""
+        return any(
+            (
+                self.failure_rate,
+                self.task_failure_rate,
+                self.latency_spike_rate,
+                self.slow_worker_rate,
+            )
+        )
+
+
+_ambient = threading.local()
+
+
+def current_faults() -> FaultPlan | None:
+    """The ambient fault plan installed by :func:`use_faults`, if any."""
+    return getattr(_ambient, "plan", None)
+
+
+def resolve_faults(faults: FaultPlan | None) -> FaultPlan | None:
+    """What constructors do with their ``faults=`` argument: an explicit
+    plan wins; ``None`` falls back to the ambient one (usually ``None``
+    too — fault injection is opt-in)."""
+    return faults if faults is not None else current_faults()
+
+
+@contextmanager
+def use_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` as the ambient fault plan for this thread.
+
+    Executors and the network model resolve it at construction/call
+    time on the installing thread (the same pattern as
+    :func:`repro.obs.use`), which is how ``python -m repro chaos``
+    reaches components it never constructs itself.
+    """
+    prev = getattr(_ambient, "plan", None)
+    _ambient.plan = plan
+    try:
+        yield plan
+    finally:
+        _ambient.plan = prev

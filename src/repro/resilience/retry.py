@@ -1,0 +1,151 @@
+"""Retry with exponential backoff and *seeded* jitter.
+
+A :class:`RetryPolicy` is a frozen value object describing how to retry:
+attempt budget, exponential backoff, a retry-on predicate, and jitter
+drawn from :func:`repro.util.rng.derive` — so a policy's delay sequence
+is a pure function of ``(seed, key, attempt)`` and an experiment that
+retries is exactly as reproducible as one that does not (the repo-wide
+determinism contract).
+
+The policy is execution-agnostic: :meth:`RetryPolicy.run` drives a
+synchronous callable with a pluggable ``sleep`` (the ptask runtime passes
+``executor.compute`` so backoff is *accounted* — virtual seconds on the
+sim backend, realised sleeps on a ``compute_mode="sleep"`` pool), while
+generator-based code (the simulated network model) asks
+:meth:`RetryPolicy.delay` for the next backoff and yields it itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.trace import TraceRecorder, current_recorder
+from repro.util.rng import derive
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) to retry a failing call.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempt budget including the first call (1 = no retries).
+    base_delay:
+        Backoff before the first retry, in (virtual or wall) seconds.
+    multiplier:
+        Exponential growth factor per retry.
+    max_delay:
+        Ceiling on a single backoff, pre-jitter.
+    jitter:
+        Fractional jitter: the realised delay is the nominal delay times
+        a factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+    seed:
+        Root seed for the jitter stream (see module docstring).
+    retry_on:
+        Exception types that are retryable; anything else propagates
+        immediately.  A callable ``exc -> bool`` is also accepted.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    retry_on: Any = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    # -- decisions -----------------------------------------------------------
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Does the policy's ``retry_on`` predicate accept ``exc``?"""
+        if callable(self.retry_on) and not isinstance(self.retry_on, (tuple, type)):
+            return bool(self.retry_on(exc))
+        return isinstance(exc, self.retry_on)
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Retry after ``attempt`` (1-based) failed with ``exc``?"""
+        return attempt < self.max_attempts and self.is_retryable(exc)
+
+    def delay(self, attempt: int, key: object = "") -> float:
+        """Backoff after failed attempt number ``attempt`` (1-based).
+
+        Deterministic: a pure function of ``(seed, key, attempt)`` —
+        independent of call order, so concurrent retriers (one ``key``
+        per page, say) do not perturb each other's delays.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        nominal = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter == 0.0 or nominal == 0.0:
+            return nominal
+        u = float(derive(self.seed, "retry", key, attempt).random())
+        return nominal * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def delays(self, key: object = "") -> list[float]:
+        """Every backoff the policy would sleep for ``key``, in order."""
+        return [self.delay(a, key) for a in range(1, self.max_attempts)]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        sleep: Callable[[float], None] = time.sleep,
+        key: object = "",
+        trace: TraceRecorder | None = None,
+        on_retry: Callable[[int, BaseException, float], None] | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Call ``fn`` under the policy; returns its value or raises the
+        final exception once the budget is exhausted (or the exception is
+        not retryable).
+
+        ``sleep`` realises backoff (pass ``executor.compute`` to account
+        it instead); ``trace`` emits ``retry`` events (defaults to the
+        ambient recorder — pass one explicitly from worker threads, the
+        ambient recorder is thread-local); ``on_retry(attempt, exc,
+        delay)`` is a hook for logging/metrics at each retry decision.
+        """
+        recorder = trace if trace is not None else current_recorder()
+        attempt = 1
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except Exception as exc:
+                if not self.should_retry(exc, attempt):
+                    raise
+                backoff = self.delay(attempt, key)
+                if recorder.enabled:
+                    recorder.event(
+                        "retry",
+                        str(key) or getattr(fn, "__name__", "call"),
+                        attempt=attempt,
+                        delay=backoff,
+                        exception=type(exc).__name__,
+                    )
+                    recorder.count("resilience.retries")
+                if on_retry is not None:
+                    on_retry(attempt, exc, backoff)
+                if backoff > 0:
+                    sleep(backoff)
+                attempt += 1
+
+
+#: A sensible default for simulated-network work: 4 attempts, 0.2 s base.
+DEFAULT_RETRY = RetryPolicy(max_attempts=4, base_delay=0.2, multiplier=2.0, max_delay=5.0)

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.executor.future import Future, FutureError
+from repro.executor.future import CancelledError, Future, FutureError
 
 
 class TestCompletion:
@@ -115,3 +115,134 @@ class TestCallbacks:
         f = Future()
         f.meta["last_sid"] = 7
         assert f.meta["last_sid"] == 7
+
+
+class TestCancellation:
+    def test_cancel_pending(self):
+        f = Future(name="job")
+        assert f.cancel("not needed")
+        assert f.cancelled() and f.done()
+        with pytest.raises(CancelledError, match="not needed"):
+            f.result()
+
+    def test_cancel_is_once_only(self):
+        f = Future()
+        assert f.cancel()
+        assert not f.cancel()
+
+    def test_cancel_after_completion_fails(self):
+        f = Future()
+        f.set_result(1)
+        assert not f.cancel()
+        assert not f.cancelled()
+        assert f.result() == 1
+
+    def test_cancel_with_exception_instance(self):
+        boom = RuntimeError("custom reason")
+        f = Future()
+        f.cancel(boom)
+        assert type(f.exception()) is RuntimeError
+        with pytest.raises(RuntimeError, match="custom reason"):
+            f.result()
+
+    def test_cancel_runs_done_callbacks(self):
+        f = Future()
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(fut.cancelled()))
+        f.cancel()
+        assert seen == [True]
+
+    def test_try_start_claims_pending(self):
+        f = Future()
+        assert f.try_start()
+        assert f.running() and not f.done()
+        assert not f.try_start()  # already claimed
+
+    def test_try_start_beats_cancel(self):
+        f = Future()
+        assert f.try_start()
+        assert not f.cancel()  # the running task owns the future now
+        f.set_result("ran")
+        assert f.result() == "ran"
+
+    def test_exception_returns_cancellation_without_raising(self):
+        f = Future()
+        f.cancel("why")
+        assert isinstance(f.exception(), CancelledError)
+
+    def test_fail_if_pending_races_cancel(self):
+        f = Future()
+        assert f.cancel()
+        assert not f.fail_if_pending(RuntimeError("stranded"))
+        assert f.cancelled()
+
+    def test_fail_if_pending_on_pending(self):
+        f = Future()
+        assert f.fail_if_pending(RuntimeError("stranded"))
+        assert not f.cancelled()
+        with pytest.raises(RuntimeError, match="stranded"):
+            f.result()
+
+
+class TestPerWaiterException:
+    def test_waiters_get_distinct_instances(self):
+        """Regression: re-raising the one stored instance let concurrent
+        waiters mutate a single shared traceback."""
+        f = Future()
+        try:
+            raise ValueError("boom")
+        except ValueError as exc:
+            f.set_exception(exc)
+        stored = f.exception()
+        raised = []
+        for _ in range(2):
+            with pytest.raises(ValueError, match="boom"):
+                f.result()
+            try:
+                f.result()
+            except ValueError as exc:
+                raised.append(exc)
+        assert raised[0] is not stored
+        assert raised[1] is not stored
+        assert raised[0] is not raised[1]
+
+    def test_copy_preserves_cause_and_traceback(self):
+        f = Future()
+        try:
+            try:
+                raise KeyError("inner")
+            except KeyError as cause:
+                raise ValueError("outer") from cause
+        except ValueError as exc:
+            f.set_exception(exc)
+        try:
+            f.result()
+        except ValueError as raised:
+            assert isinstance(raised.__cause__, KeyError)
+            assert raised.__traceback__ is not None
+        stored = f.exception()
+        assert isinstance(stored.__cause__, KeyError)
+
+    def test_concurrent_result_from_threads(self):
+        f = Future()
+        try:
+            raise RuntimeError("shared")
+        except RuntimeError as exc:
+            f.set_exception(exc)
+        got = []
+        lock = threading.Lock()
+
+        def wait():
+            try:
+                f.result()
+            except RuntimeError as exc:
+                with lock:
+                    got.append(exc)
+
+        threads = [threading.Thread(target=wait) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(got) == 8
+        assert len({id(e) for e in got}) == 8  # one copy per waiter

@@ -1,0 +1,84 @@
+"""Tests for CancelToken trees and the ambient-token plumbing."""
+
+import pytest
+
+from repro.resilience import CancelledError, CancelToken, DeadlineExceeded
+from repro.resilience.cancel import current_token, scoped_token
+
+
+class TestCancelToken:
+    def test_starts_live(self):
+        token = CancelToken("t")
+        assert not token.cancelled
+        assert token.reason == ""
+        token.raise_if_cancelled()  # no-op while live
+
+    def test_cancel_flips_once(self):
+        token = CancelToken()
+        assert token.cancel("user quit")
+        assert not token.cancel("again")
+        assert token.cancelled
+        assert token.reason == "user quit"
+
+    def test_raise_if_cancelled(self):
+        token = CancelToken("query")
+        token.cancel("window closed")
+        with pytest.raises(CancelledError, match="window closed"):
+            token.raise_if_cancelled()
+
+    def test_callbacks_run_once_on_cancel(self):
+        token = CancelToken()
+        seen = []
+        token.on_cancel(lambda: seen.append("a"))
+        token.cancel()
+        token.cancel()
+        assert seen == ["a"]
+
+    def test_callback_after_cancel_runs_immediately(self):
+        token = CancelToken()
+        token.cancel()
+        seen = []
+        token.on_cancel(lambda: seen.append("late"))
+        assert seen == ["late"]
+
+    def test_child_cancelled_with_parent(self):
+        parent = CancelToken("p")
+        child = parent.child("c")
+        assert not child.cancelled
+        parent.cancel()
+        assert child.cancelled
+        assert "parent" in child.reason
+
+    def test_child_cancel_leaves_parent_alone(self):
+        parent = CancelToken("p")
+        child = parent.child()
+        child.cancel()
+        assert child.cancelled
+        assert not parent.cancelled
+
+    def test_child_of_cancelled_parent_is_born_cancelled(self):
+        parent = CancelToken()
+        parent.cancel()
+        assert parent.child().cancelled
+
+    def test_deadline_exceeded_is_a_cancellation(self):
+        assert issubclass(DeadlineExceeded, CancelledError)
+
+
+class TestAmbientToken:
+    def test_no_token_by_default(self):
+        assert current_token() is None
+
+    def test_scoped_token_installs_and_restores(self):
+        token = CancelToken()
+        with scoped_token(token):
+            assert current_token() is token
+        assert current_token() is None
+
+    def test_none_scope_masks_outer_token(self):
+        """A task spawned without a token must not inherit its spawner's."""
+        outer = CancelToken()
+        with scoped_token(outer):
+            with scoped_token(None):
+                assert current_token() is None
+            assert current_token() is outer

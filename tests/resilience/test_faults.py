@@ -1,0 +1,73 @@
+"""Tests for FaultPlan: validation, seeded determinism, ambient install."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.resilience import FaultPlan, current_faults, resolve_faults, use_faults
+
+
+class TestValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="failure_rate"):
+            FaultPlan(failure_rate=1.5)
+
+    def test_rejects_sub_one_factor(self):
+        with pytest.raises(ValueError, match="factors"):
+            FaultPlan(latency_spike_factor=0.5)
+
+    def test_inactive_by_default(self):
+        assert not FaultPlan().active
+        assert FaultPlan(failure_rate=0.1).active
+
+
+class TestDeterminism:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        key=st.text(max_size=16),
+        attempt=st.integers(min_value=1, max_value=5),
+    )
+    def test_decisions_are_pure_functions_of_seed_and_key(self, seed, key, attempt):
+        a = FaultPlan(seed=seed, failure_rate=0.5, latency_spike_rate=0.5)
+        b = FaultPlan(seed=seed, failure_rate=0.5, latency_spike_rate=0.5)
+        a.should_fail("warmup", 0)  # call history must not matter
+        assert a.should_fail(key, attempt) == b.should_fail(key, attempt)
+        assert a.latency_multiplier(key, attempt) == b.latency_multiplier(key, attempt)
+
+    def test_rates_are_honoured_roughly(self):
+        plan = FaultPlan(seed=7, failure_rate=0.3)
+        trips = sum(plan.should_fail("url", i) for i in range(2000))
+        assert 0.2 < trips / 2000 < 0.4
+
+    def test_zero_rate_never_trips(self):
+        plan = FaultPlan(seed=1)
+        assert not any(plan.should_fail("k", i) for i in range(100))
+        assert all(plan.latency_multiplier("k", i) == 1.0 for i in range(100))
+        assert all(plan.worker_factor("pool", w) == 1.0 for w in range(100))
+
+    def test_fail_points_are_independent_streams(self):
+        """Call-level and task-level fail points must not alias: equal keys
+        under different query kinds draw from different streams."""
+        plan = FaultPlan(seed=3, failure_rate=0.5, task_failure_rate=0.5)
+        calls = [plan.should_fail("k", i) for i in range(64)]
+        tasks = [plan.should_fail_task("k", i) for i in range(64)]
+        assert calls != tasks
+
+
+class TestAmbient:
+    def test_none_by_default(self):
+        assert current_faults() is None
+        assert resolve_faults(None) is None
+
+    def test_use_faults_installs_and_restores(self):
+        plan = FaultPlan(failure_rate=0.1)
+        with use_faults(plan):
+            assert current_faults() is plan
+            assert resolve_faults(None) is plan
+        assert current_faults() is None
+
+    def test_explicit_plan_wins_over_ambient(self):
+        ambient = FaultPlan(failure_rate=0.1)
+        explicit = FaultPlan(failure_rate=0.9)
+        with use_faults(ambient):
+            assert resolve_faults(explicit) is explicit

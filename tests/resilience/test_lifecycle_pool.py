@@ -1,0 +1,246 @@
+"""Lifecycle tests against the real thread pool: cancellation, deadlines,
+shutdown drain semantics, and the timeout-budget regressions."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executor import ExecutorShutdown, WorkStealingPool
+from repro.executor.future import CancelledError, Future
+from repro.ptask import ParallelTaskRuntime, TaskGroup
+from repro.resilience import CancelToken, DeadlineExceeded
+from repro.resilience.cancel import current_token
+
+
+def make_pool(workers: int = 2) -> WorkStealingPool:
+    return WorkStealingPool(workers=workers, compute_mode="sleep", time_scale=1.0)
+
+
+class TestShutdownDrain:
+    def test_drain_false_fails_stranded_futures(self):
+        """Regression: queued tasks used to be dropped on shutdown with
+        their futures left pending forever."""
+        pool = make_pool(workers=1)
+        release = threading.Event()
+        started = threading.Event()
+
+        def block():
+            started.set()
+            release.wait(5.0)
+
+        blocker = pool.submit(block, name="blocker")
+        stranded = [pool.submit(lambda: "never", name=f"q{i}") for i in range(4)]
+        assert started.wait(5.0)
+        release.set()  # let the running task finish; queued ones are stranded
+        pool.shutdown(drain=False)
+        assert blocker.done()
+        for fut in stranded:
+            assert fut.done(), "non-draining shutdown left a future pending"
+            exc = fut.exception()
+            if exc is not None:
+                assert isinstance(exc, ExecutorShutdown)
+                assert "stranded" in str(exc)
+
+    def test_drain_true_finishes_queued_work(self):
+        pool = make_pool(workers=1)
+        futs = [pool.submit(lambda i=i: i * i, name=f"sq{i}") for i in range(6)]
+        pool.shutdown(drain=True)
+        assert [f.result(timeout=0) for f in futs] == [0, 1, 4, 9, 16, 25]
+
+    def test_submit_after_shutdown_raises(self):
+        pool = make_pool()
+        pool.shutdown()
+        with pytest.raises(ExecutorShutdown):
+            pool.submit(lambda: 1)
+
+
+class TestTimeoutBudget:
+    def test_result_timeout_is_spent_once(self):
+        """Regression: ``result(timeout=t)`` used to wait up to ``t`` in
+        the help loop and then up to ``t`` again in the base wait —
+        doubling the caller's deadline."""
+        pool = make_pool(workers=1)
+        try:
+            never = Future("external")  # not pool-managed: helping can't finish it
+            gated = pool.submit(lambda: 1, after=[never], name="gated")
+            start = time.monotonic()
+            with pytest.raises(TimeoutError):
+                gated.result(timeout=0.3)
+            elapsed = time.monotonic() - start
+            assert elapsed < 0.9, f"timeout double-spent: waited {elapsed:.2f}s"
+        finally:
+            never.set_result(None)
+            pool.shutdown()
+
+
+class TestCancellation:
+    def test_cancelled_before_start_never_runs(self):
+        pool = make_pool(workers=1)
+        try:
+            release = threading.Event()
+            ran = []
+            pool.submit(release.wait, 5.0, name="blocker")
+            fut = pool.submit(lambda: ran.append(1), name="victim")
+            assert fut.cancel("changed my mind")
+            release.set()
+            with pytest.raises(CancelledError):
+                fut.result(timeout=5.0)
+        finally:
+            pool.shutdown()
+        assert ran == [], "cancelled task body was executed"
+
+    def test_token_cancels_queued_tasks(self):
+        pool = make_pool(workers=1)
+        try:
+            release = threading.Event()
+            token = CancelToken("batch")
+            pool.submit(release.wait, 5.0, name="blocker")
+            futs = [pool.submit(lambda: 1, cancel=token, name=f"t{i}") for i in range(3)]
+            token.cancel("user aborted")
+            release.set()
+            for fut in futs:
+                with pytest.raises(CancelledError, match="batch"):
+                    fut.result(timeout=5.0)
+        finally:
+            pool.shutdown()
+
+    def test_running_task_sees_its_token(self):
+        pool = make_pool(workers=1)
+        try:
+            token = CancelToken("coop")
+            observed = []
+            fut = pool.submit(lambda: observed.append(current_token()), cancel=token)
+            fut.result(timeout=5.0)
+            assert observed == [token]
+        finally:
+            pool.shutdown()
+
+    def test_cancel_cascades_to_dependants(self):
+        pool = make_pool()
+        try:
+            gate = Future("gate")
+            root = pool.submit(lambda: 1, after=[gate], name="root")
+            child = pool.submit(lambda: 2, after=[root], name="child")
+            grandchild = pool.submit(lambda: 3, after=[child], name="grandchild")
+            sibling = pool.submit(lambda: 4, after=[gate], name="sibling")
+            root.cancel("pruned")
+            gate.set_result(None)
+            for fut in (child, grandchild):
+                with pytest.raises(CancelledError, match="cancelled"):
+                    fut.result(timeout=5.0)
+                assert fut.cancelled()
+            assert sibling.result(timeout=5.0) == 4  # untouched branch runs
+        finally:
+            pool.shutdown()
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_cancel_closure_property(self, data):
+        """Cancelling one DAG node cancels exactly its downstream closure;
+        every other node still runs."""
+        n = data.draw(st.integers(min_value=3, max_value=8), label="n")
+        edges = {
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if data.draw(st.booleans(), label=f"edge{i}->{j}")
+        }
+        victim = data.draw(st.integers(min_value=0, max_value=n - 1), label="victim")
+
+        closure = {victim}
+        for i in range(n):  # edges only go forward, one pass suffices
+            if any((p, i) in edges for p in closure):
+                closure.add(i)
+
+        pool = make_pool()
+        try:
+            gate = Future("gate")
+            futs: list[Future] = []
+            for i in range(n):
+                deps = [futs[p] for p in range(i) if (p, i) in edges]
+                futs.append(pool.submit(lambda i=i: i, after=[gate, *deps], name=f"n{i}"))
+            assert futs[victim].cancel("victim")
+            gate.set_result(None)
+            for i, fut in enumerate(futs):
+                if i in closure:
+                    with pytest.raises(CancelledError):
+                        fut.result(timeout=5.0)
+                    assert fut.cancelled()
+                else:
+                    assert fut.result(timeout=5.0) == i
+        finally:
+            pool.shutdown()
+
+
+class TestDeadlines:
+    def test_reaper_cancels_overdue_queued_task(self):
+        pool = make_pool(workers=1)
+        try:
+            release = threading.Event()
+            pool.submit(release.wait, 5.0, name="blocker")
+            late = pool.submit(lambda: "too late", deadline=0.05, name="late")
+            with pytest.raises(DeadlineExceeded, match="deadline"):
+                late.result(timeout=5.0)
+            release.set()
+        finally:
+            pool.shutdown()
+
+    def test_generous_deadline_lets_task_run(self):
+        pool = make_pool()
+        try:
+            assert pool.submit(lambda: "ok", deadline=30.0).result(timeout=5.0) == "ok"
+        finally:
+            pool.shutdown()
+
+    def test_negative_deadline_rejected(self):
+        pool = make_pool()
+        try:
+            with pytest.raises(ValueError):
+                pool.submit(lambda: 1, deadline=-1.0)
+        finally:
+            pool.shutdown()
+
+
+class TestTaskGroup:
+    def test_join_timeout_is_one_budget(self):
+        """Regression-adjacent: joining N unfinished futures with a timeout
+        must spend one shared budget, not timeout-per-future."""
+        group = TaskGroup("g")
+        for i in range(3):
+            group.add(Future(f"never{i}"))
+        start = time.monotonic()
+        with pytest.raises(TimeoutError):
+            group.join(timeout=0.3)
+        assert time.monotonic() - start < 0.9
+
+    def test_cancel_all_counts(self):
+        group = TaskGroup("g")
+        done = Future("done")
+        done.set_result(1)
+        group.add(done)
+        pending = [group.add(Future(f"p{i}")) for i in range(3)]
+        assert group.cancel_all("abort") == 3
+        for fut in pending:
+            assert fut.cancelled()
+        assert done.result() == 1
+
+    def test_join_cancel_on_timeout(self):
+        group = TaskGroup("g")
+        hung = group.add(Future("hung"))
+        with pytest.raises(TimeoutError):
+            group.join(timeout=0.05, cancel_on_timeout=True)
+        assert hung.cancelled()
+
+    def test_runtime_spawn_into_group(self):
+        pool = make_pool()
+        try:
+            runtime = ParallelTaskRuntime(pool)
+            group = TaskGroup("work")
+            for i in range(4):
+                group.add(runtime.spawn(lambda i=i: i + 10, name=f"w{i}"))
+            assert sorted(group.join(timeout=5.0)) == [10, 11, 12, 13]
+        finally:
+            pool.shutdown()

@@ -1,0 +1,67 @@
+"""Lifecycle events (cancel/retry/fault/drain) through analyze and report."""
+
+from repro.obs import TraceEvent, analyze_trace
+from repro.obs.report import render_text
+
+
+def _event(kind, name="t", **attrs):
+    return TraceEvent(
+        kind=kind, name=name, phase="i", ts=0.0, dur=0.0,
+        task_id=0, worker=None, group=0, attrs=attrs,
+    )
+
+
+def _span(task_id, start, end):
+    return TraceEvent(
+        kind="task", name="t", phase="X", ts=start, dur=end - start,
+        task_id=task_id, worker=0, group=0, attrs={},
+    )
+
+
+class TestAnalyzeCounts:
+    def test_lifecycle_kinds_are_counted(self):
+        analysis = analyze_trace([
+            _span(1, 0.0, 1.0),
+            _event("cancel"), _event("cancel"),
+            _event("retry", attempt=1), _event("retry"), _event("retry"),
+            _event("fault"),
+            _event("drain"),
+        ])
+        assert analysis.cancelled == 2
+        assert analysis.retries == 3
+        assert analysis.faults == 1
+        assert analysis.drained == 1
+
+    def test_clean_trace_counts_zero(self):
+        analysis = analyze_trace([_span(1, 0.0, 1.0)])
+        assert (analysis.cancelled, analysis.retries, analysis.faults, analysis.drained) == (0, 0, 0, 0)
+
+
+class TestBaselineKeys:
+    def test_keys_only_present_when_nonzero(self):
+        """Clean baselines must stay byte-identical: zero-valued lifecycle
+        metrics are omitted, nonzero ones appear."""
+        clean = analyze_trace([_span(1, 0.0, 1.0)]).baseline_metrics()
+        assert not any(k.startswith("resilience.") for k in clean)
+
+        active = analyze_trace([_span(1, 0.0, 1.0), _event("retry"), _event("fault")])
+        keys = active.baseline_metrics()
+        assert keys["resilience.retried"] == 1
+        assert keys["resilience.faulted"] == 1
+        assert "resilience.cancelled" not in keys
+
+
+class TestReportLine:
+    def test_resilience_line_when_active(self):
+        analysis = analyze_trace([
+            _span(1, 0.0, 1.0), _event("cancel"), _event("retry"), _event("fault"),
+        ])
+        text = render_text(analysis)
+        assert "resilience:" in text
+        assert "cancelled 1" in text
+        assert "retries 1" in text
+        assert "faults injected 1" in text
+
+    def test_no_resilience_line_on_clean_run(self):
+        text = render_text(analyze_trace([_span(1, 0.0, 1.0)]))
+        assert "resilience:" not in text

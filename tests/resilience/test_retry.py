@@ -1,0 +1,149 @@
+"""Tests for RetryPolicy: decisions, seeded jitter, execution."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import TraceRecorder
+from repro.resilience import RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_shrinking_multiplier(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+
+    def test_rejects_full_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay=-0.1)
+
+
+class TestDecisions:
+    def test_retry_on_tuple(self):
+        policy = RetryPolicy(max_attempts=3, retry_on=(KeyError,))
+        assert policy.should_retry(KeyError("k"), 1)
+        assert not policy.should_retry(ValueError("v"), 1)
+
+    def test_retry_on_predicate(self):
+        policy = RetryPolicy(
+            max_attempts=3, retry_on=lambda exc: "transient" in str(exc)
+        )
+        assert policy.should_retry(RuntimeError("transient glitch"), 1)
+        assert not policy.should_retry(RuntimeError("permanent"), 1)
+
+    def test_budget_exhausted(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.should_retry(ValueError(), 1)
+        assert not policy.should_retry(ValueError(), 2)
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0
+        )
+        assert policy.delays() == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_max_delay_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, multiplier=10.0, max_delay=5.0, jitter=0.0
+        )
+        assert max(policy.delays()) == 5.0
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=1.0, jitter=0.25)
+        for key in range(50):
+            d = policy.delay(1, key)
+            assert 0.75 <= d <= 1.25
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        key=st.text(max_size=12),
+        attempt=st.integers(min_value=1, max_value=8),
+    )
+    def test_delay_is_pure_function_of_seed_key_attempt(self, seed, key, attempt):
+        """The determinism contract: the realised backoff depends only on
+        (seed, key, attempt) — never on call order or prior draws."""
+        a = RetryPolicy(max_attempts=9, seed=seed)
+        b = RetryPolicy(max_attempts=9, seed=seed)
+        a.delay(1, "other-key")  # perturb one policy's call history
+        a.delay(attempt, key)
+        assert a.delay(attempt, key) == b.delay(attempt, key)
+
+    def test_different_keys_draw_different_jitter(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=1.0, jitter=0.25)
+        assert len({policy.delay(1, k) for k in range(20)}) > 1
+
+
+class TestRun:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        slept = []
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0)
+        assert policy.run(flaky, sleep=slept.append) == "ok"
+        assert len(calls) == 3
+        assert slept == pytest.approx([0.1, 0.2])
+
+    def test_raises_after_budget(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(ValueError, match="always"):
+            policy.run(lambda: (_ for _ in ()).throw(ValueError("always")), sleep=lambda _d: None)
+
+    def test_nonretryable_propagates_immediately(self):
+        calls = []
+
+        def fail():
+            calls.append(1)
+            raise KeyError("nope")
+
+        policy = RetryPolicy(max_attempts=5, retry_on=(ValueError,))
+        with pytest.raises(KeyError):
+            policy.run(fail, sleep=lambda _d: None)
+        assert len(calls) == 1
+
+    def test_emits_retry_events_and_counter(self):
+        recorder = TraceRecorder()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ValueError("transient")
+            return 42
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        assert policy.run(flaky, sleep=lambda _d: None, key="page-7", trace=recorder) == 42
+        events = [e for e in recorder.events() if e.kind == "retry"]
+        assert len(events) == 1
+        assert events[0].name == "page-7"
+        assert events[0].attrs["exception"] == "ValueError"
+        assert recorder.metrics.snapshot()["resilience.retries"] == 1
+
+    def test_on_retry_hook(self):
+        seen = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ValueError("x")
+            return None
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0)
+        policy.run(flaky, sleep=lambda _d: None, on_retry=lambda a, e, d: seen.append((a, type(e), d)))
+        assert seen == [(1, ValueError, 0.5)]

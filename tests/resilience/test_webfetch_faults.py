@@ -1,0 +1,71 @@
+"""webfetch under fault injection: retries converge, budgets raise,
+and the report stays deterministic."""
+
+import pytest
+
+from repro.apps import make_website
+from repro.apps.webfetch import FetchError, fetch_all
+from repro.obs import TraceRecorder, use
+from repro.resilience import FaultPlan, RetryPolicy, use_faults
+
+PLAN = FaultPlan(seed=11, failure_rate=0.2)
+
+
+class TestFaultyFetch:
+    def test_converges_with_retries(self):
+        site = make_website(20, seed=1)
+        report = fetch_all(site, 4, faults=PLAN)
+        assert report.n_pages == 20
+        assert report.faults > 0, "plan at 20% never tripped across 20 pages"
+        assert report.retries >= report.faults  # every recovered fault was retried
+        assert report.total_bytes == site.total_bytes
+
+    def test_report_is_deterministic_under_faults(self):
+        site = make_website(16, seed=2)
+        a = fetch_all(site, 3, faults=PLAN)
+        b = fetch_all(site, 3, faults=PLAN)
+        assert (a.makespan, a.retries, a.faults) == (b.makespan, b.retries, b.faults)
+
+    def test_no_retry_budget_raises_cleanly(self):
+        site = make_website(20, seed=3)
+        with pytest.raises(FetchError, match="injected failure"):
+            fetch_all(site, 4, faults=PLAN, retry=RetryPolicy(max_attempts=1))
+
+    def test_retries_cost_makespan(self):
+        site = make_website(20, seed=4)
+        clean = fetch_all(site, 4)
+        faulty = fetch_all(site, 4, faults=PLAN)
+        assert faulty.makespan > clean.makespan
+
+    def test_ambient_plan_via_use_faults(self):
+        site = make_website(12, seed=5)
+        with use_faults(FaultPlan(seed=9, failure_rate=0.3)):
+            report = fetch_all(site, 4)
+        assert report.faults > 0
+
+    def test_clean_run_reports_zero_lifecycle_activity(self):
+        site = make_website(10, seed=6)
+        report = fetch_all(site, 4)
+        assert report.retries == 0
+        assert report.faults == 0
+
+    def test_fault_and_retry_events_traced(self):
+        site = make_website(20, seed=7)
+        recorder = TraceRecorder()
+        with use(recorder):
+            fetch_all(site, 4, faults=PLAN)
+        kinds = {e.kind for e in recorder.events()}
+        assert {"fault", "retry"} <= kinds
+        counters = recorder.metrics.snapshot()
+        assert counters["webfetch.faults_injected"] > 0
+        assert counters["resilience.retries"] > 0
+
+
+class TestExports:
+    def test_all_exports_importable(self):
+        """Regression: ``optimal_connections`` was missing from __all__."""
+        import repro.apps.webfetch as mod
+
+        assert "optimal_connections" in mod.__all__
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"__all__ lists missing attribute {name}"

@@ -79,6 +79,27 @@ class TestCompare:
         assert "REGRESSED" in out and "primary.makespan" in out
 
 
+class TestChaos:
+    def test_proj10_under_faults_passes_gate(self, capsys):
+        assert main(["chaos", "proj10", "--expect", "retry,fault"]) == 0
+        captured = capsys.readouterr()
+        assert "resilience:" in captured.out
+        assert "chaos gate passed" in captured.err
+        assert "chaos plan: seed=0" in captured.err
+
+    def test_gate_fails_on_absent_kind(self, capsys):
+        # proj10 retries through every fault; nothing is ever drained
+        assert main(["chaos", "proj10", "--expect", "drain"]) == 1
+        assert "chaos gate FAILED: no drain events" in capsys.readouterr().err
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["chaos", "nope"]) == 2
+
+    def test_unknown_expect_kind(self, capsys):
+        assert main(["chaos", "proj10", "--expect", "explode"]) == 2
+        assert "unknown lifecycle kind" in capsys.readouterr().err
+
+
 class TestWebdemo:
     def test_generates_site(self, tmp_path, capsys):
         assert main(["webdemo", str(tmp_path / "site")]) == 0
