@@ -9,6 +9,8 @@ Usage::
     python -m repro analyze abl_sched        # work/span analytics + HTML report
     python -m repro compare abl_sched        # gate a run against its stored baseline
     python -m repro chaos proj10             # run one experiment under injected faults
+    python -m repro top proj2                # live TTY dashboard while it runs
+    python -m repro flame proj6 --repeat 200 # sampling profiler + flamegraph
     python -m repro webdemo out_dir/         # generate the race-condition site
     python -m repro topics                   # the ten project topics
 """
@@ -18,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import Any
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -53,6 +56,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_experiment(exp_id: str):
+    """Look up one experiment, or print the unknown-id error and return
+    ``None`` (callers exit 2).  The single lookup path every experiment
+    subcommand shares."""
+    import repro.bench as bench
+
+    try:
+        return bench.get_experiment(exp_id)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return None
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run one experiment under an ambient trace recorder.
 
@@ -62,13 +78,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     ``trace_event`` JSON — load it in chrome://tracing or Perfetto — and
     the metrics snapshot is printed to stderr.
     """
-    import repro.bench as bench
     from repro.obs import ChromeTraceSink, TraceRecorder, use
 
-    try:
-        exp = bench.get_experiment(args.experiment)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+    exp = _require_experiment(args.experiment)
+    if exp is None:
         return 2
     out_path = Path(args.output or f"trace_{exp.exp_id}.json")
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -89,12 +102,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_traced(exp_id: str, max_events: int | None = None):
-    """Run one experiment under an ambient recorder; (recorder, result)."""
-    import repro.bench as bench
+def _run_traced(exp, max_events: int | None = None):
+    """Run one (already looked-up) experiment under an ambient recorder;
+    returns ``(recorder, result)``."""
     from repro.obs import TraceRecorder, use
 
-    exp = bench.get_experiment(exp_id)  # KeyError -> handled by callers
     recorder = TraceRecorder(max_events=max_events)
     with use(recorder):
         result = exp()
@@ -112,11 +124,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     """
     from repro.obs import render_html, update_baseline
 
-    try:
-        recorder, result = _run_traced(args.experiment, max_events=args.max_events)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+    exp = _require_experiment(args.experiment)
+    if exp is None:
         return 2
+    recorder, result = _run_traced(exp, max_events=args.max_events)
     analysis = result.analysis
     if analysis is None:
         print("experiment produced no trace analysis", file=sys.stderr)
@@ -158,11 +169,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    try:
-        _, result = _run_traced(args.experiment)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+    exp = _require_experiment(args.experiment)
+    if exp is None:
         return 2
+    _, result = _run_traced(exp)
     if result.analysis is None:
         print("experiment produced no trace analysis", file=sys.stderr)
         return 1
@@ -187,14 +197,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     turns it into a gate: exit 1 unless every named lifecycle event kind
     occurred at least once.
     """
-    import repro.bench as bench
     from repro.obs import TraceRecorder, use
     from repro.resilience import FaultPlan, use_faults
 
-    try:
-        exp = bench.get_experiment(args.experiment)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+    exp = _require_experiment(args.experiment)
+    if exp is None:
         return 2
     plan = FaultPlan(
         seed=args.seed,
@@ -246,6 +253,132 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_flame(args: argparse.Namespace) -> int:
+    """Run one experiment under the sampling profiler; write a flamegraph.
+
+    A background thread snapshots every registered worker's stack
+    (``--interval`` seconds apart) while the experiment runs on the
+    driver thread — which is itself registered, so single-threaded (sim,
+    inline) experiments sample too.  Output: a hotspot summary on
+    stdout, a self-contained ``flame_<exp>.html`` plus the raw
+    collapsed-stack text in ``-o``, and with ``--serve`` a live
+    ``/metrics`` + ``/healthz`` endpoint for the duration of the run
+    (``--scrape-out`` saves one scrape, taken over HTTP, as proof).
+    Short experiments can be looped with ``--repeat`` until the sampler
+    has something to see.
+    """
+    from repro.obs import TraceRecorder, use
+    from repro.obs.live import (
+        REGISTRY,
+        MetricsServer,
+        SamplingProfiler,
+        render_flame_html,
+        render_hotspots_text,
+        use_profiler,
+    )
+
+    exp = _require_experiment(args.experiment)
+    if exp is None:
+        return 2
+    recorder = TraceRecorder(max_events=args.max_events, track_overhead=True)
+    profiler = SamplingProfiler(interval=args.interval)
+    server = None
+    if args.serve or args.scrape_out:
+        server = MetricsServer(metrics=recorder.metrics, profiler=profiler, port=args.port).start()
+        print(f"serving live metrics at {server.url}", file=sys.stderr)
+    handle = REGISTRY.register("driver", role="driver")
+    try:
+        with use(recorder), use_profiler(profiler), profiler:
+            with handle.task(f"experiment:{exp.exp_id}"):
+                for _ in range(args.repeat):
+                    result = exp()
+        if args.scrape_out and server is not None:
+            import urllib.request
+
+            body = urllib.request.urlopen(server.url, timeout=10).read().decode("utf-8")
+            scrape_path = Path(args.scrape_out)
+            scrape_path.parent.mkdir(parents=True, exist_ok=True)
+            scrape_path.write_text(body)
+            print(f"/metrics scrape -> {scrape_path}", file=sys.stderr)
+    finally:
+        REGISTRY.unregister(handle)
+        if server is not None:
+            server.stop()
+    profile = result.profile if result.profile is not None else profiler.profile()
+    print(render_hotspots_text(profile), end="")
+    out_dir = Path(args.output or "benchmarks/reports")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    html_path = out_dir / f"flame_{exp.exp_id}.html"
+    html_path.write_text(render_flame_html(profile, title=f"{exp.exp_id} — flamegraph"))
+    collapsed_path = out_dir / f"flame_{exp.exp_id}.collapsed.txt"
+    collapsed_path.write_text(profile.collapsed_text())
+    overhead = profiler.overhead()
+    print(f"flamegraph -> {html_path}", file=sys.stderr)
+    print(f"collapsed stacks -> {collapsed_path}", file=sys.stderr)
+    print(
+        f"sampler: {profile.total_samples} samples over {overhead['passes']:.0f} passes, "
+        f"{overhead['seconds'] * 1e3:.1f} ms self-overhead",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live TTY dashboard: repaint worker/queue/throughput state while the
+    experiment runs on a background thread.
+
+    On a terminal each frame repaints in place; when piped, frames
+    append (so tests and CI logs stay readable).  ``--frames`` bounds
+    the redraw count, ``--serve`` additionally exposes ``/metrics``.
+    """
+    import threading
+
+    from repro.obs import TraceRecorder, use
+    from repro.obs.live import REGISTRY, Dashboard, MetricsServer
+
+    exp = _require_experiment(args.experiment)
+    if exp is None:
+        return 2
+    recorder = TraceRecorder(max_events=args.max_events, track_overhead=True)
+    server = None
+    if args.serve:
+        server = MetricsServer(metrics=recorder.metrics, port=args.port).start()
+        print(f"serving live metrics at {server.url}", file=sys.stderr)
+    box: dict[str, object] = {}
+
+    def runner() -> None:
+        handle = REGISTRY.register("driver", role="driver")
+        try:
+            with use(recorder):
+                with handle.task(f"experiment:{exp.exp_id}"):
+                    for _ in range(args.repeat):
+                        box["result"] = exp()
+        except BaseException as exc:  # noqa: BLE001 - reported after the join
+            box["error"] = exc
+        finally:
+            REGISTRY.unregister(handle)
+
+    thread = threading.Thread(target=runner, name="top-driver", daemon=True)
+    dashboard = Dashboard(metrics=recorder.metrics)
+    thread.start()
+    frames = dashboard.run(
+        sys.stdout,
+        done=lambda: not thread.is_alive(),
+        interval=args.interval,
+        max_frames=args.frames,
+        clear=sys.stdout.isatty(),
+    )
+    thread.join()
+    if server is not None:
+        server.stop()
+    error = box.get("error")
+    if error is not None:
+        print(f"experiment failed: {error!r}", file=sys.stderr)
+        return 1
+    print(f"run complete ({frames} frames)", file=sys.stderr)
+    return 0
+
+
 def _cmd_webdemo(args: argparse.Namespace) -> int:
     from repro.memmodel import write_demo_site
 
@@ -263,6 +396,29 @@ def _cmd_topics(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_command(
+    sub: argparse._SubParsersAction,
+    name: str,
+    fn: Any,
+    help_text: str,
+    max_events: bool = False,
+) -> argparse.ArgumentParser:
+    """Register a subcommand that operates on one experiment.
+
+    Every such command shares the ``experiment`` positional (resolved
+    through :func:`_require_experiment`) and, for the traced ones, the
+    ``--max-events`` cap — this helper is the single place that
+    boilerplate lives.  Command-specific flags are added on the returned
+    parser.
+    """
+    p = sub.add_parser(name, help=help_text)
+    p.add_argument("experiment")
+    if max_events:
+        p.add_argument("--max-events", type=int, default=None, help="cap recorded trace events")
+    p.set_defaults(fn=fn)
+    return p
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="reproduction of the SoftEng 751 teaching stack (IPDPSW 2014)"
@@ -276,25 +432,22 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("-o", "--output", help="directory to also write reports into")
     run.set_defaults(fn=_cmd_run)
 
-    trace = sub.add_parser(
-        "trace", help="run one experiment under tracing and write Chrome trace_event JSON"
+    trace = _experiment_command(
+        sub, "trace", _cmd_trace,
+        "run one experiment under tracing and write Chrome trace_event JSON",
     )
-    trace.add_argument("experiment")
     trace.add_argument(
         "-o", "--output", help="trace file path (default: trace_<experiment>.json)"
     )
-    trace.set_defaults(fn=_cmd_trace)
 
     default_baseline = "benchmarks/reports/baselines.json"
-    analyze = sub.add_parser(
-        "analyze", help="run one experiment traced: work/span analytics + HTML report"
+    analyze = _experiment_command(
+        sub, "analyze", _cmd_analyze,
+        "run one experiment traced: work/span analytics + HTML report",
+        max_events=True,
     )
-    analyze.add_argument("experiment")
     analyze.add_argument(
         "-o", "--output", help="report directory (default: benchmarks/reports)"
-    )
-    analyze.add_argument(
-        "--max-events", type=int, default=None, help="cap recorded trace events"
     )
     analyze.add_argument(
         "--update-baseline", action="store_true", help="persist metrics as the new baseline"
@@ -302,24 +455,23 @@ def main(argv: list[str] | None = None) -> int:
     analyze.add_argument(
         "--baseline", default=default_baseline, help=f"baseline store (default: {default_baseline})"
     )
-    analyze.set_defaults(fn=_cmd_analyze)
 
-    compare = sub.add_parser(
-        "compare", help="re-run one experiment and gate it against its stored baseline"
+    compare = _experiment_command(
+        sub, "compare", _cmd_compare,
+        "re-run one experiment and gate it against its stored baseline",
     )
-    compare.add_argument("experiment")
     compare.add_argument(
         "--baseline", default=default_baseline, help=f"baseline store (default: {default_baseline})"
     )
     compare.add_argument(
         "--threshold", type=float, default=0.25, help="relative drift tolerated (default: 0.25)"
     )
-    compare.set_defaults(fn=_cmd_compare)
 
-    chaos = sub.add_parser(
-        "chaos", help="run one experiment under a seeded fault plan and summarise recovery"
+    chaos = _experiment_command(
+        sub, "chaos", _cmd_chaos,
+        "run one experiment under a seeded fault plan and summarise recovery",
+        max_events=True,
     )
-    chaos.add_argument("experiment")
     chaos.add_argument("--seed", type=int, default=0, help="fault-plan seed (default: 0)")
     chaos.add_argument(
         "--failure-rate", type=float, default=0.2,
@@ -334,14 +486,55 @@ def main(argv: list[str] | None = None) -> int:
         help="latency spike probability (default: 0.1)",
     )
     chaos.add_argument(
-        "--max-events", type=int, default=None, help="cap recorded trace events"
-    )
-    chaos.add_argument(
         "--expect",
         help="comma-separated lifecycle kinds (cancel,retry,fault,drain) that must "
         "appear in the trace; exit 1 otherwise",
     )
-    chaos.set_defaults(fn=_cmd_chaos)
+
+    flame = _experiment_command(
+        sub, "flame", _cmd_flame,
+        "run one experiment under the sampling profiler and write a flamegraph",
+        max_events=True,
+    )
+    flame.add_argument(
+        "-o", "--output", help="report directory (default: benchmarks/reports)"
+    )
+    flame.add_argument(
+        "--interval", type=float, default=0.002,
+        help="seconds between stack samples (default: 0.002)",
+    )
+    flame.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the experiment N times so short runs accumulate samples (default: 1)",
+    )
+    flame.add_argument(
+        "--serve", action="store_true", help="serve /metrics + /healthz for the duration of the run"
+    )
+    flame.add_argument("--port", type=int, default=0, help="metrics port (default: ephemeral)")
+    flame.add_argument(
+        "--scrape-out", help="save one /metrics scrape (taken over HTTP) to this path"
+    )
+
+    top = _experiment_command(
+        sub, "top", _cmd_top,
+        "live dashboard: worker states, queue depth and throughput while one experiment runs",
+        max_events=True,
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.25,
+        help="seconds between dashboard repaints (default: 0.25)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None, help="stop after N frames (default: until the run ends)"
+    )
+    top.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the experiment N times so short runs stay watchable (default: 1)",
+    )
+    top.add_argument(
+        "--serve", action="store_true", help="also serve /metrics + /healthz while running"
+    )
+    top.add_argument("--port", type=int, default=0, help="metrics port (default: ephemeral)")
 
     web = sub.add_parser("webdemo", help="generate the interactive race-condition pages")
     web.add_argument("out_dir")

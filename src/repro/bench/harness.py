@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from repro.obs import TraceAnalysis, analyze_trace, current_recorder, render_text
+from repro.obs.live.sampler import current_profiler
 from repro.util.tables import Table
 
 __all__ = ["Experiment", "ExperimentResult", "register", "get_experiment", "all_experiments"]
@@ -35,6 +36,10 @@ class ExperimentResult:
     #: off.  Deliberately not part of render() — the bench report stays
     #: byte-identical with tracing disabled.
     analysis: TraceAnalysis | None = field(default=None, compare=False)
+    #: folded sample profile (repro.obs.live) captured when the run
+    #: executed under an ambient sampling profiler (``use_profiler``);
+    #: None otherwise.  Like metrics/analysis, never part of render().
+    profile: Any | None = field(default=None, compare=False)
 
     def render(self) -> str:
         parts = [f"===== experiment {self.exp_id} ====="]
@@ -88,6 +93,9 @@ class Experiment:
             if callable(events):  # recorders without replay just skip analytics
                 analysis = analyze_trace(events(), metrics=snapshot)
             result = replace(result, metrics=snapshot, analysis=analysis)
+        profiler = current_profiler()
+        if profiler is not None:
+            result = replace(result, profile=profiler.profile())
         return result
 
 

@@ -20,7 +20,7 @@ import heapq
 import threading
 import time
 from collections import deque
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.executor.base import Executor, ExecutorShutdown
 from repro.executor.future import Future
+from repro.obs.live.registry import REGISTRY, current_handle
 from repro.obs.trace import TraceRecorder, resolve_recorder
 from repro.resilience.cancel import CancelToken, DeadlineExceeded, scoped_token
 from repro.resilience.faults import FaultPlan, InjectedFault, resolve_faults
@@ -70,13 +71,20 @@ class _PoolFuture(Future):
         self._pool = pool
 
     def result(self, timeout: float | None = None) -> Any:
-        if not self.done() and getattr(_local, "worker", None) is not None:
-            # One deadline for the whole wait: helping consumes part of
-            # the budget, the blocking wait below gets only the remainder.
-            deadline = None if timeout is None else time.monotonic() + timeout
-            self._pool._help_until(self, deadline)
-            timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
-        return super().result(timeout)
+        if self.done():
+            return super().result(timeout)
+        # Live state: blocked on this join for the whole wait; tasks
+        # executed while helping nest their own running scopes inside it.
+        handle = current_handle()
+        scope = handle.blocked(f"join:{self.name}") if handle is not None else nullcontext()
+        with scope:
+            if not self.done() and getattr(_local, "worker", None) is not None:
+                # One deadline for the whole wait: helping consumes part of
+                # the budget, the blocking wait below gets only the remainder.
+                deadline = None if timeout is None else time.monotonic() + timeout
+                self._pool._help_until(self, deadline)
+                timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
+            return super().result(timeout)
 
     def cancel(self, reason: str | BaseException | None = None) -> bool:
         if not super().cancel(reason):
@@ -187,6 +195,14 @@ class WorkStealingPool(Executor):
         self._deadline_seq = 0
         self._reaper: threading.Thread | None = None
         self._reaper_wakeup = threading.Condition(self._mutex)
+
+        # Live observability: queue depth is a *pull* gauge — nothing is
+        # updated on push/pop; the sampler/exporter computes the depth at
+        # scrape time from the deque lengths (len() is GIL-atomic).
+        self._queue_gauge = REGISTRY.register_gauge(
+            f"{name}.queue_depth",
+            lambda: sum(map(len, self._deques)) + len(self._inbox),
+        )
 
         rng = np.random.default_rng(steal_seed)
         self._victim_orders = [
@@ -360,6 +376,11 @@ class WorkStealingPool(Executor):
         if stack is None:
             stack = _local.tid_stack = []
         stack.append(task.tid)
+        # Live state: running <this task>.  begin/end save and restore the
+        # previous scope, so a task executed *inside* a blocked join
+        # (_help_until) nests correctly instead of clobbering the outer one.
+        handle = current_handle()
+        live_prev = handle.begin_task(task.future.name, task.tid) if handle is not None else None
         if trace.enabled:
             trace.event("task", task.future.name, phase="B", task_id=task.tid, worker=wid)
             started = time.monotonic()
@@ -372,6 +393,8 @@ class WorkStealingPool(Executor):
             task.future.set_result(value)
         finally:
             stack.pop()
+            if handle is not None:
+                handle.end_task(live_prev)
             if trace.enabled:
                 trace.event("task", task.future.name, phase="E", task_id=task.tid, worker=wid)
                 trace.observe("pool.task_seconds", time.monotonic() - started)
@@ -383,6 +406,7 @@ class WorkStealingPool(Executor):
 
     def _worker_loop(self, wid: int) -> None:
         _local.worker = (self, wid)
+        handle = REGISTRY.register(f"{self.name}-w{wid}", role="pool")
         try:
             while True:
                 with self._work_available:
@@ -400,6 +424,7 @@ class WorkStealingPool(Executor):
                 self._run_task(task, wid)
         finally:
             _local.worker = None
+            REGISTRY.unregister(handle)
 
     def _help_until(self, future: Future, deadline: float | None) -> None:
         """Called by a worker blocked on ``future``: run other tasks.
@@ -502,6 +527,22 @@ class WorkStealingPool(Executor):
             while time.monotonic() < end:
                 pass
 
+    def _acquire_critical(self, lock: threading.RLock, name: str) -> None:
+        """Acquire ``lock``, surfacing contention as a live ``blocked`` state.
+
+        Uncontended acquisition stays on the fast path (one non-blocking
+        try); only an actual wait flips the worker's registry state to
+        ``blocked`` with a ``lock:<name>`` detail the sampler attributes.
+        """
+        if lock.acquire(blocking=False):
+            return
+        handle = current_handle()
+        if handle is None:
+            lock.acquire()
+            return
+        with handle.blocked(f"lock:{name}"):
+            lock.acquire()
+
     @contextmanager
     def critical(self, name: str = "default") -> Iterator[None]:
         """Named critical section (re-entrant per thread, see base class)."""
@@ -509,8 +550,11 @@ class WorkStealingPool(Executor):
             lock = self._critical_locks.setdefault(name, threading.RLock())
         trace = self.trace
         if not trace.enabled:
-            with lock:
+            self._acquire_critical(lock, name)
+            try:
                 yield
+            finally:
+                lock.release()
             return
         # The span opens at the acquire *request*, so lock wait time is
         # visible in the trace; "acquired" marks the transition.
@@ -520,11 +564,14 @@ class WorkStealingPool(Executor):
         trace.event("critical", name, phase="B", task_id=tid, worker=wid, lock=name)
         requested = time.monotonic()
         try:
-            with lock:
+            self._acquire_critical(lock, name)
+            try:
                 trace.event("critical", f"{name}:acquired", task_id=tid, worker=wid)
                 trace.observe("pool.lock_wait_seconds", time.monotonic() - requested)
                 trace.count("pool.critical_sections")
                 yield
+            finally:
+                lock.release()
         finally:
             trace.event("critical", name, phase="E", task_id=tid, worker=wid)
 
@@ -545,13 +592,17 @@ class WorkStealingPool(Executor):
                 raise RuntimeError(
                     f"barrier {key!r} reused with parties={parties}, was {bar.parties}"
                 )
+        handle = current_handle()
+        scope = handle.blocked(f"barrier:{key}") if handle is not None else nullcontext()
         if not self.trace.enabled:
-            bar.wait()
+            with scope:
+                bar.wait()
             return
         tid = self.task_id()
         self.trace.event("barrier", f"{key}:arrive", task_id=tid, key=key, parties=parties)
         waited = time.monotonic()
-        bar.wait()
+        with scope:
+            bar.wait()
         self.trace.event("barrier", f"{key}:pass", task_id=tid, key=key, parties=parties)
         self.trace.observe("pool.barrier_wait_seconds", time.monotonic() - waited)
         self.trace.count("pool.barrier_passes")
@@ -601,6 +652,7 @@ class WorkStealingPool(Executor):
         reaper = self._reaper
         if reaper is not None:
             reaper.join(timeout=timeout)
+        self._queue_gauge.dispose()
 
     @property
     def stats(self) -> PoolStats:

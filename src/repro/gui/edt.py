@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs.live.registry import REGISTRY
 from repro.obs.trace import TraceRecorder, resolve_recorder
 
 __all__ = ["EventDispatchThread", "EdtStats"]
@@ -51,6 +52,9 @@ class EventDispatchThread:
         self._cond = threading.Condition()
         self._stats = EdtStats()
         self._stopped = False
+        # Live observability: pending-event depth as a pull gauge, read
+        # only at scrape time (see repro.obs.live.registry).
+        self._queue_gauge = REGISTRY.register_gauge(f"{name}.queue_depth", lambda: len(self._queue))
         self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
         self._thread.start()
 
@@ -103,6 +107,7 @@ class EventDispatchThread:
             self._queue.append((_STOP, (), time.monotonic(), None))
             self._cond.notify()
         self._thread.join(timeout=5.0)
+        self._queue_gauge.dispose()
 
     @property
     def stats(self) -> EdtStats:
@@ -111,35 +116,40 @@ class EventDispatchThread:
     # -- the loop --------------------------------------------------------------------
 
     def _loop(self) -> None:
-        while True:
-            with self._cond:
-                while not self._queue:
-                    self._cond.wait(timeout=0.1)
-                fn, args, enqueued_at, _ = self._queue.pop(0)
-            if fn is _STOP:
-                return
-            latency = time.monotonic() - enqueued_at
-            self._stats.events_processed += 1
-            self._stats.total_queue_latency += latency
-            self._stats.max_queue_latency = max(self._stats.max_queue_latency, latency)
-            trace = self.trace
-            if trace.enabled:
-                trace.event(
-                    "edt", getattr(fn, "__name__", "event"), phase="B", queue_latency=latency
-                )
-                trace.observe("edt.queue_latency_seconds", latency)
-                trace.count("edt.events")
-            try:
-                fn(*args)
-            except Exception:  # noqa: BLE001
-                # A broken handler must not kill the UI thread; real
-                # toolkits log and continue, so do we.
-                import traceback
-
-                traceback.print_exc()
-            finally:
+        handle = REGISTRY.register(self.name, role="edt")
+        try:
+            while True:
+                with self._cond:
+                    while not self._queue:
+                        self._cond.wait(timeout=0.1)
+                    fn, args, enqueued_at, _ = self._queue.pop(0)
+                if fn is _STOP:
+                    return
+                latency = time.monotonic() - enqueued_at
+                self._stats.events_processed += 1
+                self._stats.total_queue_latency += latency
+                self._stats.max_queue_latency = max(self._stats.max_queue_latency, latency)
+                trace = self.trace
+                event_name = getattr(fn, "__name__", "event")
                 if trace.enabled:
-                    trace.event("edt", getattr(fn, "__name__", "event"), phase="E")
+                    trace.event("edt", event_name, phase="B", queue_latency=latency)
+                    trace.observe("edt.queue_latency_seconds", latency)
+                    trace.count("edt.events")
+                live_prev = handle.begin_task(f"edt:{event_name}")
+                try:
+                    fn(*args)
+                except Exception:  # noqa: BLE001
+                    # A broken handler must not kill the UI thread; real
+                    # toolkits log and continue, so do we.
+                    import traceback
+
+                    traceback.print_exc()
+                finally:
+                    handle.end_task(live_prev)
+                    if trace.enabled:
+                        trace.event("edt", event_name, phase="E")
+        finally:
+            REGISTRY.unregister(handle)
 
     def __enter__(self) -> "EventDispatchThread":
         return self

@@ -1,0 +1,159 @@
+"""Live TTY dashboard: worker states, queue depth, throughput, event rates.
+
+:class:`Dashboard` renders one text *frame* per refresh — worker table,
+live gauges, and rates derived from successive metric snapshots — and
+:meth:`Dashboard.run` repaints it in place (ANSI home+clear) until a
+completion predicate fires.  ``python -m repro top <exp>`` wires this to
+an experiment running on another thread.
+
+Frame rendering is a pure function of (registry state, metrics
+snapshot, clock), with the clock injectable, so tests can pin frames
+without sleeping or owning a real terminal.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import IO, Callable
+
+from repro.obs.live.registry import REGISTRY, WorkerRegistry
+from repro.obs.metrics import Metrics
+from repro.util.tables import Table
+
+__all__ = ["Dashboard"]
+
+_CLEAR = "\x1b[H\x1b[2J"  # cursor home + clear screen
+
+
+def _fmt_age(seconds: float) -> str:
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+
+
+class Dashboard:
+    """Render live run state as repaintable text frames.
+
+    Parameters
+    ----------
+    registry:
+        Worker directory to display (default: the process-wide one).
+    metrics:
+        Optional metrics registry; counter deltas between frames become
+        the ``events/s`` rate column.
+    clock:
+        Monotonic-seconds callable, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        registry: WorkerRegistry | None = None,
+        metrics: Metrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry if registry is not None else REGISTRY
+        self.metrics = metrics
+        self.clock = clock
+        self._t0 = clock()
+        self._prev_t = self._t0
+        self._prev_tasks = 0
+        self._prev_counters: dict[str, float] = {}
+        self.frames_rendered = 0
+
+    # -- one frame -----------------------------------------------------------
+
+    def frame(self) -> str:
+        """Render the current state as one multi-line text frame."""
+        now = self.clock()
+        dt = max(now - self._prev_t, 1e-9)
+        reg = self.registry
+        workers = reg.workers()
+        counts = reg.state_counts()
+        gauges = reg.gauges()
+
+        tasks_done = sum(w.tasks_done for w in workers)
+        throughput = (tasks_done - self._prev_tasks) / dt
+
+        lines = [
+            f"live · t+{now - self._t0:.1f}s · {len(workers)} workers "
+            f"({counts['running']} running, {counts['idle']} idle, {counts['blocked']} blocked) · "
+            f"{tasks_done} tasks done · {throughput:.1f} tasks/s"
+        ]
+
+        if workers:
+            t = Table(["worker", "role", "state", "task", "for", "done"])
+            for w in workers:
+                task = w.task_name or (w.detail or "-")
+                t.add_row([w.name, w.role, w.state, task, _fmt_age(w.age(now)), w.tasks_done])
+            lines.append("")
+            lines.append(t.render())
+
+        if gauges:
+            lines.append("")
+            lines.append(
+                "queues: " + "  ".join(f"{name}={value:g}" for name, value in gauges.items())
+            )
+            lines.append(f"in-flight tasks: {reg.inflight_tasks():g}")
+
+        rates = self._event_rates(dt)
+        if rates:
+            t = Table(["counter", "total", "per second"], title="event rates", precision=1)
+            for name, (total, rate) in rates.items():
+                t.add_row([name, int(total), rate])
+            lines.append("")
+            lines.append(t.render())
+
+        self._prev_t = now
+        self._prev_tasks = tasks_done
+        self.frames_rendered += 1
+        return "\n".join(lines) + "\n"
+
+    def _event_rates(self, dt: float) -> dict[str, tuple[float, float]]:
+        """counter name → (total, delta/s) since the previous frame."""
+        if self.metrics is None:
+            return {}
+        # Histogram summary fields (.mean/.p50/...) jitter and would read
+        # as nonsense rates; only the event-count-shaped keys qualify.
+        skip = (".mean", ".p50", ".p90", ".p99", ".max")
+        snap = {
+            k: v for k, v in self.metrics.snapshot().items() if not k.endswith(skip)
+        }
+        out: dict[str, tuple[float, float]] = {}
+        for name, value in snap.items():
+            prev = self._prev_counters.get(name)
+            if prev is not None and value > prev:
+                out[name] = (value, (value - prev) / dt)
+        self._prev_counters = snap
+        return {k: out[k] for k in sorted(out)}
+
+    # -- the repaint loop ------------------------------------------------------
+
+    def run(
+        self,
+        out: IO[str],
+        done: Callable[[], bool],
+        interval: float = 0.25,
+        max_frames: int | None = None,
+        clear: bool = True,
+    ) -> int:
+        """Repaint frames to ``out`` until ``done()`` (or ``max_frames``).
+
+        Returns the number of frames drawn.  Always draws at least one
+        final frame after ``done()`` turns true, so the last state a user
+        sees is the finished one.
+        """
+        drawn = 0
+        while True:
+            finished = done()
+            text = self.frame()
+            out.write((_CLEAR if clear and drawn else "") + text)
+            out.flush()
+            drawn += 1
+            if finished or (max_frames is not None and drawn >= max_frames):
+                return drawn
+            time.sleep(interval)
+
+    def __repr__(self) -> str:
+        return f"Dashboard(workers={len(self.registry)}, frames={self.frames_rendered})"

@@ -1,0 +1,360 @@
+"""Sampling profiler: periodic stack snapshots of live executor workers.
+
+A :class:`SamplingProfiler` thread wakes at a configurable rate, calls
+``sys._current_frames()``, and — for every thread registered in the
+:class:`~repro.obs.live.registry.WorkerRegistry` — walks its Python
+stack and records one :class:`Sample` attributed to that worker's
+in-flight task and live state (running / idle-on-queue /
+blocked-in-lock).  Samples fold incrementally into a :class:`Profile`:
+a counter keyed by ``(state, task, stack)`` in Brendan Gregg
+collapsed-stack form, so memory is bounded by the number of *distinct*
+stacks, not the sampling duration.
+
+Folding (:func:`fold`) is a pure function of the samples, which is how
+the test suite pins its behaviour deterministically — synthetic samples
+in, exact collapsed counts out — while the wall-clock sampling loop
+itself stays out of any golden or baseline gate.
+
+The profiler measures its own cost: each pass's duration accumulates in
+:attr:`SamplingProfiler.overhead_seconds`, exported alongside the other
+live gauges so "how much is watching costing me?" is itself observable.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.obs.live.registry import REGISTRY, WorkerRegistry
+
+__all__ = [
+    "Sample",
+    "HotspotRow",
+    "Profile",
+    "fold",
+    "SamplingProfiler",
+    "current_profiler",
+    "use_profiler",
+]
+
+#: Stack frames deeper than this are truncated (root side preserved).
+MAX_STACK_DEPTH = 128
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One observation of one worker: who, doing what, with which stack.
+
+    ``stack`` is root-first (``main`` outermost, the sampled leaf last),
+    each frame rendered as ``module:qualname``.
+    """
+
+    worker: str
+    role: str
+    state: str
+    task: str
+    stack: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class HotspotRow:
+    """Per-frame sample attribution: ``self`` = samples with the frame on
+    top of the stack, ``cum`` = samples with it anywhere on the stack
+    (counted once per sample, so recursion does not inflate it)."""
+
+    frame: str
+    self_samples: int
+    cum_samples: int
+
+
+class Profile:
+    """Folded samples: collapsed-stack counts plus attribution tallies."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stacks: Counter = Counter()  # (state, task, stack) -> samples
+        self._by_task: Counter = Counter()
+        self._by_state: Counter = Counter()
+        self._by_worker: Counter = Counter()
+        self.total_samples = 0
+
+    def add(self, sample: Sample, n: int = 1) -> None:
+        """Fold one sample in (``n`` identical observations at once)."""
+        if n < 1:
+            raise ValueError(f"sample count must be >= 1, got {n}")
+        with self._lock:
+            self._stacks[(sample.state, sample.task, sample.stack)] += n
+            self._by_task[sample.task] += n
+            self._by_state[sample.state] += n
+            self._by_worker[sample.worker] += n
+            self.total_samples += n
+
+    def merge(self, other: "Profile") -> None:
+        """Fold another profile's counts into this one."""
+        with other._lock:
+            stacks = dict(other._stacks)
+            tasks = dict(other._by_task)
+            states = dict(other._by_state)
+            workers = dict(other._by_worker)
+            total = other.total_samples
+        with self._lock:
+            self._stacks.update(stacks)
+            self._by_task.update(tasks)
+            self._by_state.update(states)
+            self._by_worker.update(workers)
+            self.total_samples += total
+
+    # -- views ---------------------------------------------------------------
+
+    def stacks(self) -> dict[tuple[str, str, tuple[str, ...]], int]:
+        """``(state, task, stack) -> samples`` snapshot."""
+        with self._lock:
+            return dict(self._stacks)
+
+    def by_task(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._by_task.items()))
+
+    def by_state(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._by_state.items()))
+
+    def by_worker(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._by_worker.items()))
+
+    def collapsed(self, attribution: bool = True) -> list[str]:
+        """Brendan Gregg collapsed-stack lines, ``frame;frame;... count``.
+
+        With ``attribution`` (the default) each stack is rooted at two
+        synthetic frames — ``state:<state>`` then ``task:<task>`` — so a
+        flamegraph groups first by live state, then by task type.  Lines
+        are sorted, so the output is deterministic for a given profile.
+        """
+        out = []
+        for (state, task, stack), count in self.stacks().items():
+            frames = (f"state:{state}", f"task:{task}") + stack if attribution else stack
+            out.append(f"{';'.join(frames)} {count}")
+        return sorted(out)
+
+    def collapsed_text(self, attribution: bool = True) -> str:
+        """The collapsed lines as one newline-terminated blob (the input
+        format of every external flamegraph tool)."""
+        lines = self.collapsed(attribution)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def hotspots(self) -> list[HotspotRow]:
+        """Per-frame self/cumulative table over *real* stack frames
+        (synthetic attribution roots excluded), hottest-self first; ties
+        break by cumulative count then name, so the order is stable."""
+        self_c: Counter = Counter()
+        cum_c: Counter = Counter()
+        for (_state, _task, stack), count in self.stacks().items():
+            if stack:
+                self_c[stack[-1]] += count
+                for frame in set(stack):
+                    cum_c[frame] += count
+        rows = [HotspotRow(f, self_c.get(f, 0), cum_c[f]) for f in cum_c]
+        rows.sort(key=lambda r: (-r.self_samples, -r.cum_samples, r.frame))
+        return rows
+
+    def task_hotspots(self) -> dict[str, list[HotspotRow]]:
+        """Per-task-type hotspot tables (same ordering as :meth:`hotspots`)."""
+        per_task: dict[str, tuple[Counter, Counter]] = {}
+        for (_state, task, stack), count in self.stacks().items():
+            if not stack:
+                continue
+            self_c, cum_c = per_task.setdefault(task, (Counter(), Counter()))
+            self_c[stack[-1]] += count
+            for frame in set(stack):
+                cum_c[frame] += count
+        out: dict[str, list[HotspotRow]] = {}
+        for task in sorted(per_task):
+            self_c, cum_c = per_task[task]
+            rows = [HotspotRow(f, self_c.get(f, 0), cum_c[f]) for f in cum_c]
+            rows.sort(key=lambda r: (-r.self_samples, -r.cum_samples, r.frame))
+            out[task] = rows
+        return out
+
+    def __repr__(self) -> str:
+        return f"Profile(samples={self.total_samples}, stacks={len(self.stacks())})"
+
+
+def fold(samples: Iterable[Sample]) -> Profile:
+    """Fold an iterable of samples into a fresh :class:`Profile`.
+
+    Pure and deterministic: the property the tests pin is that the
+    folded collapsed-stack counts always sum to the number of samples
+    folded, whatever the stacks look like.
+    """
+    profile = Profile()
+    for sample in samples:
+        profile.add(sample)
+    return profile
+
+
+def _frame_name(frame: Any) -> str:
+    """``module:qualname`` for one frame (qualname on 3.11+, name before)."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    func = getattr(code, "co_qualname", None) or code.co_name
+    return f"{module}:{func}"
+
+
+def walk_stack(frame: Any, max_depth: int = MAX_STACK_DEPTH) -> tuple[str, ...]:
+    """Render one thread's stack root-first, truncating deep leaf frames."""
+    names: list[str] = []
+    while frame is not None:
+        names.append(_frame_name(frame))
+        frame = frame.f_back
+    names.reverse()  # collected leaf-first
+    if len(names) > max_depth:
+        names = names[:max_depth]
+    return tuple(names)
+
+
+class SamplingProfiler:
+    """Background thread snapshotting all registered workers' stacks.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between sampling passes (wall clock).  5 ms default —
+        coarse enough to stay out of the way, fine enough that a
+        hundred-millisecond experiment still yields a usable graph.
+    registry:
+        Worker directory to sample; defaults to the process-wide
+        :data:`~repro.obs.live.registry.REGISTRY`.
+    include_idle:
+        Record samples of idle/blocked workers too (the default — their
+        wait stacks are exactly what "why is nothing running?" needs).
+        ``False`` samples only ``running`` workers.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        registry: WorkerRegistry | None = None,
+        include_idle: bool = True,
+        max_stack_depth: int = MAX_STACK_DEPTH,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if max_stack_depth < 1:
+            raise ValueError(f"max_stack_depth must be >= 1, got {max_stack_depth}")
+        self.interval = interval
+        self.registry = registry if registry is not None else REGISTRY
+        self.include_idle = include_idle
+        self.max_stack_depth = max_stack_depth
+        self._profile = Profile()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self.passes = 0
+        self.overhead_seconds = 0.0
+
+    # -- one pass (public: deterministic tests drive it directly) ------------
+
+    def sample_once(self) -> int:
+        """Take one snapshot of every registered worker; returns how many
+        samples were folded in this pass."""
+        t0 = time.perf_counter()
+        frames = sys._current_frames()
+        own = threading.get_ident()
+        taken = 0
+        for handle in self.registry.workers():
+            if handle.ident == own:
+                continue  # never sample the sampler
+            frame = frames.get(handle.ident)
+            if frame is None:
+                continue  # thread exited between registry and frames snapshot
+            state, task = handle.state, handle.task_name
+            if not self.include_idle and state != "running":
+                continue
+            self._profile.add(
+                Sample(
+                    worker=handle.name,
+                    role=handle.role,
+                    state=state,
+                    task=task or "-",
+                    stack=walk_stack(frame, self.max_stack_depth),
+                )
+            )
+            taken += 1
+        with self._lock:
+            self.passes += 1
+            self.overhead_seconds += time.perf_counter() - t0
+        return taken
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, name="obs-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling; idempotent.  The folded profile stays readable."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- results -------------------------------------------------------------
+
+    def profile(self) -> Profile:
+        """The folded profile (live object; safe to read while sampling)."""
+        return self._profile
+
+    def overhead(self) -> dict[str, float]:
+        """Self-cost accounting: passes taken and seconds spent sampling."""
+        with self._lock:
+            return {"passes": float(self.passes), "seconds": self.overhead_seconds}
+
+    def __repr__(self) -> str:
+        running = self._thread is not None
+        return (
+            f"SamplingProfiler(interval={self.interval}, running={running}, "
+            f"samples={self._profile.total_samples})"
+        )
+
+
+_ambient = threading.local()
+
+
+def current_profiler() -> SamplingProfiler | None:
+    """The ambient profiler installed by :func:`use_profiler` (or None)."""
+    return getattr(_ambient, "profiler", None)
+
+
+@contextmanager
+def use_profiler(profiler: SamplingProfiler) -> Iterator[SamplingProfiler]:
+    """Install ``profiler`` ambiently for this thread, so the bench
+    harness can attach the folded profile to an
+    :class:`~repro.bench.harness.ExperimentResult` the same way traced
+    runs gain ``.metrics``/``.analysis``."""
+    prev = getattr(_ambient, "profiler", None)
+    _ambient.profiler = profiler
+    try:
+        yield profiler
+    finally:
+        _ambient.profiler = prev

@@ -14,6 +14,7 @@ attribute lookup and one call when observability is off.
 
 from __future__ import annotations
 
+import random
 import threading
 from typing import Iterator
 
@@ -71,22 +72,47 @@ class Gauge:
 
 
 class Histogram:
-    """Sample accumulator summarised on demand (durations, latencies)."""
+    """Sample accumulator summarised on demand (durations, latencies).
 
-    __slots__ = ("name", "_samples", "_lock")
+    By default every observation is kept (exact percentiles, unbounded
+    memory — fine for bounded experiments).  For long *live* runs pass
+    ``max_samples``: observations beyond it maintain a uniform random
+    reservoir of that size (Vitter's algorithm R, seeded so runs are
+    reproducible) and percentiles become estimates over the reservoir,
+    while :attr:`count` and the ``.n`` snapshot field keep reporting the
+    true total observed.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "_samples", "_lock", "_count", "_max_samples", "_rng")
+
+    def __init__(self, name: str, max_samples: int | None = None, seed: int = 0) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
         self._samples: list[float] = []
         self._lock = threading.Lock()
+        self._count = 0
+        self._max_samples = max_samples
+        self._rng = random.Random(seed) if max_samples is not None else None
 
     def observe(self, value: float) -> None:
         with self._lock:
-            self._samples.append(float(value))
+            self._count += 1
+            if self._max_samples is None or len(self._samples) < self._max_samples:
+                self._samples.append(float(value))
+            else:
+                j = self._rng.randrange(self._count)
+                if j < self._max_samples:
+                    self._samples[j] = float(value)
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        """Total observations (not the retained-reservoir size)."""
+        return self._count
+
+    @property
+    def max_samples(self) -> int | None:
+        return self._max_samples
 
     def samples(self) -> list[float]:
         with self._lock:
@@ -104,7 +130,7 @@ class Histogram:
         histogram contributes only ``<name>.n = 0``.
         """
         samples = self.samples()
-        out: dict[str, float] = {f"{self.name}.n": float(len(samples))}
+        out: dict[str, float] = {f"{self.name}.n": float(self._count)}
         if not samples:
             return out
         arr = np.asarray(samples, dtype=float)
@@ -148,11 +174,12 @@ class Metrics:
                 inst = self._gauges[name] = Gauge(name)
             return inst
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, max_samples: int | None = None) -> Histogram:
+        """Get-or-create a histogram; ``max_samples`` only applies at creation."""
         with self._lock:
             inst = self._histograms.get(name)
             if inst is None:
-                inst = self._histograms[name] = Histogram(name)
+                inst = self._histograms[name] = Histogram(name, max_samples=max_samples)
             return inst
 
     # -- one-call recording shorthand ---------------------------------------
@@ -211,10 +238,55 @@ class Metrics:
         return f"Metrics(instruments={len(self.names())})"
 
 
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+# Shared singletons: NullMetrics hands these out so repeated instrument
+# lookups on a disabled registry allocate nothing.
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
 class NullMetrics(Metrics):
-    """Disabled registry: records nothing, allocates nothing."""
+    """Disabled registry: records nothing, allocates nothing.
+
+    Both the one-call shorthands (``count``/``set_gauge``/``observe``)
+    and *direct instrument access* are no-ops: ``counter()``, ``gauge()``
+    and ``histogram()`` return shared inert instruments whose mutators do
+    nothing, so code that caches ``metrics.counter("x")`` and calls
+    ``.inc()`` in a hot loop stays free when observability is off.
+    Nothing is ever registered, so ``names()``/``snapshot()`` stay empty.
+    """
 
     enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, max_samples: int | None = None) -> Histogram:
+        return _NULL_HISTOGRAM
 
     def count(self, name: str, n: int = 1) -> None:
         pass

@@ -128,22 +128,31 @@ class TraceRecorder:
         sink: Sink | None = None,
         metrics: Metrics | None = None,
         max_events: int | None = None,
+        track_overhead: bool = False,
     ) -> None:
         """``max_events`` bounds how many events reach the sink; beyond it
         events are counted in :attr:`dropped_events` instead of recorded,
         so heavy-traffic runs cannot grow a MemorySink without bound.
         Metadata events (group labels, phase ``M``) are exempt — they are
-        tiny and the analyzer needs them to name timelines."""
+        tiny and the analyzer needs them to name timelines.
+
+        ``track_overhead`` times every sink emission so the recorder's
+        own cost is observable (:meth:`overhead`); off by default — the
+        timing itself costs two clock reads per event, and the numbers
+        are wall-clock noise that must never reach baseline gating."""
         if max_events is not None and max_events < 1:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.sink: Sink = sink if sink is not None else MemorySink()
         self.metrics: Metrics = metrics if metrics is not None else Metrics()
         self.max_events = max_events
+        self.track_overhead = track_overhead
         self._epoch = time.monotonic()
         self._lock = threading.Lock()
         self._next_group = 1  # group 0 is the wall-clock timeline
         self._emitted = 0
         self._dropped = 0
+        self._overhead_seconds = 0.0
+        self._overhead_events = 0
 
     # -- clocks & grouping ---------------------------------------------------
 
@@ -179,12 +188,30 @@ class TraceRecorder:
                     self._dropped += 1
                     return
                 self._emitted += 1
+        if not self.track_overhead:
+            self.sink.emit(event)
+            return
+        t0 = time.perf_counter()
         self.sink.emit(event)
+        dt = time.perf_counter() - t0
+        with self._lock:
+            self._overhead_seconds += dt
+            self._overhead_events += 1
 
     @property
     def dropped_events(self) -> int:
         """Events discarded because the ``max_events`` cap was reached."""
         return self._dropped
+
+    def overhead(self) -> dict[str, float]:
+        """Recorder self-cost: events timed and seconds spent in the sink.
+
+        All zeros unless the recorder was built with
+        ``track_overhead=True`` — the accounting is for live dashboards
+        and never feeds :mod:`repro.obs.baseline`.
+        """
+        with self._lock:
+            return {"events": float(self._overhead_events), "seconds": self._overhead_seconds}
 
     def event(
         self,

@@ -26,6 +26,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.executor.base import Executor
 from repro.executor.future import Future
+from repro.obs.live.registry import attribute_task
 from repro.ptask.multitask import MultiTaskFuture
 from repro.resilience.cancel import CancelToken
 from repro.resilience.retry import RetryPolicy
@@ -176,8 +177,19 @@ class ParallelTaskRuntime:
                     with self._handler_lock:
                         self._notify_handlers.pop(tid, None)
 
+        # Outermost wrapper: live-sample attribution.  On pool workers
+        # this just refines the registry scope the executor already set;
+        # on backends that run tasks on the caller's thread (inline, sim)
+        # it is the only thing that names the sample — and it no-ops on
+        # unregistered threads.
+        run = body
+
+        def attributed(*a: Any, **kw: Any) -> Any:
+            with attribute_task(task_name):
+                return run(*a, **kw)
+
         future = self.executor.submit(
-            body,
+            attributed,
             *args,
             cost=cost,
             name=task_name,

@@ -1,0 +1,85 @@
+"""TTY dashboard frames pinned with an injected clock."""
+
+import io
+import itertools
+
+from repro.obs.live.dashboard import Dashboard
+from repro.obs.live.registry import WorkerRegistry
+from repro.obs.metrics import Metrics
+
+
+def _ticking_clock(step=1.0):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+class TestFrame:
+    def test_header_counts_workers_and_throughput(self):
+        reg = WorkerRegistry()
+        h = reg.register("w0", role="pool", ident=1)
+        dash = Dashboard(registry=reg, clock=_ticking_clock())
+        h.begin_task("sort", 1)
+        frame = dash.frame()
+        assert "1 workers (1 running, 0 idle, 0 blocked)" in frame
+        assert "w0" in frame and "sort" in frame
+
+    def test_throughput_from_tasks_done_delta(self):
+        reg = WorkerRegistry()
+        h = reg.register("w0", role="pool", ident=1)
+        dash = Dashboard(registry=reg, clock=_ticking_clock())
+        dash.frame()
+        for _ in range(3):
+            h.end_task(h.begin_task("t"))
+        frame = dash.frame()  # 3 tasks in 1 injected second
+        assert "3 tasks done · 3.0 tasks/s" in frame
+
+    def test_gauges_and_inflight_line(self):
+        reg = WorkerRegistry()
+        reg.register_gauge("p.queue_depth", lambda: 4)
+        frame = Dashboard(registry=reg, clock=_ticking_clock()).frame()
+        assert "queues: p.queue_depth=4" in frame
+        assert "in-flight tasks: 4" in frame
+
+    def test_event_rates_only_growing_counters(self):
+        reg = WorkerRegistry()
+        m = Metrics()
+        m.count("pool.tasks", 5)
+        m.set_gauge("static", 7.0)
+        m.observe("lat", 1.0)  # summary fields must never appear as rates
+        dash = Dashboard(registry=reg, metrics=m, clock=_ticking_clock())
+        assert "event rates" not in dash.frame()  # first frame: no deltas yet
+        m.count("pool.tasks", 10)
+        frame = dash.frame()
+        assert "event rates" in frame
+        assert "pool.tasks" in frame
+        assert "static" not in frame
+        assert "lat.mean" not in frame and "lat.p50" not in frame
+
+    def test_empty_registry_still_renders_header(self):
+        frame = Dashboard(registry=WorkerRegistry(), clock=_ticking_clock()).frame()
+        assert frame.startswith("live · ")
+        assert "0 workers" in frame
+
+
+class TestRun:
+    def test_draws_final_frame_after_done(self):
+        reg = WorkerRegistry()
+        out = io.StringIO()
+        dash = Dashboard(registry=reg, clock=_ticking_clock())
+        drawn = dash.run(out, done=lambda: True, interval=0.0)
+        assert drawn == 1
+        assert "live · " in out.getvalue()
+        assert "\x1b[" not in out.getvalue()  # first frame never clears
+
+    def test_max_frames_caps_the_loop(self):
+        out = io.StringIO()
+        dash = Dashboard(registry=WorkerRegistry(), clock=_ticking_clock())
+        drawn = dash.run(out, done=lambda: False, interval=0.0, max_frames=3)
+        assert drawn == 3
+        assert out.getvalue().count("\x1b[H\x1b[2J") == 2  # cleared before 2nd/3rd
+
+    def test_clear_false_never_emits_ansi(self):
+        out = io.StringIO()
+        dash = Dashboard(registry=WorkerRegistry(), clock=_ticking_clock())
+        dash.run(out, done=lambda: False, interval=0.0, max_frames=2, clear=False)
+        assert "\x1b[" not in out.getvalue()

@@ -1,0 +1,97 @@
+"""Flamegraph rendering pinned on injected synthetic samples."""
+
+from repro.obs.live.flame import (
+    build_tree,
+    render_flame_html,
+    render_flame_svg,
+    render_hotspots_text,
+)
+from repro.obs.live.sampler import Sample, fold
+
+
+def _s(state="running", task="sort", stack=("main", "sort"), worker="w0"):
+    return Sample(worker=worker, role="pool", state=state, task=task, stack=tuple(stack))
+
+
+def _profile():
+    return fold(
+        [
+            _s(stack=("main", "sort", "partition")),
+            _s(stack=("main", "sort", "partition")),
+            _s(stack=("main", "sort")),
+            _s(state="idle", task="-", stack=("main", "wait")),
+        ]
+    )
+
+
+class TestBuildTree:
+    def test_values_sum_child_into_parent(self):
+        root = build_tree(_profile())
+        assert root.name == "all"
+        assert root.value == 4
+        running = root.child("state:running")
+        assert running.value == 3
+        sort_task = running.child("task:sort")
+        assert sort_task.child("main").child("sort").value == 3
+        assert sort_task.child("main").child("sort").self_value == 1
+        assert sort_task.child("main").child("sort").child("partition").self_value == 2
+
+    def test_invariant_value_equals_self_plus_children(self):
+        def check(node):
+            if node.children:
+                assert node.value == node.self_value + sum(c.value for c in node.children.values())
+            for c in node.children.values():
+                check(c)
+
+        check(build_tree(_profile()))
+
+    def test_without_attribution_roots_are_code_frames(self):
+        root = build_tree(_profile(), attribution=False)
+        assert list(root.children) == ["main"]
+
+    def test_depth(self):
+        root = build_tree(_profile())
+        # state -> task -> main -> sort -> partition
+        assert root.depth() == 5
+
+
+class TestSvg:
+    def test_deterministic_bytes(self):
+        a = render_flame_svg(build_tree(_profile()))
+        b = render_flame_svg(build_tree(_profile()))
+        assert a == b
+
+    def test_contains_frames_and_tooltips(self):
+        svg = render_flame_svg(build_tree(_profile()))
+        assert "<svg" in svg and "</svg>" in svg
+        assert "state:running" in svg
+        assert "task:sort" in svg
+        assert "3 samples (75.0%)" in svg
+
+    def test_empty_profile_renders_note_not_svg(self):
+        out = render_flame_svg(build_tree(fold([])))
+        assert "no samples" in out and "<svg" not in out
+
+
+class TestHtml:
+    def test_self_contained_page(self):
+        html = render_flame_html(_profile(), title="proj6 — flamegraph")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "proj6 — flamegraph" in html
+        assert "4</div><div class=\"k\">samples" in html
+        assert "Hotspots — task sort" in html
+        assert "<script" not in html  # inline CSS + SVG only
+
+    def test_deterministic_bytes(self):
+        assert render_flame_html(_profile()) == render_flame_html(_profile())
+
+
+class TestText:
+    def test_terminal_summary(self):
+        text = render_hotspots_text(_profile())
+        assert "profile: 4 samples" in text
+        assert "states: idle 1, running 3" in text
+        assert "samples by task" in text
+        assert "hotspots: sort" in text
+        assert "partition" in text

@@ -1,0 +1,88 @@
+"""Live observability wired through the real executors.
+
+These tests use the process-wide :data:`REGISTRY` on purpose — that is
+what the pool and the EDT register with — and assert that registration
+is scoped to the executor's lifetime, so nothing leaks between tests.
+"""
+
+import threading
+import time
+
+from repro.executor.threads import WorkStealingPool
+from repro.gui.edt import EventDispatchThread
+from repro.obs.live.registry import REGISTRY
+from repro.obs.live.sampler import SamplingProfiler
+
+
+def _pool_handles(name):
+    return [h for h in REGISTRY.workers() if h.name.startswith(f"{name}-w")]
+
+
+class TestThreadsPool:
+    def test_workers_register_for_pool_lifetime(self):
+        pool = WorkStealingPool(workers=3, name="livep")
+        try:
+            deadline = time.monotonic() + 5.0
+            while len(_pool_handles("livep")) < 3 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            handles = _pool_handles("livep")
+            assert len(handles) == 3
+            assert all(h.role == "pool" for h in handles)
+            assert "livep.queue_depth" in REGISTRY.gauges()
+        finally:
+            pool.shutdown()
+        deadline = time.monotonic() + 5.0
+        while _pool_handles("livep") and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert _pool_handles("livep") == []
+        assert "livep.queue_depth" not in REGISTRY.gauges()
+
+    def test_samples_attribute_to_submitted_task_names(self):
+        pool = WorkStealingPool(workers=2, name="livq", compute_mode="sleep", time_scale=1.0)
+        prof = SamplingProfiler(interval=0.002)
+        try:
+            with prof:
+                futures = [
+                    pool.submit(pool.compute, 0.05, name=f"crunch{i}", cost=0.0)
+                    for i in range(2)
+                ]
+                for f in futures:
+                    f.result(timeout=10)
+        finally:
+            pool.shutdown()
+        tasks = prof.profile().by_task()
+        assert any(t.startswith("crunch") for t in tasks), tasks
+        workers = prof.profile().by_worker()
+        assert any(w.startswith("livq-w") for w in workers), workers
+
+    def test_tasks_done_counts_on_handles(self):
+        pool = WorkStealingPool(workers=1, name="livd")
+        try:
+            for i in range(5):
+                pool.submit(lambda: None, name=f"t{i}").result(timeout=10)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                handles = _pool_handles("livd")
+                if handles and sum(h.tasks_done for h in handles) >= 5:
+                    break
+                time.sleep(0.005)
+            assert sum(h.tasks_done for h in _pool_handles("livd")) >= 5
+        finally:
+            pool.shutdown()
+
+
+class TestEventDispatchThread:
+    def test_edt_registers_and_attributes_events(self):
+        edt = EventDispatchThread(name="liveedt")
+        try:
+            seen = threading.Event()
+            edt.invoke_later(seen.set)
+            assert seen.wait(5.0)
+            handles = [h for h in REGISTRY.workers() if h.name == "liveedt"]
+            assert len(handles) == 1
+            assert handles[0].role == "edt"
+            assert "liveedt.queue_depth" in REGISTRY.gauges()
+        finally:
+            edt.stop()
+        assert all(h.name != "liveedt" for h in REGISTRY.workers())
+        assert "liveedt.queue_depth" not in REGISTRY.gauges()

@@ -1,0 +1,179 @@
+"""Worker registry: live state transitions, pull gauges, aggregates."""
+
+import threading
+
+from repro.obs.live.registry import (
+    BLOCKED,
+    IDLE,
+    RUNNING,
+    WorkerRegistry,
+    attribute_task,
+    current_handle,
+)
+
+
+class TestStateTransitions:
+    def test_starts_idle(self):
+        reg = WorkerRegistry()
+        h = reg.register("w0", role="pool", ident=1)
+        assert h.state == IDLE
+        assert h.task_name == ""
+        assert h.tasks_done == 0
+
+    def test_idle_running_idle(self):
+        reg = WorkerRegistry()
+        h = reg.register("w0", role="pool", ident=1)
+        prev = h.begin_task("quicksort", 17)
+        assert h.state == RUNNING
+        assert h.task_name == "quicksort"
+        assert h.task_id == 17
+        h.end_task(prev)
+        assert h.state == IDLE
+        assert h.task_name == ""
+        assert h.task_id == 0
+        assert h.tasks_done == 1
+
+    def test_task_scope_is_equivalent(self):
+        reg = WorkerRegistry()
+        h = reg.register("w0", ident=1)
+        with h.task("merge", 3):
+            assert h.state == RUNNING and h.task_name == "merge"
+        assert h.state == IDLE and h.tasks_done == 1
+
+    def test_nested_begin_refines_name_and_restores(self):
+        """An inner attribution (ptask wrapper) refines the name; zero
+        task_id inherits the executor-set id; unwinding restores outer."""
+        reg = WorkerRegistry()
+        h = reg.register("w0", ident=1)
+        outer = h.begin_task("task7", 7)
+        inner = h.begin_task("quicksort")  # task_id=0 inherits 7
+        assert h.task_name == "quicksort" and h.task_id == 7
+        h.end_task(inner)
+        assert h.task_name == "task7" and h.task_id == 7
+        assert h.state == RUNNING
+        h.end_task(outer)
+        assert h.state == IDLE
+
+    def test_blocked_detection(self):
+        reg = WorkerRegistry()
+        h = reg.register("w0", ident=1)
+        prev = h.begin_task("join-heavy", 1)
+        with h.blocked("lock:tree"):
+            assert h.state == BLOCKED
+            assert h.detail == "lock:tree"
+        # back to running the same task after the wait
+        assert h.state == RUNNING
+        assert h.task_name == "join-heavy"
+        h.end_task(prev)
+        assert h.state == IDLE
+
+    def test_blocked_while_idle_restores_idle(self):
+        reg = WorkerRegistry()
+        h = reg.register("w0", ident=1)
+        with h.blocked("barrier:b"):
+            assert h.state == BLOCKED
+        assert h.state == IDLE
+
+    def test_age_uses_injected_now(self):
+        reg = WorkerRegistry()
+        h = reg.register("w0", ident=1)
+        h.since = 10.0
+        assert h.age(now=12.5) == 2.5
+
+
+class TestRegistry:
+    def test_register_unregister_roundtrip(self):
+        reg = WorkerRegistry()
+        a = reg.register("a", ident=1)
+        b = reg.register("b", ident=2)
+        assert [h.name for h in reg.workers()] == ["a", "b"]
+        assert len(reg) == 2
+        reg.unregister(a)
+        assert [h.name for h in reg.workers()] == ["b"]
+        reg.unregister(a)  # idempotent
+        assert len(reg) == 1
+        assert reg.by_ident() == {2: b}
+
+    def test_own_thread_registration_sets_current_handle(self):
+        reg = WorkerRegistry()
+        h = reg.register("driver", role="driver")
+        try:
+            assert current_handle() is h
+        finally:
+            reg.unregister(h)
+        assert current_handle() is None
+
+    def test_state_counts_always_has_three_keys(self):
+        reg = WorkerRegistry()
+        assert reg.state_counts() == {"idle": 0, "running": 0, "blocked": 0}
+        h = reg.register("w0", ident=1)
+        h.begin_task("t")
+        assert reg.state_counts() == {"idle": 0, "running": 1, "blocked": 0}
+        assert reg.busy_workers() == 1
+
+    def test_registration_visible_from_other_thread(self):
+        reg = WorkerRegistry()
+        seen = []
+
+        def worker():
+            h = reg.register("t-w0", role="pool")
+            seen.append(h)
+            h.begin_task("spin")
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert [h.name for h in reg.workers()] == ["t-w0"]
+        assert reg.workers()[0].state == RUNNING
+        assert reg.workers()[0].ident == seen[0].ident
+
+
+class TestGauges:
+    def test_pull_gauge_reads_live_value(self):
+        reg = WorkerRegistry()
+        depth = [5]
+        g = reg.register_gauge("p.queue_depth", lambda: depth[0])
+        assert reg.gauges() == {"p.queue_depth": 5.0}
+        depth[0] = 2
+        assert reg.gauges() == {"p.queue_depth": 2.0}
+        g.dispose()
+        g.dispose()  # idempotent
+        assert reg.gauges() == {}
+
+    def test_same_named_gauges_sum(self):
+        reg = WorkerRegistry()
+        reg.register_gauge("pool.queue_depth", lambda: 2)
+        reg.register_gauge("pool.queue_depth", lambda: 3)
+        assert reg.gauges() == {"pool.queue_depth": 5.0}
+
+    def test_raising_gauge_reads_zero(self):
+        reg = WorkerRegistry()
+        reg.register_gauge("broken", lambda: 1 / 0)
+        reg.register_gauge("fine", lambda: 4)
+        assert reg.gauges() == {"broken": 0.0, "fine": 4.0}
+
+    def test_inflight_is_queue_depth_plus_busy(self):
+        reg = WorkerRegistry()
+        reg.register_gauge("p.queue_depth", lambda: 3)
+        reg.register_gauge("p.other", lambda: 99)  # not a queue depth
+        h = reg.register("w0", ident=1)
+        h.begin_task("t")
+        assert reg.inflight_tasks() == 4.0
+
+
+class TestAttributeTask:
+    def test_noop_on_unregistered_thread(self):
+        assert current_handle() is None
+        with attribute_task("anything"):
+            pass  # must not raise
+
+    def test_attributes_on_registered_thread(self):
+        reg = WorkerRegistry()
+        h = reg.register("driver", role="driver")
+        try:
+            with attribute_task("fib", 9):
+                assert h.state == RUNNING
+                assert h.task_name == "fib" and h.task_id == 9
+            assert h.state == IDLE and h.tasks_done == 1
+        finally:
+            reg.unregister(h)

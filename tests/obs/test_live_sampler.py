@@ -1,0 +1,255 @@
+"""Sampling profiler: deterministic folding plus one real sampling run."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.live.registry import WorkerRegistry
+from repro.obs.live.sampler import (
+    Profile,
+    Sample,
+    SamplingProfiler,
+    current_profiler,
+    fold,
+    use_profiler,
+    walk_stack,
+)
+
+
+def _s(state="running", task="sort", stack=("main", "sort"), worker="w0"):
+    return Sample(worker=worker, role="pool", state=state, task=task, stack=tuple(stack))
+
+
+class TestFold:
+    def test_identical_samples_merge_into_one_line(self):
+        p = fold([_s(), _s(), _s()])
+        assert p.total_samples == 3
+        assert p.collapsed() == ["state:running;task:sort;main;sort 3"]
+
+    def test_attribution_roots_group_state_then_task(self):
+        p = fold([_s(state="blocked", task="join", stack=("main", "wait"))])
+        assert p.collapsed() == ["state:blocked;task:join;main;wait 1"]
+        assert p.collapsed(attribution=False) == ["main;wait 1"]
+
+    def test_collapsed_lines_are_sorted(self):
+        p = fold([_s(task="zz"), _s(task="aa")])
+        lines = p.collapsed()
+        assert lines == sorted(lines)
+
+    def test_collapsed_text_newline_terminated(self):
+        assert fold([_s()]).collapsed_text().endswith("\n")
+        assert fold([]).collapsed_text() == ""
+
+    def test_tallies(self):
+        p = fold(
+            [
+                _s(state="running", task="a", worker="w0"),
+                _s(state="idle", task="-", worker="w1", stack=("main", "wait")),
+                _s(state="running", task="a", worker="w0"),
+            ]
+        )
+        assert p.by_task() == {"-": 1, "a": 2}
+        assert p.by_state() == {"idle": 1, "running": 2}
+        assert p.by_worker() == {"w0": 2, "w1": 1}
+
+    def test_merge_adds_counts(self):
+        a, b = fold([_s()]), fold([_s(), _s(task="other")])
+        a.merge(b)
+        assert a.total_samples == 3
+        assert a.by_task() == {"other": 1, "sort": 2}
+
+    def test_add_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            Profile().add(_s(), n=0)
+
+
+class TestHotspots:
+    def test_self_is_leaf_cum_is_anywhere(self):
+        p = fold([_s(stack=("main", "sort", "partition")), _s(stack=("main", "sort"))])
+        rows = {r.frame: r for r in p.hotspots()}
+        assert rows["partition"].self_samples == 1
+        assert rows["partition"].cum_samples == 1
+        assert rows["sort"].self_samples == 1
+        assert rows["sort"].cum_samples == 2
+        assert rows["main"].self_samples == 0
+        assert rows["main"].cum_samples == 2
+
+    def test_recursion_counts_once_per_sample(self):
+        p = fold([_s(stack=("main", "fib", "fib", "fib"))])
+        rows = {r.frame: r for r in p.hotspots()}
+        assert rows["fib"].cum_samples == 1
+        assert rows["fib"].self_samples == 1
+
+    def test_ordered_hottest_self_first(self):
+        p = fold([_s(stack=("main", "hot")), _s(stack=("main", "hot")), _s(stack=("main", "warm"))])
+        assert [r.frame for r in p.hotspots()][0] == "hot"
+
+    def test_per_task_tables_keyed_by_task(self):
+        p = fold([_s(task="a"), _s(task="b", stack=("main", "other"))])
+        tables = p.task_hotspots()
+        assert sorted(tables) == ["a", "b"]
+        assert tables["b"][0].frame in ("main", "other")
+
+
+class TestFoldProperty:
+    @given(
+        st.lists(
+            st.builds(
+                _s,
+                state=st.sampled_from(["running", "idle", "blocked"]),
+                task=st.sampled_from(["a", "b", "c", "-"]),
+                stack=st.lists(st.sampled_from(["main", "f", "g", "h"]), min_size=1, max_size=5).map(tuple),
+                worker=st.sampled_from(["w0", "w1"]),
+            ),
+            max_size=40,
+        )
+    )
+    def test_collapsed_counts_sum_to_total_samples(self, samples):
+        """The invariant every flamegraph consumer relies on: folding
+        loses no samples — collapsed counts sum to the samples folded."""
+        p = fold(samples)
+        counted = sum(int(line.rsplit(" ", 1)[1]) for line in p.collapsed())
+        assert counted == p.total_samples == len(samples)
+        assert sum(p.by_task().values()) == len(samples)
+        assert sum(p.by_state().values()) == len(samples)
+
+
+class TestWalkStack:
+    def test_root_first_and_contains_caller(self):
+        import sys
+
+        frame = sys._getframe()
+        stack = walk_stack(frame)
+        assert any("test_root_first_and_contains_caller" in f for f in stack)
+        # the leaf (this function) is at the end, not the start
+        assert "test_root_first_and_contains_caller" in stack[-1]
+
+    def test_truncates_to_max_depth_keeping_root(self):
+        import sys
+
+        frame = sys._getframe()
+        full = walk_stack(frame)
+        cut = walk_stack(frame, max_depth=2)
+        assert len(cut) == 2
+        assert cut == full[:2]
+
+
+class TestSamplingProfiler:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_stack_depth=0)
+
+    def test_sample_once_on_a_real_thread(self):
+        reg = WorkerRegistry()
+        stop = threading.Event()
+
+        def spin():
+            h = reg.register("spin-w0", role="pool")
+            with h.task("busy", 1):
+                stop.wait(5.0)
+
+        t = threading.Thread(target=spin, daemon=True)
+        t.start()
+        try:
+            for _ in range(100):
+                if reg.busy_workers():
+                    break
+                time.sleep(0.005)
+            prof = SamplingProfiler(interval=0.001, registry=reg)
+            taken = prof.sample_once()
+            assert taken == 1
+            p = prof.profile()
+            assert p.total_samples == 1
+            assert p.by_task() == {"busy": 1}
+            assert p.by_worker() == {"spin-w0": 1}
+            ((state, task, stack),) = p.stacks()
+            assert state == "running" and task == "busy"
+            assert any("wait" in f for f in stack)
+            assert prof.overhead()["passes"] == 1
+            assert prof.overhead()["seconds"] > 0
+        finally:
+            stop.set()
+            t.join()
+
+    def test_include_idle_false_skips_parked_workers(self):
+        reg = WorkerRegistry()
+        done = threading.Event()
+        parked = threading.Event()
+
+        def park():
+            reg.register("idle-w0", role="pool")
+            parked.set()
+            done.wait(5.0)
+
+        t = threading.Thread(target=park, daemon=True)
+        t.start()
+        try:
+            assert parked.wait(5.0)
+            prof = SamplingProfiler(registry=reg, include_idle=False)
+            assert prof.sample_once() == 0
+            prof_all = SamplingProfiler(registry=reg, include_idle=True)
+            assert prof_all.sample_once() == 1
+            assert prof_all.profile().by_state() == {"idle": 1}
+        finally:
+            done.set()
+            t.join()
+
+    def test_background_loop_collects_and_stops(self):
+        reg = WorkerRegistry()
+        stop = threading.Event()
+
+        def spin():
+            h = reg.register("loop-w0", role="pool")
+            with h.task("churn"):
+                stop.wait(5.0)
+
+        t = threading.Thread(target=spin, daemon=True)
+        t.start()
+        try:
+            with SamplingProfiler(interval=0.002, registry=reg) as prof:
+                time.sleep(0.08)
+            assert prof.profile().total_samples > 0
+            n = prof.profile().total_samples
+            time.sleep(0.02)  # stopped: no more samples arrive
+            assert prof.profile().total_samples == n
+            prof.stop()  # idempotent
+        finally:
+            stop.set()
+            t.join()
+
+    def test_double_start_raises(self):
+        prof = SamplingProfiler(registry=WorkerRegistry())
+        prof.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                prof.start()
+        finally:
+            prof.stop()
+
+
+class TestAmbientProfiler:
+    def test_use_profiler_installs_and_restores(self):
+        assert current_profiler() is None
+        prof = SamplingProfiler(registry=WorkerRegistry())
+        with use_profiler(prof) as installed:
+            assert installed is prof
+            assert current_profiler() is prof
+        assert current_profiler() is None
+
+    def test_harness_attaches_profile_to_result(self):
+        from repro.bench.harness import Experiment, ExperimentResult
+
+        exp = Experiment(
+            exp_id="t", title="t", paper_ref="-", run=lambda: ExperimentResult("t", tables=())
+        )
+        prof = SamplingProfiler(registry=WorkerRegistry())
+        prof.profile().add(_s())
+        with use_profiler(prof):
+            result = exp()
+        assert result.profile is prof.profile()
+        assert exp().profile is None  # without the ambient profiler

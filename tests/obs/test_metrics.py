@@ -95,6 +95,63 @@ class TestSnapshot:
             assert snap[name] == names.count(name)
 
 
+class TestHistogramReservoir:
+    def test_default_is_unbounded_and_exact(self):
+        h = Metrics().histogram("lat")
+        for i in range(100):
+            h.observe(float(i))
+        assert h.max_samples is None
+        assert h.count == 100
+        assert len(h.samples()) == 100
+
+    def test_reservoir_bounds_memory_but_counts_everything(self):
+        h = Metrics().histogram("lat", max_samples=16)
+        for i in range(10_000):
+            h.observe(float(i))
+        assert len(h.samples()) == 16
+        assert h.count == 10_000
+        assert h.flat_summary()["lat.n"] == 10_000.0
+
+    def test_reservoir_is_seeded_and_reproducible(self):
+        def run():
+            from repro.obs.metrics import Histogram
+
+            h = Histogram("lat", max_samples=8)
+            for i in range(500):
+                h.observe(float(i))
+            return h.samples()
+
+        assert run() == run()
+
+    def test_reservoir_stays_exact_below_the_cap(self):
+        h = Metrics().histogram("lat", max_samples=100)
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.samples() == [1.0, 2.0, 3.0]
+        assert h.flat_summary()["lat.mean"] == pytest.approx(2.0)
+
+    def test_reservoir_samples_span_the_stream(self):
+        """The retained set is a uniform sample, not just the head: after
+        a long stream, late values must appear."""
+        h = Metrics().histogram("lat", max_samples=32)
+        for i in range(5_000):
+            h.observe(float(i))
+        assert max(h.samples()) > 1_000
+
+    def test_max_samples_must_be_positive(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ValueError, match="max_samples"):
+            Histogram("h", max_samples=0)
+
+    def test_max_samples_applies_only_at_creation(self):
+        m = Metrics()
+        h = m.histogram("lat", max_samples=4)
+        assert m.histogram("lat") is h
+        assert m.histogram("lat", max_samples=99) is h
+        assert h.max_samples == 4
+
+
 class TestNullMetrics:
     def test_records_nothing(self):
         m = NullMetrics()
@@ -105,3 +162,35 @@ class TestNullMetrics:
         assert m.names() == []
         assert m.snapshot() == {}
         assert m.render() == ""
+
+    def test_direct_instrument_access_is_inert(self):
+        """The hot-path contract: code may cache ``metrics.counter(...)``
+        and drive it directly; on the null twin that must record nothing
+        and register nothing."""
+        m = NullMetrics()
+        c = m.counter("pool.steals")
+        c.inc()
+        c.inc(10)
+        g = m.gauge("depth")
+        g.set(4.0)
+        h = m.histogram("lat", max_samples=8)
+        h.observe(1.0)
+        assert c.value == 0
+        assert g.value == 0.0
+        assert h.count == 0 and h.samples() == []
+        assert m.names() == []
+        assert m.snapshot() == {}
+
+    def test_instruments_are_shared_singletons(self):
+        m = NullMetrics()
+        assert m.counter("a") is m.counter("b")
+        assert m.gauge("a") is m.gauge("b")
+        assert m.histogram("a") is NullMetrics().histogram("z")
+
+    def test_null_instruments_still_render_and_summarise(self):
+        m = NullMetrics()
+        h = m.histogram("lat")
+        h.observe(1.0)
+        assert h.flat_summary() == {"null.n": 0.0}
+        with pytest.raises(ValueError):
+            h.summary()

@@ -100,6 +100,60 @@ class TestChaos:
         assert "unknown lifecycle kind" in capsys.readouterr().err
 
 
+class TestFlame:
+    def test_writes_flamegraph_and_collapsed_stacks(self, tmp_path, capsys):
+        assert main(
+            ["flame", "abl_sched", "-o", str(tmp_path), "--interval", "0.002"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "profile:" in captured.out
+        assert "samples" in captured.out
+        assert "flamegraph ->" in captured.err
+        assert "sampler:" in captured.err
+        html = (tmp_path / "flame_abl_sched.html").read_text()
+        assert html.startswith("<!DOCTYPE html>") and "<svg" in html
+        collapsed = (tmp_path / "flame_abl_sched.collapsed.txt").read_text()
+        for line in collapsed.splitlines():
+            frames, count = line.rsplit(" ", 1)
+            assert int(count) >= 1 and frames
+
+    def test_scrape_out_saves_valid_exposition(self, tmp_path, capsys):
+        scrape = tmp_path / "metrics.txt"
+        assert main(
+            ["flame", "abl_sched", "-o", str(tmp_path), "--interval", "0.002",
+             "--scrape-out", str(scrape)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "serving live metrics at http://127.0.0.1:" in err
+        assert "/metrics scrape ->" in err
+        body = scrape.read_text()
+        assert "# TYPE repro_live_workers gauge" in body
+        assert "repro_live_sampler_passes" in body
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["flame", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_renders_frames_while_running(self, capsys):
+        assert main(["top", "abl_sched", "--interval", "0.02"]) == 0
+        captured = capsys.readouterr()
+        assert "live · " in captured.out
+        assert "run complete" in captured.err
+        # piped stdout (capsys) is not a tty: frames append, no ANSI clears
+        assert "\x1b[" not in captured.out
+
+    def test_frames_cap(self, capsys):
+        assert main(["top", "abl_sched", "--interval", "0.01", "--frames", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("live · ") <= 2
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["top", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
 class TestWebdemo:
     def test_generates_site(self, tmp_path, capsys):
         assert main(["webdemo", str(tmp_path / "site")]) == 0
