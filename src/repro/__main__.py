@@ -56,6 +56,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_scope(args: argparse.Namespace):
+    """Context manager realising the shared ``--backend``/``--cores`` flags.
+
+    Installs :func:`repro.executor.backend_override` so every
+    *redirectable* ``create()`` call the experiment makes (inline,
+    threads, processes — sim stays sim, its virtual clock is the point)
+    lands on the chosen backend / core count.  The override is
+    thread-local, so commands that run the experiment on a worker thread
+    (``top``) must enter this scope on that thread.
+    """
+    from contextlib import nullcontext
+
+    kind = getattr(args, "backend", None)
+    cores = getattr(args, "cores", None)
+    if kind is None and cores is None:
+        return nullcontext()
+    from repro.executor import backend_override
+
+    return backend_override(kind=kind, cores=cores)
+
+
 def _require_experiment(exp_id: str):
     """Look up one experiment, or print the unknown-id error and return
     ``None`` (callers exit 2).  The single lookup path every experiment
@@ -349,7 +370,8 @@ def _cmd_top(args: argparse.Namespace) -> int:
     def runner() -> None:
         handle = REGISTRY.register("driver", role="driver")
         try:
-            with use(recorder):
+            # the override is thread-local: re-enter it on this thread
+            with _backend_scope(args), use(recorder):
                 with handle.task(f"experiment:{exp.exp_id}"):
                     for _ in range(args.repeat):
                         box["result"] = exp()
@@ -402,19 +424,34 @@ def _experiment_command(
     fn: Any,
     help_text: str,
     max_events: bool = False,
+    backend: bool = False,
 ) -> argparse.ArgumentParser:
     """Register a subcommand that operates on one experiment.
 
     Every such command shares the ``experiment`` positional (resolved
     through :func:`_require_experiment`) and, for the traced ones, the
-    ``--max-events`` cap — this helper is the single place that
-    boilerplate lives.  Command-specific flags are added on the returned
-    parser.
+    ``--max-events`` cap and the ``--backend``/``--cores`` override
+    group — this helper is the single place that boilerplate lives.
+    Command-specific flags are added on the returned parser.
     """
     p = sub.add_parser(name, help=help_text)
     p.add_argument("experiment")
     if max_events:
         p.add_argument("--max-events", type=int, default=None, help="cap recorded trace events")
+    if backend:
+        g = p.add_argument_group(
+            "backend selection",
+            "redirect the experiment's redirectable executors (inline/threads/processes; "
+            "sim keeps its virtual clock)",
+        )
+        g.add_argument(
+            "--backend",
+            help="run the experiment's executors on this backend (name or alias; "
+            "see repro.executor.available())",
+        )
+        g.add_argument(
+            "--cores", type=int, help="override the worker count of redirected executors"
+        )
     p.set_defaults(fn=fn)
     return p
 
@@ -435,6 +472,7 @@ def main(argv: list[str] | None = None) -> int:
     trace = _experiment_command(
         sub, "trace", _cmd_trace,
         "run one experiment under tracing and write Chrome trace_event JSON",
+        backend=True,
     )
     trace.add_argument(
         "-o", "--output", help="trace file path (default: trace_<experiment>.json)"
@@ -445,6 +483,7 @@ def main(argv: list[str] | None = None) -> int:
         sub, "analyze", _cmd_analyze,
         "run one experiment traced: work/span analytics + HTML report",
         max_events=True,
+        backend=True,
     )
     analyze.add_argument(
         "-o", "--output", help="report directory (default: benchmarks/reports)"
@@ -471,6 +510,7 @@ def main(argv: list[str] | None = None) -> int:
         sub, "chaos", _cmd_chaos,
         "run one experiment under a seeded fault plan and summarise recovery",
         max_events=True,
+        backend=True,
     )
     chaos.add_argument("--seed", type=int, default=0, help="fault-plan seed (default: 0)")
     chaos.add_argument(
@@ -495,6 +535,7 @@ def main(argv: list[str] | None = None) -> int:
         sub, "flame", _cmd_flame,
         "run one experiment under the sampling profiler and write a flamegraph",
         max_events=True,
+        backend=True,
     )
     flame.add_argument(
         "-o", "--output", help="report directory (default: benchmarks/reports)"
@@ -519,6 +560,7 @@ def main(argv: list[str] | None = None) -> int:
         sub, "top", _cmd_top,
         "live dashboard: worker states, queue depth and throughput while one experiment runs",
         max_events=True,
+        backend=True,
     )
     top.add_argument(
         "--interval", type=float, default=0.25,
@@ -543,7 +585,20 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("topics", help="print the ten project topics").set_defaults(fn=_cmd_topics)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    if getattr(args, "backend", None) is not None:
+        # Probe the override once so bad --backend values (unknown kind,
+        # or a non-redirectable one like sim) exit 2 with the registry's
+        # self-documenting message instead of a traceback mid-run.
+        from repro.executor import backend_override
+
+        try:
+            with backend_override(kind=args.backend):
+                pass
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    with _backend_scope(args):
+        return args.fn(args)
 
 
 if __name__ == "__main__":

@@ -17,13 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
 
 from repro.apps.corpus import SyntheticImage
 from repro.executor.base import Executor
 from repro.ptask import ParallelTaskRuntime, task_farm
 from repro.pyjama import Pyjama
 
-__all__ = ["scale_image", "scaling_cost", "Thumbnail", "ThumbnailRenderer", "STRATEGIES"]
+__all__ = ["scale_image", "scale_pixels", "scaling_cost", "Thumbnail", "ThumbnailRenderer", "STRATEGIES"]
 
 #: reference-seconds per source pixel for area-average scaling
 COST_PER_PIXEL = 2e-8
@@ -66,6 +67,19 @@ def scale_image(image: SyntheticImage, target_side: int) -> Thumbnail:
 def scaling_cost(image: SyntheticImage) -> float:
     """Virtual cost of scaling ``image`` (proportional to source pixels)."""
     return COST_PER_PIXEL * image.n_pixels
+
+
+def scale_pixels(pixels, name: str, target_side: int) -> Thumbnail:
+    """Process-friendly flat entry point for :func:`scale_image`.
+
+    Takes the raw pixel array as a *top-level* argument (rather than
+    tucked inside a :class:`SyntheticImage`) so the processes backend's
+    shared-memory plane can intercept it; everything else is unchanged.
+    The recursing/strategy logic of :class:`ThumbnailRenderer` stays
+    in-process — this is the piece of the thumbnail workload that
+    benefits from real cores.
+    """
+    return scale_image(SyntheticImage(name=name, pixels=np.asarray(pixels)), target_side)
 
 
 class ThumbnailRenderer:

@@ -13,7 +13,7 @@ import numpy as np
 from repro.executor.base import Executor
 from repro.pyjama import Pyjama
 
-__all__ = ["matmul_blocked", "matmul_parallel", "matmul_cost"]
+__all__ = ["matmul_blocked", "matmul_parallel", "matmul_tasks", "matmul_cost"]
 
 #: reference-seconds per fused multiply-add
 COST_PER_FLOP = 1e-9
@@ -82,3 +82,35 @@ def matmul_parallel(
         name="matmul",
     )
     return out
+
+
+def _panel_product(a_panel: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One row panel of the product — module-level so workers can import it."""
+    return a_panel @ b
+
+
+def matmul_tasks(a: np.ndarray, b: np.ndarray, executor: Executor, block: int = 64) -> np.ndarray:
+    """Flat task-per-row-panel multiply runnable on *any* backend.
+
+    Unlike :func:`matmul_parallel` (whose Pyjama closure captures the
+    output array, tying it to shared-memory threads), every task here is
+    a pure function of picklable array arguments — so the same call runs
+    on ``inline``, ``threads``, ``sim`` *and* the out-of-process
+    ``processes`` backend, where ``b`` ships to the workers once through
+    the shared-memory plane and each panel product comes back the same
+    way.  This is the kernel the real-vs-simulated speedup bench runs.
+    """
+    a, b = _check(a, b)
+    m, k = a.shape
+    _, n = b.shape
+    futures = [
+        executor.submit(
+            _panel_product,
+            a[i0:min(i0 + block, m), :],
+            b,
+            cost=matmul_cost(min(i0 + block, m) - i0, k, n),
+            name=f"panel[{i0}]",
+        )
+        for i0 in range(0, m, block)
+    ]
+    return np.vstack([f.result() for f in futures])

@@ -29,7 +29,7 @@ from repro.executor.base import Executor
 from repro.ptask import ParallelTaskRuntime
 from repro.pyjama import Pyjama
 
-__all__ = ["quicksort", "VARIANTS", "COST_PER_ELEMENT"]
+__all__ = ["quicksort", "quicksort_chunks", "VARIANTS", "COST_PER_ELEMENT"]
 
 COST_PER_ELEMENT = 5e-8
 VARIANTS = ("sequential", "ptask", "pyjama", "threads")
@@ -112,6 +112,53 @@ def quicksort(
     if variant == "pyjama":
         return _pyjama(Pyjama(executor), data, cutoff)
     return _threads(executor, data, cutoff)
+
+
+def _sort_bucket(bucket: np.ndarray) -> np.ndarray:
+    """Sort one samplesort bucket — module-level so workers can import it."""
+    return np.sort(np.asarray(bucket), kind="quicksort")
+
+
+def quicksort_chunks(executor: Executor, values: Sequence, chunks: int | None = None) -> np.ndarray:
+    """Flat parallel samplesort: one independent bucket-sort task per chunk.
+
+    The recursive variants above pass the executor *into* their task
+    bodies for nested spawns, which only works when tasks share the
+    submitting process.  This variant decomposes flat instead — sampled
+    pivots split the input into ``chunks`` disjoint buckets, each bucket
+    sorts as one self-contained task, and the sorted buckets concatenate
+    in pivot order — so it runs unchanged on every backend, including
+    out-of-process workers (buckets travel through the shared-memory
+    plane).  Returns a sorted ``ndarray``; it is *not* a new
+    ``quicksort`` variant because the golden-output tests pin
+    :data:`VARIANTS`.
+    """
+    data = np.asarray(values)
+    if data.ndim != 1:
+        raise ValueError(f"expected a 1-d sequence, got shape {data.shape}")
+    parts = chunks if chunks is not None else max(1, executor.cores)
+    if parts < 1:
+        raise ValueError(f"chunks must be >= 1, got {parts}")
+    if parts == 1 or len(data) <= parts:
+        executor.compute(COST_PER_ELEMENT * len(data))
+        return np.sort(data, kind="quicksort")
+    # Deterministic pivots: an evenly strided sample stands in for the
+    # classic random sample, keeping runs byte-reproducible.
+    sample = np.sort(data[:: max(1, len(data) // (parts * 32))])
+    pivot_at = np.linspace(0, len(sample) - 1, parts + 1).astype(int)[1:-1]
+    pivots = sample[pivot_at]
+    which = np.searchsorted(pivots, data, side="right")
+    executor.compute(COST_PER_ELEMENT * len(data))  # the partition pass
+    futures = [
+        executor.submit(
+            _sort_bucket,
+            data[which == i],
+            cost=COST_PER_ELEMENT * max(1, int(np.count_nonzero(which == i))),
+            name=f"bucket[{i}]",
+        )
+        for i in range(parts)
+    ]
+    return np.concatenate([f.result() for f in futures])
 
 
 def random_array(n: int, seed: int = 0) -> list[int]:

@@ -1,0 +1,194 @@
+"""Real multi-core speedup: the processes backend against inline and sim.
+
+Everything else in the bench measures *virtual* time — the machine model
+prices the work, so the GIL never shows up.  This experiment closes the
+loop the course promises: the same flat workloads (matmul row panels,
+samplesort buckets, thumbnail scaling) run on
+
+* ``inline`` — the sequential wall-clock baseline;
+* ``processes`` — real worker processes behind the same Executor API,
+  arrays travelling through the shared-memory plane; and
+* ``sim`` — the virtual-time prediction for the same core count.
+
+The table puts measured wall-clock speedup next to the sim-predicted
+speedup, which is the pedagogical punchline: the model says what *should*
+happen, the process pool shows what *does* happen on your actual cores.
+On a single-core host the measured column collapses to ~1x while the
+predicted column keeps its shape — also a lesson.
+
+Every executor run is wrapped in a :class:`RetryPolicy` that retries on
+:class:`InjectedFault` only, so ``python -m repro chaos real_speedup
+--task-failure-rate 0.15 --expect fault,retry`` demonstrates recovery:
+faults injected inside worker processes surface to the parent, the whole
+row retries (fresh task ids draw fresh fault coin-flips), and both
+``fault`` and ``retry`` events land in the merged trace.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.apps.images import scale_pixels, scaling_cost
+from repro.apps.kernels.matmul import matmul_tasks
+from repro.apps.sorting import quicksort_chunks, random_array
+from repro.bench.common import bench_machine
+from repro.bench.harness import ExperimentResult, register
+from repro.executor import create
+from repro.resilience import InjectedFault, RetryPolicy
+from repro.util.rng import derive
+from repro.util.stats import speedup
+
+__all__ = ["run_real_speedup", "default_cores"]
+
+#: retries are free (no backoff): a retried row re-submits with fresh
+#: task ids, so the seeded fault plan rolls fresh coin-flips each time
+ROW_RETRY = RetryPolicy(
+    max_attempts=20, base_delay=0.0, max_delay=0.0, jitter=0.0, retry_on=(InjectedFault,)
+)
+
+
+def default_cores() -> int:
+    """Worker count for the demo: 2..4, even on a single-core host.
+
+    Two workers on one core still demonstrates the API and the transport
+    (and the table will honestly show speedup ~1x); more than four adds
+    spawn cost without changing the story.
+    """
+    return min(4, max(2, os.cpu_count() or 1))
+
+
+def _workloads(seed: int):
+    """The three flat workloads as (label, runner(executor)) pairs.
+
+    Each runner is a pure function of its executor so the same closure
+    times inline, processes and sim runs; returned values feed the
+    cross-backend correctness check.
+    """
+    rng = derive(seed, "real-speedup")
+    a = rng.random((1536, 1536))
+    b = rng.random((1536, 1536))
+    values = np.asarray(random_array(1_000_000, seed=seed))
+    images = [
+        (f"img_{i:02d}", rng.random((side, side)))
+        for i, side in enumerate(int(s) for s in rng.integers(768, 1536, size=8))
+    ]
+
+    def matmul_row(ex):
+        return matmul_tasks(a, b, ex, block=192)
+
+    def sort_row(ex):
+        return quicksort_chunks(ex, values, chunks=max(2, ex.cores))
+
+    def thumbs_row(ex):
+        futures = [
+            ex.submit(
+                scale_pixels,
+                pixels,
+                name,
+                128,
+                cost=scaling_cost_for(pixels),
+                name=f"thumb[{name}]",
+            )
+            for name, pixels in images
+        ]
+        return tuple(t.checksum for t in (f.result() for f in futures))
+
+    def scaling_cost_for(pixels):
+        from repro.apps.corpus import SyntheticImage
+
+        return scaling_cost(SyntheticImage(name="x", pixels=pixels))
+
+    return [
+        ("matmul 1536x1536 (8 panels)", matmul_row),
+        ("samplesort 1M", sort_row),
+        ("thumbnails x8", thumbs_row),
+    ]
+
+
+def _timed(label: str, runner, executor) -> tuple[float, object]:
+    """Wall-clock one workload run under the row retry policy."""
+    t0 = time.perf_counter()
+    out = ROW_RETRY.run(runner, executor, key=label)
+    return time.perf_counter() - t0, out
+
+
+def _same(label: str, expect, got) -> None:
+    if isinstance(expect, np.ndarray):
+        ok = np.allclose(expect, np.asarray(got))
+    else:
+        ok = all(abs(x - y) < 1e-9 for x, y in zip(expect, got)) and len(expect) == len(got)
+    if not ok:
+        raise AssertionError(f"{label}: processes backend disagrees with inline baseline")
+
+
+@register(
+    "real_speedup",
+    "real wall-clock speedup: processes backend vs inline, with sim predictions",
+    "Section V: beyond the GIL",
+)
+def run_real_speedup(seed: int = 2014, cores: int | None = None) -> ExperimentResult:
+    n = cores if cores is not None else default_cores()
+    workloads = _workloads(seed)
+
+    table_cols = [
+        "workload",
+        "inline (s)",
+        f"processes x{n} (s)",
+        "measured speedup",
+        "sim-predicted speedup",
+    ]
+    from repro.util.tables import Table
+
+    table = Table(table_cols, title=f"real vs simulated speedup ({n} workers)", precision=3)
+
+    # Sim predictions first (cheap, deterministic): virtual makespan at 1
+    # core vs at n cores, same machine model as the rest of the bench.
+    predicted = {}
+    for label, runner in workloads:
+        with create("sim", machine=bench_machine(1)) as s1:
+            ROW_RETRY.run(runner, s1, key=f"{label}/sim1")
+            t1 = s1.elapsed()
+        with create("sim", machine=bench_machine(n)) as sn:
+            ROW_RETRY.run(runner, sn, key=f"{label}/sim{n}")
+            tn = sn.elapsed()
+        predicted[label] = speedup(t1, tn)
+
+    inline_times = {}
+    baselines = {}
+    with create("inline") as ex:
+        for label, runner in workloads:
+            inline_times[label], baselines[label] = _timed(f"{label}/inline", runner, ex)
+
+    # One shared pool for every row: spawn cost is paid once, and the
+    # warm-up tasks below pay each worker's import cost (numpy et al)
+    # before any timer starts.
+    with create("processes", cores=n) as pool:
+        warm = np.zeros(4)
+        for f in [pool.submit(np.sum, warm, name=f"warmup[{i}]") for i in range(n)]:
+            f.result()
+        for label, runner in workloads:
+            wall, got = _timed(f"{label}/processes", runner, pool)
+            _same(label, baselines[label], got)
+            table.add_row(
+                [
+                    label,
+                    inline_times[label],
+                    wall,
+                    speedup(inline_times[label], wall),
+                    predicted[label],
+                ]
+            )
+
+    return ExperimentResult(
+        exp_id="real_speedup",
+        tables=(table,),
+        notes=(
+            "measured speedup is real wall-clock (no GIL: worker processes + shared-memory "
+            "transport); the sim column is the machine model's prediction at the same core "
+            "count. On a single-core host expect measured ~1x while predicted keeps its "
+            "multi-core shape — the model shows what more cores would buy."
+        ),
+    )

@@ -1,7 +1,8 @@
 """Execution backends shared by Parallel Task and Pyjama.
 
-Three interchangeable executors implement the same :class:`Executor`
-interface:
+Interchangeable executors implement the same :class:`Executor`
+interface; which ones exist is an open *registry*
+(:mod:`repro.executor.registry`), with four built-ins:
 
 * :class:`~repro.executor.inline.InlineExecutor` — sequential reference
   semantics (tasks run at submit time on the caller);
@@ -9,34 +10,61 @@ interface:
   per-worker work-stealing deques and blocked-join *helping* (the
   ForkJoinPool discipline), used for all concurrency-correctness tests and
   responsiveness demos;
+* :class:`~repro.executor.processes.ProcessPool` — spawned worker
+  *processes* with a shared-memory NumPy data plane: the only backend
+  that delivers **measured** multi-core speedup (no GIL);
 * :class:`~repro.executor.simulated.SimExecutor` — eager value execution
   plus virtual-time scheduling of the recorded task graph on a
-  :class:`~repro.machine.spec.MachineSpec`, used for every speedup
-  experiment (see DESIGN.md §2 for why).
+  :class:`~repro.machine.spec.MachineSpec`, used for every deterministic
+  speedup experiment (see DESIGN.md §2 for why).
 
-**Construction:** prefer the :func:`create` factory (or its declarative
-twin :class:`ExecutorConfig`) over the direct constructors — it is the
-single front door that resolves core counts, machine models and
-observability (``trace=``) uniformly across backends::
+**Construction:** use the :func:`create` factory (or its declarative twin
+:class:`ExecutorConfig`) — it is the single front door that resolves core
+counts, machine models, observability (``trace=``) and fault plans
+uniformly across backends, and the only path that sees backends
+registered at runtime::
 
     from repro.executor import create
-    ex = create("sim", cores=16)
+    ex = create("sim", cores=16)          # virtual time
+    ex = create("processes", cores=4)     # real multi-core speedup
 
-Direct constructor imports remain supported for backward compatibility.
+New substrates register with :func:`register_backend` and immediately
+appear in :data:`KINDS` / :func:`available` and in ``create()``'s
+unknown-kind error listing.  Direct constructor imports remain supported
+for backward compatibility only; prefer ``create()``.
 ``ThreadPoolExecutor`` is an alias of :class:`WorkStealingPool` (the name
 DESIGN.md's inventory uses for the real-threads backend).
 """
 
 from repro.executor.base import Executor, ExecutorShutdown
-from repro.executor.factory import KINDS, ExecutorConfig, create
+from repro.executor.factory import KINDS, ExecutorConfig, backend_override, create
 from repro.executor.future import CancelledError, Future, FutureError
 from repro.executor.inline import InlineExecutor
+from repro.executor.registry import (
+    Backend,
+    BackendCapabilities,
+    available,
+    backend_aliases,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from repro.executor.simulated import SimExecutor
 from repro.executor.threads import WorkStealingPool
 
 #: Backward/forward-compatible alias: the real-threads backend under the
 #: name used by DESIGN.md's package inventory.
 ThreadPoolExecutor = WorkStealingPool
+
+
+def __getattr__(name):
+    # ProcessPool pulls in multiprocessing machinery; defer that cost (and
+    # keep spawned workers from re-importing it transitively) until asked.
+    if name == "ProcessPool":
+        from repro.executor.processes import ProcessPool
+
+        return ProcessPool
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Executor",
@@ -47,8 +75,17 @@ __all__ = [
     "InlineExecutor",
     "SimExecutor",
     "WorkStealingPool",
+    "ProcessPool",
     "ThreadPoolExecutor",
     "create",
+    "backend_override",
     "ExecutorConfig",
     "KINDS",
+    "Backend",
+    "BackendCapabilities",
+    "available",
+    "backend_aliases",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
 ]

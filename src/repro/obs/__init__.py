@@ -70,6 +70,7 @@ from repro.obs.baseline import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, Metrics, NullMetrics
 from repro.obs.report import render_html, render_text
+from repro.obs.shards import merge_shards, read_shard, replay_into, shard_path
 from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink, Sink
 from repro.obs.trace import (
     NULL_RECORDER,
@@ -109,6 +110,11 @@ __all__ = [
     "TraceAnalysis",
     "analyze_trace",
     "fit_speedup_models",
+    # cross-process shards
+    "merge_shards",
+    "read_shard",
+    "replay_into",
+    "shard_path",
     "render_text",
     "render_html",
     "DEFAULT_BASELINE_PATH",

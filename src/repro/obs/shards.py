@@ -1,0 +1,92 @@
+"""Cross-process trace shards: per-worker JSONL files merged post hoc.
+
+A worker process cannot emit into the parent's :class:`TraceRecorder`
+(the recorder, its sink and its locks live in the parent), so each
+worker writes its own *shard* — a JSONL file of :class:`TraceEvent`
+records via :class:`~repro.obs.sinks.JsonlSink`, timestamped on the
+parent recorder's timeline (the parent ships its wall-clock epoch to the
+worker at spawn).  At pool shutdown the parent reads every shard back
+(:func:`read_shard`), interleaves them in time order
+(:func:`merge_shards`) and replays them into its own recorder
+(:func:`replay_into`), after which the merged stream is
+indistinguishable from single-process recording: ``obs.analyze`` sees
+one coherent timeline with per-worker (and, via the ``pid`` attr on task
+spans, per-process) attribution.
+
+Shard files may end mid-line when a worker is killed; malformed lines
+are skipped and counted rather than failing the merge — a crashed
+worker's partial trace is still worth reading.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence
+
+from repro.obs.trace import TraceEvent, TraceRecorder
+
+__all__ = ["merge_shards", "read_shard", "replay_into", "shard_path"]
+
+
+def shard_path(directory: str, worker: int, prefix: str = "shard") -> str:
+    """Canonical shard file name for one worker of a pool."""
+    return os.path.join(directory, f"{prefix}-w{worker}.jsonl")
+
+
+def read_shard(path: str) -> tuple[list[TraceEvent], int]:
+    """Parse one shard file; returns ``(events, malformed_line_count)``.
+
+    A missing file reads as empty (a worker that died before opening its
+    sink, or was never traced, is not an error at merge time).
+    """
+    events: list[TraceEvent] = []
+    malformed = 0
+    try:
+        handle = open(path, encoding="utf-8")
+    except FileNotFoundError:
+        return events, 0
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TraceEvent.from_json(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                malformed += 1  # truncated tail of a killed worker
+    return events, malformed
+
+
+def merge_shards(paths: Iterable[str]) -> tuple[list[TraceEvent], int]:
+    """Read every shard and interleave the events into one timeline.
+
+    Events sort by timestamp with metadata (phase ``M``) first — the
+    analyzer and the Chrome viewer both want a group named before its
+    events.  The sort is stable, so same-timestamp events keep their
+    shard-relative order.  Task ids are assigned by the parent before
+    tasks are shipped, so no renumbering is needed: overlapping spans
+    from different shards are genuinely different tasks.
+
+    Returns ``(events, malformed_line_count)``.
+    """
+    events: list[TraceEvent] = []
+    malformed = 0
+    for path in paths:
+        shard_events, bad = read_shard(path)
+        events.extend(shard_events)
+        malformed += bad
+    events.sort(key=lambda e: (e.phase != "M", e.ts))
+    return events, malformed
+
+
+def replay_into(recorder: TraceRecorder, events: Sequence[TraceEvent]) -> int:
+    """Splice ``events`` (verbatim) into ``recorder``; returns the count.
+
+    The recorder's ``max_events`` cap still applies — a merged shard
+    cannot grow a bounded recorder without bound any more than live
+    emission can.
+    """
+    for event in events:
+        recorder.record(event)
+    return len(events)

@@ -98,6 +98,26 @@ class TraceEvent:
             out["args"] = dict(self.attrs)
         return out
 
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_json`: rebuild an event from its JSONL dict.
+
+        This is how cross-process trace *shards* (JSONL files written by
+        worker processes) are read back for merging — see
+        :mod:`repro.obs.shards`.
+        """
+        return cls(
+            kind=data["kind"],
+            name=data["name"],
+            phase=data.get("ph", "i"),
+            ts=float(data.get("ts", 0.0)),
+            dur=data.get("dur"),
+            task_id=int(data.get("task", 0)),
+            worker=data.get("worker"),
+            group=int(data.get("group", 0)),
+            attrs=dict(data.get("args") or {}),
+        )
+
     def to_chrome(self) -> dict[str, Any]:
         """Chrome ``trace_event`` dict (timestamps in microseconds)."""
         lane = self.worker if self.worker is not None else self.task_id
@@ -239,6 +259,16 @@ class TraceRecorder:
             )
         )
 
+    def record(self, event: TraceEvent) -> None:
+        """Record a pre-built event verbatim (cap rules still apply).
+
+        The replay entry point: shard merging
+        (:func:`repro.obs.shards.replay_into`) uses it to splice events
+        recorded in other processes — with their original timestamps,
+        workers and task ids — into this recorder's timeline.
+        """
+        self._emit(event)
+
     def emit_span(
         self,
         kind: str,
@@ -347,6 +377,9 @@ class NullRecorder(TraceRecorder):
         super().__init__(sink=MemorySink(), metrics=NullMetrics())
 
     def event(self, kind: str, name: str, **kwargs: Any) -> None:  # type: ignore[override]
+        pass
+
+    def record(self, event: TraceEvent) -> None:  # type: ignore[override]
         pass
 
     def emit_span(self, kind: str, name: str, start: float, end: float, **kwargs: Any) -> None:  # type: ignore[override]

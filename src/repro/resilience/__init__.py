@@ -36,6 +36,7 @@ from repro.resilience.faults import (
     resolve_faults,
     use_faults,
 )
+from repro.resilience.remote import RemoteCancelChannel, WorkerCancelListener
 from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
 
 __all__ = [
@@ -51,4 +52,6 @@ __all__ = [
     "use_faults",
     "RetryPolicy",
     "DEFAULT_RETRY",
+    "RemoteCancelChannel",
+    "WorkerCancelListener",
 ]

@@ -1,0 +1,125 @@
+"""ExecutorConfig <-> plain dict round-trips, property-tested."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executor import ExecutorConfig
+from repro.machine.spec import PARC64, MachineSpec
+from repro.obs import TraceRecorder
+from repro.resilience import FaultPlan
+
+_OPTIONS_BY_KIND = {
+    "inline": {},
+    "threads": {"compute_mode": st.sampled_from(["noop", "sleep"]), "time_scale": st.floats(0.01, 10)},
+    "sim": {"policy": st.sampled_from(["earliest", "random"])},
+    "processes": {"prefetch": st.integers(1, 8), "shm_threshold": st.integers(1, 1 << 20)},
+}
+
+_machines = st.builds(
+    MachineSpec,
+    name=st.text(min_size=1, max_size=12),
+    cores=st.integers(1, 128),
+    speed=st.floats(0.1, 8.0),
+    dispatch_overhead=st.floats(0.0, 1e-2),
+    memory_bandwidth_penalty=st.floats(0.0, 0.5),
+    cross_core_penalty=st.floats(0.0, 1e-3),
+    description=st.text(max_size=20),
+)
+
+_faults = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 2**31),
+    failure_rate=st.floats(0.0, 1.0),
+    task_failure_rate=st.floats(0.0, 1.0),
+    latency_spike_rate=st.floats(0.0, 1.0),
+)
+
+
+@st.composite
+def _configs(draw):
+    kind = draw(st.sampled_from(sorted(_OPTIONS_BY_KIND)))
+    option_strats = _OPTIONS_BY_KIND[kind]
+    chosen = draw(
+        st.lists(st.sampled_from(sorted(option_strats)), unique=True)
+        if option_strats
+        else st.just([])
+    )
+    options = {key: draw(option_strats[key]) for key in chosen}
+    cores = draw(st.none() | st.integers(1, 64)) if kind != "inline" else draw(st.none() | st.just(1))
+    machine = draw(st.none() | _machines) if kind != "inline" else None
+    return ExecutorConfig(
+        kind=kind,
+        cores=cores,
+        machine=machine,
+        faults=draw(st.none() | _faults),
+        options=options,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(cfg=_configs())
+def test_to_dict_from_dict_round_trips(cfg):
+    data = cfg.to_dict()
+    # the snapshot is plain data: JSON-ish types only
+    assert set(data) == {"kind", "cores", "machine", "faults", "options"}
+    rebuilt = ExecutorConfig.from_dict(data)
+    assert rebuilt == cfg
+    # and a second trip is exact too (serialisation is a fixpoint)
+    assert rebuilt.to_dict() == data
+
+
+def test_aliases_normalise_before_serialising():
+    cfg = ExecutorConfig(kind="mp", cores=2)
+    assert cfg.kind == "processes"
+    assert ExecutorConfig.from_dict(cfg.to_dict()).kind == "processes"
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match=r"unknown ExecutorConfig keys \['colour'\]"):
+        ExecutorConfig.from_dict({"kind": "inline", "colour": "red"})
+
+
+def test_from_dict_requires_kind():
+    with pytest.raises(ValueError, match="missing the required 'kind'"):
+        ExecutorConfig.from_dict({"cores": 2})
+
+
+def test_from_dict_rejects_non_dict():
+    with pytest.raises(ValueError, match="expects a dict"):
+        ExecutorConfig.from_dict(["inline"])
+
+
+def test_from_dict_rejects_bad_machine():
+    with pytest.raises(ValueError, match="bad machine spec"):
+        ExecutorConfig.from_dict({"kind": "sim", "machine": {"warp": 9}})
+
+
+def test_from_dict_rejects_bad_faults():
+    with pytest.raises(ValueError, match="bad fault plan"):
+        ExecutorConfig.from_dict({"kind": "inline", "faults": {"chaos": True}})
+
+
+def test_from_dict_rejects_non_dict_options():
+    with pytest.raises(ValueError, match="options must be a dict"):
+        ExecutorConfig.from_dict({"kind": "threads", "options": ["compute_mode"]})
+
+
+def test_unknown_options_rejected_eagerly():
+    with pytest.raises(ValueError, match=r"options \['warp'\] not understood by the 'threads'"):
+        ExecutorConfig(kind="threads", options={"warp": 9})
+
+
+def test_live_trace_recorder_refuses_to_serialise():
+    cfg = ExecutorConfig(kind="inline", trace=TraceRecorder())
+    with pytest.raises(ValueError, match="cannot be serialised"):
+        cfg.to_dict()
+
+
+def test_machine_survives_round_trip_exactly():
+    cfg = ExecutorConfig(kind="sim", machine=PARC64, cores=16)
+    rebuilt = ExecutorConfig.from_dict(cfg.to_dict())
+    assert rebuilt.machine == PARC64
+    assert rebuilt.resolved_machine() == cfg.resolved_machine()

@@ -1,0 +1,137 @@
+"""Cross-process trace shards: write, merge, replay, analyze."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    TraceEvent,
+    TraceRecorder,
+    analyze_trace,
+    merge_shards,
+    read_shard,
+    replay_into,
+    shard_path,
+)
+from repro.obs.sinks import JsonlSink
+
+
+def _span(name, tid, worker, start, dur, **attrs):
+    """One closed task span as its B/E event pair."""
+    return [
+        TraceEvent("task", name, phase="B", ts=start, task_id=tid, worker=worker, attrs=attrs),
+        TraceEvent("task", name, phase="E", ts=start + dur, task_id=tid, worker=worker),
+    ]
+
+
+def _write_shard(path, events):
+    with JsonlSink(path) as sink:
+        for e in events:
+            sink.emit(e)
+
+
+class TestShardFiles:
+    def test_shard_path_naming(self, tmp_path):
+        assert Path(shard_path(tmp_path, 3)).name == "shard-w3.jsonl"
+        assert Path(shard_path(tmp_path, 0, prefix="t")).name == "t-w0.jsonl"
+
+    def test_read_round_trips_events(self, tmp_path):
+        events = _span("t", 1, 0, 0.5, 1.0, pid=1234)
+        path = shard_path(tmp_path, 0)
+        _write_shard(path, events)
+        back, malformed = read_shard(path)
+        assert malformed == 0
+        assert back == events
+        assert back[0].attrs["pid"] == 1234
+
+    def test_missing_shard_is_empty_not_fatal(self, tmp_path):
+        events, malformed = read_shard(tmp_path / "never-written.jsonl")
+        assert events == [] and malformed == 0
+
+    def test_malformed_lines_counted_not_fatal(self, tmp_path):
+        path = Path(shard_path(tmp_path, 0))
+        good = TraceEvent("task", "ok", phase="i", ts=1.0)
+        path.write_text(
+            "this is not json\n"
+            + json.dumps(good.to_json())
+            + "\n"
+            + json.dumps({"no": "kind"})
+            + "\n"
+        )
+        events, malformed = read_shard(path)
+        assert [e.name for e in events] == ["ok"]
+        assert malformed == 2
+
+
+class TestMerge:
+    def test_merge_orders_overlapping_spans_by_time(self, tmp_path):
+        # two workers with *overlapping* spans, deliberately written
+        # out-of-order inside each shard's file
+        w0 = _span("a", 1, 0, 0.0, 2.0) + _span("c", 3, 0, 2.5, 1.0)
+        w1 = _span("b", 2, 1, 1.0, 2.0) + _span("d", 4, 1, 3.5, 0.5)
+        p0, p1 = shard_path(tmp_path, 0), shard_path(tmp_path, 1)
+        _write_shard(p0, w0)
+        _write_shard(p1, w1)
+        events, malformed = merge_shards([p0, p1])
+        assert malformed == 0
+        assert len(events) == 8
+        assert [e.ts for e in events] == sorted(e.ts for e in events)
+
+    def test_merge_puts_metadata_first(self, tmp_path):
+        meta = TraceEvent("meta", "process_name", phase="M", ts=9.0, attrs={"name": "pool"})
+        p0, p1 = shard_path(tmp_path, 0), shard_path(tmp_path, 1)
+        _write_shard(p0, _span("a", 1, 0, 0.0, 1.0))
+        _write_shard(p1, [meta])
+        events, _ = merge_shards([p0, p1])
+        assert events[0].phase == "M"  # despite its late timestamp
+
+    def test_replay_into_recorder(self, tmp_path):
+        p0 = shard_path(tmp_path, 0)
+        _write_shard(p0, _span("a", 1, 0, 0.0, 1.0))
+        recorder = TraceRecorder()
+        events, _ = merge_shards([p0])
+        assert replay_into(recorder, events) == 2
+        assert [e.name for e in recorder.events()] == ["a", "a"]
+
+
+class TestMergedAnalysis:
+    def test_two_shards_analyze_to_one_coherent_summary(self, tmp_path):
+        # worker 0: tasks at [0,2) and [2,3); worker 1: tasks at [1,3)
+        # and [3,3.5) — overlapping in time, 5.5s of work over a 3.5s
+        # window, two workers attributed separately.
+        w0 = _span("a", 1, 0, 0.0, 2.0, pid=101) + _span("c", 3, 0, 2.0, 1.0, pid=101)
+        w1 = _span("b", 2, 1, 1.0, 2.0, pid=202) + _span("d", 4, 1, 3.0, 0.5, pid=202)
+        p0, p1 = shard_path(tmp_path, 0), shard_path(tmp_path, 1)
+        _write_shard(p0, w0)
+        _write_shard(p1, w1)
+        events, malformed = merge_shards([p0, p1])
+        assert malformed == 0
+        analysis = analyze_trace(events)
+        group = analysis.primary
+        assert group is not None
+        assert group.tasks == 4
+        assert group.work == pytest.approx(5.5)
+        assert group.makespan == pytest.approx(3.5)
+        # per-process attribution survives the merge: one utilization row
+        # per worker, covering that worker's own spans only
+        workers = {w.worker: w for w in group.workers}
+        assert set(workers) == {0, 1}
+        assert workers[0].busy == pytest.approx(3.0)
+        assert workers[1].busy == pytest.approx(2.5)
+        assert 0 < group.utilization <= 1.0
+
+    def test_merged_lifecycle_events_reach_the_analysis(self, tmp_path):
+        p0, p1 = shard_path(tmp_path, 0), shard_path(tmp_path, 1)
+        _write_shard(
+            p0,
+            _span("a", 1, 0, 0.0, 1.0)
+            + [TraceEvent("fault", "boom", phase="i", ts=0.5, task_id=1, worker=0)],
+        )
+        _write_shard(p1, [TraceEvent("cancel", "late", phase="i", ts=0.2, task_id=2, worker=1)])
+        events, _ = merge_shards([p0, p1])
+        analysis = analyze_trace(events)
+        assert analysis.faults == 1
+        assert analysis.cancelled == 1
