@@ -11,6 +11,7 @@ Usage::
     python -m repro chaos proj10             # run one experiment under injected faults
     python -m repro top proj2                # live TTY dashboard while it runs
     python -m repro flame proj6 --repeat 200 # sampling profiler + flamegraph
+    python -m repro serve overload           # seeded traffic through the serving gateway
     python -m repro webdemo out_dir/         # generate the race-condition site
     python -m repro topics                   # the ten project topics
 """
@@ -401,6 +402,84 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a seeded arrival trace through the serving gateway.
+
+    ``--backend`` here is the *actual* executor kind (sim included — the
+    virtual-time run is the deterministic golden path), not the
+    redirect-override the experiment commands use.  Prints the serving
+    report; ``--update-baseline``/``--compare`` wire the run into the
+    direction-aware regression gate under the id
+    ``serve_<pattern>_<backend>``.  ``--scrape-out`` runs traced with a
+    live ``/metrics`` endpoint and saves one scrape as proof the serve
+    gauges are exported.
+    """
+    from contextlib import nullcontext
+
+    from repro.serve.loadgen import run_serve
+
+    recorder = None
+    server = None
+    scope: Any = nullcontext()
+    if args.scrape_out:
+        from repro.obs import TraceRecorder, use
+        from repro.obs.live import MetricsServer
+
+        recorder = TraceRecorder(max_events=args.max_events)
+        server = MetricsServer(metrics=recorder.metrics, port=args.port).start()
+        print(f"serving live metrics at {server.url}", file=sys.stderr)
+        scope = use(recorder)
+    try:
+        with scope:
+            report = run_serve(
+                args.pattern,
+                backend=args.backend,
+                cores=args.cores,
+                requests=args.requests,
+                seed=args.seed,
+                base_rate=args.rate,
+                time_scale=args.time_scale,
+                trace=recorder,
+            )
+        if args.scrape_out and server is not None:
+            import urllib.request
+
+            body = urllib.request.urlopen(server.url, timeout=10).read().decode("utf-8")
+            scrape_path = Path(args.scrape_out)
+            scrape_path.parent.mkdir(parents=True, exist_ok=True)
+            scrape_path.write_text(body)
+            print(f"/metrics scrape -> {scrape_path}", file=sys.stderr)
+    finally:
+        if server is not None:
+            server.stop()
+    print(report.table().render())
+    exp_id = f"serve_{args.pattern}_{args.backend}"
+    if args.update_baseline:
+        from repro.obs import update_baseline
+
+        path = update_baseline(exp_id, report.metrics(), args.baseline)
+        print(f"baseline updated -> {path}", file=sys.stderr)
+    if args.compare:
+        from repro.obs import compare_to_baseline, load_baselines
+
+        store = load_baselines(args.baseline)
+        if exp_id not in store:
+            print(
+                f"no baseline for {exp_id!r} in {args.baseline} (known: {sorted(store)}); "
+                f"run 'python -m repro serve {args.pattern} --update-baseline' first",
+                file=sys.stderr,
+            )
+            return 2
+        comparison = compare_to_baseline(
+            exp_id, report.metrics(), store[exp_id], threshold=args.threshold
+        )
+        print()
+        print(comparison.render())
+        if not comparison.ok:
+            return 1
+    return 0
+
+
 def _cmd_webdemo(args: argparse.Namespace) -> int:
     from repro.memmodel import write_demo_site
 
@@ -578,6 +657,61 @@ def main(argv: list[str] | None = None) -> int:
     )
     top.add_argument("--port", type=int, default=0, help="metrics port (default: ephemeral)")
 
+    serve_default_baseline = "benchmarks/reports/BENCH_serve.json"
+    serve = sub.add_parser(
+        "serve",
+        help="replay a seeded arrival trace through the serving gateway "
+        "(admission control, micro-batching, memoizing cache)",
+    )
+    serve.add_argument(
+        "pattern", choices=("steady", "bursty", "diurnal", "overload"),
+        help="traffic shape of the seeded arrival trace",
+    )
+    serve.add_argument(
+        "--backend", default="sim",
+        help="executor kind to serve on (default: sim — the deterministic golden run)",
+    )
+    serve.add_argument("--cores", type=int, default=4, help="worker/core count (default: 4)")
+    serve.add_argument(
+        "--requests", type=int, default=100_000,
+        help="arrivals to generate (default: 100000)",
+    )
+    serve.add_argument("--seed", type=int, default=2014, help="trace seed (default: 2014)")
+    serve.add_argument(
+        "--rate", type=float, default=2_000.0,
+        help="base offered rate in requests/s (default: 2000)",
+    )
+    serve.add_argument(
+        "--time-scale", type=float, default=0.0,
+        help="real backends: scale factor on inter-arrival sleeps "
+        "(0 = replay as fast as possible; default: 0)",
+    )
+    serve.add_argument(
+        "--update-baseline", action="store_true",
+        help="persist this run's metrics as the serving baseline",
+    )
+    serve.add_argument(
+        "--compare", action="store_true",
+        help="gate this run against the stored serving baseline (exit 1 on regression)",
+    )
+    serve.add_argument(
+        "--baseline", default=serve_default_baseline,
+        help=f"serving baseline store (default: {serve_default_baseline})",
+    )
+    serve.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative drift tolerated by --compare (default: 0.25)",
+    )
+    serve.add_argument(
+        "--scrape-out",
+        help="run traced with a live /metrics endpoint and save one scrape to this path",
+    )
+    serve.add_argument("--port", type=int, default=0, help="metrics port (default: ephemeral)")
+    serve.add_argument("--max-events", type=int, default=None, help="cap recorded trace events")
+    # --backend here names the executor to build, not the redirect
+    # override — sim is a first-class (and the default) choice.
+    serve.set_defaults(fn=_cmd_serve, direct_backend=True)
+
     web = sub.add_parser("webdemo", help="generate the interactive race-condition pages")
     web.add_argument("out_dir")
     web.set_defaults(fn=_cmd_webdemo)
@@ -585,6 +719,10 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("topics", help="print the ten project topics").set_defaults(fn=_cmd_topics)
 
     args = parser.parse_args(argv)
+    if getattr(args, "direct_backend", False):
+        # serve interprets --backend itself (any registered kind,
+        # including the virtual-time ones the override rejects)
+        return args.fn(args)
     if getattr(args, "backend", None) is not None:
         # Probe the override once so bad --backend values (unknown kind,
         # or a non-redirectable one like sim) exit 2 with the registry's

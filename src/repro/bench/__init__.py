@@ -16,5 +16,6 @@ from repro.bench import experiments_course as _course  # noqa: F401,E402
 from repro.bench import experiments_projects as _projects  # noqa: F401,E402
 from repro.bench import experiments_projects2 as _projects2  # noqa: F401,E402
 from repro.bench import experiments_real as _real  # noqa: F401,E402
+from repro.bench import experiments_serve as _serve  # noqa: F401,E402
 
 __all__ = ["Experiment", "ExperimentResult", "register", "get_experiment", "all_experiments"]

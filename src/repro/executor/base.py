@@ -115,6 +115,33 @@ class Executor(abc.ABC):
 
     # -- conveniences shared by all backends --------------------------------
 
+    def submit_many(
+        self,
+        fn: Callable[..., Any],
+        arg_tuples: Sequence[Sequence[Any]],
+        *,
+        costs: Sequence[float] | None = None,
+        name: str = "batch",
+    ) -> list[Future]:
+        """Submit ``fn(*args)`` for each argument tuple; futures in order.
+
+        Semantically identical to a loop of :meth:`submit` — this default
+        *is* that loop — but backends may override it as a fast path that
+        amortises per-submit overhead (the thread pool takes its queue
+        lock once and wakes workers once for the whole group).  The
+        serving gateway dispatches micro-batches through here.
+        """
+        arg_tuples = list(arg_tuples)
+        if costs is not None and len(costs) != len(arg_tuples):
+            raise ValueError(
+                f"costs has {len(costs)} entries for {len(arg_tuples)} tasks"
+            )
+        futures = []
+        for i, args in enumerate(arg_tuples):
+            cost = costs[i] if costs is not None else None
+            futures.append(self.submit(fn, *args, cost=cost, name=f"{name}[{i}]"))
+        return futures
+
     def map(
         self,
         fn: Callable[..., Any],

@@ -48,8 +48,16 @@ _LOWER_BETTER = (
     "serial_fraction",
     "dropped",
     "unclosed",
+    "shed",
 )
-_HIGHER_BETTER = ("parallelism", "utilization", "speedup", "success")
+_HIGHER_BETTER = (
+    "parallelism",
+    "utilization",
+    "speedup",
+    "success",
+    "throughput",
+    "hit_rate",
+)
 
 
 def metric_direction(name: str) -> str:

@@ -123,7 +123,7 @@ class Histogram:
         return summarize(self.samples())
 
     def flat_summary(self) -> dict[str, float]:
-        """Deterministic flat fields (``<name>.n/.mean/.p50/.p90/.p99/.max``).
+        """Deterministic flat fields (``<name>.n/.mean/.p50/.p90/.p99/.p999/.max``).
 
         This is the snapshot/baseline form: plain floats with stable key
         names, so two snapshots of the same run diff cleanly.  An empty
@@ -134,11 +134,12 @@ class Histogram:
         if not samples:
             return out
         arr = np.asarray(samples, dtype=float)
-        p50, p90, p99 = np.percentile(arr, [50, 90, 99])
+        p50, p90, p99, p999 = np.percentile(arr, [50, 90, 99, 99.9])
         out[f"{self.name}.mean"] = float(arr.mean())
         out[f"{self.name}.p50"] = float(p50)
         out[f"{self.name}.p90"] = float(p90)
         out[f"{self.name}.p99"] = float(p99)
+        out[f"{self.name}.p999"] = float(p999)
         out[f"{self.name}.max"] = float(arr.max())
         return out
 

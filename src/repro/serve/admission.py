@@ -1,0 +1,115 @@
+"""Admission control: token-bucket rate limiting + queue-depth backpressure.
+
+Two independent guards run at submit time, before a request costs the
+system anything:
+
+* a deterministic **token bucket** — capacity ``burst`` tokens refilled
+  at ``rate`` per second of *gateway time* (virtual under sim, wall time
+  under threads/processes).  A request that finds the bucket empty is
+  shed with ``Rejected("rate")``.
+* a **queue-depth cap** — if the number of admitted-but-uncompleted
+  requests already meets ``max_queue``, the request is shed with
+  ``Rejected("queue")``.
+
+Shedding is the *only* overload behaviour: the gateway never blocks the
+submitting client and never grows its queue without bound, which is the
+property the overload load-pattern in :mod:`repro.serve.loadgen`
+exercises.  Both guards are pure functions of (time, state), so a
+seeded arrival trace produces the same admit/shed sequence on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionController", "AdmissionPolicy", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Tunables for the admission controller.
+
+    ``rate=None`` disables rate limiting (infinite refill);
+    ``max_queue=None`` disables the depth cap.  The defaults are
+    permissive on rate and bounded on depth — a gateway should always
+    have *some* backpressure.
+    """
+
+    rate: float | None = None
+    burst: float = 64.0
+    max_queue: int | None = 1024
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.burst <= 0:
+            raise ValueError(f"burst must be > 0, got {self.burst}")
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+
+
+class TokenBucket:
+    """Classic token bucket on an explicit clock value.
+
+    The caller passes ``now`` to every operation; the bucket itself
+    never reads a clock, which keeps it trivially testable and exactly
+    reproducible under virtual time.
+    """
+
+    def __init__(self, rate: float, burst: float, *, now: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = float(now)
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def peek(self, now: float) -> float:
+        """Tokens available at ``now`` (refills as a side effect)."""
+        self._refill(now)
+        return self._tokens
+
+    def try_take(self, now: float, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; False means shed."""
+        self._refill(now)
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy`; returns a shed reason or None.
+
+    Not internally locked: the gateway calls it under its own mutex, so
+    the admit/shed decision and the queue-depth read are one atomic step.
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None, *, now: float = 0.0) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self._bucket = (
+            TokenBucket(self.policy.rate, self.policy.burst, now=now)
+            if self.policy.rate is not None
+            else None
+        )
+
+    def decide(self, now: float, queue_depth: int) -> str | None:
+        """None = admit; otherwise the ``Rejected`` reason string.
+
+        Depth is checked before the bucket so a full queue does not also
+        drain tokens — once depth recovers, the bucket reflects only the
+        traffic that was actually queued.
+        """
+        cap = self.policy.max_queue
+        if cap is not None and queue_depth >= cap:
+            return "queue"
+        if self._bucket is not None and not self._bucket.try_take(now):
+            return "rate"
+        return None

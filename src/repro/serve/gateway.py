@@ -1,0 +1,670 @@
+"""The submission gateway: one front door over any executor backend.
+
+``Gateway.submit()`` is the serving analogue of ``Executor.submit()``:
+it admits (or sheds), consults the memoizing cache, micro-batches, and
+dispatches to the wrapped executor, resolving each request's
+:class:`~repro.serve.requests.Ticket` with a typed response.  The same
+client code runs identically over every backend; what changes is the
+*clock discipline*:
+
+* **driven** mode (inline/sim, virtual time) — the gateway owns a
+  :class:`~repro.util.stopwatch.ManualClock` and a service-time model
+  (``executor.cores`` servers, earliest-free assignment), so a seeded
+  arrival trace yields byte-identical latency/shed/hit numbers on every
+  run.  Work still *executes* eagerly at dispatch (real values come
+  back); only time is modeled.
+* **thread** mode (threads/processes, wall time) — a dispatcher thread
+  ages out open batches on the real clock and completions arrive via
+  future callbacks; latency is measured wall time.
+
+Overload can only shed, never block: ``submit`` returns a resolved
+``Rejected`` ticket instead of queueing past the admission limits, and
+``shutdown(drain=False)`` resolves every queued-but-undispatched
+request with ``Rejected("shutdown")`` — the serving mirror of the
+executor's ``ExecutorShutdown`` stranded-future guarantee.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.executor.base import Executor, ExecutorShutdown
+from repro.executor.future import Future
+from repro.executor.inline import InlineExecutor
+from repro.executor.simulated import SimExecutor
+from repro.obs.trace import TraceRecorder, resolve_recorder
+from repro.resilience.cancel import CancelToken
+from repro.resilience.retry import RetryPolicy
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.batching import Batch, BatchPolicy, MicroBatcher, run_batch
+from repro.serve.cache import LRUTTLCache, ModeledCache
+from repro.serve.requests import (
+    Completed,
+    Failed,
+    Rejected,
+    Response,
+    Ticket,
+    Uncacheable,
+    canonical_key,
+)
+from repro.util.stopwatch import Clock, ManualClock, WallClock
+
+__all__ = ["Gateway", "GatewayStats"]
+
+_AUTO = object()  # sentinel: derive the cache key from (task, args, kwargs)
+
+#: no backoff sleeps inside the gateway — retries are immediate, so the
+#: driven mode stays a pure function of the arrival trace
+_DEFAULT_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0, jitter=0.0)
+
+
+@dataclass
+class GatewayStats:
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    batches: int = 0
+    shed: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+
+@dataclass
+class _Request:
+    ticket: Ticket
+    fn: Callable[..., Any]
+    args: tuple
+    kwargs: dict
+    task: str
+    cost: float
+    key: str | None
+    arrival: float
+    deadline: float | None
+    cancel: CancelToken | None
+
+
+class Gateway:
+    """Serving front door over an :class:`~repro.executor.base.Executor`.
+
+    The gateway *uses* the executor but does not own it: ``shutdown()``
+    releases gateway resources only, and the caller remains responsible
+    for ``executor.shutdown()``.  ``mode="auto"`` picks driven for the
+    eager virtual-time backends (inline, sim) and thread otherwise;
+    custom eager backends should pass ``mode="driven"`` explicitly.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        *,
+        admission: AdmissionPolicy | None = None,
+        batching: BatchPolicy | None = None,
+        cache: LRUTTLCache | ModeledCache | None = None,
+        retry: RetryPolicy | None = None,
+        mode: str = "auto",
+        clock: Clock | None = None,
+        dispatch_overhead: float = 0.0,
+        trace: TraceRecorder | None = None,
+        name: str = "serve",
+    ) -> None:
+        if mode == "auto":
+            mode = (
+                "driven"
+                if isinstance(executor, (InlineExecutor, SimExecutor))
+                else "thread"
+            )
+        if mode not in ("driven", "thread"):
+            raise ValueError(f"mode must be 'driven', 'thread' or 'auto', got {mode!r}")
+        self.executor = executor
+        self.mode = mode
+        self.clock: Clock = clock or (ManualClock() if mode == "driven" else WallClock())
+        self.cache = cache
+        self.retry = retry or _DEFAULT_RETRY
+        self.dispatch_overhead = dispatch_overhead
+        self.trace = resolve_recorder(trace)
+        self.name = name
+        self.stats = GatewayStats()
+        self._admission = AdmissionController(admission, now=self.clock.now())
+        self._batcher = MicroBatcher(batching)
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._next_id = 0
+        self._depth = 0  # admitted-but-unresolved requests
+        self._shut = False
+        # driven mode: per-core earliest-free times + pending completions;
+        # a completion payload is ("ok", value, batch_size) or
+        # ("err", exception, batch_size)
+        self._core_free = [self.clock.now()] * max(1, executor.cores)
+        heapq.heapify(self._core_free)
+        self._completions: list[tuple[float, int, _Request, tuple]] = []
+        self._seq = 0
+        # key -> coalesced followers waiting on an in-flight leader (driven)
+        self._waiters: dict[str, list[_Request]] = {}
+        # unresolved admitted requests (drain waits on these)
+        self._live: dict[int, _Request] = {}
+        self._dispatcher: threading.Thread | None = None
+        if mode == "thread":
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name=f"{name}-dispatcher", daemon=True
+            )
+            self._dispatcher.start()
+
+    # ------------------------------------------------------------------ API
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        task: str | None = None,
+        cost: float = 0.0,
+        key: Any = _AUTO,
+        deadline: float | None = None,
+        cancel: CancelToken | None = None,
+        **kwargs: Any,
+    ) -> Ticket:
+        """Submit one request; never blocks, never raises for overload.
+
+        ``task`` names the request kind (batching groups by it; defaults
+        to the function name).  ``cost`` is the declared service cost in
+        reference-seconds — it drives the latency model in driven mode
+        and is ignored on real backends.  ``key`` controls memoization:
+        the default derives a canonical key from the arguments, ``None``
+        bypasses the cache, a string is used verbatim.  ``deadline`` is
+        seconds from arrival the request must be *dispatched* within
+        (the same start-by contract as ``Executor.submit``).
+        """
+        kind = task or getattr(fn, "__name__", "request")
+        with self._lock:
+            now = self.clock.now()
+            if self.mode == "driven":
+                self._advance_locked(now)
+            self._next_id += 1
+            ticket = Ticket(self._next_id, kind)
+            self.stats.submitted += 1
+            self.trace.count("serve.submitted")
+            if self._shut:
+                return self._shed(ticket, "shutdown", "gateway is shut down")
+            reason = self._admission.decide(now, self._depth)
+            if reason is not None:
+                detail = (
+                    f"queue depth {self._depth} at limit"
+                    if reason == "queue"
+                    else "rate limit exceeded"
+                )
+                return self._shed(ticket, reason, detail)
+            self.stats.admitted += 1
+            self.trace.count("serve.admitted")
+            if key is _AUTO:
+                if self.cache is None:
+                    key = None
+                else:
+                    try:
+                        key = canonical_key(kind, args, kwargs)
+                    except Uncacheable:
+                        key = None
+            ticket.key = key
+            req = _Request(
+                ticket, fn, args, dict(kwargs), kind, cost, key, now, deadline, cancel
+            )
+            if key is not None and self.cache is not None:
+                if self._try_cache_locked(req, now):
+                    return ticket
+            self._enqueue_locked(req, now)
+        return ticket
+
+    def result(self, ticket: Ticket, timeout: float | None = None) -> Response:
+        """Resolve ``ticket`` to its :class:`Response`.
+
+        In driven mode an unresolved ticket means its batch has not been
+        dispatched or its virtual completion time not reached — the
+        gateway drains to resolve it.  In thread mode this blocks (up to
+        ``timeout``) like ``Future.result``.
+        """
+        if not ticket.done() and self.mode == "driven":
+            self.drain()
+        return ticket.response(timeout)
+
+    def pump(self, now: float | None = None) -> None:
+        """Driven mode: advance to ``now`` (default: current clock),
+        dispatching due batches and delivering due completions."""
+        with self._lock:
+            clk = self.clock
+            if now is not None and isinstance(clk, ManualClock) and now > clk.now():
+                clk.advance_to(now)
+            self._advance_locked(self.clock.now())
+
+    def drain(self) -> float:
+        """Flush open batches and deliver everything in flight.
+
+        Driven mode advances the virtual clock to the last completion
+        and returns it; thread mode blocks until live requests resolve
+        and returns the wall clock.  The gateway stays open.
+        """
+        if self.mode == "driven":
+            with self._lock:
+                now = self.clock.now()
+                self._advance_locked(now)
+                for batch in sorted(self._batcher.flush(), key=lambda b: b.opened_at):
+                    self._dispatch_driven_locked(batch, now)
+                end = max(
+                    (finish for finish, _, _, _ in self._completions), default=now
+                )
+                clk = self.clock
+                if isinstance(clk, ManualClock) and end > now:
+                    clk.advance_to(end)
+                self._advance_locked(end)
+                return end
+        with self._wake:
+            batches = self._batcher.flush()
+            self._wake.notify_all()
+        for batch in batches:
+            self._dispatch_thread(batch)
+        while True:
+            with self._lock:
+                live = list(self._live.values())
+            if not live:
+                return self.clock.now()
+            for req in live:
+                req.ticket.response(timeout=30.0)
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting requests; idempotent.
+
+        ``drain=True`` flushes and delivers queued work first.
+        ``drain=False`` resolves every queued-but-undispatched request
+        (and any coalesced follower of one) with ``Rejected("shutdown")``
+        so no client waits forever — batches already handed to the
+        executor still complete via their callbacks.
+        """
+        with self._lock:
+            if self._shut:
+                return
+            self._shut = True
+            if not drain:
+                for batch in self._batcher.flush():
+                    for req in batch.requests:
+                        self._abort_keyed_locked(
+                            req, ExecutorShutdown("gateway shut down before dispatch")
+                        )
+                        self._resolve_locked(
+                            req,
+                            Rejected("shutdown", "gateway shut down before dispatch"),
+                        )
+                # driven mode: completed-but-undelivered work is real
+                # results — deliver it rather than discarding
+                while self._completions:
+                    finish, _, req, payload = heapq.heappop(self._completions)
+                    self._finalize_driven_locked(req, payload, finish)
+            self._wake.notify_all()
+        if drain:
+            self.drain()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=10.0)
+            self._dispatcher = None
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    # -------------------------------------------------------- shared internals
+
+    def _shed(self, ticket: Ticket, reason: str, detail: str) -> Ticket:
+        self.stats.shed[reason] = self.stats.shed.get(reason, 0) + 1
+        self.trace.count("serve.shed")
+        ticket._resolve(Rejected(reason, detail))
+        return ticket
+
+    def _resolve_locked(self, req: _Request, response: Response) -> None:
+        if not req.ticket._resolve(response):
+            return
+        self._depth -= 1
+        self._live.pop(req.ticket.request_id, None)
+        self.trace.set_gauge("serve.queue_depth", self._depth)
+        if isinstance(response, Completed):
+            self.stats.completed += 1
+            self.trace.observe("serve.latency_seconds", response.latency)
+        elif isinstance(response, Failed):
+            self.stats.failed += 1
+            self.trace.count("serve.failures")
+        elif isinstance(response, Rejected):
+            self.stats.shed[response.reason] = (
+                self.stats.shed.get(response.reason, 0) + 1
+            )
+            self.trace.count("serve.shed")
+
+    def _abort_keyed_locked(self, req: _Request, error: BaseException) -> None:
+        """A queued cache *leader* is not going to run: fail the key so
+        thread-mode followers unblock, and fail driven-mode waiters."""
+        if req.key is None or self.cache is None:
+            return
+        self.cache.fail(req.key, error)
+        for waiter in self._waiters.pop(req.key, []):
+            self._resolve_locked(waiter, Failed(error, latency=0.0))
+
+    def _try_cache_locked(self, req: _Request, now: float) -> bool:
+        """Consult the cache; True if the request is fully handled here
+        (hit, coalesced wait, or modeled warm execute-at-zero-cost)."""
+        assert self.cache is not None and req.key is not None
+        decision = self.cache.begin(req.key, now)
+        if decision.status == "hit":
+            self.trace.count("serve.cache_hits")
+            self.stats.completed += 1
+            self.trace.observe("serve.latency_seconds", 0.0)
+            req.ticket._resolve(Completed(decision.value, latency=0.0, cached=True))
+            return True
+        if decision.status == "wait":
+            self.trace.count("serve.cache_coalesced")
+            self._depth += 1
+            self._live[req.ticket.request_id] = req
+            if self.mode == "driven":
+                self._waiters.setdefault(req.key, []).append(req)
+            else:
+                leader = decision.leader
+                assert leader is not None
+                leader.add_done_callback(
+                    lambda fut, r=req: self._on_leader_done(r, fut)
+                )
+            return True
+        # status == "lead"
+        if not decision.charge:
+            # Modeled warm key (sim): served as a hit.  The body still
+            # runs once so the client gets a real value, but at zero
+            # service cost and without occupying the queue.
+            self.trace.count("serve.cache_hits")
+            try:
+                value = req.fn(*req.args, **req.kwargs)
+            except Exception as exc:  # noqa: BLE001 — failures become responses
+                self.cache.fail(req.key, exc)
+                self.stats.failed += 1
+                self.trace.count("serve.failures")
+                req.ticket._resolve(Failed(exc, latency=0.0))
+                return True
+            self.cache.complete(req.key, value, now)
+            self.stats.completed += 1
+            self.trace.observe("serve.latency_seconds", 0.0)
+            req.ticket._resolve(Completed(value, latency=0.0, cached=True))
+            return True
+        self.trace.count("serve.cache_misses")
+        return False
+
+    def _enqueue_locked(self, req: _Request, now: float) -> None:
+        self._depth += 1
+        self._live[req.ticket.request_id] = req
+        self.trace.set_gauge("serve.queue_depth", self._depth)
+        batch = self._batcher.add(req, now)
+        if batch is not None:
+            if self.mode == "driven":
+                self._dispatch_driven_locked(batch, now)
+            else:
+                self._dispatch_thread(batch)
+        elif self.mode == "thread":
+            self._wake.notify_all()
+
+    def _presend_locked(self, batch: Batch, now: float) -> list[_Request]:
+        """Apply per-request cancellation/deadline at dispatch time."""
+        survivors: list[_Request] = []
+        for req in batch.requests:
+            if req.cancel is not None and req.cancel.cancelled:
+                self._abort_keyed_locked(
+                    req, RuntimeError("coalesced leader cancelled before dispatch")
+                )
+                self._resolve_locked(
+                    req, Rejected("cancelled", f"token {req.cancel.name!r} cancelled")
+                )
+            elif req.deadline is not None and now - req.arrival > req.deadline:
+                self._abort_keyed_locked(
+                    req, RuntimeError("coalesced leader missed its deadline")
+                )
+                self._resolve_locked(
+                    req,
+                    Rejected(
+                        "deadline",
+                        f"not dispatched within {req.deadline}s of arrival",
+                    ),
+                )
+            else:
+                survivors.append(req)
+        return survivors
+
+    def _emit_retry(self, name: str, attempt: int, exc: BaseException) -> None:
+        self.stats.retries += 1
+        self.trace.count("serve.retries")
+        if self.trace.enabled:
+            self.trace.event(
+                "retry", name, attempt=attempt, delay=0.0, exception=type(exc).__name__
+            )
+
+    # -------------------------------------------------------- driven mode
+
+    def _advance_locked(self, now: float) -> None:
+        due = self._batcher.due(now)
+        for batch in sorted(due, key=lambda b: b.opened_at):
+            # dispatch at the instant the batch aged out, not at "now":
+            # the latency model should not depend on how often we pump
+            self._dispatch_driven_locked(
+                batch, batch.opened_at + self._batcher.policy.max_delay
+            )
+        while self._completions and self._completions[0][0] <= now:
+            finish, _, req, payload = heapq.heappop(self._completions)
+            self._finalize_driven_locked(req, payload, finish)
+
+    def _dispatch_driven_locked(self, batch: Batch, t: float) -> None:
+        survivors = self._presend_locked(batch, t)
+        if not survivors:
+            return
+        self.stats.batches += 1
+        self.trace.count("serve.batches")
+        self.trace.observe("serve.batch_occupancy", len(survivors))
+        calls = [(r.fn, r.args, r.kwargs) for r in survivors]
+        name = f"{self.name}:{batch.kind}[{len(survivors)}]"
+        cost = self.dispatch_overhead + sum(r.cost for r in survivors)
+        outcome = self._execute_driven(calls, cost, name)
+        free = heapq.heappop(self._core_free)
+        start = max(t, free)
+        finish = start + cost
+        heapq.heappush(self._core_free, finish)
+        size = len(survivors)
+        if isinstance(outcome, BaseException):
+            for req in survivors:
+                self._schedule_completion(req, ("err", outcome, size), finish)
+        else:
+            for req, (status, payload) in zip(survivors, outcome):
+                self._schedule_completion(req, (status, payload, size), finish)
+
+    def _schedule_completion(self, req: _Request, payload: tuple, finish: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._completions, (finish, self._seq, req, payload))
+
+    def _finalize_driven_locked(
+        self, req: _Request, payload: tuple, finish: float
+    ) -> None:
+        status, value, size = payload
+        latency = finish - req.arrival
+        if status == "err":
+            self._abort_keyed_locked(req, value)
+            self._resolve_locked(req, Failed(value, latency=latency))
+            return
+        if req.key is not None and self.cache is not None:
+            self.cache.complete(req.key, value, finish)
+            for waiter in self._waiters.pop(req.key, []):
+                self._resolve_locked(
+                    waiter,
+                    Completed(value, latency=finish - waiter.arrival, cached=True),
+                )
+        self._resolve_locked(
+            req, Completed(value, latency=latency, batch_size=size)
+        )
+
+    def _execute_driven(self, calls: list, cost: float, name: str) -> Any:
+        """Run one batch on the eager executor with immediate retries.
+
+        Returns the ``run_batch`` result list, or the final exception if
+        the whole batch kept failing (e.g. injected worker faults)."""
+        attempt = 1
+        while True:
+            try:
+                future = self.executor.submit(run_batch, calls, cost=cost, name=name)
+                exc = future.exception()
+            except ExecutorShutdown as shutdown_exc:
+                return shutdown_exc
+            if exc is None:
+                return future.result()
+            if not self.retry.should_retry(exc, attempt):
+                return exc
+            self._emit_retry(name, attempt, exc)
+            attempt += 1
+
+    # -------------------------------------------------------- thread mode
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wake:
+                if self._shut:
+                    return
+                deadline = self._batcher.next_deadline()
+                now = self.clock.now()
+                if deadline is None:
+                    self._wake.wait()
+                elif deadline > now:
+                    self._wake.wait(timeout=deadline - now)
+                if self._shut:
+                    return
+                due = self._batcher.due(self.clock.now())
+                if len(due) > 1:
+                    self._dispatch_thread_many(due)
+                else:
+                    for batch in due:
+                        self._dispatch_thread(batch)
+
+    def _dispatch_thread(self, batch: Batch) -> None:
+        with self._lock:
+            survivors = self._presend_locked(batch, self.clock.now())
+            if not survivors:
+                return
+            self.stats.batches += 1
+            self.trace.count("serve.batches")
+            self.trace.observe("serve.batch_occupancy", len(survivors))
+        calls = [(r.fn, r.args, r.kwargs) for r in survivors]
+        name = f"{self.name}:{batch.kind}[{len(survivors)}]"
+        self._submit_thread(calls, survivors, name, attempt=1)
+
+    def _dispatch_thread_many(self, batches: list[Batch]) -> None:
+        """Dispatch several due batches through the executor's
+        ``submit_many`` fast path (one pool lock round, one wake-up)."""
+        prepared: list[tuple[list, list[_Request], str]] = []
+        with self._lock:
+            now = self.clock.now()
+            for batch in batches:
+                survivors = self._presend_locked(batch, now)
+                if not survivors:
+                    continue
+                self.stats.batches += 1
+                self.trace.count("serve.batches")
+                self.trace.observe("serve.batch_occupancy", len(survivors))
+                prepared.append(
+                    (
+                        [(r.fn, r.args, r.kwargs) for r in survivors],
+                        survivors,
+                        f"{self.name}:{batch.kind}[{len(survivors)}]",
+                    )
+                )
+        if not prepared:
+            return
+        try:
+            futures = self.executor.submit_many(
+                run_batch, [(calls,) for calls, _, _ in prepared], name=self.name
+            )
+        except ExecutorShutdown as exc:
+            with self._lock:
+                for _, survivors, _ in prepared:
+                    for req in survivors:
+                        self._abort_keyed_locked(req, exc)
+                        self._resolve_locked(req, Failed(exc, latency=0.0))
+            return
+        for future, (calls, survivors, name) in zip(futures, prepared):
+            future.add_done_callback(
+                lambda fut, c=calls, s=survivors, n=name: self._on_batch_done(
+                    fut, c, s, n, 1
+                )
+            )
+
+    def _submit_thread(
+        self, calls: list, survivors: list[_Request], name: str, attempt: int
+    ) -> None:
+        try:
+            future = self.executor.submit(run_batch, calls, name=name)
+        except ExecutorShutdown as exc:
+            with self._lock:
+                for req in survivors:
+                    self._abort_keyed_locked(req, exc)
+                    self._resolve_locked(req, Failed(exc, latency=0.0))
+            return
+        future.add_done_callback(
+            lambda fut: self._on_batch_done(fut, calls, survivors, name, attempt)
+        )
+
+    def _on_batch_done(
+        self,
+        future: Future,
+        calls: list,
+        survivors: list[_Request],
+        name: str,
+        attempt: int,
+    ) -> None:
+        exc = future.exception()
+        if exc is not None:
+            if not isinstance(exc, ExecutorShutdown) and self.retry.should_retry(
+                exc, attempt
+            ):
+                self._emit_retry(name, attempt, exc)
+                self._submit_thread(calls, survivors, name, attempt + 1)
+                return
+            now = self.clock.now()
+            with self._lock:
+                for req in survivors:
+                    self._abort_keyed_locked(req, exc)
+                    self._resolve_locked(
+                        req, Failed(exc, latency=now - req.arrival, attempts=attempt)
+                    )
+            return
+        results = future.result()
+        now = self.clock.now()
+        size = len(survivors)
+        with self._lock:
+            for req, (status, payload) in zip(survivors, results):
+                if status == "ok":
+                    if req.key is not None and self.cache is not None:
+                        self.cache.complete(req.key, payload, now)
+                    self._resolve_locked(
+                        req,
+                        Completed(
+                            payload, latency=now - req.arrival, batch_size=size
+                        ),
+                    )
+                else:
+                    if req.key is not None and self.cache is not None:
+                        self.cache.fail(req.key, payload)
+                    self._resolve_locked(
+                        req, Failed(payload, latency=now - req.arrival)
+                    )
+
+    def _on_leader_done(self, req: _Request, leader: Future) -> None:
+        """Thread mode: a coalesced follower's leader resolved."""
+        now = self.clock.now()
+        exc = leader.exception()
+        with self._lock:
+            if exc is not None:
+                self._resolve_locked(req, Failed(exc, latency=now - req.arrival))
+            else:
+                self._resolve_locked(
+                    req,
+                    Completed(leader.result(), latency=now - req.arrival, cached=True),
+                )

@@ -1,0 +1,214 @@
+"""Request/response vocabulary of the serving gateway.
+
+A client hands the gateway a callable plus arguments and gets back a
+:class:`Ticket`.  The ticket resolves to exactly one of three *typed*
+responses — :class:`Completed`, :class:`Rejected` or :class:`Failed` —
+and ``Ticket.response()`` never raises: overload, shutdown, deadline
+misses and task failures are all **values**, so a load generator (or a
+student's client loop) can tally them without try/except pyramids.
+
+The memoizing cache keys on ``(task identity, canonicalized inputs)``.
+:func:`canonical_key` produces a process-stable 64-bit digest for the
+common argument shapes (scalars, strings, bytes, (frozen)sets, dicts,
+sequences, numpy arrays).  Arguments it cannot canonicalize safely —
+arbitrary objects whose ``repr`` embeds ``id()`` — raise
+:class:`Uncacheable`; the gateway then serves the request *without*
+memoization rather than risking false cache hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Completed",
+    "Failed",
+    "Rejected",
+    "Response",
+    "Ticket",
+    "Uncacheable",
+    "canonical_key",
+]
+
+#: admission/lifecycle reasons a request can be shed with
+REJECT_REASONS = ("rate", "queue", "shutdown", "deadline", "cancelled")
+
+
+class Uncacheable(TypeError):
+    """An argument has no stable canonical form; the request bypasses the cache."""
+
+
+@dataclass(frozen=True)
+class Response:
+    """Base of the closed response union; ``ok`` discriminates cheaply."""
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Completed(Response):
+    """The request ran (or hit the cache) and produced ``value``."""
+
+    value: Any
+    #: arrival-to-completion latency in gateway seconds (virtual under sim)
+    latency: float = 0.0
+    #: True when served from the memoizing cache (including coalesced
+    #: followers of an in-flight leader)
+    cached: bool = False
+    #: number of requests in the micro-batch this one rode in (1 = solo)
+    batch_size: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Rejected(Response):
+    """The gateway declined the request; ``reason`` is one of
+    :data:`REJECT_REASONS` and the client never blocks on it."""
+
+    reason: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reason not in REJECT_REASONS:
+            raise ValueError(
+                f"reason must be one of {REJECT_REASONS}, got {self.reason!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Failed(Response):
+    """The request was admitted and ran, but its body raised ``error``
+    (after the gateway's retry budget was spent)."""
+
+    error: BaseException
+    latency: float = 0.0
+    attempts: int = 1
+
+
+@dataclass
+class Ticket:
+    """Client handle for one submitted request.
+
+    ``response()`` blocks until the gateway resolves the request and
+    always returns a :class:`Response` — rejection and failure are data,
+    not exceptions.  Under a clock-driven gateway (sim/inline) tickets
+    resolve during ``pump()``/``drain()``, so prefer
+    ``Gateway.result(ticket)`` which pumps as needed.
+    """
+
+    request_id: int
+    task: str
+    key: str | None = None
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+    _response: Response | None = field(default=None, repr=False)
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def response(self, timeout: float | None = None) -> Response:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} ({self.task!r}) unresolved after {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    # gateway-side: resolve exactly once; later calls are ignored so a
+    # shutdown race between dispatcher and rejector cannot flip a result.
+    def _resolve(self, response: Response) -> bool:
+        if self._event.is_set():
+            return False
+        self._response = response
+        self._event.set()
+        return True
+
+
+def _canon(value: Any, out: list[bytes]) -> None:
+    """Append a canonical byte encoding of ``value`` to ``out``.
+
+    The encoding is type-tagged so ``1`` / ``1.0`` / ``"1"`` / ``True``
+    hash differently, and container boundaries are marked so ``("ab",)``
+    and ``("a", "b")`` differ.
+    """
+    if value is None:
+        out.append(b"N")
+    elif isinstance(value, bool):
+        out.append(b"b1" if value else b"b0")
+    elif isinstance(value, int):
+        out.append(b"i" + str(value).encode())
+    elif isinstance(value, float):
+        out.append(b"f" + repr(value).encode())
+    elif isinstance(value, str):
+        out.append(b"s" + value.encode("utf-8"))
+    elif isinstance(value, bytes):
+        out.append(b"y" + value)
+    elif isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        out.append(b"a" + str(arr.shape).encode() + arr.dtype.str.encode())
+        out.append(arr.tobytes())
+    elif isinstance(value, np.generic):
+        _canon(value.item(), out)
+    elif isinstance(value, (tuple, list)):
+        out.append(b"(")
+        for item in value:
+            _canon(item, out)
+            out.append(b",")
+        out.append(b")")
+    elif isinstance(value, (set, frozenset)):
+        parts: list[bytes] = []
+        for item in value:
+            sub: list[bytes] = []
+            _canon(item, sub)
+            parts.append(b"".join(sub))
+        out.append(b"{")
+        for part in sorted(parts):
+            out.append(part)
+            out.append(b",")
+        out.append(b"}")
+    elif isinstance(value, Mapping):
+        entries: list[tuple[bytes, Any]] = []
+        for k, v in value.items():
+            sub = []
+            _canon(k, sub)
+            entries.append((b"".join(sub), v))
+        out.append(b"[")
+        for kb, v in sorted(entries, key=lambda e: e[0]):
+            out.append(kb)
+            out.append(b":")
+            _canon(v, out)
+            out.append(b",")
+        out.append(b"]")
+    else:
+        raise Uncacheable(
+            f"cannot canonicalize {type(value).__name__!r} for cache keying"
+        )
+
+
+def canonical_key(
+    task: str | Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: Mapping[str, Any] | None = None,
+) -> str:
+    """Stable cache key for ``task(*args, **kwargs)``.
+
+    ``task`` may be the task-kind string or the callable itself (its
+    qualified name is used — *not* its code hash, matching how the rest
+    of the repo identifies work by name).  Raises :class:`Uncacheable`
+    for argument types without a stable canonical form.
+    """
+    name = task if isinstance(task, str) else getattr(task, "__qualname__", repr(task))
+    out: list[bytes] = [b"t" + name.encode("utf-8")]
+    _canon(tuple(args), out)
+    _canon(dict(kwargs or {}), out)
+    digest = hashlib.blake2b(b"\x00".join(out), digest_size=8).hexdigest()
+    return f"{name}:{digest}"

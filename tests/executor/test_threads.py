@@ -217,3 +217,44 @@ class TestLifecycle:
         with WorkStealingPool(workers=3) as pool:
             pool.wait_all([pool.submit(lambda: None) for _ in range(30)])
         assert sum(pool.stats.per_worker_executed) == pool.stats.tasks_executed == 30
+
+
+def _square(x):
+    return x * x
+
+
+class TestSubmitMany:
+    def test_matches_submit_loop(self, pool):
+        futures = pool.submit_many(_square, [(i,) for i in range(50)])
+        assert pool.wait_all(futures) == [i * i for i in range(50)]
+
+    def test_order_preserved(self, pool):
+        futures = pool.submit_many(lambda a, b: a - b, [(10, i) for i in range(8)])
+        assert [f.result(timeout=5) for f in futures] == [10 - i for i in range(8)]
+
+    def test_empty_batch(self, pool):
+        assert pool.submit_many(_square, []) == []
+
+    def test_costs_length_validated(self, pool):
+        with pytest.raises(ValueError):
+            pool.submit_many(_square, [(1,), (2,)], costs=[0.1])
+
+    def test_rejected_after_shutdown(self):
+        pool = WorkStealingPool(workers=2)
+        pool.shutdown()
+        with pytest.raises(ExecutorShutdown):
+            pool.submit_many(_square, [(1,)])
+
+    def test_submit_many_from_worker_thread(self, pool):
+        def fan_out():
+            futures = pool.submit_many(_square, [(i,) for i in range(10)])
+            return [f.result(timeout=10) for f in futures]
+
+        assert pool.submit(fan_out).result(timeout=10) == [i * i for i in range(10)]
+
+    def test_inline_default_implementation(self):
+        from repro.executor.factory import create
+
+        with create("inline") as ex:
+            futures = ex.submit_many(_square, [(i,) for i in range(5)])
+            assert [f.result() for f in futures] == [0, 1, 4, 9, 16]

@@ -1,0 +1,66 @@
+"""Token bucket and queue-depth backpressure."""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, AdmissionPolicy, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        b = TokenBucket(rate=10.0, burst=3.0)
+        assert [b.try_take(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        b = TokenBucket(rate=10.0, burst=3.0)
+        for _ in range(3):
+            b.try_take(0.0)
+        assert not b.try_take(0.05)  # 0.5 tokens refilled
+        assert b.try_take(0.1)  # 1.0 tokens
+
+    def test_refill_caps_at_burst(self):
+        b = TokenBucket(rate=100.0, burst=2.0)
+        assert b.peek(1000.0) == 2.0
+
+    def test_time_never_goes_backwards(self):
+        b = TokenBucket(rate=10.0, burst=5.0)
+        b.try_take(1.0)
+        assert b.peek(0.5) == pytest.approx(4.0)  # stale now: no refill, no crash
+
+    def test_deterministic_sequence(self):
+        def run():
+            b = TokenBucket(rate=7.0, burst=2.0)
+            return [b.try_take(i * 0.06) for i in range(50)]
+
+        assert run() == run()
+
+
+class TestAdmissionController:
+    def test_depth_cap_sheds_queue(self):
+        c = AdmissionController(AdmissionPolicy(max_queue=2))
+        assert c.decide(0.0, 1) is None
+        assert c.decide(0.0, 2) == "queue"
+
+    def test_rate_limit_sheds_rate(self):
+        c = AdmissionController(AdmissionPolicy(rate=10.0, burst=1.0, max_queue=None))
+        assert c.decide(0.0, 0) is None
+        assert c.decide(0.0, 0) == "rate"
+        assert c.decide(0.2, 0) is None  # refilled
+
+    def test_depth_checked_before_bucket(self):
+        c = AdmissionController(AdmissionPolicy(rate=10.0, burst=1.0, max_queue=1))
+        assert c.decide(0.0, 1) == "queue"
+        # the queue rejection must not have drained the bucket
+        assert c.decide(0.0, 0) is None
+
+    def test_permissive_defaults_still_bound_queue(self):
+        c = AdmissionController()
+        assert c.decide(0.0, 0) is None
+        assert c.decide(0.0, 10**6) == "queue"
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(rate=0.0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(burst=0.0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue=0)

@@ -1,0 +1,291 @@
+"""Gateway behaviour across backends: same API, typed responses, no hangs.
+
+Process workers unpickle task bodies by import, so every body submitted
+to the processes backend is a module-level function from the ``repro``
+package (``repro.serve.loadgen.panel_body``) — the same spawn-safety
+discipline the backend asks of applications.
+"""
+
+import threading
+
+import pytest
+
+from repro.executor.factory import create
+from repro.obs import TraceRecorder
+from repro.resilience import CancelToken, FaultPlan, InjectedFault, RetryPolicy
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.batching import BatchPolicy
+from repro.serve.cache import LRUTTLCache, ModeledCache
+from repro.serve.gateway import Gateway
+from repro.serve.loadgen import panel_body
+from repro.serve.requests import Completed, Failed, Rejected
+
+
+def small_batches() -> BatchPolicy:
+    return BatchPolicy(max_size=4, max_delay=0.001)
+
+
+class TestSameSemanticsEveryBackend:
+    @pytest.mark.parametrize("backend", ["inline", "sim", "threads"])
+    def test_values_identical(self, backend):
+        with create(backend) as executor:
+            gateway = Gateway(executor, batching=small_batches())
+            tickets = [
+                gateway.submit(panel_body, k, task="panel", cost=0.001)
+                for k in range(10)
+            ]
+            gateway.drain()
+            values = [gateway.result(t, timeout=10.0).value for t in tickets]
+            gateway.shutdown()
+        assert values == [panel_body(k) for k in range(10)]
+
+    def test_values_identical_processes(self):
+        with create("processes", cores=2) as executor:
+            gateway = Gateway(executor, batching=small_batches())
+            tickets = [
+                gateway.submit(panel_body, k, task="panel") for k in range(8)
+            ]
+            gateway.drain()
+            values = [gateway.result(t, timeout=30.0).value for t in tickets]
+            gateway.shutdown()
+        assert values == [panel_body(k) for k in range(8)]
+
+    @pytest.mark.parametrize("backend", ["sim", "threads"])
+    def test_batch_size_reported(self, backend):
+        with create(backend) as executor:
+            gateway = Gateway(
+                executor, batching=BatchPolicy(max_size=4, max_delay=5.0)
+            )
+            tickets = [
+                gateway.submit(panel_body, k, task="panel") for k in range(4)
+            ]
+            resp = gateway.result(tickets[0], timeout=10.0)
+            gateway.shutdown()
+        assert isinstance(resp, Completed) and resp.batch_size == 4
+
+
+class TestAdmission:
+    def test_queue_depth_sheds_typed(self):
+        with create("sim") as executor:
+            gateway = Gateway(
+                executor,
+                admission=AdmissionPolicy(max_queue=3),
+                batching=BatchPolicy(max_size=100, max_delay=10.0),
+            )
+            tickets = [gateway.submit(panel_body, k, key=None) for k in range(5)]
+            responses = [t.response(0.1) if t.done() else None for t in tickets]
+            shed = [r for r in responses if isinstance(r, Rejected)]
+            assert len(shed) == 2 and all(r.reason == "queue" for r in shed)
+            gateway.shutdown()
+
+    def test_rate_limit_sheds_typed(self):
+        with create("inline") as executor:
+            gateway = Gateway(
+                executor,
+                admission=AdmissionPolicy(rate=1.0, burst=2.0, max_queue=None),
+                batching=small_batches(),
+            )
+            tickets = [gateway.submit(panel_body, k, key=None) for k in range(4)]
+            shed = [
+                t.response(0.1)
+                for t in tickets
+                if t.done() and isinstance(t.response(0.1), Rejected)
+            ]
+            assert len(shed) == 2 and all(r.reason == "rate" for r in shed)
+            gateway.shutdown()
+
+    def test_submit_never_blocks_under_overload(self):
+        with create("sim") as executor:
+            gateway = Gateway(
+                executor,
+                admission=AdmissionPolicy(max_queue=1),
+                batching=BatchPolicy(max_size=1000, max_delay=100.0),
+            )
+            for k in range(200):
+                gateway.submit(panel_body, k, key=None)  # must return instantly
+            assert gateway.queue_depth <= 1
+            gateway.shutdown()
+
+
+class TestLifecycle:
+    def test_cancel_token_rejects_at_dispatch(self):
+        token = CancelToken(name="client-gone")
+        with create("sim") as executor:
+            gateway = Gateway(executor, batching=BatchPolicy(max_size=10, max_delay=0.5))
+            ticket = gateway.submit(panel_body, 1, key=None, cancel=token)
+            token.cancel()
+            gateway.drain()
+            resp = ticket.response(1.0)
+            gateway.shutdown()
+        assert isinstance(resp, Rejected) and resp.reason == "cancelled"
+
+    def test_deadline_rejects_when_dispatch_is_late(self):
+        with create("sim") as executor:
+            gateway = Gateway(executor, batching=BatchPolicy(max_size=10, max_delay=1.0))
+            ticket = gateway.submit(panel_body, 1, key=None, deadline=0.5)
+            gateway.pump(now=2.0)  # batch ages out at t=1.0 > deadline
+            resp = ticket.response(1.0)
+            gateway.shutdown()
+        assert isinstance(resp, Rejected) and resp.reason == "deadline"
+
+    def test_deadline_met_when_dispatch_is_prompt(self):
+        with create("sim") as executor:
+            gateway = Gateway(executor, batching=BatchPolicy(max_size=1, max_delay=0.0))
+            ticket = gateway.submit(panel_body, 1, key=None, deadline=0.5)
+            gateway.drain()
+            resp = ticket.response(1.0)
+            gateway.shutdown()
+        assert isinstance(resp, Completed)
+
+    def test_shutdown_drain_false_rejects_queued_requests(self):
+        """The stranded-request mirror of ExecutorShutdown: queued but
+        undispatched work resolves with Rejected, nobody waits forever."""
+        with create("sim") as executor:
+            gateway = Gateway(
+                executor, batching=BatchPolicy(max_size=1000, max_delay=100.0)
+            )
+            tickets = [gateway.submit(panel_body, k, key=None) for k in range(7)]
+            gateway.shutdown(drain=False)
+            responses = [t.response(1.0) for t in tickets]
+        assert all(isinstance(r, Rejected) and r.reason == "shutdown" for r in responses)
+
+    def test_shutdown_drain_false_threads_no_hang(self):
+        with create("threads", cores=2) as executor:
+            gateway = Gateway(
+                executor, batching=BatchPolicy(max_size=1000, max_delay=100.0)
+            )
+            tickets = [gateway.submit(panel_body, k, key=None) for k in range(20)]
+            gateway.shutdown(drain=False)
+            responses = [t.response(5.0) for t in tickets]  # must all resolve
+        assert all(isinstance(r, (Rejected, Completed, Failed)) for r in responses)
+        assert any(isinstance(r, Rejected) and r.reason == "shutdown" for r in responses)
+
+    def test_submit_after_shutdown_is_rejected_not_raised(self):
+        with create("inline") as executor:
+            gateway = Gateway(executor)
+            gateway.shutdown()
+            resp = gateway.submit(panel_body, 1).response(1.0)
+        assert isinstance(resp, Rejected) and resp.reason == "shutdown"
+
+    def test_shutdown_idempotent(self):
+        with create("inline") as executor:
+            gateway = Gateway(executor)
+            gateway.shutdown()
+            gateway.shutdown(drain=False)
+
+
+class TestCacheIntegration:
+    def test_modeled_warm_key_serves_cached_zero_latency(self):
+        with create("sim") as executor:
+            gateway = Gateway(
+                executor,
+                cache=ModeledCache(hit_rate=1.0, seed=0),
+                batching=small_batches(),
+            )
+            ticket = gateway.submit(panel_body, 3, task="panel", cost=0.01)
+            resp = gateway.result(ticket)
+            gateway.shutdown()
+        assert isinstance(resp, Completed)
+        assert resp.cached and resp.latency == 0.0 and resp.value == panel_body(3)
+
+    def test_lru_repeat_request_is_a_hit(self):
+        with create("threads", cores=2) as executor:
+            gateway = Gateway(
+                executor, cache=LRUTTLCache(capacity=16), batching=small_batches()
+            )
+            first = gateway.submit(panel_body, 5, task="panel")
+            gateway.drain()
+            assert isinstance(first.response(5.0), Completed)
+            second = gateway.submit(panel_body, 5, task="panel")
+            resp = second.response(5.0)
+            gateway.shutdown()
+        assert isinstance(resp, Completed) and resp.cached
+
+    def test_uncacheable_arguments_still_served(self):
+        class Opaque:
+            pass
+
+        captured = []
+
+        def probe(x):
+            captured.append(x)
+            return "ok"
+
+        with create("inline") as executor:
+            gateway = Gateway(
+                executor, cache=LRUTTLCache(capacity=4), batching=small_batches()
+            )
+            ticket = gateway.submit(probe, Opaque(), task="opaque")
+            resp = gateway.result(ticket)
+            gateway.shutdown()
+        assert isinstance(resp, Completed) and resp.value == "ok"
+        assert ticket.key is None and len(captured) == 1
+
+
+class TestFaultsAndRetries:
+    def test_injected_faults_retried_transparently(self):
+        plan = FaultPlan(seed=3, task_failure_rate=0.4)
+        recorder = TraceRecorder()
+        with create("sim", trace=recorder, faults=plan) as executor:
+            gateway = Gateway(
+                executor,
+                batching=small_batches(),
+                retry=RetryPolicy(
+                    max_attempts=10, base_delay=0.0, max_delay=0.0, jitter=0.0,
+                    retry_on=(InjectedFault,),
+                ),
+                trace=recorder,
+            )
+            tickets = [
+                gateway.submit(panel_body, k, task="panel", key=None)
+                for k in range(30)
+            ]
+            gateway.drain()
+            responses = [t.response(1.0) for t in tickets]
+            gateway.shutdown()
+        assert all(isinstance(r, Completed) for r in responses)
+        assert gateway.stats.retries > 0
+        kinds = {e.kind for e in recorder.events()}
+        assert "retry" in kinds and "fault" in kinds
+
+    def test_exhausted_retries_fail_typed(self):
+        plan = FaultPlan(seed=1, task_failure_rate=1.0)
+        with create("sim", faults=plan) as executor:
+            gateway = Gateway(
+                executor,
+                batching=small_batches(),
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            )
+            ticket = gateway.submit(panel_body, 1, key=None)
+            resp = gateway.result(ticket)
+            gateway.shutdown()
+        assert isinstance(resp, Failed) and isinstance(resp.error, InjectedFault)
+
+
+class TestThreadModeConcurrency:
+    def test_many_clients_submit_concurrently(self):
+        with create("threads", cores=2) as executor:
+            gateway = Gateway(
+                executor,
+                batching=BatchPolicy(max_size=8, max_delay=0.002),
+                cache=LRUTTLCache(capacity=64),
+            )
+            results: list[list] = [[] for _ in range(4)]
+
+            def client(i: int) -> None:
+                tickets = [
+                    gateway.submit(panel_body, (i * 7 + j) % 10, task="panel")
+                    for j in range(25)
+                ]
+                results[i] = [t.response(10.0) for t in tickets]
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            gateway.drain()
+            for t in threads:
+                t.join(timeout=15.0)
+            gateway.shutdown()
+        flat = [r for rs in results for r in rs]
+        assert len(flat) == 100
+        assert all(isinstance(r, Completed) for r in flat)

@@ -1,0 +1,93 @@
+"""Typed responses and canonical cache keys."""
+
+import numpy as np
+import pytest
+
+from repro.serve.requests import (
+    Completed,
+    Failed,
+    Rejected,
+    Ticket,
+    Uncacheable,
+    canonical_key,
+)
+
+
+class TestResponses:
+    def test_ok_discriminates(self):
+        assert Completed(1).ok
+        assert not Rejected("queue").ok
+        assert not Failed(ValueError("x")).ok
+
+    def test_rejected_validates_reason(self):
+        with pytest.raises(ValueError):
+            Rejected("because")
+
+    def test_all_documented_reasons_accepted(self):
+        for reason in ("rate", "queue", "shutdown", "deadline", "cancelled"):
+            assert Rejected(reason).reason == reason
+
+
+class TestTicket:
+    def test_resolves_once(self):
+        t = Ticket(1, "panel")
+        assert t._resolve(Completed(7))
+        assert not t._resolve(Rejected("queue"))
+        assert t.response().value == 7
+
+    def test_timeout_raises(self):
+        t = Ticket(1, "panel")
+        with pytest.raises(TimeoutError):
+            t.response(timeout=0.01)
+
+
+class TestCanonicalKey:
+    def test_stable_across_calls(self):
+        a = canonical_key("panel", (1, 2.5, "x"), {"k": [1, 2]})
+        b = canonical_key("panel", (1, 2.5, "x"), {"k": [1, 2]})
+        assert a == b
+
+    def test_task_identity_matters(self):
+        assert canonical_key("panel", (1,)) != canonical_key("thumb", (1,))
+
+    def test_type_tags_distinguish_lookalikes(self):
+        keys = {
+            canonical_key("t", (1,)),
+            canonical_key("t", (1.0,)),
+            canonical_key("t", ("1",)),
+            canonical_key("t", (True,)),
+        }
+        assert len(keys) == 4
+
+    def test_container_boundaries(self):
+        assert canonical_key("t", (("ab",),)) != canonical_key("t", (("a", "b"),))
+
+    def test_dict_order_irrelevant(self):
+        assert canonical_key("t", (), {"a": 1, "b": 2}) == canonical_key(
+            "t", (), {"b": 2, "a": 1}
+        )
+
+    def test_set_order_irrelevant(self):
+        assert canonical_key("t", ({3, 1, 2},)) == canonical_key("t", ({2, 3, 1},))
+
+    def test_ndarray_content_keyed(self):
+        x = np.arange(6, dtype=np.float64)
+        assert canonical_key("t", (x,)) == canonical_key("t", (x.copy(),))
+        assert canonical_key("t", (x,)) != canonical_key("t", (x + 1,))
+        # same bytes, different shape must differ
+        assert canonical_key("t", (x.reshape(2, 3),)) != canonical_key(
+            "t", (x.reshape(3, 2),)
+        )
+
+    def test_callable_task_uses_name(self):
+        def panel(x):
+            return x
+
+        assert canonical_key(panel, (1,)).startswith("TestCanonicalKey")
+
+    def test_uncacheable_objects_raise(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(Uncacheable):
+            canonical_key("t", (Opaque(),))

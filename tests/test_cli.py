@@ -173,3 +173,46 @@ class TestArgparse:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServe:
+    def test_sim_run_prints_report(self, capsys):
+        assert main(["serve", "steady", "--backend", "sim", "--requests", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput_rps" in out and "cache_hit_rate" in out
+
+    def test_deterministic_output(self, capsys):
+        args = ["serve", "bursty", "--backend", "sim", "--requests", "800"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_compare_without_baseline_exits_2(self, tmp_path, capsys):
+        baseline = str(tmp_path / "serve.json")
+        assert main(
+            ["serve", "steady", "--requests", "500", "--compare", "--baseline", baseline]
+        ) == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_baseline_roundtrip(self, tmp_path, capsys):
+        baseline = str(tmp_path / "serve.json")
+        assert main(
+            ["serve", "overload", "--requests", "2000",
+             "--update-baseline", "--baseline", baseline]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["serve", "overload", "--requests", "2000",
+             "--compare", "--baseline", baseline]
+        ) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_scrape_out_exposes_serve_metrics(self, tmp_path, capsys):
+        scrape = tmp_path / "metrics.prom"
+        assert main(
+            ["serve", "steady", "--requests", "500", "--scrape-out", str(scrape)]
+        ) == 0
+        text = scrape.read_text()
+        assert "repro_serve_submitted" in text
+        assert "repro_serve_queue_depth" in text
