@@ -402,6 +402,15 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_objectives(text: str | None):
+    """``--objectives`` comma list -> tuple of Objective, or ``None``."""
+    if not text:
+        return None
+    from repro.obs import parse_objective
+
+    return tuple(parse_objective(s) for s in text.split(",") if s.strip())
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Replay a seeded arrival trace through the serving gateway.
 
@@ -410,14 +419,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     redirect-override the experiment commands use.  Prints the serving
     report; ``--update-baseline``/``--compare`` wire the run into the
     direction-aware regression gate under the id
-    ``serve_<pattern>_<backend>``.  ``--scrape-out`` runs traced with a
-    live ``/metrics`` endpoint and saves one scrape as proof the serve
-    gauges are exported.
+    ``serve_<pattern>_<backend>`` (suffixed ``_slo`` when request
+    tracing is on, since traced runs export extra metrics).
+    ``--scrape-out`` runs traced with a live ``/metrics`` endpoint and
+    saves one scrape as proof the serve gauges are exported.
+
+    ``--slo`` (or ``--objectives``) turns on request-scoped stage
+    tracing, prints the latency decomposition and the SLO verdict, and
+    exits 3 when a declared objective is violated; ``--waterfall`` also
+    writes the slowest-requests HTML view.  Exit codes: 0 ok, 1
+    baseline regression, 2 usage error, 3 SLO violation.
     """
     from contextlib import nullcontext
 
     from repro.serve.loadgen import run_serve
 
+    try:
+        objectives = _parse_objectives(args.objectives)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    slo_on = args.slo or objectives is not None
+    rtrace_on = slo_on or bool(args.waterfall)
     recorder = None
     server = None
     scope: Any = nullcontext()
@@ -440,6 +463,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 base_rate=args.rate,
                 time_scale=args.time_scale,
                 trace=recorder,
+                rtrace=rtrace_on,
+                objectives=objectives,
+                slo_window=args.slo_window,
             )
         if args.scrape_out and server is not None:
             import urllib.request
@@ -453,7 +479,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if server is not None:
             server.stop()
     print(report.table().render())
-    exp_id = f"serve_{args.pattern}_{args.backend}"
+    if report.stages is not None:
+        print()
+        print(report.stage_table().render())
+        dom = report.dominant_stage()
+        if dom is not None:
+            print(
+                f"dominant stage: {dom.stage} "
+                f"(p99 {dom.p99:.6f}s, {dom.share:.1%} of traced time)"
+            )
+    if args.waterfall and report.stages is not None:
+        from repro.obs import render_waterfall
+
+        wf_path = Path(args.waterfall)
+        wf_path.parent.mkdir(parents=True, exist_ok=True)
+        wf_path.write_text(
+            render_waterfall(
+                report.stages,
+                title=f"serve {args.pattern} on {args.backend} — slowest requests",
+            )
+        )
+        print(f"waterfall -> {wf_path}", file=sys.stderr)
+    if slo_on and report.slo is not None:
+        print()
+        print(report.slo.table().render())
+    # tracing changes the exported metric set, so traced runs gate
+    # against their own baseline id and never touch the golden one
+    exp_id = f"serve_{args.pattern}_{args.backend}" + ("_slo" if rtrace_on else "")
+    rc = 0
     if args.update_baseline:
         from repro.obs import update_baseline
 
@@ -476,7 +529,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print()
         print(comparison.render())
         if not comparison.ok:
-            return 1
+            rc = 1
+    if slo_on and report.slo is not None and not report.slo.passed:
+        failed = [r.objective.label for r in report.slo.results if not r.passed]
+        print(f"SLO gate FAILED: {', '.join(failed)}", file=sys.stderr)
+        if rc == 0:
+            rc = 3
+    return rc
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate declared SLOs over one traced serve run (verdict only).
+
+    The focused form of ``serve --slo``: run the seeded pattern with
+    request tracing, print the SLO verdict table and the burn-rate
+    summary, exit 3 on violation.  Deterministic under sim — two runs
+    with the same flags produce byte-identical output.
+    """
+    from repro.serve.loadgen import run_serve
+
+    try:
+        objectives = _parse_objectives(args.objectives)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    report = run_serve(
+        args.pattern,
+        backend=args.backend,
+        cores=args.cores,
+        requests=args.requests,
+        seed=args.seed,
+        base_rate=args.rate,
+        time_scale=args.time_scale,
+        rtrace=True,
+        objectives=objectives,
+        slo_window=args.slo_window,
+    )
+    verdict = report.slo
+    assert verdict is not None  # rtrace=True always evaluates
+    print(verdict.table().render())
+    dom = report.dominant_stage()
+    if dom is not None:
+        print(
+            f"dominant stage: {dom.stage} "
+            f"(p99 {dom.p99:.6f}s, {dom.share:.1%} of traced time)"
+        )
+    if not verdict.passed:
+        failed = [r.objective.label for r in verdict.results if not r.passed]
+        print(f"SLO gate FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 3
+    print("SLO gate passed", file=sys.stderr)
     return 0
 
 
@@ -708,9 +810,67 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument("--port", type=int, default=0, help="metrics port (default: ephemeral)")
     serve.add_argument("--max-events", type=int, default=None, help="cap recorded trace events")
+    slo_group = serve.add_argument_group(
+        "request tracing + SLOs",
+        "per-request stage tracing (repro.obs.rtrace) and declarative objectives "
+        "(repro.obs.slo); exit 3 when a declared SLO is violated",
+    )
+    slo_group.add_argument(
+        "--slo", action="store_true",
+        help="trace requests, print the latency decomposition and the SLO verdict",
+    )
+    slo_group.add_argument(
+        "--objectives",
+        help="comma-separated objectives like 'p99<=0.25,shed_rate<=0.05' "
+        "(implies --slo; default: the built-in objective set)",
+    )
+    slo_group.add_argument(
+        "--slo-window", type=float, default=1.0,
+        help="burn-rate window width in (virtual) seconds (default: 1.0)",
+    )
+    slo_group.add_argument(
+        "--waterfall",
+        help="write the slowest-requests waterfall HTML to this path (implies tracing)",
+    )
     # --backend here names the executor to build, not the redirect
     # override — sim is a first-class (and the default) choice.
     serve.set_defaults(fn=_cmd_serve, direct_backend=True)
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate declared SLOs over one traced serve run (exit 3 on violation)",
+    )
+    slo.add_argument(
+        "pattern", choices=("steady", "bursty", "diurnal", "overload"),
+        help="traffic shape of the seeded arrival trace",
+    )
+    slo.add_argument(
+        "--backend", default="sim",
+        help="executor kind to serve on (default: sim — the deterministic golden run)",
+    )
+    slo.add_argument("--cores", type=int, default=4, help="worker/core count (default: 4)")
+    slo.add_argument(
+        "--requests", type=int, default=100_000,
+        help="arrivals to generate (default: 100000)",
+    )
+    slo.add_argument("--seed", type=int, default=2014, help="trace seed (default: 2014)")
+    slo.add_argument(
+        "--rate", type=float, default=2_000.0,
+        help="base offered rate in requests/s (default: 2000)",
+    )
+    slo.add_argument(
+        "--time-scale", type=float, default=0.0,
+        help="real backends: scale factor on inter-arrival sleeps (default: 0)",
+    )
+    slo.add_argument(
+        "--objectives",
+        help="comma-separated objectives like 'p99<=0.25' (default: built-in set)",
+    )
+    slo.add_argument(
+        "--slo-window", type=float, default=1.0,
+        help="burn-rate window width in (virtual) seconds (default: 1.0)",
+    )
+    slo.set_defaults(fn=_cmd_slo, direct_backend=True)
 
     web = sub.add_parser("webdemo", help="generate the interactive race-condition pages")
     web.add_argument("out_dir")

@@ -14,6 +14,7 @@ from repro.bench.harness import Experiment, ExperimentResult, all_experiments, g
 from repro.bench import ablations as _ablations  # noqa: F401,E402
 from repro.bench import experiments_course as _course  # noqa: F401,E402
 from repro.bench import experiments_projects as _projects  # noqa: F401,E402
+from repro.bench import experiments_pool as _pool  # noqa: F401,E402
 from repro.bench import experiments_projects2 as _projects2  # noqa: F401,E402
 from repro.bench import experiments_real as _real  # noqa: F401,E402
 from repro.bench import experiments_serve as _serve  # noqa: F401,E402

@@ -63,9 +63,11 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.executor import shm as shm_plane
 from repro.executor.base import Executor, ExecutorShutdown
 from repro.executor.future import Future
+from repro.obs import rtrace
 from repro.obs.shards import merge_shards, replay_into, shard_path
 from repro.obs.sinks import JsonlSink
 from repro.obs.trace import TraceRecorder, resolve_recorder
+from repro.obs.trace import use as obs_use
 from repro.resilience.cancel import CancelledError, CancelToken, DeadlineExceeded, scoped_token
 from repro.resilience.faults import FaultPlan, InjectedFault, resolve_faults
 from repro.resilience.remote import RemoteCancelChannel, WorkerCancelListener
@@ -111,7 +113,7 @@ def _portable_exception(exc: BaseException) -> BaseException:
 
 def _worker_main(cfg: _WorkerConfig, task_q: Any, result_q: Any, cancel_conn: Any) -> None:
     """Worker-process entry point (module-level: spawn needs to import it)."""
-    listener = WorkerCancelListener(cancel_conn)
+    listener = WorkerCancelListener(cancel_conn, on_signal=rtrace.set_worker_signal)
     listener.start()
     recorder = TraceRecorder(sink=JsonlSink(cfg.shard_file)) if cfg.shard_file else None
     pid = os.getpid()
@@ -120,6 +122,14 @@ def _worker_main(cfg: _WorkerConfig, task_q: Any, result_q: Any, cancel_conn: An
         # Same-host wall clock minus the parent's epoch: timestamps land
         # on the parent recorder's timeline, so merged shards interleave.
         return time.time() - cfg.wall_epoch
+
+    if recorder:
+        # Align the recorder's own clock too, and make it ambient so task
+        # bodies (e.g. serve's run_batch_timed) can land spans in the
+        # shard without threading a recorder argument through pickling.
+        recorder.rebase(now())
+        ambient = obs_use(recorder)
+        ambient.__enter__()
 
     while True:
         message = task_q.get()
@@ -274,6 +284,15 @@ class ProcessPool(Executor):
         self._collector.start()
         self._watchdog = threading.Thread(target=self._watch, name=f"{name}-watchdog", daemon=True)
         self._watchdog.start()
+
+    def signal(self, name: str, value: Any = True) -> None:
+        """Broadcast an out-of-band named flag to every worker.
+
+        Rides the cancel pipes; workers record it via
+        :func:`repro.obs.rtrace.set_worker_signal` before their next
+        ``recv`` completes.  Sent once per call, best-effort.
+        """
+        self._channel.broadcast_signal(name, value)
 
     def _watch(self) -> None:
         """Fail fast when a worker dies instead of hanging its waiters.

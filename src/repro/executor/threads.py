@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.executor.base import Executor, ExecutorShutdown
 from repro.executor.future import Future
+from repro.obs import rtrace as _rtrace
 from repro.obs.live.registry import REGISTRY, current_handle
 from repro.obs.trace import TraceRecorder, resolve_recorder
 from repro.resilience.cancel import CancelToken, DeadlineExceeded, scoped_token
@@ -447,12 +448,18 @@ class WorkStealingPool(Executor):
         if trace.enabled:
             trace.event("task", task.future.name, phase="B", task_id=task.tid, worker=wid)
             started = time.monotonic()
+        rt_t0 = time.monotonic() if _rtrace.active() is not None else None
         try:
             with scoped_token(task.token):
                 value = task.fn(*task.args, **task.kwargs)
         except Exception as exc:
+            if rt_t0 is not None:
+                # stamp before completion: done-callbacks read the meta
+                task.future.meta["rt_span"] = (rt_t0, time.monotonic(), wid)
             task.future.set_exception(exc)
         else:
+            if rt_t0 is not None:
+                task.future.meta["rt_span"] = (rt_t0, time.monotonic(), wid)
             task.future.set_result(value)
         finally:
             stack.pop()

@@ -43,7 +43,11 @@ half, used by ``python -m repro analyze`` / ``compare``):
   turn an analysis into a terminal summary or a self-contained HTML
   report with an SVG Gantt timeline;
 * :mod:`repro.obs.baseline` persists analyzed metrics per experiment
-  and gates regressions (:func:`compare_to_baseline`).
+  and gates regressions (:func:`compare_to_baseline`);
+* :mod:`repro.obs.rtrace` traces individual served requests through
+  the gateway's stage chain and :mod:`repro.obs.slo` evaluates
+  declarative objectives (with burn-rate windows) over the result —
+  :func:`render_waterfall` draws the slowest requests stage by stage.
 """
 
 from repro.obs.analyze import (
@@ -52,10 +56,13 @@ from repro.obs.analyze import (
     LatencyStats,
     LockContention,
     SpeedupFit,
+    StageLatency,
     TaskSpan,
     TraceAnalysis,
     WorkerUtilization,
     analyze_trace,
+    decompose_stages,
+    dominant_stage,
     fit_speedup_models,
 )
 from repro.obs.baseline import (
@@ -69,8 +76,23 @@ from repro.obs.baseline import (
     update_baseline,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, Metrics, NullMetrics
-from repro.obs.report import render_html, render_text
+from repro.obs.report import render_html, render_text, render_waterfall
+from repro.obs.rtrace import (
+    STAGES,
+    RequestSummary,
+    RequestTrace,
+    RequestTraceCollector,
+    use_rtrace,
+)
 from repro.obs.shards import merge_shards, read_shard, replay_into, shard_path
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    ObjectiveResult,
+    SLOVerdict,
+    evaluate_slo,
+    parse_objective,
+)
 from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink, Sink
 from repro.obs.trace import (
     NULL_RECORDER,
@@ -117,6 +139,22 @@ __all__ = [
     "shard_path",
     "render_text",
     "render_html",
+    "render_waterfall",
+    # request tracing + SLOs
+    "STAGES",
+    "RequestTrace",
+    "RequestSummary",
+    "RequestTraceCollector",
+    "use_rtrace",
+    "StageLatency",
+    "decompose_stages",
+    "dominant_stage",
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "ObjectiveResult",
+    "SLOVerdict",
+    "evaluate_slo",
+    "parse_objective",
     "DEFAULT_BASELINE_PATH",
     "MetricDelta",
     "Comparison",

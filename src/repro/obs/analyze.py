@@ -28,6 +28,7 @@ recorder was installed and someone asks for an analysis.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -42,10 +43,13 @@ __all__ = [
     "LockContention",
     "BarrierWait",
     "LatencyStats",
+    "StageLatency",
     "GroupAnalysis",
     "SpeedupFit",
     "TraceAnalysis",
     "analyze_trace",
+    "decompose_stages",
+    "dominant_stage",
     "fit_speedup_models",
 ]
 
@@ -141,6 +145,77 @@ class LatencyStats:
             p99=float(p99),
             maximum=float(arr.max()),
         )
+
+
+@dataclass(frozen=True)
+class StageLatency:
+    """Tail profile of one request-lifecycle stage (serving pipeline).
+
+    ``share`` is this stage's fraction of the total time across all
+    stages — "where did the time go" in aggregate — while the
+    percentiles answer "where did the *tail* go" (the stage with the
+    largest p99 dominates the slow requests even when its share of
+    total time is modest).
+    """
+
+    stage: str
+    count: int
+    total: float
+    share: float
+    p50: float
+    p99: float
+    p999: float
+    maximum: float
+
+
+def decompose_stages(
+    samples: Mapping[str, Sequence[float]],
+) -> tuple[StageLatency, ...]:
+    """Per-stage latency decomposition of request-trace stage samples.
+
+    ``samples`` maps stage name to per-request stage durations (the
+    ``stage_samples`` of a :class:`repro.obs.rtrace.RequestSummary`);
+    mapping order is preserved in the output.  Percentiles use the same
+    nearest-rank order statistic as the serve load report, **not**
+    interpolating ``np.percentile`` — exact under virtual time, so
+    golden reports stay byte-stable.  Stages with no samples are
+    dropped.
+    """
+    grand_total = sum(sum(xs) for xs in samples.values())
+    out = []
+    for stage, xs in samples.items():
+        if not xs:
+            continue
+        ordered = sorted(xs)
+        n = len(ordered)
+
+        def rank(q: float, n: int = n) -> int:
+            return max(0, min(n - 1, math.ceil(q * n) - 1))
+
+        total = sum(ordered)
+        out.append(
+            StageLatency(
+                stage=stage,
+                count=n,
+                total=total,
+                share=total / grand_total if grand_total > 0 else 0.0,
+                p50=ordered[rank(0.50)],
+                p99=ordered[rank(0.99)],
+                p999=ordered[rank(0.999)],
+                maximum=ordered[-1],
+            )
+        )
+    return tuple(out)
+
+
+def dominant_stage(stages: Sequence[StageLatency]) -> StageLatency | None:
+    """The stage that dominates the tail: largest p99, ties broken by
+    larger total time, then by input order."""
+    best: StageLatency | None = None
+    for s in stages:
+        if best is None or s.p99 > best.p99 or (s.p99 == best.p99 and s.total > best.total):
+            best = s
+    return best
 
 
 @dataclass(frozen=True)

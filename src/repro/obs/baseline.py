@@ -49,6 +49,8 @@ _LOWER_BETTER = (
     "dropped",
     "unclosed",
     "shed",
+    "burn",
+    "breach",
 )
 _HIGHER_BETTER = (
     "parallelism",
@@ -57,6 +59,7 @@ _HIGHER_BETTER = (
     "success",
     "throughput",
     "hit_rate",
+    "availability",
 )
 
 

@@ -21,10 +21,11 @@ from __future__ import annotations
 import html
 from typing import Iterable, Sequence
 
-from repro.obs.analyze import GroupAnalysis, TraceAnalysis
+from repro.obs.analyze import GroupAnalysis, TraceAnalysis, decompose_stages
+from repro.obs.rtrace import RequestSummary
 from repro.util.tables import Table
 
-__all__ = ["render_text", "render_html"]
+__all__ = ["render_text", "render_html", "render_waterfall"]
 
 #: Gantt charts above this many spans draw only the longest ones and say so.
 MAX_GANTT_SPANS = 600
@@ -503,6 +504,157 @@ def render_html(analysis: TraceAnalysis, title: str = "trace analysis") -> str:
         )
 
     subtitle = f"{analysis.n_events} trace events · {len(analysis.groups)} group(s) · {total_tasks} task(s)"
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8"/>\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1"/>\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>\n{_CSS}</style>\n</head>\n"
+        '<body class="viz-root">\n<main>\n'
+        f"<h1>{html.escape(title)}</h1>\n"
+        f'<p class="sub">{html.escape(subtitle)}</p>\n'
+        + "\n".join(sections)
+        + "\n</main>\n</body>\n</html>\n"
+    )
+
+
+# -- request waterfall -------------------------------------------------------
+
+#: fixed per-stage palette: hot-path stages get the saturated hues,
+#: bookkeeping stages stay muted (keys follow ``repro.obs.rtrace.STAGES``)
+STAGE_COLORS = {
+    "admit": "#8a8a85",
+    "cache": "#caa53d",
+    "batch": "#7a63c9",
+    "queue": "#d0712e",
+    "execute": "#2a78d6",
+    "retry": "#c94f4f",
+    "resolve": "#4f9c6b",
+}
+
+
+def _waterfall_svg(summary: RequestSummary) -> str:
+    """Stacked per-stage bars for the N slowest requests, slowest first.
+
+    Each lane is one request; segment widths are the stage durations from
+    its mark chain, so lanes visually telescope to the request's reported
+    latency.  Identity and exact durations ride in ``<title>`` tooltips.
+    """
+    exemplars = summary.exemplars
+    if not exemplars:
+        return '<p class="note">no finished request traces to draw.</p>'
+    extent = max(max(rt.total() for rt in exemplars), 1e-12)
+
+    left, right, top, lane_h, bar_h = 150, 16, 8, 24, 14
+    plot_w = 790
+    width = left + plot_w + right
+    height = top + lane_h * len(exemplars) + 26
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" role="img" '
+        f'aria-label="Per-stage waterfall of the slowest requests" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    for i, rt in enumerate(exemplars):
+        y = top + i * lane_h
+        by = y + (lane_h - bar_h) / 2
+        where = f" pid {rt.pid}" if rt.pid is not None else ""
+        label = f"#{rt.request_id} {rt.task} · {_fmt_seconds(rt.total())}"
+        parts.append(
+            f'<text x="{left - 8}" y="{by + bar_h - 3:.1f}" text-anchor="end" '
+            f'font-size="11" fill="var(--text-secondary)">{html.escape(label)}</text>'
+        )
+        prev = rt.arrival
+        for stage, ts in rt.marks:
+            dur = ts - prev
+            prev = ts
+            if dur <= 0.0:
+                continue
+            x = left + (prev - dur - rt.arrival) / extent * plot_w
+            bw = max(dur / extent * plot_w, 0.5)
+            color = STAGE_COLORS.get(stage, "var(--series-1)")
+            tip = (
+                f"request {rt.request_id} ({rt.task}, {rt.status}{where})\n"
+                f"{stage}: {_fmt_seconds(dur)} of {_fmt_seconds(rt.total())}"
+            )
+            parts.append(
+                f'<rect x="{x:.2f}" y="{by:.1f}" width="{bw:.2f}" height="{bar_h}" rx="2" '
+                f'fill="{color}"><title>{html.escape(tip)}</title></rect>'
+            )
+    axis_y = top + lane_h * len(exemplars)
+    parts.append(
+        f'<line x1="{left}" y1="{axis_y}" x2="{left + plot_w}" y2="{axis_y}" '
+        f'stroke="var(--baseline)" stroke-width="1"/>'
+    )
+    for k in range(5):
+        frac = k / 4
+        x = left + plot_w * frac
+        anchor = "start" if k == 0 else ("end" if k == 4 else "middle")
+        parts.append(
+            f'<text x="{x:.1f}" y="{axis_y + 16}" text-anchor="{anchor}" '
+            f'font-size="11" fill="var(--text-muted)">'
+            f"{html.escape(_fmt_seconds(extent * frac))}</text>"
+        )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span style="white-space:nowrap"><svg width="10" height="10" '
+        f'viewBox="0 0 10 10" xmlns="http://www.w3.org/2000/svg">'
+        f'<rect width="10" height="10" rx="2" fill="{color}"/></svg> '
+        f"{html.escape(stage)}</span>"
+        for stage, color in STAGE_COLORS.items()
+        if summary.stage_samples.get(stage)
+    )
+    return (
+        f'<div class="panel">{"".join(parts)}</div>'
+        f'<p class="note" style="display:flex;gap:14px;flex-wrap:wrap">{legend}</p>'
+    )
+
+
+def render_waterfall(summary: RequestSummary, title: str = "request waterfall") -> str:
+    """Self-contained HTML waterfall of a traced serve run.
+
+    Same contract as :func:`render_html`: inline CSS + SVG, no
+    JavaScript, pure function of the summary (same bytes for the same
+    traced run, which under sim means byte-stable across invocations).
+    Shows stat tiles, the per-stage latency decomposition, and stacked
+    per-stage bars for the N slowest requests.
+    """
+    finished = summary.latencies
+    slowest = max(finished) if finished else 0.0
+    tiles = [
+        _tile(str(summary.requests), "traced requests"),
+        _tile(str(summary.completed), "completed"),
+        _tile(str(summary.failed), "failed"),
+        _tile(str(summary.rejected), "rejected late"),
+        _tile(str(len(summary.sheds)), "shed at admission"),
+        _tile(f"{summary.cached}", "cache hits"),
+        _tile(_fmt_seconds(slowest), "slowest request"),
+    ]
+    sections = [f'<section class="tiles">{"".join(tiles)}</section>']
+
+    stages = decompose_stages(summary.stage_samples)
+    if stages:
+        sections.append(
+            "<h2>Latency decomposition</h2>"
+            + _html_table(
+                ["stage", "count", "total", "share", "p50", "p99", "p999"],
+                [
+                    [s.stage, s.count, _fmt_seconds(s.total), f"{s.share:.1%}",
+                     _fmt_seconds(s.p50), _fmt_seconds(s.p99), _fmt_seconds(s.p999)]
+                    for s in stages
+                ],
+            )
+        )
+
+    sections.append(
+        f"<h2>Slowest {len(summary.exemplars)} requests</h2>" + _waterfall_svg(summary)
+    )
+
+    subtitle = (
+        f"{summary.requests} traced request(s) · {summary.completed} completed · "
+        f"{summary.failed} failed · {summary.rejected} rejected · "
+        f"{len(summary.sheds)} shed"
+    )
     return (
         "<!DOCTYPE html>\n"
         '<html lang="en">\n<head>\n<meta charset="utf-8"/>\n'

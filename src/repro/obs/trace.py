@@ -180,6 +180,14 @@ class TraceRecorder:
         """Wall seconds since this recorder was created."""
         return time.monotonic() - self._epoch
 
+    def rebase(self, now: float) -> None:
+        """Shift the epoch so :meth:`now` reads ``now`` at this instant.
+
+        Worker processes use this to put their shard recorders on the
+        parent's timeline (the parent ships its wall epoch at spawn), so
+        merged shards need no per-event timestamp translation."""
+        self._epoch = time.monotonic() - now
+
     def new_group(self, label: str = "", **attrs: Any) -> int:
         """Allocate a trace group (Chrome "process") for a separate
         timeline; emits the metadata event that names it in the viewer.

@@ -27,7 +27,7 @@ packages already import resilience (the reverse import would cycle).
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.resilience.cancel import CancelToken
 
@@ -65,6 +65,22 @@ class RemoteCancelChannel:
                     pass  # a dead worker cannot run the task anyway
             self.sent += 1
 
+    def broadcast_signal(self, name: str, value: object = True) -> None:
+        """Fan an out-of-band named flag to every worker.
+
+        Rides the cancel pipes (same wire shape, different kind tag);
+        workers surface it through the listener's ``on_signal`` hook.
+        Best-effort, like cancels: dead workers are skipped.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            for conn in self._connections:
+                try:
+                    conn.send(("signal", name, value))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+
     def close(self) -> None:
         """Close every worker pipe; further broadcasts become no-ops."""
         with self._lock:
@@ -88,8 +104,13 @@ class WorkerCancelListener:
     at dequeue time.
     """
 
-    def __init__(self, connection: "Connection") -> None:
+    def __init__(
+        self,
+        connection: "Connection",
+        on_signal: Callable[[str, object], None] | None = None,
+    ) -> None:
         self._connection = connection
+        self._on_signal = on_signal
         self._lock = threading.Lock()
         self._tokens: dict[int, CancelToken] = {}
         self._precancelled: dict[int, str] = {}
@@ -110,6 +131,11 @@ class WorkerCancelListener:
             if not (isinstance(message, tuple) and len(message) == 3):
                 continue
             kind, tid, reason = message
+            if kind == "signal":
+                # (kind, name, value) — non-cancel out-of-band flags
+                if self._on_signal is not None:
+                    self._on_signal(tid, reason)
+                continue
             if kind != "cancel":
                 continue
             with self._lock:

@@ -20,10 +20,15 @@ slot without poisoning its batchmates.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-__all__ = ["Batch", "BatchPolicy", "MicroBatcher", "run_batch"]
+from repro.obs import rtrace
+from repro.obs.trace import current_recorder
+
+__all__ = ["Batch", "BatchPolicy", "MicroBatcher", "run_batch", "run_batch_timed"]
 
 
 @dataclass(frozen=True)
@@ -127,3 +132,44 @@ def run_batch(
         except Exception as exc:  # noqa: BLE001 — per-item isolation is the point
             out.append(("err", exc))
     return out
+
+
+def run_batch_timed(
+    calls: Sequence[tuple[Callable[..., Any], tuple, dict]],
+    rids: Sequence[int] | None = None,
+) -> tuple[list[tuple[str, Any]], dict[str, Any]]:
+    """:func:`run_batch` plus measured-where-it-ran timing.
+
+    Returns ``(pairs, info)`` where ``pairs`` matches ``run_batch``'s
+    output and ``info`` carries ``pid`` (the executing process), per-call
+    ``durs`` and the batch ``total`` in wall seconds — the gateway slots
+    these into each request's stage trace so ``execute`` is attributed
+    to the clock it actually spent, not to callback transit.
+
+    Inside a process worker that was signalled ``serve.rtrace`` (see
+    ``Executor.signal``), each call additionally lands a per-request
+    ``rexec`` span in the worker's trace shard, so merged shards carry
+    pid-attributed request execution.  Module-level and picklable, like
+    :func:`run_batch`.
+    """
+    recorder = current_recorder()
+    shard = recorder.enabled and rtrace.worker_signal("serve.rtrace")
+    pid = os.getpid()
+    out: list[tuple[str, Any]] = []
+    durs: list[float] = []
+    batch_t0 = time.monotonic()
+    for i, (fn, args, kwargs) in enumerate(calls):
+        t0 = time.monotonic()
+        try:
+            out.append(("ok", fn(*args, **kwargs)))
+        except Exception as exc:  # noqa: BLE001 — per-item isolation is the point
+            out.append(("err", exc))
+        t1 = time.monotonic()
+        durs.append(t1 - t0)
+        if shard and rids is not None and i < len(rids):
+            off = time.monotonic() - recorder.now()
+            recorder.emit_span(
+                "rexec", f"req:{rids[i]}", t0 - off, t1 - off, pid=pid
+            )
+    total = time.monotonic() - batch_t0
+    return out, {"pid": pid, "durs": durs, "total": total}

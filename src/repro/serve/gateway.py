@@ -27,7 +27,9 @@ executor's ``ExecutorShutdown`` stranded-future guarantee.
 from __future__ import annotations
 
 import heapq
+import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -35,11 +37,18 @@ from repro.executor.base import Executor, ExecutorShutdown
 from repro.executor.future import Future
 from repro.executor.inline import InlineExecutor
 from repro.executor.simulated import SimExecutor
+from repro.obs.rtrace import RequestTrace, RequestTraceCollector
 from repro.obs.trace import TraceRecorder, resolve_recorder
 from repro.resilience.cancel import CancelToken
 from repro.resilience.retry import RetryPolicy
 from repro.serve.admission import AdmissionController, AdmissionPolicy
-from repro.serve.batching import Batch, BatchPolicy, MicroBatcher, run_batch
+from repro.serve.batching import (
+    Batch,
+    BatchPolicy,
+    MicroBatcher,
+    run_batch,
+    run_batch_timed,
+)
 from repro.serve.cache import LRUTTLCache, ModeledCache
 from repro.serve.requests import (
     Completed,
@@ -88,6 +97,8 @@ class _Request:
     arrival: float
     deadline: float | None
     cancel: CancelToken | None
+    #: per-request stage clock; None when request tracing is off
+    rt: RequestTrace | None = None
 
 
 class Gateway:
@@ -112,6 +123,7 @@ class Gateway:
         clock: Clock | None = None,
         dispatch_overhead: float = 0.0,
         trace: TraceRecorder | None = None,
+        rtrace: RequestTraceCollector | None = None,
         name: str = "serve",
     ) -> None:
         if mode == "auto":
@@ -129,6 +141,11 @@ class Gateway:
         self.retry = retry or _DEFAULT_RETRY
         self.dispatch_overhead = dispatch_overhead
         self.trace = resolve_recorder(trace)
+        self.rtrace = rtrace
+        # thread mode measures execution where it runs: batches go
+        # through run_batch_timed and workers are told to emit
+        # per-request shard spans (no-op on backends without pipes)
+        self._timed = rtrace is not None and mode == "thread"
         self.name = name
         self.stats = GatewayStats()
         self._admission = AdmissionController(admission, now=self.clock.now())
@@ -150,6 +167,8 @@ class Gateway:
         # unresolved admitted requests (drain waits on these)
         self._live: dict[int, _Request] = {}
         self._dispatcher: threading.Thread | None = None
+        if self._timed:
+            self.executor.signal("serve.rtrace", True)
         if mode == "thread":
             self._dispatcher = threading.Thread(
                 target=self._dispatch_loop, name=f"{name}-dispatcher", daemon=True
@@ -190,7 +209,7 @@ class Gateway:
             self.stats.submitted += 1
             self.trace.count("serve.submitted")
             if self._shut:
-                return self._shed(ticket, "shutdown", "gateway is shut down")
+                return self._shed(ticket, "shutdown", "gateway is shut down", now)
             reason = self._admission.decide(now, self._depth)
             if reason is not None:
                 detail = (
@@ -198,9 +217,15 @@ class Gateway:
                     if reason == "queue"
                     else "rate limit exceeded"
                 )
-                return self._shed(ticket, reason, detail)
+                return self._shed(ticket, reason, detail, now)
             self.stats.admitted += 1
             self.trace.count("serve.admitted")
+            rt = None
+            if self.rtrace is not None:
+                # admitted requests get a stage clock; admission itself
+                # is instantaneous from the request's point of view
+                rt = self.rtrace.begin(self._next_id, kind, now)
+                rt.mark("admit", now)
             if key is _AUTO:
                 if self.cache is None:
                     key = None
@@ -211,11 +236,15 @@ class Gateway:
                         key = None
             ticket.key = key
             req = _Request(
-                ticket, fn, args, dict(kwargs), kind, cost, key, now, deadline, cancel
+                ticket, fn, args, dict(kwargs), kind, cost, key, now, deadline, cancel,
+                rt=rt,
             )
             if key is not None and self.cache is not None:
                 if self._try_cache_locked(req, now):
                     return ticket
+            elif rt is not None:
+                # no cacheable key: the lookup segment is zero-width
+                rt.mark("cache", now)
             self._enqueue_locked(req, now)
         return ticket
 
@@ -288,11 +317,16 @@ class Gateway:
                 return
             self._shut = True
             if not drain:
+                now = self.clock.now()
                 for batch in self._batcher.flush():
                     for req in batch.requests:
                         self._abort_keyed_locked(
-                            req, ExecutorShutdown("gateway shut down before dispatch")
+                            req,
+                            ExecutorShutdown("gateway shut down before dispatch"),
+                            now,
                         )
+                        if req.rt is not None:
+                            req.rt.mark("resolve", now)
                         self._resolve_locked(
                             req,
                             Rejected("shutdown", "gateway shut down before dispatch"),
@@ -316,15 +350,25 @@ class Gateway:
 
     # -------------------------------------------------------- shared internals
 
-    def _shed(self, ticket: Ticket, reason: str, detail: str) -> Ticket:
+    def _shed(self, ticket: Ticket, reason: str, detail: str, now: float) -> Ticket:
         self.stats.shed[reason] = self.stats.shed.get(reason, 0) + 1
         self.trace.count("serve.shed")
+        if self.rtrace is not None:
+            self.rtrace.shed(now)
         ticket._resolve(Rejected(reason, detail))
         return ticket
+
+    def _rt_finish(self, req: _Request, response: Response) -> None:
+        """Fold a resolved request's stage trace into the collector."""
+        if req.rt is not None:
+            assert self.rtrace is not None
+            self.rtrace.finish(req.rt, response)
+            req.rt = None
 
     def _resolve_locked(self, req: _Request, response: Response) -> None:
         if not req.ticket._resolve(response):
             return
+        self._rt_finish(req, response)
         self._depth -= 1
         self._live.pop(req.ticket.request_id, None)
         self.trace.set_gauge("serve.queue_depth", self._depth)
@@ -340,14 +384,22 @@ class Gateway:
             )
             self.trace.count("serve.shed")
 
-    def _abort_keyed_locked(self, req: _Request, error: BaseException) -> None:
+    def _abort_keyed_locked(
+        self, req: _Request, error: BaseException, now: float
+    ) -> None:
         """A queued cache *leader* is not going to run: fail the key so
         thread-mode followers unblock, and fail driven-mode waiters."""
         if req.key is None or self.cache is None:
             return
         self.cache.fail(req.key, error)
         for waiter in self._waiters.pop(req.key, []):
-            self._resolve_locked(waiter, Failed(error, latency=0.0))
+            if waiter.rt is not None:
+                # the whole coalesced wait was spent on the cache leader
+                waiter.rt.mark("cache", now)
+                waiter.rt.mark("resolve", now)
+            self._resolve_locked(
+                waiter, Failed(error, latency=now - waiter.arrival)
+            )
 
     def _try_cache_locked(self, req: _Request, now: float) -> bool:
         """Consult the cache; True if the request is fully handled here
@@ -358,7 +410,12 @@ class Gateway:
             self.trace.count("serve.cache_hits")
             self.stats.completed += 1
             self.trace.observe("serve.latency_seconds", 0.0)
-            req.ticket._resolve(Completed(decision.value, latency=0.0, cached=True))
+            if req.rt is not None:
+                req.rt.mark("cache", now)
+                req.rt.mark("resolve", now)
+            response = Completed(decision.value, latency=0.0, cached=True)
+            req.ticket._resolve(response)
+            self._rt_finish(req, response)
             return True
         if decision.status == "wait":
             self.trace.count("serve.cache_coalesced")
@@ -379,20 +436,30 @@ class Gateway:
             # runs once so the client gets a real value, but at zero
             # service cost and without occupying the queue.
             self.trace.count("serve.cache_hits")
+            if req.rt is not None:
+                req.rt.mark("cache", now)
+                req.rt.mark("resolve", now)
             try:
                 value = req.fn(*req.args, **req.kwargs)
             except Exception as exc:  # noqa: BLE001 — failures become responses
                 self.cache.fail(req.key, exc)
                 self.stats.failed += 1
                 self.trace.count("serve.failures")
-                req.ticket._resolve(Failed(exc, latency=0.0))
+                response: Response = Failed(exc, latency=now - req.arrival)
+                req.ticket._resolve(response)
+                self._rt_finish(req, response)
                 return True
             self.cache.complete(req.key, value, now)
             self.stats.completed += 1
             self.trace.observe("serve.latency_seconds", 0.0)
-            req.ticket._resolve(Completed(value, latency=0.0, cached=True))
+            response = Completed(value, latency=0.0, cached=True)
+            req.ticket._resolve(response)
+            self._rt_finish(req, response)
             return True
         self.trace.count("serve.cache_misses")
+        if req.rt is not None:
+            # miss: the lookup itself is instantaneous on the stage clock
+            req.rt.mark("cache", now)
         return False
 
     def _enqueue_locked(self, req: _Request, now: float) -> None:
@@ -414,15 +481,21 @@ class Gateway:
         for req in batch.requests:
             if req.cancel is not None and req.cancel.cancelled:
                 self._abort_keyed_locked(
-                    req, RuntimeError("coalesced leader cancelled before dispatch")
+                    req, RuntimeError("coalesced leader cancelled before dispatch"), now
                 )
+                if req.rt is not None:
+                    req.rt.mark("batch", now)
+                    req.rt.mark("resolve", now)
                 self._resolve_locked(
                     req, Rejected("cancelled", f"token {req.cancel.name!r} cancelled")
                 )
             elif req.deadline is not None and now - req.arrival > req.deadline:
                 self._abort_keyed_locked(
-                    req, RuntimeError("coalesced leader missed its deadline")
+                    req, RuntimeError("coalesced leader missed its deadline"), now
                 )
+                if req.rt is not None:
+                    req.rt.mark("batch", now)
+                    req.rt.mark("resolve", now)
                 self._resolve_locked(
                     req,
                     Rejected(
@@ -466,18 +539,32 @@ class Gateway:
         calls = [(r.fn, r.args, r.kwargs) for r in survivors]
         name = f"{self.name}:{batch.kind}[{len(survivors)}]"
         cost = self.dispatch_overhead + sum(r.cost for r in survivors)
-        outcome = self._execute_driven(calls, cost, name)
+        outcome, attempts = self._execute_driven(calls, cost, name)
         free = heapq.heappop(self._core_free)
         start = max(t, free)
         finish = start + cost
         heapq.heappush(self._core_free, finish)
         size = len(survivors)
+        if self.rtrace is not None:
+            # the whole virtual timeline of this batch is known here —
+            # stage the marks now, delivery happens at `finish`
+            for req in survivors:
+                if req.rt is None:
+                    continue
+                req.rt.mark("batch", t)
+                req.rt.mark("queue", start)
+                req.rt.mark("execute", finish)
+                if attempts > 1:
+                    req.rt.mark("retry", finish)
+                req.rt.mark("resolve", finish)
         if isinstance(outcome, BaseException):
             for req in survivors:
-                self._schedule_completion(req, ("err", outcome, size), finish)
+                self._schedule_completion(req, ("err", outcome, size, attempts), finish)
         else:
             for req, (status, payload) in zip(survivors, outcome):
-                self._schedule_completion(req, (status, payload, size), finish)
+                self._schedule_completion(
+                    req, (status, payload, size, attempts), finish
+                )
 
     def _schedule_completion(self, req: _Request, payload: tuple, finish: float) -> None:
         self._seq += 1
@@ -486,39 +573,44 @@ class Gateway:
     def _finalize_driven_locked(
         self, req: _Request, payload: tuple, finish: float
     ) -> None:
-        status, value, size = payload
+        status, value, size, attempts = payload
         latency = finish - req.arrival
         if status == "err":
-            self._abort_keyed_locked(req, value)
-            self._resolve_locked(req, Failed(value, latency=latency))
+            self._abort_keyed_locked(req, value, finish)
+            self._resolve_locked(req, Failed(value, latency=latency, attempts=attempts))
             return
         if req.key is not None and self.cache is not None:
             self.cache.complete(req.key, value, finish)
             for waiter in self._waiters.pop(req.key, []):
+                if waiter.rt is not None:
+                    # the coalesced wait on the leader is cache time
+                    waiter.rt.mark("cache", finish)
+                    waiter.rt.mark("resolve", finish)
                 self._resolve_locked(
                     waiter,
                     Completed(value, latency=finish - waiter.arrival, cached=True),
                 )
         self._resolve_locked(
-            req, Completed(value, latency=latency, batch_size=size)
+            req, Completed(value, latency=latency, batch_size=size, attempts=attempts)
         )
 
-    def _execute_driven(self, calls: list, cost: float, name: str) -> Any:
+    def _execute_driven(self, calls: list, cost: float, name: str) -> tuple[Any, int]:
         """Run one batch on the eager executor with immediate retries.
 
-        Returns the ``run_batch`` result list, or the final exception if
-        the whole batch kept failing (e.g. injected worker faults)."""
+        Returns ``(outcome, attempts)`` where the outcome is the
+        ``run_batch`` result list, or the final exception if the whole
+        batch kept failing (e.g. injected worker faults)."""
         attempt = 1
         while True:
             try:
                 future = self.executor.submit(run_batch, calls, cost=cost, name=name)
                 exc = future.exception()
             except ExecutorShutdown as shutdown_exc:
-                return shutdown_exc
+                return shutdown_exc, attempt
             if exc is None:
-                return future.result()
+                return future.result(), attempt
             if not self.retry.should_retry(exc, attempt):
-                return exc
+                return exc, attempt
             self._emit_retry(name, attempt, exc)
             attempt += 1
 
@@ -546,12 +638,16 @@ class Gateway:
 
     def _dispatch_thread(self, batch: Batch) -> None:
         with self._lock:
-            survivors = self._presend_locked(batch, self.clock.now())
+            now = self.clock.now()
+            survivors = self._presend_locked(batch, now)
             if not survivors:
                 return
             self.stats.batches += 1
             self.trace.count("serve.batches")
             self.trace.observe("serve.batch_occupancy", len(survivors))
+            for req in survivors:
+                if req.rt is not None:
+                    req.rt.mark("batch", now)
         calls = [(r.fn, r.args, r.kwargs) for r in survivors]
         name = f"{self.name}:{batch.kind}[{len(survivors)}]"
         self._submit_thread(calls, survivors, name, attempt=1)
@@ -569,6 +665,9 @@ class Gateway:
                 self.stats.batches += 1
                 self.trace.count("serve.batches")
                 self.trace.observe("serve.batch_occupancy", len(survivors))
+                for req in survivors:
+                    if req.rt is not None:
+                        req.rt.mark("batch", now)
                 prepared.append(
                     (
                         [(r.fn, r.args, r.kwargs) for r in survivors],
@@ -579,15 +678,31 @@ class Gateway:
         if not prepared:
             return
         try:
-            futures = self.executor.submit_many(
-                run_batch, [(calls,) for calls, _, _ in prepared], name=self.name
-            )
+            if self._timed:
+                futures = self.executor.submit_many(
+                    run_batch_timed,
+                    [
+                        (calls, [r.ticket.request_id for r in survivors])
+                        for calls, survivors, _ in prepared
+                    ],
+                    name=self.name,
+                )
+            else:
+                futures = self.executor.submit_many(
+                    run_batch, [(calls,) for calls, _, _ in prepared], name=self.name
+                )
         except ExecutorShutdown as exc:
+            fail_now = self.clock.now()
             with self._lock:
                 for _, survivors, _ in prepared:
                     for req in survivors:
-                        self._abort_keyed_locked(req, exc)
-                        self._resolve_locked(req, Failed(exc, latency=0.0))
+                        self._abort_keyed_locked(req, exc, fail_now)
+                        if req.rt is not None:
+                            req.rt.mark("queue", fail_now)
+                            req.rt.mark("resolve", fail_now)
+                        self._resolve_locked(
+                            req, Failed(exc, latency=fail_now - req.arrival)
+                        )
             return
         for future, (calls, survivors, name) in zip(futures, prepared):
             future.add_done_callback(
@@ -600,12 +715,22 @@ class Gateway:
         self, calls: list, survivors: list[_Request], name: str, attempt: int
     ) -> None:
         try:
-            future = self.executor.submit(run_batch, calls, name=name)
+            if self._timed:
+                rids = [r.ticket.request_id for r in survivors]
+                future = self.executor.submit(run_batch_timed, calls, rids, name=name)
+            else:
+                future = self.executor.submit(run_batch, calls, name=name)
         except ExecutorShutdown as exc:
+            fail_now = self.clock.now()
             with self._lock:
                 for req in survivors:
-                    self._abort_keyed_locked(req, exc)
-                    self._resolve_locked(req, Failed(exc, latency=0.0))
+                    self._abort_keyed_locked(req, exc, fail_now)
+                    if req.rt is not None:
+                        req.rt.mark("queue", fail_now)
+                        req.rt.mark("resolve", fail_now)
+                    self._resolve_locked(
+                        req, Failed(exc, latency=fail_now - req.arrival)
+                    )
             return
         future.add_done_callback(
             lambda fut: self._on_batch_done(fut, calls, survivors, name, attempt)
@@ -630,30 +755,77 @@ class Gateway:
             now = self.clock.now()
             with self._lock:
                 for req in survivors:
-                    self._abort_keyed_locked(req, exc)
+                    self._abort_keyed_locked(req, exc, now)
+                    if req.rt is not None:
+                        req.rt.mark("retry" if attempt > 1 else "queue", now)
+                        req.rt.mark("resolve", now)
                     self._resolve_locked(
                         req, Failed(exc, latency=now - req.arrival, attempts=attempt)
                     )
             return
-        results = future.result()
+        raw = future.result()
+        if self._timed:
+            results, info = raw
+        else:
+            results, info = raw, None
         now = self.clock.now()
         size = len(survivors)
+        # Execution-span attribution: threads/inline stamp the span on
+        # the future's meta (same time.monotonic() epoch as WallClock);
+        # process workers can't, so reconstruct from the measured batch
+        # total — callback transit then lands in the resolve stage.
+        base = wid = pid = None
+        cum: list[float] = []
+        if info is not None:
+            pid = info["pid"]
+            durs = info["durs"]
+            span = getattr(future, "meta", {}).get("rt_span")
+            if span is not None:
+                base, _, wid = span
+            else:
+                base = now - info["total"]
+            acc = 0.0
+            for d in durs:
+                cum.append(acc)
+                acc += d
+            if span is not None and self.trace.enabled:
+                off = time.monotonic() - self.trace.now()
+                for i, req in enumerate(survivors):
+                    self.trace.emit_span(
+                        "rexec",
+                        f"req:{req.ticket.request_id}",
+                        base + cum[i] - off,
+                        base + cum[i] + durs[i] - off,
+                        worker=wid if wid is not None else 0,
+                        pid=os.getpid(),
+                    )
         with self._lock:
-            for req, (status, payload) in zip(survivors, results):
+            for i, (req, (status, payload)) in enumerate(zip(survivors, results)):
+                if req.rt is not None:
+                    if base is not None:
+                        req.rt.mark("retry" if attempt > 1 else "queue", base + cum[i])
+                        req.rt.mark("execute", base + cum[i] + info["durs"][i])
+                        req.rt.worker = wid
+                        req.rt.pid = pid
+                    req.rt.mark("resolve", now)
                 if status == "ok":
                     if req.key is not None and self.cache is not None:
                         self.cache.complete(req.key, payload, now)
                     self._resolve_locked(
                         req,
                         Completed(
-                            payload, latency=now - req.arrival, batch_size=size
+                            payload,
+                            latency=now - req.arrival,
+                            batch_size=size,
+                            attempts=attempt,
                         ),
                     )
                 else:
                     if req.key is not None and self.cache is not None:
                         self.cache.fail(req.key, payload)
                     self._resolve_locked(
-                        req, Failed(payload, latency=now - req.arrival)
+                        req,
+                        Failed(payload, latency=now - req.arrival, attempts=attempt),
                     )
 
     def _on_leader_done(self, req: _Request, leader: Future) -> None:
@@ -661,6 +833,10 @@ class Gateway:
         now = self.clock.now()
         exc = leader.exception()
         with self._lock:
+            if req.rt is not None:
+                # the follower spent its whole life waiting on the leader
+                req.rt.mark("cache", now)
+                req.rt.mark("resolve", now)
             if exc is not None:
                 self._resolve_locked(req, Failed(exc, latency=now - req.arrival))
             else:

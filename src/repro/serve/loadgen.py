@@ -35,6 +35,9 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.executor.factory import create, get_backend
+from repro.obs.analyze import StageLatency, decompose_stages, dominant_stage
+from repro.obs.rtrace import RequestSummary, RequestTraceCollector, use_rtrace
+from repro.obs.slo import Objective, SLOVerdict, emit_metrics, evaluate_slo
 from repro.obs.trace import TraceRecorder
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.batching import BatchPolicy
@@ -194,6 +197,10 @@ class LoadReport:
     batches: int = 0
     retries: int = 0
     latencies: list[float] = field(default_factory=list, repr=False)
+    #: request-trace summary when the run was traced (``rtrace=True``)
+    stages: RequestSummary | None = field(default=None, repr=False)
+    #: SLO verdict when objectives were evaluated
+    slo: SLOVerdict | None = field(default=None, repr=False)
 
     @property
     def shed_total(self) -> int:
@@ -232,8 +239,13 @@ class LoadReport:
 
     def metrics(self) -> dict[str, float]:
         """Flat metrics for ``obs.baseline`` (names carry direction:
-        throughput/hit_rate up is good, latency/shed down is good)."""
-        return {
+        throughput/hit_rate up is good, latency/shed down is good).
+
+        Traced runs additionally expose per-stage p99s and the SLO
+        verdict metrics; untraced runs keep exactly the original key
+        set, so committed baselines stay byte-comparable.
+        """
+        out = {
             "serve.throughput_rps": round(self.throughput, 3),
             "serve.latency_p50_seconds": round(self.percentile(0.50), 6),
             "serve.latency_p99_seconds": round(self.percentile(0.99), 6),
@@ -243,6 +255,70 @@ class LoadReport:
             "serve.completed": float(self.completed),
             "serve.failed": float(self.failed),
         }
+        if self.stages is not None:
+            for s in self.stage_latencies():
+                out[f"serve.stage_{s.stage}_p99_seconds"] = round(s.p99, 6)
+        if self.slo is not None:
+            out.update(self.slo.metrics())
+        return out
+
+    def stage_latencies(self) -> tuple[StageLatency, ...]:
+        """Per-stage tail decomposition (empty when the run was untraced)."""
+        if self.stages is None:
+            return ()
+        return decompose_stages(self.stages.stage_samples)
+
+    def dominant_stage(self) -> StageLatency | None:
+        """The stage dominating the latency tail, or ``None`` untraced."""
+        return dominant_stage(self.stage_latencies())
+
+    def stage_table(self) -> Table:
+        """Latency-decomposition table: where each request's time went.
+
+        The ``total_s`` column telescopes: stage totals sum exactly to
+        the ``end_to_end`` row, because each request's stage durations
+        sum exactly to its reported latency (see ``RequestTrace``).
+        Covers every *finished* trace — completed, failed and
+        post-admission rejected — which is why ``end_to_end`` counts
+        can exceed the completed-only latency percentiles above it.
+        """
+        if self.stages is None:
+            raise ValueError("stage_table() needs a traced run (rtrace=True)")
+        t = Table(
+            ["stage", "count", "total_s", "share", "p50_s", "p99_s", "p999_s"],
+            title=f"latency decomposition ({self.stages.requests} traced requests)",
+            precision=6,
+        )
+        for s in self.stage_latencies():
+            t.add_row(
+                [
+                    s.stage,
+                    s.count,
+                    round(s.total, 6),
+                    round(s.share, 6),
+                    round(s.p50, 6),
+                    round(s.p99, 6),
+                    round(s.p999, 6),
+                ]
+            )
+        totals = sorted(self.stages.latencies)
+        n = len(totals)
+
+        def rank(q: float) -> int:
+            return max(0, min(n - 1, math.ceil(q * n) - 1))
+
+        t.add_row(
+            [
+                "end_to_end",
+                n,
+                round(sum(totals), 6),
+                1.0,
+                round(totals[rank(0.50)] if n else 0.0, 6),
+                round(totals[rank(0.99)] if n else 0.0, 6),
+                round(totals[rank(0.999)] if n else 0.0, 6),
+            ]
+        )
+        return t
 
     def table(self) -> Table:
         """Render the report as a two-column metric table."""
@@ -294,6 +370,9 @@ def run_serve(
     time_scale: float = 0.0,
     trace: TraceRecorder | None = None,
     executor: Any = None,
+    rtrace: bool = False,
+    objectives: tuple[Objective, ...] | list[Objective] | None = None,
+    slo_window: float = 1.0,
 ) -> LoadReport:
     """Generate a seeded trace and serve it end to end; returns the report.
 
@@ -306,6 +385,13 @@ def run_serve(
     The cache is a seeded hit-rate model under driven mode and a real
     LRU+TTL under thread mode — same client code, different fidelity
     (see DESIGN.md).
+
+    ``rtrace`` turns on request-scoped stage tracing
+    (:mod:`repro.obs.rtrace`); declaring ``objectives`` implies it and
+    additionally evaluates an SLO verdict over ``slo_window``-second
+    windows onto ``report.slo``.  Off (the default), the serve path
+    keeps its null fast paths and reports stay byte-identical to
+    pre-tracing goldens.
     """
     spec = LoadSpec(
         pattern, requests=requests, seed=seed, base_rate=base_rate, keyspace=keyspace
@@ -316,17 +402,24 @@ def run_serve(
         # single-core backends (inline) reject an explicit core count
         want_cores = None if get_backend(backend).single_core else cores
         executor = create(backend, cores=want_cores, trace=trace)
+    collector = (
+        RequestTraceCollector() if rtrace or objectives is not None else None
+    )
     gateway = Gateway(
         executor,
         admission=admission or default_admission(base_rate),
         batching=batching or BatchPolicy(max_size=8, max_delay=0.004),
         cache=None,
         trace=trace,
+        rtrace=collector,
     )
     if gateway.mode == "driven":
         gateway.cache = ModeledCache(hit_rate=hit_rate, seed=seed)
     else:
         gateway.cache = LRUTTLCache(cache_capacity, ttl=cache_ttl)
+    ambient = use_rtrace(collector) if collector is not None else None
+    if ambient is not None:
+        ambient.__enter__()
     try:
         tickets = []
         if gateway.mode == "driven":
@@ -377,8 +470,15 @@ def run_serve(
         report.cache_misses = stats.misses
         report.batches = gateway.stats.batches
         report.retries = gateway.stats.retries
+        if collector is not None:
+            report.stages = collector.summary()
+            if objectives is not None or rtrace:
+                report.slo = evaluate_slo(report, objectives, window=slo_window)
+                emit_metrics(report.slo, gateway.trace)
         return report
     finally:
         gateway.shutdown(drain=False)
         if own_executor:
             executor.shutdown()
+        if ambient is not None:
+            ambient.__exit__(None, None, None)

@@ -64,6 +64,8 @@ class Completed(Response):
     cached: bool = False
     #: number of requests in the micro-batch this one rode in (1 = solo)
     batch_size: int = 1
+    #: executor attempts spent (>1 means the batch was retried)
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,172 @@
+"""Declarative SLOs: parsing, windowed evaluation, gate directions."""
+
+import pytest
+
+from repro.obs import TraceRecorder
+from repro.obs.baseline import metric_direction
+from repro.obs.rtrace import RequestSummary
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    emit_metrics,
+    evaluate_slo,
+    parse_objective,
+)
+
+
+class _FakeReport:
+    """Duck-typed stand-in for a LoadReport (slo imports nothing from serve)."""
+
+    def __init__(self, latencies, stages=None, completed=None, failed=0, shed=0):
+        self._latencies = sorted(latencies)
+        self.stages = stages
+        self.completed = completed if completed is not None else len(latencies)
+        self.failed = failed
+        self.duration = 4.0
+        self._shed = shed
+
+    def percentile(self, q):
+        import math
+
+        if not self._latencies:
+            return 0.0
+        n = len(self._latencies)
+        return self._latencies[max(0, min(n - 1, math.ceil(q * n) - 1))]
+
+    @property
+    def shed_rate(self):
+        n = self.completed + self.failed + self._shed
+        return self._shed / n if n else 0.0
+
+
+def _summary(resolves, latencies, statuses, sheds=()):
+    return RequestSummary(
+        requests=len(resolves),
+        completed=statuses.count("completed"),
+        failed=statuses.count("failed"),
+        rejected=statuses.count("rejected"),
+        cached=0,
+        stage_samples={},
+        latencies=tuple(latencies),
+        resolves=tuple(resolves),
+        oks=tuple(s == "completed" for s in statuses),
+        statuses=tuple(statuses),
+        sheds=tuple(sheds),
+        exemplars=(),
+    )
+
+
+class TestParseObjective:
+    @pytest.mark.parametrize(
+        "text,metric,op,threshold",
+        [
+            ("p99<=0.25", "p99", "<=", 0.25),
+            ("  p50 < 0.01 ", "p50", "<", 0.01),
+            ("shed_rate<=0.05", "shed_rate", "<=", 0.05),
+            ("availability>=0.999", "availability", ">=", 0.999),
+            ("p999<=2.5e-1", "p999", "<=", 0.25),
+        ],
+    )
+    def test_valid_forms(self, text, metric, op, threshold):
+        obj = parse_objective(text)
+        assert (obj.metric, obj.op, obj.threshold) == (metric, op, threshold)
+
+    @pytest.mark.parametrize("text", ["p99", "p99==0.25", "latency<=0.1", ""])
+    def test_invalid_forms_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_objective(text)
+
+    def test_unknown_metric_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Objective("p42", "<=", 1.0)
+
+
+class TestEvaluate:
+    def test_aggregate_decides_pass_fail(self):
+        # nearest-rank p99 over 10 samples picks the last order statistic
+        report = _FakeReport([0.1] * 9 + [0.9])
+        verdict = evaluate_slo(report, [Objective("p99", "<=", 0.25)])
+        assert not verdict.passed
+        verdict = evaluate_slo(report, [Objective("p99", "<=", 1.0)])
+        assert verdict.passed
+
+    def test_windows_count_breaches(self):
+        # four 1 s windows: the fourth is the slow one
+        resolves = [0.5, 1.5, 2.5, 3.5]
+        latencies = [0.01, 0.01, 0.01, 0.8]
+        stages = _summary(resolves, latencies, ["completed"] * 4)
+        report = _FakeReport(latencies, stages=stages)
+        (res,) = evaluate_slo(report, [Objective("p99", "<=", 0.25)]).results
+        assert (res.windows, res.breached) == (4, 1)
+        assert res.burn_rate == 0.25
+
+    def test_empty_windows_are_excluded_not_counted(self):
+        stages = _summary([0.5, 3.5], [0.01, 0.01], ["completed"] * 2)
+        report = _FakeReport([0.01, 0.01], stages=stages)
+        (res,) = evaluate_slo(report, [Objective("p99", "<=", 0.25)]).results
+        assert res.windows == 2  # windows 1 and 2 had no completions
+
+    def test_availability_windows_ignore_rejections(self):
+        stages = _summary(
+            [0.5, 0.6, 1.5],
+            [0.01, 0.02, 0.03],
+            ["completed", "failed", "rejected"],
+        )
+        report = _FakeReport([0.01], stages=stages, completed=1, failed=1)
+        (res,) = evaluate_slo(report, [Objective("availability", ">=", 0.999)]).results
+        # window 0 has 1 completed + 1 failed -> 0.5 availability, breach;
+        # window 1 has only a rejection -> excluded
+        assert (res.windows, res.breached) == (1, 1)
+        assert not res.passed
+
+    def test_shed_windows_use_admission_sheds(self):
+        stages = _summary(
+            [0.5, 1.5], [0.01, 0.01], ["completed"] * 2, sheds=(0.4, 0.45, 0.55)
+        )
+        report = _FakeReport([0.01, 0.01], stages=stages, shed=3)
+        (res,) = evaluate_slo(report, [Objective("shed_rate", "<=", 0.05)]).results
+        # window 0: 3 sheds vs 1 resolved -> 0.75, breach; window 1: 0/1 ok
+        assert (res.windows, res.breached) == (2, 1)
+
+    def test_untraced_report_gets_aggregate_only(self):
+        report = _FakeReport([0.01] * 10)
+        verdict = evaluate_slo(report)
+        assert len(verdict.results) == len(DEFAULT_OBJECTIVES)
+        assert all(r.windows == 0 for r in verdict.results)
+        assert verdict.passed
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            evaluate_slo(_FakeReport([0.01]), window=0.0)
+
+    def test_verdict_table_is_deterministic(self):
+        report = _FakeReport([0.01] * 10)
+        a = evaluate_slo(report).table().render()
+        b = evaluate_slo(report).table().render()
+        assert a == b
+        assert "SLO verdict" in a
+
+
+class TestGateDirections:
+    def test_metric_names_carry_the_right_direction(self):
+        report = _FakeReport([0.01] * 10)
+        metrics = evaluate_slo(report).metrics()
+        directions = {name: metric_direction(name) for name in metrics}
+        assert directions["slo.burn_rate_p99"] == "lower"
+        assert directions["slo.burn_rate_avail"] == "lower"
+        assert directions["slo.windows_breached_avail"] == "lower"
+        assert directions["slo.observed_p99_seconds"] == "lower"
+        assert directions["slo.observed_shed_rate"] == "lower"
+        assert directions["slo.observed_availability"] == "higher"
+        # the verdict flag is informational, never a gated ratio
+        assert directions["slo.ok"] == "info"
+
+    def test_emit_metrics_publishes_counters_and_gauges(self):
+        recorder = TraceRecorder()
+        report = _FakeReport([0.01] * 10)
+        emit_metrics(evaluate_slo(report), recorder)
+        snap = recorder.metrics.snapshot()
+        assert snap["slo.ok"] == 1.0
+        assert "slo.burn_rate_p99" in snap
+        assert "slo.windows_total_avail" in snap
+        assert "slo.windows_breached_shed_rate" in snap

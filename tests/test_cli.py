@@ -216,3 +216,86 @@ class TestServe:
         text = scrape.read_text()
         assert "repro_serve_submitted" in text
         assert "repro_serve_queue_depth" in text
+
+    def test_slo_flag_prints_decomposition_and_verdict(self, capsys):
+        assert main(["serve", "steady", "--requests", "800", "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "latency decomposition" in out
+        assert "SLO verdict" in out
+        assert "dominant stage:" in out
+
+    def test_slo_violation_exits_3_deterministically(self, capsys):
+        args = ["serve", "overload", "--requests", "20000", "--slo"]
+        assert main(args) == 3
+        first = capsys.readouterr().out
+        assert main(args) == 3
+        assert capsys.readouterr().out == first  # byte-identical under sim
+
+    def test_custom_objectives_gate(self, capsys):
+        ok = ["serve", "steady", "--requests", "800", "--objectives", "p99<=10"]
+        assert main(ok) == 0
+        capsys.readouterr()
+        bad = ["serve", "steady", "--requests", "800", "--objectives", "p99<=0"]
+        assert main(bad) == 3
+        assert "SLO gate FAILED" in capsys.readouterr().err
+
+    def test_bad_objective_exits_2(self, capsys):
+        assert main(
+            ["serve", "steady", "--requests", "100", "--objectives", "nope<=1"]
+        ) == 2
+        assert "metric must be one of" in capsys.readouterr().err
+
+    def test_waterfall_writes_selfcontained_html(self, tmp_path, capsys):
+        wf = tmp_path / "wf.html"
+        assert main(
+            ["serve", "steady", "--requests", "800", "--waterfall", str(wf)]
+        ) == 0
+        text = wf.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<svg" in text and "Latency decomposition" in text
+        assert "<script" not in text  # self-contained: no JavaScript
+
+    def test_slo_scrape_exports_burn_rate_counters(self, tmp_path, capsys):
+        scrape = tmp_path / "metrics.prom"
+        assert main(
+            ["serve", "steady", "--requests", "500", "--slo",
+             "--scrape-out", str(scrape)]
+        ) == 0
+        text = scrape.read_text()
+        assert "repro_slo_burn_rate" in text
+        assert "repro_slo_ok" in text
+
+    def test_traced_compare_uses_its_own_baseline_id(self, tmp_path, capsys):
+        baseline = str(tmp_path / "serve.json")
+        assert main(
+            ["serve", "steady", "--requests", "800", "--slo",
+             "--update-baseline", "--baseline", baseline]
+        ) == 0
+        capsys.readouterr()
+        store = json.load(open(baseline))
+        assert list(store["experiments"]) == ["serve_steady_sim_slo"]
+        assert main(
+            ["serve", "steady", "--requests", "800", "--slo",
+             "--compare", "--baseline", baseline]
+        ) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+
+class TestSloCommand:
+    def test_verdict_only_run_passes_on_steady(self, capsys):
+        assert main(["slo", "steady", "--requests", "800"]) == 0
+        out = capsys.readouterr()
+        assert "SLO verdict" in out.out
+        assert "SLO gate passed" in out.err
+
+    def test_violation_exits_3(self, capsys):
+        assert main(["slo", "overload", "--requests", "20000"]) == 3
+        assert "SLO gate FAILED" in capsys.readouterr().err
+
+    def test_deterministic_output(self, capsys):
+        # bursty at this size breaches shed_rate: same verdict, same bytes
+        args = ["slo", "bursty", "--requests", "800"]
+        assert main(args) == 3
+        first = capsys.readouterr().out
+        assert main(args) == 3
+        assert capsys.readouterr().out == first
