@@ -194,13 +194,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     exp = _require_experiment(args.experiment)
     if exp is None:
         return 2
-    _, result = _run_traced(exp)
-    if result.analysis is None:
-        print("experiment produced no trace analysis", file=sys.stderr)
-        return 1
+    if exp.perf:
+        # Wall-clock microbench: run it *untraced* (recorder overhead must
+        # never land in the measured region) and gate the metrics the
+        # experiment measured itself against the committed BENCH_*.json.
+        result = exp()
+        current = result.metrics
+        if not current:
+            print("perf experiment attached no metrics", file=sys.stderr)
+            return 1
+    else:
+        _, result = _run_traced(exp)
+        if result.analysis is None:
+            print("experiment produced no trace analysis", file=sys.stderr)
+            return 1
+        current = result.analysis.baseline_metrics()
     comparison = compare_to_baseline(
         args.experiment,
-        result.analysis.baseline_metrics(),
+        current,
         store[args.experiment],
         threshold=args.threshold,
     )

@@ -13,6 +13,7 @@ from repro.bench.harness import Experiment, ExperimentResult, all_experiments, g
 # Importing the experiment modules registers every experiment.
 from repro.bench import ablations as _ablations  # noqa: F401,E402
 from repro.bench import experiments_course as _course  # noqa: F401,E402
+from repro.bench import experiments_hotpath as _hotpath  # noqa: F401,E402
 from repro.bench import experiments_projects as _projects  # noqa: F401,E402
 from repro.bench import experiments_pool as _pool  # noqa: F401,E402
 from repro.bench import experiments_projects2 as _projects2  # noqa: F401,E402

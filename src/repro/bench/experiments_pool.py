@@ -80,7 +80,13 @@ def pool_micro_metrics(
     for _ in range(repeats):
         pool = WorkStealingPool(workers=workers, name="micro")
         try:
-            _measure_fanout(pool, 64)  # warm-up: threads parked and ready
+            # Warm-up covers *both* submission paths: threads parked and
+            # ready, and the submit/submit_many code paths (bytecode
+            # specialisation, lazily built structures) already exercised —
+            # otherwise the first timed submit_many burst pays cold-path
+            # costs inside the batched measurement.
+            _measure_fanout(pool, 64)
+            _measure_batched(pool, 64)
             fanout_best = min(fanout_best, _measure_fanout(pool, tasks))
             batched_best = min(batched_best, _measure_batched(pool, tasks))
         finally:
@@ -109,6 +115,7 @@ def snapshot_pool_bench(
     "pool_micro",
     "Work-stealing pool task-plumbing microbench (wall clock)",
     "ROADMAP item 4 (perf trajectory)",
+    perf=True,
 )
 def run_pool_micro() -> ExperimentResult:
     metrics = pool_micro_metrics()
@@ -128,4 +135,4 @@ def run_pool_micro() -> ExperimentResult:
         "via repro.bench.experiments_pool.snapshot_pool_bench() when a "
         "PR intentionally moves the hot path."
     )
-    return ExperimentResult(exp_id="pool_micro", tables=(table,), notes=notes)
+    return ExperimentResult(exp_id="pool_micro", tables=(table,), notes=notes, metrics=metrics)

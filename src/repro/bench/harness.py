@@ -74,6 +74,12 @@ class Experiment:
     title: str
     paper_ref: str  # e.g. "Figure 2", "Section V-A"
     run: Callable[[], ExperimentResult] = field(compare=False)
+    #: perf experiments measure *wall-clock* metrics themselves (attached
+    #: to ``ExperimentResult.metrics`` by the experiment body) and gate
+    #: against a committed ``BENCH_*.json`` snapshot; ``python -m repro
+    #: compare`` runs them untraced so recorder overhead never lands in
+    #: the measured region.
+    perf: bool = False
 
     def __call__(self) -> ExperimentResult:
         recorder = current_recorder()
@@ -104,12 +110,15 @@ _lock = threading.Lock()
 
 
 def register(
-    exp_id: str, title: str, paper_ref: str
+    exp_id: str, title: str, paper_ref: str, perf: bool = False
 ) -> Callable[[Callable[[], ExperimentResult]], Experiment]:
-    """Decorator: register an experiment under ``exp_id``."""
+    """Decorator: register an experiment under ``exp_id``.
+
+    ``perf=True`` marks a wall-clock microbench whose result carries its
+    own metrics dict (see :attr:`Experiment.perf`)."""
 
     def deco(fn: Callable[[], ExperimentResult]) -> Experiment:
-        exp = Experiment(exp_id=exp_id, title=title, paper_ref=paper_ref, run=fn)
+        exp = Experiment(exp_id=exp_id, title=title, paper_ref=paper_ref, run=fn, perf=perf)
         with _lock:
             if exp_id in _registry:
                 raise ValueError(f"experiment {exp_id!r} already registered")

@@ -17,6 +17,26 @@ and stop itself, but the future then completes normally/with an error).
 A cancelled future is *done*: waiters are released with a
 :class:`CancelledError` and done-callbacks fire, which is how
 cancellation propagates to dependent tasks.
+
+Performance
+-----------
+Futures are the per-task allocation of every executor, so construction
+and completion sit on the pool's hottest path.  Three choices keep them
+cheap without weakening the contract above:
+
+* a plain :class:`threading.Lock` guards state transitions — a
+  ``Condition`` (the previous design) allocates a second lock and two
+  deques per future, an order of magnitude more construction work;
+* blocking waiters are served by a :class:`threading.Event` allocated
+  *lazily* on the first ``result()``/``exception()`` that actually has
+  to block — the common pool case (completion observed via ``done()``
+  polling or callbacks) never allocates it.  The event is set-once, so
+  any number of late waiters share it safely;
+* state reads (``done``/``running``/``cancelled`` and the completion
+  fast path of ``result``) are lock-free: ``_state`` is a single
+  attribute written under the lock and read atomically under the GIL,
+  and the value/exception slots are always written *before* the state
+  flips to a completed one.
 """
 
 from __future__ import annotations
@@ -69,14 +89,26 @@ def _per_waiter_copy(exc: BaseException) -> BaseException:
 class Future:
     """Write-once container for a task's eventual result."""
 
-    __slots__ = ("_cond", "_state", "_value", "_exception", "_callbacks", "name", "meta")
+    __slots__ = (
+        "_lock",
+        "_state",
+        "_value",
+        "_exception",
+        "_waiter",
+        "_callbacks",
+        "name",
+        "meta",
+    )
 
     def __init__(self, name: str = "") -> None:
-        self._cond = threading.Condition()
+        self._lock = threading.Lock()
         self._state = _PENDING
         self._value: Any = None
         self._exception: BaseException | None = None
-        self._callbacks: list[Callable[["Future"], None]] = []
+        #: lazily allocated threading.Event; set exactly once on completion
+        self._waiter: threading.Event | None = None
+        #: lazily allocated callback list (most futures never register one)
+        self._callbacks: list[Callable[["Future"], None]] | None = None
         self.name = name
         #: backend-private annotations (e.g. the sim executor stores the
         #: task's final segment id here).
@@ -93,18 +125,21 @@ class Future:
         self._complete(_FAILED, None, exception)
 
     def _complete(self, state: str, value: Any, exc: BaseException | None) -> None:
-        with self._cond:
+        with self._lock:
             if self._state not in _INCOMPLETE:
                 raise FutureError(
                     f"future {self.name!r} completed twice (was {self._state})"
                 )
-            self._state = state
             self._value = value
             self._exception = exc
-            callbacks, self._callbacks = self._callbacks, []
-            self._cond.notify_all()
-        for cb in callbacks:
-            cb(self)
+            self._state = state  # last: readers branch on state lock-free
+            callbacks, self._callbacks = self._callbacks, None
+            waiter = self._waiter
+        if waiter is not None:
+            waiter.set()
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
 
     def fail_if_pending(self, exception: BaseException) -> bool:
         """Complete with ``exception`` iff still pending; False otherwise.
@@ -113,15 +148,18 @@ class Future:
         ``shutdown(drain=False)``) that may be racing an external
         :meth:`cancel` — exactly one of the two wins, never both.
         """
-        with self._cond:
+        with self._lock:
             if self._state != _PENDING:
                 return False
-            self._state = _FAILED
             self._exception = exception
-            callbacks, self._callbacks = self._callbacks, []
-            self._cond.notify_all()
-        for cb in callbacks:
-            cb(self)
+            self._state = _FAILED
+            callbacks, self._callbacks = self._callbacks, None
+            waiter = self._waiter
+        if waiter is not None:
+            waiter.set()
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
         return True
 
     # -- cancellation --------------------------------------------------------
@@ -136,10 +174,9 @@ class Future:
         cancellation exception and done-callbacks run — that is what
         cascades cancellation through dependence managers.
         """
-        with self._cond:
+        with self._lock:
             if self._state != _PENDING:
                 return False
-            self._state = _CANCELLED
             if isinstance(reason, BaseException):
                 self._exception = reason
             else:
@@ -147,17 +184,21 @@ class Future:
                 self._exception = CancelledError(
                     f"future {self.name!r} was cancelled{detail}"
                 )
-            callbacks, self._callbacks = self._callbacks, []
-            self._cond.notify_all()
-        for cb in callbacks:
-            cb(self)
+            self._state = _CANCELLED
+            callbacks, self._callbacks = self._callbacks, None
+            waiter = self._waiter
+        if waiter is not None:
+            waiter.set()
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
         return True
 
     def try_start(self) -> bool:
         """Claim the task for execution (pending -> running); False if the
         future was cancelled (or already claimed) — the worker-side half
         of the cooperative cancellation protocol."""
-        with self._cond:
+        with self._lock:
             if self._state != _PENDING:
                 return False
             self._state = _RUNNING
@@ -166,16 +207,13 @@ class Future:
     # -- consumption (consumer side) ----------------------------------------
 
     def done(self) -> bool:
-        with self._cond:
-            return self._state not in _INCOMPLETE
+        return self._state not in _INCOMPLETE
 
     def running(self) -> bool:
-        with self._cond:
-            return self._state == _RUNNING
+        return self._state == _RUNNING
 
     def cancelled(self) -> bool:
-        with self._cond:
-            return self._state == _CANCELLED
+        return self._state == _CANCELLED
 
     def exception(self, timeout: float | None = None) -> BaseException | None:
         """The stored exception (the shared instance, not a copy), or None.
@@ -188,37 +226,42 @@ class Future:
         return self._exception
 
     def result(self, timeout: float | None = None) -> Any:
-        self._wait(timeout)
-        if self._exception is not None:
+        if self._state in _INCOMPLETE:
+            self._wait(timeout)
+        exc = self._exception
+        if exc is not None:
             # Per-waiter copy: concurrent result() calls on different
             # threads must not grow one shared instance's traceback.
-            raise _per_waiter_copy(self._exception)
+            raise _per_waiter_copy(exc)
         return self._value
 
     def peek(self) -> Any:
         """Result if done, else raise :class:`FutureError` (non-blocking)."""
-        with self._cond:
-            if self._state in _INCOMPLETE:
-                raise FutureError(f"future {self.name!r} is still pending")
+        if self._state in _INCOMPLETE:
+            raise FutureError(f"future {self.name!r} is still pending")
         return self.result(timeout=0)
 
     def _wait(self, timeout: float | None) -> None:
-        with self._cond:
-            if self._state in _INCOMPLETE:
-                if not self._cond.wait_for(
-                    lambda: self._state not in _INCOMPLETE, timeout=timeout
-                ):
-                    raise TimeoutError(f"future {self.name!r} not done after {timeout}s")
+        if self._state not in _INCOMPLETE:
+            return
+        with self._lock:
+            if self._state not in _INCOMPLETE:
+                return
+            waiter = self._waiter
+            if waiter is None:
+                waiter = self._waiter = threading.Event()
+        if not waiter.wait(timeout):
+            raise TimeoutError(f"future {self.name!r} not done after {timeout}s")
 
     def add_done_callback(self, cb: Callable[["Future"], None]) -> None:
-        run_now = False
-        with self._cond:
+        with self._lock:
             if self._state in _INCOMPLETE:
-                self._callbacks.append(cb)
-            else:
-                run_now = True
-        if run_now:
-            cb(self)
+                callbacks = self._callbacks
+                if callbacks is None:
+                    callbacks = self._callbacks = []
+                callbacks.append(cb)
+                return
+        cb(self)
 
     def __repr__(self) -> str:
         return f"Future({self.name!r}, {self._state})"

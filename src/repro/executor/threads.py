@@ -12,6 +12,27 @@ exists for correctness testing (the task and collection semantics are
 exercised under genuine preemption) and for the GUI responsiveness demos,
 where ``compute(cost)`` can be realised as a sleep so that background
 work occupies real time without needing real cores.
+
+Hot-path design
+---------------
+The per-task plumbing (submit -> queue -> pop -> run -> resolve) is the
+floor under every wall-clock number in ``BENCH_pool.json`` and the
+serving gateway, so it is deliberately lean:
+
+* task records are plain tuples ``(fn, args, kwargs, future, tid, cost,
+  token, deadline)`` — a dataclass costs several times the allocation;
+* queue pops are **lock-free**: ``deque.append``/``pop``/``popleft`` are
+  GIL-atomic, so workers scan own-deque -> inbox -> victims without
+  taking the pool mutex.  The mutex only coordinates *sleeping*: a
+  worker that found nothing re-scans under the lock after raising the
+  ``_idle`` count, and submitters notify only when ``_idle`` says
+  someone is actually waiting (the 0.05 s poll remains as a backstop);
+* per-worker stat counters are single-writer lists aggregated on demand
+  by the :attr:`stats` property — no mutex round-trip per task;
+* a blocked join helps via a **per-waiter** ``threading.Event`` set by
+  the awaited future's done-callback, so one completion wakes exactly
+  the helping thread instead of thundering every worker through the
+  shared condition variable.
 """
 
 from __future__ import annotations
@@ -31,24 +52,17 @@ from repro.executor.future import Future
 from repro.obs import rtrace as _rtrace
 from repro.obs.live.registry import REGISTRY, current_handle
 from repro.obs.trace import TraceRecorder, resolve_recorder
-from repro.resilience.cancel import CancelToken, DeadlineExceeded, scoped_token
+from repro.resilience.cancel import CancelToken, DeadlineExceeded, ambient_stack
 from repro.resilience.faults import FaultPlan, InjectedFault, resolve_faults
 
 __all__ = ["WorkStealingPool", "PoolStats"]
 
 _local = threading.local()
 
-
-@dataclass
-class _Task:
-    fn: Callable[..., Any]
-    args: tuple
-    kwargs: dict
-    future: Future
-    tid: int
-    cost: float | None
-    token: CancelToken | None = None
-    deadline: float | None = None  # absolute time.monotonic()
+# Task tuple layout: (fn, args, kwargs, future, tid, cost, token, deadline).
+# ``deadline`` is absolute time.monotonic(); the shared empty kwargs dict is
+# safe because calls never mutate their **mapping.
+_NO_KWARGS: dict = {}
 
 
 @dataclass
@@ -166,16 +180,26 @@ class WorkStealingPool(Executor):
         self.compute_mode = compute_mode
         self.time_scale = time_scale
         self.scheduling = scheduling
+        self._stealing = scheduling == "stealing"
         self.trace = resolve_recorder(trace)
         self.faults = resolve_faults(faults)
 
         self._mutex = threading.Lock()
         self._work_available = threading.Condition(self._mutex)
-        self._deques: list[deque[_Task]] = [deque() for _ in range(workers)]
-        self._inbox: deque[_Task] = deque()
+        self._deques: list[deque[tuple]] = [deque() for _ in range(workers)]
+        self._inbox: deque[tuple] = deque()
         self._shutdown = False
         self._task_counter = 0
-        self._stats = PoolStats(per_worker_executed=[0] * workers)
+        #: workers parked in _work_available.wait (maintained under the
+        #: mutex, read lock-free by submitters to gate the notify)
+        self._idle = 0
+        # Per-worker counters: each index is written by exactly one
+        # thread (the worker, including while it helps), so plain int
+        # increments are safe under the GIL; ``stats`` aggregates.
+        self._executed_w = [0] * workers
+        self._steals_w = [0] * workers
+        self._steal_attempts_w = [0] * workers
+        self._helped_w = [0] * workers
         self._critical_locks: dict[str, threading.RLock] = {}
         self._barriers: dict[str, threading.Barrier] = {}
 
@@ -209,6 +233,9 @@ class WorkStealingPool(Executor):
         self._victim_orders = [
             [v for v in rng.permutation(workers).tolist() if v != w] for w in range(workers)
         ]
+        self._victim_queues = [
+            [self._deques[v] for v in order] for order in self._victim_orders
+        ]
         self._threads = [
             threading.Thread(target=self._worker_loop, args=(w,), name=f"{name}-w{w}", daemon=True)
             for w in range(workers)
@@ -230,6 +257,39 @@ class WorkStealingPool(Executor):
         **kwargs: Any,
     ) -> Future:
         """Enqueue ``fn`` for a worker; ``after`` gates via done-callbacks."""
+        if after or cancel is not None or deadline is not None or self.trace.enabled:
+            return self._submit_slow(fn, args, kwargs, cost, name, after, cancel, deadline)
+        # Fast path: independent task, tracing off — one lock round
+        # covers tid allocation, the shutdown check, the enqueue and the
+        # idle-gated wakeup.
+        future = _PoolFuture(self, name=name or getattr(fn, "__name__", "task"))
+        worker = getattr(_local, "worker", None)
+        with self._mutex:
+            if self._shutdown:
+                raise ExecutorShutdown(f"pool {self.name!r} is shut down")
+            self._task_counter += 1
+            tid = self._task_counter
+            future.meta["tid"] = tid  # lets dependants trace their dep edges
+            task = (fn, args, kwargs or _NO_KWARGS, future, tid, cost, None, None)
+            if self._stealing and worker is not None and worker[0] is self:
+                self._deques[worker[1]].append(task)  # LIFO for the owner
+            else:
+                self._inbox.append(task)
+            if self._idle:
+                self._work_available.notify()
+        return future
+
+    def _submit_slow(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        cost: float | None,
+        name: str,
+        after: Sequence[Future],
+        cancel: CancelToken | None,
+        deadline: float | None,
+    ) -> Future:
         if deadline is not None and deadline < 0:
             raise ValueError(f"deadline must be >= 0, got {deadline}")
         future = _PoolFuture(self, name=name or getattr(fn, "__name__", "task"))
@@ -240,16 +300,7 @@ class WorkStealingPool(Executor):
             tid = self._task_counter
         future.meta["tid"] = tid  # lets dependants trace their dep edges
         abs_deadline = None if deadline is None else time.monotonic() + deadline
-        task = _Task(
-            fn=fn,
-            args=args,
-            kwargs=kwargs,
-            future=future,
-            tid=tid,
-            cost=cost,
-            token=cancel,
-            deadline=abs_deadline,
-        )
+        task = (fn, args, kwargs, future, tid, cost, cancel, abs_deadline)
         if cancel is not None:
             # A cancelled token cancels the future while it is queued;
             # Future.cancel is a no-op once a worker has claimed the task.
@@ -321,54 +372,67 @@ class WorkStealingPool(Executor):
         costs: Sequence[float] | None = None,
         name: str = "batch",
     ) -> list[Future]:
-        """Group-submit fast path: one lock round, one worker wake-up.
+        """Group-submit fast path: futures built outside the lock.
 
         Independent tasks only (no ``after``/``cancel``/``deadline`` —
-        use :meth:`submit` for those).  The whole group lands in the
-        queue atomically, so workers see either none or all of it; with
-        ``notify_all`` once instead of one ``notify`` per task, a burst
-        of micro-batches from the serving gateway wakes each idle worker
-        exactly once.
+        use :meth:`submit` for those).  A tid range is reserved in one
+        lock round, the futures and task tuples are built without the
+        lock (future construction is the bulk of submission cost), and a
+        second lock round lands the whole group atomically — workers see
+        either none or all of it, and at most ``idle`` waiters are woken.
         """
         arg_tuples = list(arg_tuples)
-        if costs is not None and len(costs) != len(arg_tuples):
+        n = len(arg_tuples)
+        if costs is not None and len(costs) != n:
             raise ValueError(
-                f"costs has {len(costs)} entries for {len(arg_tuples)} tasks"
+                f"costs has {len(costs)} entries for {n} tasks"
             )
-        worker = getattr(_local, "worker", None)
-        futures: list[Future] = []
-        tasks: list[_Task] = []
-        with self._work_available:
+        with self._mutex:
             if self._shutdown:
                 raise ExecutorShutdown(f"pool {self.name!r} is shut down")
-            for i, args in enumerate(arg_tuples):
-                self._task_counter += 1
-                tid = self._task_counter
-                future = _PoolFuture(self, name=f"{name}[{i}]")
-                future.meta["tid"] = tid
-                tasks.append(
-                    _Task(
-                        fn=fn,
-                        args=tuple(args),
-                        kwargs={},
-                        future=future,
-                        tid=tid,
-                        cost=costs[i] if costs is not None else None,
-                    )
+            base = self._task_counter
+            self._task_counter = base + n
+        futures: list[Future] = []
+        tasks: list[tuple] = []
+        tid = base
+        for i, args in enumerate(arg_tuples):
+            tid += 1
+            future = _PoolFuture(self, name=f"{name}[{i}]")
+            future.meta["tid"] = tid
+            futures.append(future)
+            tasks.append(
+                (
+                    fn,
+                    tuple(args),
+                    _NO_KWARGS,
+                    future,
+                    tid,
+                    costs[i] if costs is not None else None,
+                    None,
+                    None,
                 )
-                futures.append(future)
-            if self.scheduling == "stealing" and worker is not None and worker[0] is self:
+            )
+        worker = getattr(_local, "worker", None)
+        with self._mutex:
+            if self._shutdown:
+                raise ExecutorShutdown(f"pool {self.name!r} is shut down")
+            if self._stealing and worker is not None and worker[0] is self:
                 self._deques[worker[1]].extend(tasks)
             else:
                 self._inbox.extend(tasks)
-            self._work_available.notify_all()
+            idle = self._idle
+            if idle:
+                if idle > 1 and n > 1:
+                    self._work_available.notify_all()
+                else:
+                    self._work_available.notify()
         if self.trace.enabled:
             parent = self.task_id()
             for task in tasks:
                 self.trace.event(
                     "submit",
-                    task.future.name,
-                    task_id=task.tid,
+                    task[3].name,
+                    task_id=task[4],
                     parent=parent,
                     deps=0,
                     dep_tasks=[],
@@ -376,122 +440,174 @@ class WorkStealingPool(Executor):
             self.trace.count("pool.submitted", len(tasks))
         return futures
 
-    def _enqueue(self, task: _Task) -> None:
+    def _enqueue(self, task: tuple) -> None:
         worker = getattr(_local, "worker", None)
-        with self._work_available:
+        with self._mutex:
             if self._shutdown:
-                task.future.fail_if_pending(
+                task[3].fail_if_pending(
                     ExecutorShutdown(f"pool {self.name!r} is shut down")
                 )
                 return
-            if self.scheduling == "stealing" and worker is not None and worker[0] is self:
+            if self._stealing and worker is not None and worker[0] is self:
                 self._deques[worker[1]].append(task)  # LIFO for the owner
             else:
                 self._inbox.append(task)  # external submit, or central mode
-            self._work_available.notify()
+            if self._idle:
+                self._work_available.notify()
 
     # -- worker machinery ----------------------------------------------------------
 
-    def _take_work(self, wid: int) -> tuple[_Task | None, bool]:
-        """Pop a task (own LIFO, inbox FIFO, else steal). Caller holds mutex.
+    def _poll(self, wid: int, count_attempt: bool = True) -> tuple[tuple | None, bool]:
+        """Pop a task (own LIFO, inbox FIFO, else steal) without the mutex.
 
-        An empty own-deque + empty inbox counts as one steal *attempt*
-        (a scan of every victim queue), whether or not it finds work —
-        steals/attempts is the scheduler-health success rate the analyzer
-        reports.  Idle polling counts too, deliberately: a pool that scans
-        and finds nothing is telling you it is starved.
+        All three queues are deques, whose append/pop/popleft are
+        GIL-atomic, so concurrent owners and thieves never corrupt them;
+        the try/except guards the pop-vs-pop race on a queue that just
+        went empty.  An empty own-deque + empty inbox counts as one steal
+        *attempt* (a scan of every victim queue), whether or not it finds
+        work — steals/attempts is the scheduler-health success rate the
+        analyzer reports.  Idle polling counts too, deliberately: a pool
+        that scans and finds nothing is telling you it is starved.
         """
         own = self._deques[wid]
         if own:
-            return own.pop(), False
-        if self._inbox:
-            return self._inbox.popleft(), False
-        self._stats.steal_attempts += 1
-        if self.trace.enabled:
-            self.trace.count("pool.steal_attempts")
-        for victim in self._victim_orders[wid]:
-            vq = self._deques[victim]
+            try:
+                return own.pop(), False
+            except IndexError:
+                pass
+        inbox = self._inbox
+        if inbox:
+            try:
+                return inbox.popleft(), False
+            except IndexError:
+                pass
+        if count_attempt:
+            self._steal_attempts_w[wid] += 1
+            if self.trace.enabled:
+                self.trace.count("pool.steal_attempts")
+        for vq in self._victim_queues[wid]:
             if vq:
-                return vq.popleft(), True  # FIFO steal from the cold end
+                try:
+                    return vq.popleft(), True  # FIFO steal from the cold end
+                except IndexError:
+                    continue
         return None, False
 
-    def _run_task(self, task: _Task, wid: int) -> None:
-        trace = self.trace
-        if task.deadline is not None and time.monotonic() > task.deadline:
+    def _run_task(self, task: tuple, wid: int, handle: Any, tid_stack: list, tok_stack: list) -> None:
+        fn, args, kwargs, future, tid, _cost, token, deadline = task
+        if deadline is not None and time.monotonic() > deadline:
             # Overdue at pop time: cancel rather than silently abandon.
-            task.future.cancel(
-                DeadlineExceeded(f"task {task.future.name!r} missed its deadline")
+            future.cancel(
+                DeadlineExceeded(f"task {future.name!r} missed its deadline")
             )
             return
-        if not task.future.try_start():
+        if not future.try_start():
             # Cancelled (token, deadline reaper, or dep cascade) while
             # queued — the future is already complete, drop the task.
             return
+        trace = self.trace
+        tracing = trace.enabled
         faults = self.faults
-        if faults is not None and faults.should_fail_task(self.name, task.tid):
-            if trace.enabled:
-                trace.event("fault", task.future.name, task_id=task.tid, worker=wid)
+        if faults is not None and faults.should_fail_task(self.name, tid):
+            if tracing:
+                trace.event("fault", future.name, task_id=tid, worker=wid)
                 trace.count("pool.faults_injected")
-            task.future.set_exception(
-                InjectedFault(f"task {task.future.name!r} failed by fault plan")
+            future.set_exception(
+                InjectedFault(f"task {future.name!r} failed by fault plan")
             )
             return
-        stack = getattr(_local, "tid_stack", None)
-        if stack is None:
-            stack = _local.tid_stack = []
-        stack.append(task.tid)
+        tid_stack.append(tid)
         # Live state: running <this task>.  begin/end save and restore the
         # previous scope, so a task executed *inside* a blocked join
         # (_help_until) nests correctly instead of clobbering the outer one.
-        handle = current_handle()
-        live_prev = handle.begin_task(task.future.name, task.tid) if handle is not None else None
-        if trace.enabled:
-            trace.event("task", task.future.name, phase="B", task_id=task.tid, worker=wid)
+        live_prev = handle.begin_task(future.name, tid) if handle is not None else None
+        if tracing:
+            trace.event("task", future.name, phase="B", task_id=tid, worker=wid)
             started = time.monotonic()
         rt_t0 = time.monotonic() if _rtrace.active() is not None else None
+        # Ambient-token scope, inlined: a task with no token running at
+        # the top of a worker loop (empty stack) needs no push at all; a
+        # nested task (helping) still pushes None so it does not inherit
+        # the token of the task that spawned it.
+        pushed = token is not None or bool(tok_stack)
+        if pushed:
+            tok_stack.append(token)
         try:
-            with scoped_token(task.token):
-                value = task.fn(*task.args, **task.kwargs)
+            value = fn(*args, **kwargs)
         except Exception as exc:
+            if pushed:
+                tok_stack.pop()
             if rt_t0 is not None:
                 # stamp before completion: done-callbacks read the meta
-                task.future.meta["rt_span"] = (rt_t0, time.monotonic(), wid)
-            task.future.set_exception(exc)
+                future.meta["rt_span"] = (rt_t0, time.monotonic(), wid)
+            future.set_exception(exc)
         else:
+            if pushed:
+                tok_stack.pop()
             if rt_t0 is not None:
-                task.future.meta["rt_span"] = (rt_t0, time.monotonic(), wid)
-            task.future.set_result(value)
+                future.meta["rt_span"] = (rt_t0, time.monotonic(), wid)
+            future.set_result(value)
         finally:
-            stack.pop()
+            tid_stack.pop()
             if handle is not None:
                 handle.end_task(live_prev)
-            if trace.enabled:
-                trace.event("task", task.future.name, phase="E", task_id=task.tid, worker=wid)
+            if tracing:
+                trace.event("task", future.name, phase="E", task_id=tid, worker=wid)
                 trace.observe("pool.task_seconds", time.monotonic() - started)
                 trace.count("pool.tasks_executed")
-            with self._mutex:
-                self._stats.tasks_executed += 1
-                if 0 <= wid < len(self._stats.per_worker_executed):
-                    self._stats.per_worker_executed[wid] += 1
+            self._executed_w[wid] += 1
 
     def _worker_loop(self, wid: int) -> None:
         _local.worker = (self, wid)
         handle = REGISTRY.register(f"{self.name}-w{wid}", role="pool")
+        tid_stack = getattr(_local, "tid_stack", None)
+        if tid_stack is None:
+            tid_stack = _local.tid_stack = []
+        tok_stack = ambient_stack()
+        own = self._deques[wid]
+        inbox = self._inbox
+        poll = self._poll
+        run_task = self._run_task
+        cond = self._work_available
         try:
             while True:
-                with self._work_available:
-                    task, stolen = self._take_work(wid)
-                    while task is None:
+                # Lock-free fast path: pop own LIFO / inbox FIFO directly.
+                task = None
+                stolen = False
+                if own:
+                    try:
+                        task = own.pop()
+                    except IndexError:
+                        pass
+                if task is None:
+                    if inbox:
+                        try:
+                            task = inbox.popleft()
+                        except IndexError:
+                            pass
+                    if task is None:
+                        task, stolen = poll(wid)
+                if task is None:
+                    with cond:
                         if self._shutdown:
                             return
-                        self._work_available.wait(timeout=0.05)
-                        task, stolen = self._take_work(wid)
-                    if stolen:
-                        self._stats.steals += 1
-                if stolen and self.trace.enabled:
-                    self.trace.event("steal", f"w{wid}-steals", task_id=task.tid, worker=wid)
-                    self.trace.count("pool.steals")
-                self._run_task(task, wid)
+                        # Raise _idle *before* the locked re-scan: a
+                        # submitter that reads _idle == 0 enqueued before
+                        # this point, so the re-scan below sees its task
+                        # and no wakeup is lost.
+                        self._idle += 1
+                        task, stolen = poll(wid, count_attempt=False)
+                        if task is None:
+                            cond.wait(timeout=0.05)
+                        self._idle -= 1
+                    if task is None:
+                        continue
+                if stolen:
+                    self._steals_w[wid] += 1
+                    if self.trace.enabled:
+                        self.trace.event("steal", f"w{wid}-steals", task_id=task[4], worker=wid)
+                        self.trace.count("pool.steals")
+                run_task(task, wid, handle, tid_stack, tok_stack)
         finally:
             _local.worker = None
             REGISTRY.unregister(handle)
@@ -503,30 +619,42 @@ class WorkStealingPool(Executor):
         the top of every iteration — including the no-work idle path, so
         a bounded wait with an empty pool still returns on time and lets
         ``Future.result`` raise ``TimeoutError`` uniformly.
+
+        The wakeup is scoped to *this* thread: the awaited future's
+        done-callback sets a private event, so its completion never
+        touches the pool-wide condition variable (which used to wake
+        every idle worker per completed join under heavy fanout).
         """
         worker = _local.worker
         wid = worker[1]
-        future.add_done_callback(lambda _f: self._notify_all())
+        handle = current_handle()
+        tid_stack = getattr(_local, "tid_stack", None)
+        if tid_stack is None:
+            tid_stack = _local.tid_stack = []
+        tok_stack = ambient_stack()
+        waiter = threading.Event()
+        future.add_done_callback(lambda _f: waiter.set())
         while not future.done():
             if deadline is not None and time.monotonic() > deadline:
                 return
-            with self._work_available:
-                task, stolen = self._take_work(wid)
-                if task is None:
-                    if future.done():
-                        return
-                    self._work_available.wait(timeout=0.01)
-                    continue
-                if stolen:
-                    self._stats.steals += 1
-                self._stats.helped_joins += 1
+            task, stolen = self._poll(wid)
+            if task is None:
+                if future.done():
+                    return
+                # Parked until new work *could* exist (poll backstop) or
+                # the join target completes (event set by the callback).
+                waiter.wait(timeout=0.01)
+                continue
+            if stolen:
+                self._steals_w[wid] += 1
+            self._helped_w[wid] += 1
             if self.trace.enabled:
                 if stolen:
-                    self.trace.event("steal", f"w{wid}-steals", task_id=task.tid, worker=wid)
+                    self.trace.event("steal", f"w{wid}-steals", task_id=task[4], worker=wid)
                     self.trace.count("pool.steals")
-                self.trace.event("help", f"w{wid}-helps", task_id=task.tid, worker=wid)
+                self.trace.event("help", f"w{wid}-helps", task_id=task[4], worker=wid)
                 self.trace.count("pool.helped_joins")
-            self._run_task(task, wid)
+            self._run_task(task, wid, handle, tid_stack, tok_stack)
 
     def _notify_all(self) -> None:
         with self._work_available:
@@ -696,26 +824,36 @@ class WorkStealingPool(Executor):
         with self._work_available:
             if self._shutdown:
                 return
-            stranded: list[_Task] = []
+            stranded: list[tuple] = []
             if not drain:
+                # Drain by popping (not iterating): workers pop these
+                # deques lock-free, and a concurrent pop during iteration
+                # would raise.  Each task lands on exactly one side.
                 for dq in self._deques:
-                    stranded.extend(dq)
-                    dq.clear()
-                stranded.extend(self._inbox)
-                self._inbox.clear()
+                    while True:
+                        try:
+                            stranded.append(dq.pop())
+                        except IndexError:
+                            break
+                while True:
+                    try:
+                        stranded.append(self._inbox.popleft())
+                    except IndexError:
+                        break
             self._shutdown = True
             self._work_available.notify_all()
             self._reaper_wakeup.notify_all()
         for task in stranded:
             # fail_if_pending: an external cancel() racing shutdown wins
             # atomically — the future completes exactly once either way.
-            if task.future.fail_if_pending(
+            future = task[3]
+            if future.fail_if_pending(
                 ExecutorShutdown(
-                    f"task {task.future.name!r} stranded by non-draining shutdown "
+                    f"task {future.name!r} stranded by non-draining shutdown "
                     f"of pool {self.name!r}"
                 )
             ) and self.trace.enabled:
-                self.trace.event("drain", task.future.name, task_id=task.tid)
+                self.trace.event("drain", future.name, task_id=task[4])
                 self.trace.count("pool.drained")
         for t in self._threads:
             t.join(timeout=timeout)
@@ -726,7 +864,15 @@ class WorkStealingPool(Executor):
 
     @property
     def stats(self) -> PoolStats:
-        return self._stats
+        """Aggregated view over the per-worker counters (see __init__)."""
+        per_worker = list(self._executed_w)
+        return PoolStats(
+            tasks_executed=sum(per_worker),
+            steals=sum(self._steals_w),
+            steal_attempts=sum(self._steal_attempts_w),
+            helped_joins=sum(self._helped_w),
+            per_worker_executed=per_worker,
+        )
 
     def __repr__(self) -> str:
         return f"WorkStealingPool({self.name!r}, workers={self.cores}, mode={self.compute_mode!r})"

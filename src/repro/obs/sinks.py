@@ -43,19 +43,22 @@ class Sink:
 
 
 class MemorySink(Sink):
-    """Keeps every event in a list — the test and default sink."""
+    """Keeps every event in a list — the test and default sink.
+
+    Lock-free by design: ``list.append`` (and ``clear``) are GIL-atomic,
+    so concurrent emitters from pool workers never corrupt the list and
+    the recorder's hot path pays no lock round-trip per event.  Readers
+    that need a stable view copy the list (``TraceRecorder.events``).
+    """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
         self.events: list["TraceEvent"] = []
 
     def emit(self, event: "TraceEvent") -> None:
-        with self._lock:
-            self.events.append(event)
+        self.events.append(event)
 
     def clear(self) -> None:
-        with self._lock:
-            self.events.clear()
+        self.events.clear()
 
     def __len__(self) -> int:
         return len(self.events)

@@ -34,8 +34,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, NamedTuple
 
 from repro.obs.metrics import Metrics, NullMetrics
 from repro.obs.sinks import MemorySink, Sink
@@ -54,16 +53,14 @@ __all__ = [
 _PHASES = ("B", "E", "X", "i", "M")
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One structured record of something the runtime did.
+#: shared default for events constructed without attrs — never mutated
+#: (events are immutable; readers only iterate/copy it)
+_EMPTY_ATTRS: dict[str, Any] = {}
 
-    ``ts`` and ``dur`` are seconds (wall or virtual, per the emitting
-    backend); sinks that need microseconds convert on serialisation.
-    ``group`` maps to the Chrome "pid" so unrelated timelines (e.g. the
-    same recording scheduled on 1, 2, 4 ... cores) don't overlap.
-    """
+_tuple_new = tuple.__new__
 
+
+class _TraceEventFields(NamedTuple):
     kind: str
     name: str
     phase: str = "i"
@@ -72,13 +69,45 @@ class TraceEvent:
     task_id: int = 0
     worker: int | None = None
     group: int = 0
-    attrs: dict[str, Any] = field(default_factory=dict)
+    # plain ``dict`` (not dict[str, Any]) so strategy inference in
+    # property tests can resolve every field of the named tuple
+    attrs: dict = _EMPTY_ATTRS
 
-    def __post_init__(self) -> None:
-        if self.phase not in _PHASES:
-            raise ValueError(f"unknown trace phase {self.phase!r}; expected one of {_PHASES}")
-        if self.dur is not None and self.dur < 0:
-            raise ValueError(f"event duration must be >= 0, got {self.dur}")
+
+class TraceEvent(_TraceEventFields):
+    """One structured record of something the runtime did.
+
+    ``ts`` and ``dur`` are seconds (wall or virtual, per the emitting
+    backend); sinks that need microseconds convert on serialisation.
+    ``group`` maps to the Chrome "pid" so unrelated timelines (e.g. the
+    same recording scheduled on 1, 2, 4 ... cores) don't overlap.
+
+    Events are tuple-backed (a ``NamedTuple``): construction on the
+    recorder's hot path is one ``tuple.__new__`` plus the two validity
+    checks below — the previous frozen dataclass paid nine
+    ``object.__setattr__`` calls per event.  Immutability comes with the
+    tuple; field access, equality and ``_replace`` behave as before.
+    """
+
+    __slots__ = ()
+
+    def __new__(
+        cls,
+        kind: str,
+        name: str,
+        phase: str = "i",
+        ts: float = 0.0,
+        dur: float | None = None,
+        task_id: int = 0,
+        worker: int | None = None,
+        group: int = 0,
+        attrs: dict = _EMPTY_ATTRS,
+    ) -> "TraceEvent":
+        if phase not in _PHASES:
+            raise ValueError(f"unknown trace phase {phase!r}; expected one of {_PHASES}")
+        if dur is not None and dur < 0:
+            raise ValueError(f"event duration must be >= 0, got {dur}")
+        return _tuple_new(cls, (kind, name, phase, ts, dur, task_id, worker, group, attrs))
 
     def to_json(self) -> dict[str, Any]:
         """Plain-dict form used by the JSONL sink (seconds, flat keys)."""
@@ -254,18 +283,23 @@ class TraceRecorder:
         **attrs: Any,
     ) -> None:
         """Record one event; ``ts=None`` stamps wall time now."""
-        self._emit(
-            TraceEvent(
-                kind=kind,
-                name=name,
-                phase=phase,
-                ts=self.now() if ts is None else ts,
-                task_id=task_id,
-                worker=worker,
-                group=group,
-                attrs=attrs,
-            )
+        event = TraceEvent(
+            kind,
+            name,
+            phase,
+            time.monotonic() - self._epoch if ts is None else ts,
+            None,
+            task_id,
+            worker,
+            group,
+            attrs,
         )
+        # Thin fast path for the common configuration (no event cap, no
+        # overhead tracking): hand the event straight to the sink.
+        if self.max_events is None and not self.track_overhead:
+            self.sink.emit(event)
+        else:
+            self._emit(event)
 
     def record(self, event: TraceEvent) -> None:
         """Record a pre-built event verbatim (cap rules still apply).

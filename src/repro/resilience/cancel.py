@@ -116,6 +116,20 @@ class CancelToken:
 _ambient = threading.local()
 
 
+def ambient_stack() -> list["CancelToken | None"]:
+    """The calling thread's ambient-token stack (created lazily).
+
+    Executor fast paths use this directly — append before the task body,
+    pop after — because :func:`scoped_token`'s generator-based context
+    manager costs more than the task bookkeeping it wraps.  The returned
+    list is thread-affine: hold on to it only from the thread that asked.
+    """
+    stack = getattr(_ambient, "stack", None)
+    if stack is None:
+        stack = _ambient.stack = []
+    return stack
+
+
 def current_token() -> CancelToken | None:
     """The token of the task currently executing on this thread, if any.
 
@@ -134,9 +148,7 @@ def scoped_token(token: CancelToken | None) -> Iterator[None]:
     ``None`` still pushes (and pops) so a task spawned *without* a token
     does not inherit the token of the task that spawned it.
     """
-    stack = getattr(_ambient, "stack", None)
-    if stack is None:
-        stack = _ambient.stack = []
+    stack = ambient_stack()
     stack.append(token)
     try:
         yield

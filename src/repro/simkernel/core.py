@@ -65,8 +65,19 @@ class SimEvent:
         self._value = value
         self._exception = exception
         waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            self.sim._schedule_resume(proc, self)
+        if waiters:
+            # Fan-out fast path: the send/throw pair is the same for every
+            # waiter, so compute it once instead of re-deriving it per
+            # waiter through the ``value`` property (which re-raises the
+            # stored exception each time).  Schedule order is unchanged.
+            at = self.sim._at
+            now = self.sim.now
+            if exception is None:
+                for proc in waiters:
+                    at(now, proc, value)
+            else:
+                for proc in waiters:
+                    at(now, proc, None, exception)
 
     def _add_waiter(self, proc: "Process") -> None:
         if self._fired:
@@ -186,6 +197,8 @@ class Simulator:
     (2.5, 'done')
     """
 
+    __slots__ = ("clock", "_heap", "_seq", "_step_count")
+
     def __init__(self, start: float = 0.0) -> None:
         self.clock = ManualClock(start)
         self._heap: list[tuple[float, int, Process, Any, BaseException | None]] = []
@@ -204,6 +217,8 @@ class Simulator:
     # -- scheduling primitives -------------------------------------------
 
     def _at(self, t: float, proc: Process, send: Any, throw: BaseException | None = None) -> None:
+        if not proc._alive:
+            return  # dead processes never reach the heap
         self._seq += 1
         heapq.heappush(self._heap, (t, self._seq, proc, send, throw))
 
@@ -279,21 +294,51 @@ class Simulator:
 
         ``until`` leaves the clock exactly at ``until`` even if no event
         lands there, so back-to-back ``run(until=...)`` calls compose.
+        ``max_steps`` caps the steps of *this* invocation — sequential
+        capped runs each get a fresh budget (cumulative steps stay
+        visible via :attr:`steps`).
         """
-        while self._heap:
-            t, _seq, proc, send, throw = self._heap[0]
-            if until is not None and t > until:
-                break
-            heapq.heappop(self._heap)
-            if not proc._alive:
-                continue
-            self.clock.advance_to(t)
-            self._step_count += 1
-            if max_steps is not None and self._step_count > max_steps:
-                raise RuntimeError(f"simulation exceeded {max_steps} steps (livelock?)")
-            proc._step(send, throw)
-        if until is not None and self.now < until:
-            self.clock.advance_to(until)
+        heap = self._heap
+        pop = heapq.heappop
+        clock = self.clock
+        advance = clock.advance_to
+        now = clock.now()
+        steps = 0
+        try:
+            if until is None and max_steps is None:
+                # Hottest form (run to quiescence): no horizon peek, no
+                # cap check; pop straight off the heap and only touch the
+                # clock when virtual time actually moves — event fan-outs
+                # resume thousands of processes at one timestamp.
+                while heap:
+                    t, _seq, proc, send, throw = pop(heap)
+                    if not proc._alive:
+                        continue
+                    if t > now:
+                        advance(t)
+                        now = t
+                    steps += 1
+                    proc._step(send, throw)
+            else:
+                while heap:
+                    if until is not None and heap[0][0] > until:
+                        break
+                    t, _seq, proc, send, throw = pop(heap)
+                    if not proc._alive:
+                        continue
+                    if t > now:
+                        advance(t)
+                        now = t
+                    steps += 1
+                    if max_steps is not None and steps > max_steps:
+                        raise RuntimeError(
+                            f"simulation exceeded {max_steps} steps (livelock?)"
+                        )
+                    proc._step(send, throw)
+        finally:
+            self._step_count += steps
+        if until is not None and clock.now() < until:
+            advance(until)
 
     def __repr__(self) -> str:
         return f"Simulator(now={self.now}, pending={len(self._heap)})"

@@ -288,6 +288,37 @@ class TestRunControl:
         with pytest.raises(RuntimeError, match="steps"):
             sim.run(max_steps=100)
 
+    def test_max_steps_budget_is_per_invocation(self):
+        # Regression: the cap used to compare against the *cumulative*
+        # step counter, so a second capped run inherited the first run's
+        # spend and tripped immediately.  Each run() gets a fresh budget.
+        sim = Simulator()
+
+        def spinner():
+            while True:
+                yield 0.0
+
+        sim.spawn(spinner())
+        with pytest.raises(RuntimeError, match="100 steps"):
+            sim.run(max_steps=100)
+        first_total = sim.steps
+        # tripping the cap drops the popped resumption, so restart the load
+        sim.spawn(spinner())
+        with pytest.raises(RuntimeError, match="100 steps"):
+            sim.run(max_steps=100)
+        # the second run burned its own full budget, not a leftover one
+        assert sim.steps - first_total > 100
+
+    def test_max_steps_not_tripped_by_prior_uncapped_run(self):
+        sim = Simulator()
+        for _ in range(50):
+            sim.spawn(_delayer(1.0))
+        sim.run()
+        assert sim.steps >= 50
+        sim.spawn(_delayer(1.0))
+        sim.run(max_steps=10)  # must not raise: budget is this run's alone
+        assert sim.now == pytest.approx(2.0)
+
     def test_steps_counter(self):
         sim = Simulator()
         sim.spawn(_delayer(1.0))
