@@ -12,6 +12,8 @@ Usage::
     python -m repro top proj2                # live TTY dashboard while it runs
     python -m repro flame proj6 --repeat 200 # sampling profiler + flamegraph
     python -m repro serve overload           # seeded traffic through the serving gateway
+    python -m repro runs list                # stored run history, per experiment
+    python -m repro runs timeline pool_micro # cross-run trajectory + change-points
     python -m repro webdemo out_dir/         # generate the race-condition site
     python -m repro topics                   # the ten project topics
 """
@@ -89,6 +91,33 @@ def _require_experiment(exp_id: str):
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return None
+
+
+def _record_run(args: argparse.Namespace, record: Any, virtual: bool = False, at: float = 0.0) -> None:
+    """Best-effort append of one run record to the run-history store.
+
+    Commands never fail because history could not be written — a broken
+    store is a stderr warning, not an exit code.  ``virtual=True`` stamps
+    the record from an injected clock (timestamp ``at``, revision
+    ``sim``) so deterministic golden runs dedup to a byte-identical
+    store on re-ingest; real-backend runs get the wall clock and the git
+    revision.  ``--no-record`` skips entirely, ``--store`` redirects.
+    """
+    if getattr(args, "no_record", False):
+        return
+    from contextlib import nullcontext
+
+    try:
+        from repro.obs.store import RunStore, use_clock
+        from repro.util.stopwatch import ManualClock
+
+        store = RunStore(getattr(args, "store", None))
+        scope: Any = use_clock(ManualClock(at), "sim") if virtual else nullcontext()
+        with scope:
+            rec = store.add(record)
+        print(f"run recorded -> {store.root} ({rec.exp_id}, {rec.kind})", file=sys.stderr)
+    except Exception as exc:  # noqa: BLE001 - history is advisory, never fatal
+        print(f"warning: run-history record failed: {exc}", file=sys.stderr)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -170,6 +199,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.update_baseline:
         path = update_baseline(args.experiment, analysis.baseline_metrics(), args.baseline)
         print(f"baseline updated -> {path}", file=sys.stderr)
+    from repro.obs.store import RunRecord
+
+    _record_run(
+        args,
+        RunRecord(
+            exp_id=args.experiment,
+            kind="analyze",
+            metrics=result.flat_metrics(),
+            backend=getattr(args, "backend", None),
+            cores=getattr(args, "cores", None),
+        ),
+        virtual=getattr(args, "backend", None) is None,
+    )
     return 0
 
 
@@ -216,6 +258,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         threshold=args.threshold,
     )
     print(comparison.render())
+    from repro.obs.store import RunRecord
+
+    _record_run(
+        args,
+        RunRecord(
+            exp_id=args.experiment,
+            kind="compare",
+            metrics={k: float(v) for k, v in current.items() if isinstance(v, (int, float))},
+            backend=getattr(args, "backend", None),
+            cores=getattr(args, "cores", None),
+            verdicts={"baseline": "pass" if comparison.ok else "regression"},
+            deltas={
+                d.name: d.rel_change for d in comparison.deltas if d.rel_change is not None
+            },
+            tags=tuple(f"regressed:{d.name}" for d in comparison.regressions),
+        ),
+        virtual=getattr(args, "backend", None) is None and not exp.perf,
+    )
     return 0 if comparison.ok else 1
 
 
@@ -258,6 +318,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"latency_spike_rate={plan.latency_spike_rate}",
         file=sys.stderr,
     )
+    rc = 0
+    verdicts = {}
     if args.expect:
         observed = {
             "cancel": analysis.cancelled,
@@ -281,9 +343,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 f"chaos gate FAILED: no {', '.join(missing)} events in the trace",
                 file=sys.stderr,
             )
-            return 1
-        print("chaos gate passed: all expected lifecycle events observed", file=sys.stderr)
-    return 0
+            rc = 1
+        else:
+            print("chaos gate passed: all expected lifecycle events observed", file=sys.stderr)
+        verdicts["chaos"] = "pass" if rc == 0 else "fail"
+    from repro.obs.store import RunRecord
+
+    _record_run(
+        args,
+        RunRecord(
+            exp_id=args.experiment,
+            kind="chaos",
+            metrics=result.flat_metrics(),
+            backend=getattr(args, "backend", None),
+            cores=getattr(args, "cores", None),
+            seed=plan.seed,
+            verdicts=verdicts,
+            tags=(f"chaos:{args.expect}",) if args.expect else (),
+        ),
+        virtual=getattr(args, "backend", None) is None,
+    )
+    return rc
 
 
 def _cmd_flame(args: argparse.Namespace) -> int:
@@ -546,6 +626,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"SLO gate FAILED: {', '.join(failed)}", file=sys.stderr)
         if rc == 0:
             rc = 3
+    from repro.executor.factory import get_backend
+
+    _record_run(
+        args,
+        report.run_record(
+            exp_id,
+            deltas=(
+                {d.name: d.rel_change for d in comparison.deltas if d.rel_change is not None}
+                if args.compare
+                else None
+            ),
+            extra_verdicts=(
+                {"baseline": "pass" if comparison.ok else "regression"} if args.compare else None
+            ),
+            tags=(
+                tuple(f"regressed:{d.name}" for d in comparison.regressions)
+                if args.compare
+                else ()
+            ),
+        ),
+        virtual=get_backend(args.backend).capabilities.virtual_time,
+        at=report.duration,
+    )
     return rc
 
 
@@ -610,6 +713,201 @@ def _cmd_topics(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_runs_store(args: argparse.Namespace):
+    """Open the run-history store for a ``runs`` subcommand.
+
+    Backfills the committed ``BENCH_*.json`` snapshots by default (so a
+    fresh checkout's first query already sees the perf trajectory);
+    ``--no-backfill`` opens the store as-is.
+    """
+    from repro.obs.store import RunStore
+
+    bench_dir = None if args.no_backfill else args.bench_dir
+    return RunStore.open(args.store, bench_dir=bench_dir)
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    """One row per experiment with stored history: counts, kinds, flags.
+
+    ``--scrape-out`` additionally exports the fleet-level store gauges
+    through a live Prometheus endpoint and saves one scrape (taken over
+    HTTP), proving the ``repro_store_*`` series are visible.
+    """
+    from repro.util.tables import Table
+
+    store = _open_runs_store(args)
+    table = Table(
+        ["experiment", "runs", "kinds", "regressed", "last revision"],
+        title=f"run history ({store.root}, {len(store)} record(s))",
+    )
+    for exp_id in store.experiments():
+        recs = store.query(exp=exp_id)
+        kinds = sorted({r.kind for r in recs})
+        table.add_row(
+            [
+                exp_id,
+                len(recs),
+                ",".join(kinds),
+                sum(1 for r in recs if r.regressed),
+                recs[-1].revision,
+            ]
+        )
+    print(table.render())
+    if args.scrape_out:
+        import urllib.request
+
+        from repro.obs import Metrics
+        from repro.obs.live import MetricsServer
+        from repro.obs.store import emit_metrics
+
+        metrics = Metrics()
+        emit_metrics(store, metrics)
+        server = MetricsServer(metrics=metrics, port=args.port).start()
+        try:
+            body = urllib.request.urlopen(server.url, timeout=10).read().decode("utf-8")
+        finally:
+            server.stop()
+        scrape_path = Path(args.scrape_out)
+        scrape_path.parent.mkdir(parents=True, exist_ok=True)
+        scrape_path.write_text(body)
+        print(f"/metrics scrape -> {scrape_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_runs_query(args: argparse.Namespace) -> int:
+    """Filter stored records; with ``--metric`` reduce them instead.
+
+    The filter form prints one row per matching record (newest last);
+    the aggregate form applies a reducer (min/max/mean/p50/p99) over one
+    metric, optionally grouped by experiment/kind/backend/revision —
+    "when did pool throughput last regress" is
+    ``runs query --verdict regression``.
+    """
+    from repro.obs.store import aggregate
+    from repro.util.tables import Table
+
+    store = _open_runs_store(args)
+    try:
+        records = store.query(
+            exp=args.experiment,
+            kind=args.kind,
+            backend=args.backend,
+            tag=args.tag,
+            verdict=args.verdict,
+            since=args.since,
+            limit=args.limit,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not records:
+        print("no matching records", file=sys.stderr)
+        return 0
+    if args.metric:
+        try:
+            rows = aggregate(records, args.metric, reduce=args.reduce, group_by=args.group_by)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        table = Table(
+            [args.group_by or "group", "n", args.reduce],
+            title=f"{args.metric} ({len(records)} record(s))",
+            precision=6,
+        )
+        for agg in rows:
+            table.add_row([agg.group, agg.n, agg.value])
+        print(table.render())
+        return 0
+    table = Table(
+        ["experiment", "kind", "backend", "seed", "timestamp", "revision", "metrics", "verdicts"],
+        title=f"{len(records)} record(s)",
+    )
+    for rec in records:
+        table.add_row(
+            [
+                rec.exp_id,
+                rec.kind,
+                rec.backend or "-",
+                rec.seed if rec.seed is not None else "-",
+                f"{rec.timestamp:.3f}",
+                rec.revision,
+                len(rec.metrics),
+                ",".join(f"{k}={v}" for k, v in rec.verdicts.items()) or "-",
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_runs_timeline(args: argparse.Namespace) -> int:
+    """Per-metric trajectories for one experiment, change-points flagged.
+
+    Exit codes: 0 = no change-points, 1 = at least one metric moved the
+    bad way (direction-aware, the regression was *introduced* by a
+    flagged run), 2 = no stored history for the experiment.  ``-o``
+    writes the self-contained HTML timeline (sparkline lanes, no JS).
+    """
+    from repro.obs.timeline import build_timeline, render_timeline_html, render_timeline_text
+
+    store = _open_runs_store(args)
+    records = store.query(exp=args.experiment, since=args.since, limit=args.limit)
+    if not records:
+        known = ", ".join(store.experiments()) or "none"
+        print(
+            f"no stored runs for {args.experiment!r} in {store.root} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    metrics = tuple(m.strip() for m in args.metric.split(",") if m.strip()) if args.metric else None
+    series = build_timeline(records, metrics=metrics, threshold=args.threshold)
+    if not series:
+        print(
+            f"{len(records)} record(s) but no metric observed twice; nothing to plot",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_timeline_text(args.experiment, series))
+    if args.output:
+        out_path = Path(args.output)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(
+            render_timeline_html(args.experiment, series, threshold=args.threshold)
+        )
+        print(f"HTML timeline -> {out_path}", file=sys.stderr)
+    n_flags = sum(len(s.changepoints) for s in series)
+    if n_flags:
+        print(f"{n_flags} change-point(s) detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_runs_ingest(args: argparse.Namespace) -> int:
+    """Backfill the committed ``BENCH_*.json`` snapshots into the store."""
+    from repro.obs.store import RunStore, ingest_snapshots
+
+    store = RunStore(args.store)
+    added = ingest_snapshots(store, args.bench_dir)
+    print(
+        f"ingested {added} snapshot record(s) from {args.bench_dir} "
+        f"-> {store.root} ({len(store)} total)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_runs_compact(args: argparse.Namespace) -> int:
+    """Rewrite shards time-ordered with duplicate/foreign lines dropped."""
+    from repro.obs.store import RunStore
+
+    store = RunStore(args.store)
+    removed = store.compact()
+    print(
+        f"compacted {store.root}: {len(store)} record(s) kept, {removed} line(s) removed",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _experiment_command(
     sub: argparse._SubParsersAction,
     name: str,
@@ -646,6 +944,39 @@ def _experiment_command(
         )
     p.set_defaults(fn=fn)
     return p
+
+
+def _record_flags(p: argparse.ArgumentParser) -> None:
+    """The shared run-history flags on every auto-recording command."""
+    g = p.add_argument_group(
+        "run history",
+        "successful runs are appended to the run-history store "
+        "(query with 'python -m repro runs ...')",
+    )
+    g.add_argument(
+        "--store", default=None,
+        help="run-history store directory (default: $REPRO_RUNS_STORE or benchmarks/runs)",
+    )
+    g.add_argument(
+        "--no-record", action="store_true", help="do not record this run into the store"
+    )
+
+
+def _store_flags(p: argparse.ArgumentParser) -> None:
+    """The shared store-location flags on every ``runs`` subcommand."""
+    p.add_argument(
+        "--store", default=None,
+        help="run-history store directory (default: $REPRO_RUNS_STORE or benchmarks/runs)",
+    )
+    p.add_argument(
+        "--bench-dir", default="benchmarks/reports",
+        help="directory of committed BENCH_*.json snapshots to backfill "
+        "(default: benchmarks/reports)",
+    )
+    p.add_argument(
+        "--no-backfill", action="store_true",
+        help="open the store as-is, without backfilling BENCH_*.json history",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -686,6 +1017,7 @@ def main(argv: list[str] | None = None) -> int:
     analyze.add_argument(
         "--baseline", default=default_baseline, help=f"baseline store (default: {default_baseline})"
     )
+    _record_flags(analyze)
 
     compare = _experiment_command(
         sub, "compare", _cmd_compare,
@@ -697,6 +1029,7 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument(
         "--threshold", type=float, default=0.25, help="relative drift tolerated (default: 0.25)"
     )
+    _record_flags(compare)
 
     chaos = _experiment_command(
         sub, "chaos", _cmd_chaos,
@@ -722,6 +1055,7 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated lifecycle kinds (cancel,retry,fault,drain) that must "
         "appear in the trace; exit 1 otherwise",
     )
+    _record_flags(chaos)
 
     flame = _experiment_command(
         sub, "flame", _cmd_flame,
@@ -843,6 +1177,7 @@ def main(argv: list[str] | None = None) -> int:
         "--waterfall",
         help="write the slowest-requests waterfall HTML to this path (implies tracing)",
     )
+    _record_flags(serve)
     # --backend here names the executor to build, not the redirect
     # override — sim is a first-class (and the default) choice.
     serve.set_defaults(fn=_cmd_serve, direct_backend=True)
@@ -882,6 +1217,110 @@ def main(argv: list[str] | None = None) -> int:
         help="burn-rate window width in (virtual) seconds (default: 1.0)",
     )
     slo.set_defaults(fn=_cmd_slo, direct_backend=True)
+
+    runs = sub.add_parser(
+        "runs",
+        help="query the run-history store: cross-run trajectories, change-points, aggregates",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_sub.add_parser(
+        "list", help="one row per experiment with stored history"
+    )
+    _store_flags(runs_list)
+    runs_list.add_argument(
+        "--scrape-out",
+        help="export repro_store_* gauges through a live /metrics endpoint and "
+        "save one scrape to this path",
+    )
+    runs_list.add_argument("--port", type=int, default=0, help="metrics port (default: ephemeral)")
+    runs_list.set_defaults(fn=_cmd_runs_list, direct_backend=True)
+
+    runs_query = runs_sub.add_parser(
+        "query", help="filter stored run records, or reduce one metric over them"
+    )
+    runs_query.add_argument(
+        "experiment", nargs="?", default=None, help="restrict to one experiment id"
+    )
+    _store_flags(runs_query)
+    runs_query.add_argument(
+        "--kind",
+        choices=("analyze", "compare", "serve", "chaos", "bench", "snapshot"),
+        help="restrict to one producing command",
+    )
+    runs_query.add_argument("--backend", help="restrict to one executor backend kind")
+    runs_query.add_argument("--tag", help="restrict to records carrying this tag")
+    runs_query.add_argument(
+        "--verdict",
+        help="restrict to records where some gate reached this verdict "
+        "(e.g. regression, violation, pass)",
+    )
+    runs_query.add_argument(
+        "--since", type=float, default=None, help="inclusive timestamp lower bound"
+    )
+    runs_query.add_argument(
+        "--limit", type=int, default=None, help="keep only the newest N matches"
+    )
+    agg = runs_query.add_argument_group(
+        "aggregation", "reduce one metric over the matching records instead of listing them"
+    )
+    agg.add_argument("--metric", help="metric name to reduce")
+    agg.add_argument(
+        "--reduce", default="mean", choices=("min", "max", "mean", "p50", "p99"),
+        help="reducer to apply (default: mean)",
+    )
+    agg.add_argument(
+        "--group-by", choices=("exp", "kind", "backend", "revision"),
+        help="one aggregate row per group instead of one overall",
+    )
+    runs_query.set_defaults(fn=_cmd_runs_query, direct_backend=True)
+
+    runs_timeline = runs_sub.add_parser(
+        "timeline",
+        help="per-metric trajectory of one experiment with direction-aware "
+        "change-point detection (exit 1 when a metric regressed)",
+    )
+    runs_timeline.add_argument("experiment")
+    _store_flags(runs_timeline)
+    runs_timeline.add_argument(
+        "-o", "--output", help="write the self-contained HTML timeline to this path"
+    )
+    runs_timeline.add_argument(
+        "--metric", help="comma-separated metric names (default: every metric observed twice)"
+    )
+    runs_timeline.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative bad-direction move that flags a change-point (default: 0.25)",
+    )
+    runs_timeline.add_argument(
+        "--since", type=float, default=None, help="inclusive timestamp lower bound"
+    )
+    runs_timeline.add_argument(
+        "--limit", type=int, default=None, help="keep only the newest N records"
+    )
+    runs_timeline.set_defaults(fn=_cmd_runs_timeline, direct_backend=True)
+
+    runs_ingest = runs_sub.add_parser(
+        "ingest", help="backfill the committed BENCH_*.json snapshots into the store"
+    )
+    runs_ingest.add_argument(
+        "--store", default=None,
+        help="run-history store directory (default: $REPRO_RUNS_STORE or benchmarks/runs)",
+    )
+    runs_ingest.add_argument(
+        "--bench-dir", default="benchmarks/reports",
+        help="directory of committed BENCH_*.json snapshots (default: benchmarks/reports)",
+    )
+    runs_ingest.set_defaults(fn=_cmd_runs_ingest, direct_backend=True)
+
+    runs_compact = runs_sub.add_parser(
+        "compact", help="rewrite shards time-ordered, dropping duplicate and foreign lines"
+    )
+    runs_compact.add_argument(
+        "--store", default=None,
+        help="run-history store directory (default: $REPRO_RUNS_STORE or benchmarks/runs)",
+    )
+    runs_compact.set_defaults(fn=_cmd_runs_compact, direct_backend=True)
 
     web = sub.add_parser("webdemo", help="generate the interactive race-condition pages")
     web.add_argument("out_dir")

@@ -65,6 +65,26 @@ class ExperimentResult:
             return ""
         return render_text(self.analysis)
 
+    def flat_metrics(self) -> dict[str, float]:
+        """The run's flat numeric metric map, for the run-history store.
+
+        Traced runs report the analyzer's baseline metrics (the same map
+        ``python -m repro compare`` gates on); untraced perf runs fall
+        back to the numeric entries of their own metrics dict.  Empty
+        when the run measured nothing.
+        """
+        if self.analysis is not None:
+            return self.analysis.baseline_metrics()
+        if not self.metrics:
+            return {}
+        out = {}
+        for name, value in self.metrics.items():
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                out[name] = float(value)
+        return dict(sorted(out.items()))
+
 
 @dataclass(frozen=True)
 class Experiment:

@@ -47,7 +47,12 @@ half, used by ``python -m repro analyze`` / ``compare``):
 * :mod:`repro.obs.rtrace` traces individual served requests through
   the gateway's stage chain and :mod:`repro.obs.slo` evaluates
   declarative objectives (with burn-rate windows) over the result —
-  :func:`render_waterfall` draws the slowest requests stage by stage.
+  :func:`render_waterfall` draws the slowest requests stage by stage;
+* :mod:`repro.obs.store` keeps every analyzed/benchmarked/served run
+  as a :class:`RunRecord` in a sharded append-only JSONL store with a
+  query/aggregate API, and :mod:`repro.obs.timeline` reads that
+  history back as per-metric trajectories with direction-aware
+  change-point detection (``python -m repro runs ...``).
 """
 
 from repro.obs.analyze import (
@@ -94,6 +99,26 @@ from repro.obs.slo import (
     parse_objective,
 )
 from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink, Sink
+from repro.obs.store import (
+    RUN_KINDS,
+    Aggregate,
+    RunRecord,
+    RunStore,
+    aggregate,
+    current_stamp,
+    emit_metrics,
+    ingest_snapshots,
+    use_clock,
+)
+from repro.obs.timeline import (
+    Changepoint,
+    MetricSeries,
+    TimelinePoint,
+    build_timeline,
+    detect_changepoints,
+    render_timeline_html,
+    render_timeline_text,
+)
 from repro.obs.trace import (
     NULL_RECORDER,
     NullRecorder,
@@ -163,4 +188,21 @@ __all__ = [
     "save_baselines",
     "update_baseline",
     "compare_to_baseline",
+    # run-history store + cross-run timelines
+    "RUN_KINDS",
+    "RunRecord",
+    "RunStore",
+    "Aggregate",
+    "aggregate",
+    "use_clock",
+    "current_stamp",
+    "ingest_snapshots",
+    "emit_metrics",
+    "TimelinePoint",
+    "Changepoint",
+    "MetricSeries",
+    "build_timeline",
+    "detect_changepoints",
+    "render_timeline_text",
+    "render_timeline_html",
 ]

@@ -262,6 +262,40 @@ class LoadReport:
             out.update(self.slo.metrics())
         return out
 
+    def run_record(
+        self,
+        exp_id: str,
+        deltas: dict[str, float] | None = None,
+        extra_verdicts: dict[str, str] | None = None,
+        tags: tuple[str, ...] = (),
+    ):
+        """This run as a :class:`repro.obs.store.RunRecord` (unstamped —
+        :meth:`RunStore.record` supplies timestamp and revision).
+
+        Carries the full flat metric map, the SLO verdict when one was
+        evaluated, and the dominant latency stage when the run was
+        traced; ``deltas``/``extra_verdicts`` let the CLI fold in a
+        baseline comparison.
+        """
+        from repro.obs.store import RunRecord
+
+        verdicts = dict(extra_verdicts or {})
+        if self.slo is not None:
+            verdicts["slo"] = "pass" if self.slo.passed else "violation"
+        dom = self.dominant_stage()
+        return RunRecord(
+            exp_id=exp_id,
+            kind="serve",
+            metrics=self.metrics(),
+            backend=self.backend,
+            cores=self.cores,
+            seed=self.seed,
+            verdicts=verdicts,
+            deltas=dict(deltas or {}),
+            dominant_stage=dom.stage if dom is not None else None,
+            tags=tags,
+        )
+
     def stage_latencies(self) -> tuple[StageLatency, ...]:
         """Per-stage tail decomposition (empty when the run was untraced)."""
         if self.stages is None:

@@ -1,0 +1,27 @@
+"""Shared test fixtures.
+
+The run-history store defaults to the repo's ``benchmarks/runs/``; any
+test that exercises an auto-recording CLI command (``analyze``,
+``compare``, ``serve``, ``chaos``) would otherwise append records to the
+committed store.  Redirect the default to a session-scoped temp
+directory — session-scoped so hypothesis-driven tests never trip the
+function-scoped-fixture health check, and because no test should ever
+see the real store anyway.  Tests that want a specific store still pass
+``--store``/an explicit root, which wins over the env default.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_runs_store(tmp_path_factory):
+    import os
+
+    store_dir = tmp_path_factory.mktemp("runs-store")
+    old = os.environ.get("REPRO_RUNS_STORE")
+    os.environ["REPRO_RUNS_STORE"] = str(store_dir)
+    yield store_dir
+    if old is None:
+        os.environ.pop("REPRO_RUNS_STORE", None)
+    else:
+        os.environ["REPRO_RUNS_STORE"] = old

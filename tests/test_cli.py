@@ -299,3 +299,209 @@ class TestSloCommand:
         first = capsys.readouterr().out
         assert main(args) == 3
         assert capsys.readouterr().out == first
+
+
+class TestRuns:
+    def seeded_store(self, tmp_path):
+        """A store holding the acceptance trajectory: two healthy serve
+        runs and one deliberately-regressed one (the CLI backfills the
+        committed snapshot on top, making >= 3 healthy points)."""
+        from repro.obs.store import RunRecord, RunStore
+
+        store = RunStore(tmp_path / "runs")
+        for ts, rps in ((1.0, 1990.0), (2.0, 1975.0)):
+            store.append(
+                RunRecord(
+                    exp_id="serve_overload_sim",
+                    kind="serve",
+                    metrics={"serve.throughput_rps": rps},
+                    backend="sim",
+                    timestamp=ts,
+                    revision="sim",
+                )
+            )
+        store.append(
+            RunRecord(
+                exp_id="serve_overload_sim",
+                kind="serve",
+                metrics={"serve.throughput_rps": 410.0},
+                backend="sim",
+                timestamp=3.0,
+                revision="sim",
+                tags=("regressed:deliberate",),
+            )
+        )
+        return str(tmp_path / "runs")
+
+    def test_ingest_then_list_shows_committed_history(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        assert main(["runs", "ingest", "--store", store]) == 0
+        assert "ingested" in capsys.readouterr().err
+        assert main(["runs", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("pool_micro", "sim_micro", "trace_micro", "serve_overload_sim"):
+            assert exp_id in out
+        assert "snapshot" in out
+
+    def test_timeline_flags_regressed_run_and_writes_html(self, tmp_path, capsys):
+        # the acceptance scenario: >= 3 ingested runs (committed BENCH
+        # backfill + two healthy) plus one deliberately-regressed run ->
+        # change-point flagged, exit code != 0, self-contained HTML out
+        store = self.seeded_store(tmp_path)
+        html_path = tmp_path / "timeline.html"
+        rc = main(
+            ["runs", "timeline", "serve_overload_sim",
+             "--store", store, "-o", str(html_path)]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "change-point: serve.throughput_rps at run 3" in captured.out
+        assert "change-point(s) detected" in captured.err
+        html = html_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "<script" not in html
+
+    def test_timeline_without_history_exits_2(self, tmp_path, capsys):
+        rc = main(
+            ["runs", "timeline", "serve_overload_sim",
+             "--store", str(tmp_path / "empty"), "--no-backfill"]
+        )
+        assert rc == 2
+        assert "no stored runs" in capsys.readouterr().err
+
+    def test_query_filters_and_aggregates(self, tmp_path, capsys):
+        store = self.seeded_store(tmp_path)
+        assert main(
+            ["runs", "query", "serve_overload_sim", "--store", store,
+             "--no-backfill", "--kind", "serve"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 record(s)" in out
+        assert main(
+            ["runs", "query", "--store", store, "--no-backfill",
+             "--tag", "regressed:deliberate"]
+        ) == 0
+        assert "1 record(s)" in capsys.readouterr().out
+        assert main(
+            ["runs", "query", "--store", store, "--no-backfill",
+             "--metric", "serve.throughput_rps", "--reduce", "min", "--group-by", "exp"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serve_overload_sim" in out and "410" in out
+
+    def test_list_scrape_exports_store_gauges(self, tmp_path, capsys):
+        store = self.seeded_store(tmp_path)
+        scrape = tmp_path / "scrape.txt"
+        assert main(
+            ["runs", "list", "--store", store, "--no-backfill",
+             "--scrape-out", str(scrape)]
+        ) == 0
+        text = scrape.read_text()
+        assert "# TYPE repro_store_runs gauge" in text
+        assert "repro_store_runs 3" in text
+        assert "repro_store_runs_serve 3" in text
+
+    def test_compact_reports_removed_lines(self, tmp_path, capsys):
+        store = self.seeded_store(tmp_path)
+        assert main(["runs", "compact", "--store", store]) == 0
+        assert "0 line(s) removed" in capsys.readouterr().err
+
+
+class TestAutoRecord:
+    def test_serve_records_and_double_ingest_is_byte_identical(self, tmp_path, capsys):
+        from pathlib import Path
+
+        store = tmp_path / "runs"
+        args = ["serve", "bursty", "--requests", "2000", "--store", str(store)]
+        assert main(args) == 0
+        assert "run recorded" in capsys.readouterr().err
+        shards = {p.name: p.read_bytes() for p in Path(store).glob("*.jsonl")}
+        assert shards
+        # the same deterministic sim run again: stamped from the injected
+        # clock, so the record dedups and the store stays byte-identical
+        assert main(args) == 0
+        capsys.readouterr()
+        assert {p.name: p.read_bytes() for p in Path(store).glob("*.jsonl")} == shards
+
+    def test_serve_record_carries_identity(self, tmp_path, capsys):
+        from repro.obs.store import RunStore
+
+        store = tmp_path / "runs"
+        assert main(
+            ["serve", "steady", "--requests", "1000", "--seed", "7",
+             "--store", str(store)]
+        ) == 0
+        capsys.readouterr()
+        (rec,) = list(RunStore(store))
+        assert rec.exp_id == "serve_steady_sim"
+        assert rec.kind == "serve"
+        assert (rec.backend, rec.cores, rec.seed) == ("sim", 4, 7)
+        assert rec.revision == "sim"
+        assert rec.metrics["serve.completed"] > 0
+
+    def test_no_record_writes_nothing(self, tmp_path, capsys):
+        store = tmp_path / "runs"
+        assert main(
+            ["serve", "steady", "--requests", "1000",
+             "--store", str(store), "--no-record"]
+        ) == 0
+        assert "run recorded" not in capsys.readouterr().err
+        assert not store.exists()
+
+    def test_analyze_records_analysis_metrics(self, tmp_path, capsys):
+        from repro.obs.store import RunStore
+
+        store = tmp_path / "runs"
+        assert main(
+            ["analyze", "abl_sched", "-o", str(tmp_path), "--store", str(store)]
+        ) == 0
+        capsys.readouterr()
+        (rec,) = list(RunStore(store))
+        assert rec.kind == "analyze"
+        assert rec.exp_id == "abl_sched"
+        assert "primary.makespan" in rec.metrics
+
+    def test_compare_records_verdict_and_deltas(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.store import RunStore
+
+        baseline = tmp_path / "baselines.json"
+        store = tmp_path / "runs"
+        assert main(
+            ["analyze", "abl_sched", "-o", str(tmp_path), "--update-baseline",
+             "--baseline", str(baseline), "--no-record"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["compare", "abl_sched", "--baseline", str(baseline), "--store", str(store)]
+        ) == 0
+        capsys.readouterr()
+        # doctor the stored makespan: the re-run now "regresses", and the
+        # verdict + per-metric deltas land in the store
+        doc = json.loads(baseline.read_text())
+        doc["experiments"]["abl_sched"]["primary.makespan"] /= 2
+        baseline.write_text(json.dumps(doc))
+        assert main(
+            ["compare", "abl_sched", "--baseline", str(baseline), "--store", str(store)]
+        ) == 1
+        capsys.readouterr()
+        records = RunStore(store).query(kind="compare")
+        assert [r.verdicts["baseline"] for r in records] == ["pass", "regression"]
+        bad = records[-1]
+        assert bad.regressed
+        assert bad.deltas["primary.makespan"] == pytest.approx(1.0)
+        assert "regressed:primary.makespan" in bad.tags
+
+    def test_chaos_records_gate_verdict(self, tmp_path, capsys):
+        from repro.obs.store import RunStore
+
+        store = tmp_path / "runs"
+        assert main(
+            ["chaos", "proj10", "--expect", "retry,fault", "--store", str(store)]
+        ) == 0
+        capsys.readouterr()
+        (rec,) = list(RunStore(store))
+        assert rec.kind == "chaos"
+        assert rec.verdicts == {"chaos": "pass"}
+        assert rec.seed == 0
